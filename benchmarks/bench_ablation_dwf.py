@@ -1,0 +1,24 @@
+"""Ablation — dynamic warp formation (Fung et al.) vs PDOM vs µ-kernels.
+
+The paper positions spawn-based µ-kernels against DWF (its §VIII): DWF
+regroups existing threads by PC with no code changes, but needs register-
+file flexibility and cannot shed the stack-restart structure of the
+kernel. We run an idealized lane-flexible DWF on the traditional kernel
+and compare all three mechanisms on the conference scene.
+"""
+
+from repro.harness import experiments
+
+
+def bench_ablation_dwf(benchmark, preset, workloads, report):
+    workload = workloads("conference")
+    data = benchmark.pedantic(experiments.ablation_dwf,
+                              args=(preset, workload),
+                              rounds=1, iterations=1)
+    report(data["render"])
+    assert data["verified"]
+    rows = {row["mechanism"]: row for row in data["rows"]}
+    # DWF recovers part of the PDOM loss; µ-kernels stay ahead of PDOM.
+    assert rows["DWF (idealized)"]["rays_done"] > 0
+    assert (rows["dynamic µ-kernels"]["efficiency"]
+            > rows["PDOM (stack)"]["efficiency"])

@@ -1,0 +1,42 @@
+"""Figure 10 — branching performance against the MIMD theoretical ideal.
+
+Paper shape (conference scene, ideal memory for "theoretical" bars):
+PDOM gains nothing from an ideal memory system (it is branch-bound);
+dynamic µ-kernels reach ~45% of MIMD with real memory and could reach
+~60% with ideal memory.
+"""
+
+from repro.analysis.report import format_bars
+from repro.harness.runner import mimd_rays_per_second, run_mode
+
+MODES = ("pdom_warp", "pdom_ideal", "spawn", "spawn_ideal")
+
+
+def _run_all(workload):
+    results = {mode: run_mode(mode, workload) for mode in MODES}
+    return results
+
+
+def bench_fig10(benchmark, workloads, report):
+    workload = workloads("conference")
+    results = benchmark.pedantic(_run_all, args=(workload,),
+                                 rounds=1, iterations=1)
+    mimd = mimd_rays_per_second(workload)
+    bars = [(mode, results[mode].rays_per_second / 1e6) for mode in MODES]
+    bars.append(("mimd_theoretical", mimd / 1e6))
+    fractions = {mode: value / (mimd / 1e6) for mode, value in bars}
+    report(format_bars(bars, title="Figure 10 — Mrays/s vs MIMD "
+                                   "(conference)", unit="M")
+           + "\nfractions of MIMD: "
+           + ", ".join(f"{mode}={fractions[mode]:.2f}"
+                       for mode, _ in bars))
+    for result in results.values():
+        assert result.verify()
+    # Shape checks from the paper:
+    pdom_gain = fractions["pdom_ideal"] / max(fractions["pdom_warp"], 1e-9)
+    spawn_gain = fractions["spawn_ideal"] / max(fractions["spawn"], 1e-9)
+    assert pdom_gain < 1.35          # "PDOM has no performance increase"
+    assert fractions["spawn"] > fractions["pdom_warp"]
+    assert fractions["spawn_ideal"] >= fractions["spawn"]
+    assert 0.2 < fractions["spawn"] < 1.0   # a large but real MIMD gap
+    assert fractions["mimd_theoretical"] == 1.0

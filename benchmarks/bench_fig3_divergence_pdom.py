@@ -1,0 +1,23 @@
+"""Figure 3 — divergence breakdown under traditional PDOM branching.
+
+Paper: the conference scene leaves most warps far below full occupancy
+(loss up to ~65%); the W1:4 category dominates once the initial coherent
+phase ends.
+"""
+
+from repro.analysis.divergence import breakdown_from_stats, render_breakdown
+from repro.harness.runner import run_mode
+
+
+def bench_fig3(benchmark, workloads, report):
+    workload = workloads("conference")
+    result = benchmark.pedantic(run_mode, args=("pdom_block", workload),
+                                rounds=1, iterations=1)
+    breakdown = breakdown_from_stats(result.stats)
+    report("Figure 3 — divergence, PDOM (conference)\n"
+           + render_breakdown(breakdown)
+           + f"\nIPC={result.ipc:.1f} efficiency={result.simt_efficiency:.2f}")
+    assert result.verify()
+    # Traditional branching loses a large share of lanes (paper: ~65% max).
+    assert result.simt_efficiency < 0.8
+    assert breakdown.mean_active_lanes < 28

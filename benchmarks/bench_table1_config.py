@@ -1,0 +1,13 @@
+"""Table I — simulator configuration (construction + validation cost)."""
+
+from repro.config import paper_config
+from repro.harness import experiments
+
+
+def bench_table1(benchmark, report):
+    data = benchmark.pedantic(experiments.table1, rounds=3, iterations=1)
+    report(data["render"])
+    rows = dict((row["parameter"], row["value"]) for row in data["rows"])
+    assert rows["Processor Cores"] == "30"
+    assert rows["Warp Size"] == "32"
+    assert paper_config().peak_ipc == 960

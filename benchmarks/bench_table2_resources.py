@@ -1,0 +1,17 @@
+"""Table II — per-thread kernel resources and occupancy.
+
+Paper: traditional 22 regs / µ-kernel 20 regs + 48 B spawn state,
+yielding 512 threads/SM (block scheduling) vs 800 (µ-kernels).
+"""
+
+from repro.harness import experiments
+
+
+def bench_table2(benchmark, report):
+    data = benchmark.pedantic(experiments.table2, rounds=3, iterations=1)
+    report(data["render"])
+    occupancy = data["occupancy"]
+    assert occupancy["microkernel_threads_per_sm"] == 800
+    assert occupancy["traditional_block_threads_per_sm"] == 512
+    assert (occupancy["traditional_warp_threads_per_sm"]
+            > occupancy["traditional_block_threads_per_sm"])

@@ -1,0 +1,15 @@
+"""Table III — benchmark scenes with object counts and tree parameters."""
+
+from repro.harness import experiments
+
+
+def bench_table3(benchmark, preset, report):
+    data = benchmark.pedantic(experiments.table3, args=(preset,),
+                              rounds=1, iterations=1)
+    report(data["render"])
+    rows = {row["scene"]: row for row in data["rows"]}
+    assert set(rows) == {"fairyforest", "atrium", "conference"}
+    for row in rows.values():
+        assert row["tree_nodes"] == 2 * row["tree_leaves"] - 1
+    # Scene characters: conference densest object count in the paper's set.
+    assert rows["conference"]["paper_triangles"] > rows["atrium"]["paper_triangles"]

@@ -1,0 +1,20 @@
+"""Table IV — per-frame memory bandwidth, traditional vs dynamic.
+
+Paper shape: dynamic thread creation multiplies read traffic ~4.4x and
+total traffic ~7.3x on its scenes; writes grow from ~0.25 MB (results
+only) to hundreds of MB (state passing).
+"""
+
+from repro.harness import experiments
+
+
+def bench_table4(benchmark, preset, report):
+    data = benchmark.pedantic(experiments.table4, args=(preset,),
+                              rounds=1, iterations=1)
+    report(data["render"])
+    summary = data["summary"]
+    assert summary["mean_read_ratio"] > 1.5
+    assert summary["mean_total_ratio"] > summary["mean_read_ratio"]
+    for row in data["rows"]:
+        if row["variant"] == "Dynamic":
+            assert row["write_mb"] > 0.0

@@ -1,0 +1,54 @@
+"""Benchmark fixtures: preset selection and cached workloads.
+
+Set ``REPRO_PRESET`` to ``tiny``/``fast``/``paper`` (default ``fast``) to
+pick the simulation scale. Each bench prints the regenerated table/figure
+(run pytest with ``-s`` to see it live) and appends it to
+``benchmarks/_output/report.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return get_preset(os.environ.get("REPRO_PRESET", "fast"))
+
+
+@pytest.fixture(scope="session")
+def workloads(preset):
+    """Prepared workloads per scene, shared across benches."""
+    cache: dict[str, object] = {}
+
+    def get(scene: str, ray_kind: str = "primary"):
+        key = f"{scene}:{ray_kind}"
+        if key not in cache:
+            cache[key] = prepare_workload(scene, preset, ray_kind=ray_kind)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Append rendered experiment sections to the report file."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "report.txt"
+    path.write_text("")
+
+    def emit(section: str) -> None:
+        print()
+        print(section)
+        with path.open("a") as handle:
+            handle.write(section + "\n\n")
+
+    return emit

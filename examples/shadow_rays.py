@@ -1,0 +1,78 @@
+"""Shadow rays: the paper's first global-rendering use case (§III-A).
+
+Traces primary rays on the simulated GPU, generates one shadow ray per hit
+toward the scene light, traces the shadow batch on the simulator too, and
+writes a shaded image with hard shadows. Secondary rays are less coherent
+than primary rays, so this also shows how much more lane occupancy dynamic
+µ-kernels recover on the shadow pass.
+
+Run:  python examples/shadow_rays.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import scaled_config
+from repro.kernels import build_memory_image, microkernel_launch_spec, traditional_launch_spec
+from repro.rt import Camera, build_kdtree, make_scene, shadow_rays, trace_rays
+from repro.rt.image import shade_hits
+from repro.simt import GPU
+
+WIDTH, HEIGHT = 40, 40
+
+
+def run_on_gpu(tree, origins, directions, t_max, *, use_micro: bool,
+               max_cycles=40_000_000):
+    image = build_memory_image(tree, origins, directions, t_max)
+    if use_micro:
+        config = scaled_config(1, spawn_enabled=True, max_cycles=max_cycles)
+        launch = microkernel_launch_spec(origins.shape[0])
+    else:
+        config = scaled_config(1, max_cycles=max_cycles)
+        launch = traditional_launch_spec(origins.shape[0])
+    gpu = GPU(config, launch, image.global_mem, image.const_mem)
+    stats = gpu.run()
+    t, triangle = image.results()
+    return stats, t, triangle
+
+
+def main() -> None:
+    scene = make_scene("conference", detail=0.5)
+    tree = build_kdtree(scene.triangles, max_depth=13, leaf_size=8)
+    camera = Camera.for_scene(scene)
+    origins, directions = camera.primary_rays(WIDTH, HEIGHT)
+
+    print("pass 1: primary rays (traditional kernel)")
+    stats, t, triangle = run_on_gpu(tree, origins, directions, np.inf,
+                                    use_micro=False)
+    print(f"  efficiency={stats.simt_efficiency:.2f} "
+          f"hits={int((triangle >= 0).sum())}/{triangle.size}")
+
+    batch = shadow_rays(scene.triangles, triangle, t, origins, directions,
+                        scene.light)
+    reference = trace_rays(tree, batch.origins, batch.directions, batch.t_max)
+
+    print("pass 2: shadow rays, PDOM vs dynamic µ-kernels")
+    results = {}
+    for label, use_micro in (("pdom", False), ("spawn", True)):
+        shadow_stats, shadow_t, shadow_tri = run_on_gpu(
+            tree, batch.origins, batch.directions, batch.t_max,
+            use_micro=use_micro)
+        correct = np.array_equal(shadow_tri, reference.triangle)
+        results[label] = shadow_stats
+        print(f"  {label:5s}: efficiency={shadow_stats.simt_efficiency:.2f} "
+              f"IPC={shadow_stats.ipc:.1f} verified={correct}")
+    gain = (results["spawn"].simt_efficiency
+            / max(results["pdom"].simt_efficiency, 1e-9))
+    print(f"  µ-kernel occupancy gain on the shadow pass: {gain:.2f}x")
+
+    shadowed = reference.triangle >= 0
+    frame = shade_hits(WIDTH, HEIGHT, scene.triangles, triangle, t,
+                       directions, shadowed=shadowed)
+    frame.write_ppm("shadows.ppm")
+    print("wrote shadows.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package is unavailable (pip falls back to
+`setup.py develop` when invoked with --no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Dynamic µ-kernels for SIMT global rendering (MICRO 2010 reproduction).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+- :mod:`repro.config` — machine configuration (paper Table I),
+- :mod:`repro.isa` — the PTX-flavoured ISA, assembler, CFG analysis,
+- :mod:`repro.simt` — the cycle-level SIMT simulator + spawn hardware,
+- :mod:`repro.rt` — ray-tracing substrate (kd-tree, Wald, scenes),
+- :mod:`repro.kernels` — the benchmark kernels and memory layout,
+- :mod:`repro.analysis` — divergence breakdowns, bandwidth model,
+- :mod:`repro.harness` — presets, runner, per-figure experiments.
+"""
+
+from repro.config import GPUConfig, paper_config, scaled_config
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "ReproError",
+    "__version__",
+    "paper_config",
+    "scaled_config",
+]

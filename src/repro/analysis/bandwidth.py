@@ -1,0 +1,121 @@
+"""Analytic per-frame bandwidth model — paper Table IV.
+
+The paper computes Table IV "from the number of down traversals and
+intersection tests required to render a single frame ... without any
+caching or separation between off-chip and on-chip memory spaces". We do
+the same from the reference tracer's :class:`~repro.rt.trace.TraceCounters`:
+
+Traditional kernel per frame:
+
+- reads: ray records, one node record per down traversal and per leaf
+  entered, and one leaf index plus one Wald record per intersection test;
+- writes: the per-ray result pair only (the paper's ~0.25 MB column —
+  traversal-stack traffic is excluded, as in the paper).
+
+Dynamic µ-kernels add, per spawned thread, a 48-byte state store by the
+parent, a 48-byte state load by the child, and the 4-byte warp-formation
+metadata write/read. Thread counts per chain follow the µ-kernel
+decomposition: one ``uk_traverse`` per node visit *and* per leaf arrival,
+one ``uk_isect`` per intersection test, one ``uk_pop`` per leaf finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rt.trace import TraceCounters
+
+#: Byte costs (32-bit words on the modelled hardware).
+NODE_BYTES = 16
+TRIANGLE_BYTES = 48
+LEAF_INDEX_BYTES = 4
+RAY_BYTES = 32
+RESULT_BYTES = 8
+STATE_BYTES = 48
+METADATA_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Modelled per-frame traffic for one scene and kernel variant."""
+
+    name: str
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def as_megabytes(self) -> tuple[float, float, float]:
+        scale = 1.0 / (1024 * 1024)
+        return (self.read_bytes * scale, self.write_bytes * scale,
+                self.total_bytes * scale)
+
+
+def spawned_threads(counters: TraceCounters) -> int:
+    """Dynamic threads created per frame under the naïve µ-kernel scheme.
+
+    One ``uk_traverse`` instance per node visit and per leaf arrival, one
+    ``uk_isect`` per triangle test, one ``uk_pop`` per leaf finished —
+    every instance is one spawn event. Rays that miss the world bounds
+    never spawn and contribute nothing to the counters.
+    """
+    totals = counters.totals()
+    return (totals["node_visits"] + 2 * totals["leaf_visits"]
+            + totals["triangle_tests"])
+
+
+def traditional_bandwidth(counters: TraceCounters, num_rays: int
+                          ) -> BandwidthModel:
+    totals = counters.totals()
+    reads = (num_rays * RAY_BYTES
+             + (totals["node_visits"] + totals["leaf_visits"]) * NODE_BYTES
+             + totals["triangle_tests"] * (LEAF_INDEX_BYTES + TRIANGLE_BYTES))
+    writes = num_rays * RESULT_BYTES
+    return BandwidthModel(name="Traditional", read_bytes=reads,
+                          write_bytes=writes)
+
+
+def dynamic_bandwidth(counters: TraceCounters, num_rays: int
+                      ) -> BandwidthModel:
+    """Traffic with dynamic thread creation: each spawn event moves the
+    48-byte state plus 4 bytes of warp-formation metadata in each
+    direction (parent store + hardware metadata write; child reads both)."""
+    base = traditional_bandwidth(counters, num_rays)
+    threads = spawned_threads(counters)
+    reads = base.read_bytes + threads * (STATE_BYTES + METADATA_BYTES)
+    writes = base.write_bytes + threads * (STATE_BYTES + METADATA_BYTES)
+    return BandwidthModel(name="Dynamic", read_bytes=reads,
+                          write_bytes=writes)
+
+
+def bandwidth_table(per_scene: dict[str, tuple[TraceCounters, int]]
+                    ) -> list[dict]:
+    """Table IV rows for ``{scene: (counters, num_rays)}``.
+
+    Returns one row per scene and variant with MB columns plus the
+    dynamic/traditional ratios the paper quotes (4.4x read, 7.3x total on
+    its scenes).
+    """
+    rows = []
+    for scene, (counters, num_rays) in per_scene.items():
+        trad = traditional_bandwidth(counters, num_rays)
+        dyn = dynamic_bandwidth(counters, num_rays)
+        trad_mb = trad.as_megabytes()
+        dyn_mb = dyn.as_megabytes()
+        rows.append({
+            "scene": scene, "variant": "Traditional",
+            "read_mb": round(trad_mb[0], 2), "write_mb": round(trad_mb[1], 2),
+            "total_mb": round(trad_mb[2], 2),
+        })
+        rows.append({
+            "scene": scene, "variant": "Dynamic",
+            "read_mb": round(dyn_mb[0], 2), "write_mb": round(dyn_mb[1], 2),
+            "total_mb": round(dyn_mb[2], 2),
+            "read_ratio": round(dyn.read_bytes / trad.read_bytes, 2),
+            "total_ratio": round(dyn.total_bytes / trad.total_bytes, 2),
+        })
+    return rows

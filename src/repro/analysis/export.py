@@ -1,0 +1,70 @@
+"""CSV/plot-data export for experiment results.
+
+The benchmarks print ASCII renderings; for publication-quality plots the
+same data can be exported as CSV and re-plotted with any tool. Every
+writer returns the path it wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from collections.abc import Sequence
+
+from repro.analysis.divergence import DivergenceBreakdown
+
+
+def write_rows_csv(path: str | pathlib.Path, rows: Sequence[dict],
+                   columns: Sequence[str] | None = None) -> pathlib.Path:
+    """Write dict rows (e.g. a table/figure's ``rows``) as CSV."""
+    path = pathlib.Path(path)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns),
+                                restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return path
+
+
+def write_breakdown_csv(path: str | pathlib.Path,
+                        breakdown: DivergenceBreakdown) -> pathlib.Path:
+    """Export a divergence breakdown time series (Figures 3/7/9 data).
+
+    One row per time window: window start cycle followed by the fraction
+    of that window spent in each W category, idle, and stall.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["window_start_cycle", *breakdown.labels])
+        for index in range(breakdown.num_windows):
+            start = index * breakdown.window_cycles
+            writer.writerow([start,
+                             *(f"{value:.6f}"
+                               for value in breakdown.fractions[index])])
+    return path
+
+
+def write_series_csv(path: str | pathlib.Path, name: str,
+                     labels: Sequence[str], values: Sequence[float]
+                     ) -> pathlib.Path:
+    """Export labelled bars (Figure 8/10 style data)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal lengths")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", name])
+        for label, value in zip(labels, values):
+            writer.writerow([label, value])
+    return path

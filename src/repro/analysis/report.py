@@ -1,0 +1,60 @@
+"""Plain-text table and series renderers for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Missing keys render as empty cells; column order defaults to the union
+    of keys in first-seen order.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells)) if cells
+              else len(col) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float], *,
+                  width: int = 50, unit: str = "") -> str:
+    """Render a numeric series as a horizontal bar chart."""
+    if not values:
+        return f"{name}: (empty)"
+    peak = max(values) or 1.0
+    lines = [name]
+    for index, value in enumerate(values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"  [{index:>3}] {value:>12.3f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def format_bars(items: Sequence[tuple[str, float]], *, width: int = 50,
+                unit: str = "", title: str | None = None) -> str:
+    """Render labelled values as a bar chart (figure-style output)."""
+    if not items:
+        return title or ""
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"  {label.ljust(label_width)} {value:>12.3f}{unit} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``experiments [--preset P] [--only table1,fig8,...]`` — regenerate the
+  paper's tables and figures,
+- ``run --scene S --mode M [--preset P] [--rays shadow]`` — one simulation
+  with full metrics,
+- ``render --scene S [--width W --height H] [--out f.ppm]`` — reference
+  render of a benchmark scene,
+- ``disasm {traditional|microkernels}`` — print a benchmark kernel's
+  assembly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.divergence import breakdown_from_stats, render_breakdown
+from repro.harness import experiments
+from repro.harness.presets import PRESETS, get_preset
+from repro.harness.runner import MODES, prepare_workload, run_mode
+from repro.rt import BENCHMARK_SCENES
+
+_EXPERIMENTS = {
+    "table1": lambda preset: experiments.table1(),
+    "table2": lambda preset: experiments.table2(),
+    "table3": experiments.table3,
+    "table4": experiments.table4,
+    "fig3": experiments.fig3,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "ablation_dwf": experiments.ablation_dwf,
+    "ablation_persistent": experiments.ablation_persistent,
+}
+
+
+def _cmd_experiments(args) -> int:
+    preset = get_preset(args.preset)
+    if args.csv_dir:
+        for path in experiments.export_all_csv(preset, args.csv_dir):
+            print(f"wrote {path}")
+        return 0
+    names = (args.only.split(",") if args.only
+             else list(_EXPERIMENTS))
+    for name in names:
+        runner = _EXPERIMENTS.get(name.strip())
+        if runner is None:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        print(runner(preset)["render"])
+        print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    preset = get_preset(args.preset)
+    workload = prepare_workload(args.scene, preset, ray_kind=args.rays)
+    result = run_mode(args.mode, workload)
+    print(f"scene={args.scene} rays={args.rays} mode={args.mode} "
+          f"preset={preset.name}")
+    print(f"  cycles             {result.stats.cycles}")
+    print(f"  IPC                {result.ipc:.2f}")
+    print(f"  SIMT efficiency    {result.simt_efficiency:.3f}")
+    print(f"  rays completed     {result.stats.rays_completed}"
+          f"/{workload.num_rays}")
+    print(f"  Mrays/s (30 SMs)   {result.rays_per_second / 1e6:.1f}")
+    print(f"  DRAM read/write    {result.stats.dram_read_bytes}"
+          f"/{result.stats.dram_write_bytes} bytes")
+    print(f"  verified           {result.verify()}")
+    if args.divergence:
+        print(render_breakdown(breakdown_from_stats(result.stats)))
+    return 0 if result.verify() else 1
+
+
+def _cmd_render(args) -> int:
+    import numpy as np
+
+    from repro.rt import Camera, build_kdtree, make_scene, trace_rays
+    from repro.rt.image import shade_hits
+
+    scene = make_scene(args.scene, detail=args.detail)
+    tree = build_kdtree(scene.triangles, max_depth=args.depth, leaf_size=8)
+    camera = Camera.for_scene(scene)
+    origins, directions = camera.primary_rays(args.width, args.height)
+    result = trace_rays(tree, origins, directions)
+    frame = shade_hits(args.width, args.height, scene.triangles,
+                       result.triangle, result.t, directions)
+    frame.write_ppm(args.out)
+    hits = int(result.hit_mask.sum())
+    print(f"{args.scene}: {scene.num_triangles} triangles, "
+          f"{hits}/{origins.shape[0]} rays hit, wrote {args.out}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.isa import disassemble
+    from repro.kernels.microkernels import microkernel_program
+    from repro.kernels.traditional import traditional_program
+
+    program = (traditional_program() if args.kernel == "traditional"
+               else microkernel_program())
+    print(disassemble(program))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("--preset", default="fast", choices=sorted(PRESETS))
+    p_exp.add_argument("--only", default="",
+                       help="comma-separated subset, e.g. table1,fig8")
+    p_exp.add_argument("--csv-dir", default="",
+                       help="write figure/table data as CSV files here "
+                            "instead of printing")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="simulate one workload/mode pair")
+    p_run.add_argument("--scene", default="conference",
+                       choices=BENCHMARK_SCENES)
+    p_run.add_argument("--mode", default="spawn", choices=MODES)
+    p_run.add_argument("--preset", default="fast", choices=sorted(PRESETS))
+    p_run.add_argument("--rays", default="primary",
+                       choices=("primary", "shadow", "reflection", "gi"))
+    p_run.add_argument("--divergence", action="store_true",
+                       help="print the warp-occupancy breakdown")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_render = sub.add_parser("render", help="reference-render a scene")
+    p_render.add_argument("--scene", default="conference",
+                          choices=BENCHMARK_SCENES)
+    p_render.add_argument("--width", type=int, default=64)
+    p_render.add_argument("--height", type=int, default=64)
+    p_render.add_argument("--detail", type=float, default=0.5)
+    p_render.add_argument("--depth", type=int, default=13)
+    p_render.add_argument("--out", default="render.ppm")
+    p_render.set_defaults(func=_cmd_render)
+
+    p_dis = sub.add_parser("disasm", help="print a benchmark kernel")
+    p_dis.add_argument("kernel", choices=("traditional", "microkernels"))
+    p_dis.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

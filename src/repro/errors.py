@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the assembler, simulator, and rendering layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent simulator configuration."""
+
+
+class AssemblerError(ReproError):
+    """A syntax or semantic error while assembling kernel text."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ProgramError(ReproError):
+    """A structurally invalid program (bad label, missing kernel, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A fault raised while functionally executing an instruction."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        if pc is not None:
+            message = f"pc={pc}: {message}"
+        super().__init__(message)
+        self.pc = pc
+
+
+class MemoryError_(ReproError):
+    """An out-of-range or malformed simulated memory access."""
+
+
+class SchedulingError(ReproError):
+    """The SM scheduler reached an inconsistent state (e.g. deadlock)."""
+
+
+class SceneError(ReproError):
+    """Invalid scene or acceleration-structure construction parameters."""

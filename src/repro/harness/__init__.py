@@ -1,0 +1,23 @@
+"""Experiment harness: presets, workload runner, per-figure experiments."""
+
+from repro.harness.presets import PRESETS, SimPreset, get_preset
+from repro.harness.runner import (
+    MODES,
+    RunResult,
+    Workload,
+    prepare_workload,
+    run_mode,
+)
+from repro.harness import experiments
+
+__all__ = [
+    "MODES",
+    "PRESETS",
+    "RunResult",
+    "SimPreset",
+    "Workload",
+    "experiments",
+    "get_preset",
+    "prepare_workload",
+    "run_mode",
+]

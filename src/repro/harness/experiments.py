@@ -1,0 +1,358 @@
+"""One entry point per paper table and figure.
+
+Each ``table*``/``fig*`` function runs the relevant simulations and returns
+a dict with structured data plus a ``render`` string that prints the same
+rows/series the paper reports. ``python -m repro.harness.experiments``
+regenerates everything at the chosen preset.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.bandwidth import bandwidth_table
+from repro.analysis.divergence import breakdown_from_stats, render_breakdown
+from repro.analysis.report import format_bars, format_table
+from repro.config import paper_config
+from repro.harness.presets import SimPreset, get_preset
+from repro.harness.runner import (
+    mimd_rays_per_second,
+    prepare_workload,
+    run_mode,
+)
+from repro.kernels.microkernels import (
+    PAPER_REGISTERS as MICRO_REGS,
+    microkernel_program,
+)
+from repro.kernels.resources import (
+    measure_resources,
+    occupancy_threads_per_sm,
+    table2_rows,
+)
+from repro.kernels.traditional import (
+    PAPER_REGISTERS as TRAD_REGS,
+    traditional_program,
+)
+from repro.rt import BENCHMARK_SCENES, build_kdtree, make_scene
+from repro.rt.scenes import PAPER_TRIANGLE_COUNTS
+
+
+def table1() -> dict:
+    """Table I: the simulated machine configuration."""
+    config = paper_config()
+    rows = [{"parameter": key, "value": value}
+            for key, value in config.table1_rows()]
+    return {"rows": rows,
+            "render": format_table(rows, title="Table I — configuration")}
+
+
+def table2(config=None) -> dict:
+    """Table II: per-thread kernel resources and resulting occupancy."""
+    config = config or paper_config()
+    trad = measure_resources(traditional_program(), "traditional")
+    micro = measure_resources(microkernel_program(), "microkernel")
+    rows = table2_rows(trad, micro)
+    occupancy = {
+        "traditional_block_threads_per_sm": occupancy_threads_per_sm(
+            config, TRAD_REGS, block_size=64, scheduling="block"),
+        "traditional_warp_threads_per_sm": occupancy_threads_per_sm(
+            config, TRAD_REGS, block_size=64, scheduling="warp"),
+        "microkernel_threads_per_sm": occupancy_threads_per_sm(
+            config, MICRO_REGS, block_size=32, scheduling="warp"),
+    }
+    render = format_table(rows, title="Table II — per-thread resources")
+    render += "\n\noccupancy: " + ", ".join(
+        f"{key}={value}" for key, value in occupancy.items())
+    return {"rows": rows, "occupancy": occupancy, "render": render}
+
+
+def table3(preset: SimPreset) -> dict:
+    """Table III: benchmark scenes and tree parameters."""
+    rows = []
+    for name in BENCHMARK_SCENES:
+        scene = make_scene(name, detail=preset.scene_detail)
+        tree = build_kdtree(scene.triangles, max_depth=preset.kd_max_depth,
+                            leaf_size=preset.kd_leaf_size)
+        stats = tree.stats()
+        rows.append({
+            "scene": name,
+            "triangles": scene.num_triangles,
+            "paper_triangles": PAPER_TRIANGLE_COUNTS[name],
+            "tree_nodes": stats.num_nodes,
+            "tree_leaves": stats.num_leaves,
+            "max_depth": stats.max_depth,
+            "avg_tris_per_leaf": round(stats.avg_triangles_per_leaf, 2),
+            "empty_leaves": stats.empty_leaves,
+        })
+    return {"rows": rows,
+            "render": format_table(rows, title="Table III — scenes")}
+
+
+def table4(preset: SimPreset) -> dict:
+    """Table IV: per-frame bandwidth, traditional vs dynamic."""
+    per_scene = {}
+    for name in BENCHMARK_SCENES:
+        workload = prepare_workload(name, preset)
+        per_scene[name] = (workload.reference.counters, workload.num_rays)
+    rows = bandwidth_table(per_scene)
+    ratios = [row["read_ratio"] for row in rows if "read_ratio" in row]
+    totals = [row["total_ratio"] for row in rows if "total_ratio" in row]
+    summary = {
+        "mean_read_ratio": round(sum(ratios) / len(ratios), 2),
+        "mean_total_ratio": round(sum(totals) / len(totals), 2),
+        "paper_read_ratio": 4.4,
+        "paper_total_ratio": 7.3,
+    }
+    render = format_table(rows, title="Table IV — bandwidth per frame (MB)")
+    render += f"\n\nmean ratios: read={summary['mean_read_ratio']}x " \
+              f"(paper 4.4x), total={summary['mean_total_ratio']}x (paper 7.3x)"
+    return {"rows": rows, "summary": summary, "render": render}
+
+
+def _divergence_figure(mode: str, preset: SimPreset, scene: str,
+                       title: str) -> dict:
+    workload = prepare_workload(scene, preset)
+    result = run_mode(mode, workload)
+    breakdown = breakdown_from_stats(result.stats)
+    return {
+        "mode": mode,
+        "scene": scene,
+        "ipc": result.ipc,
+        "simt_efficiency": result.simt_efficiency,
+        "mean_active_lanes": breakdown.mean_active_lanes,
+        "breakdown": breakdown,
+        "result": result,
+        "render": (f"{title} (scene={scene}, mode={mode}, "
+                   f"IPC={result.ipc:.1f}, "
+                   f"efficiency={result.simt_efficiency:.2f})\n"
+                   + render_breakdown(breakdown)),
+    }
+
+
+def fig3(preset: SimPreset, scene: str = "conference") -> dict:
+    """Figure 3: divergence breakdown, traditional SIMT branching."""
+    return _divergence_figure("pdom_block", preset, scene,
+                              "Figure 3 — divergence, PDOM")
+
+
+def fig7(preset: SimPreset, scene: str = "conference") -> dict:
+    """Figure 7: divergence breakdown with dynamic µ-kernels (no bank
+    conflicts); paper reports IPC 615 vs 326 (1.9x) on its machine."""
+    data = _divergence_figure("spawn", preset, scene,
+                              "Figure 7 — divergence, µ-kernels")
+    baseline = _divergence_figure("pdom_block", preset, scene, "baseline")
+    ratio = data["ipc"] / baseline["ipc"] if baseline["ipc"] else 0.0
+    data["baseline_ipc"] = baseline["ipc"]
+    data["ipc_ratio"] = ratio
+    data["paper_ipc_ratio"] = 1.9
+    data["render"] += (f"\nIPC ratio vs PDOM: {ratio:.2f}x "
+                       f"(paper: 1.9x)")
+    return data
+
+
+def fig9(preset: SimPreset, scene: str = "conference") -> dict:
+    """Figure 9: µ-kernel divergence with spawn-memory bank conflicts;
+    paper reports IPC 429 (1.3x over PDOM)."""
+    data = _divergence_figure("spawn_conflicts", preset, scene,
+                              "Figure 9 — divergence, µ-kernels + conflicts")
+    baseline = _divergence_figure("pdom_block", preset, scene, "baseline")
+    ratio = data["ipc"] / baseline["ipc"] if baseline["ipc"] else 0.0
+    data["baseline_ipc"] = baseline["ipc"]
+    data["ipc_ratio"] = ratio
+    data["paper_ipc_ratio"] = 1.3
+    data["render"] += (f"\nIPC ratio vs PDOM: {ratio:.2f}x "
+                       f"(paper: 1.3x)")
+    return data
+
+
+def fig8(preset: SimPreset, modes=("pdom_block", "pdom_warp", "spawn")
+         ) -> dict:
+    """Figure 8: rays/second per scene and branching/scheduling method."""
+    rows = []
+    for scene in BENCHMARK_SCENES:
+        workload = prepare_workload(scene, preset)
+        for mode in modes:
+            result = run_mode(mode, workload)
+            rows.append({
+                "scene": scene,
+                "mode": mode,
+                "mrays_per_s": round(result.rays_per_second / 1e6, 2),
+                "ipc": round(result.ipc, 1),
+                "efficiency": round(result.simt_efficiency, 3),
+                "completed": round(result.completed_fraction, 3),
+                "verified": result.verify(),
+            })
+    speedups = []
+    for scene in BENCHMARK_SCENES:
+        base = next(r for r in rows if r["scene"] == scene
+                    and r["mode"] == "pdom_block")
+        dyn = next(r for r in rows if r["scene"] == scene
+                   and r["mode"] == "spawn")
+        if base["mrays_per_s"]:
+            speedups.append(dyn["mrays_per_s"] / base["mrays_per_s"])
+    summary = {
+        "mean_speedup_vs_pdom_block": (round(sum(speedups) / len(speedups), 2)
+                                       if speedups else 0.0),
+        "paper_mean_speedup": 1.4,
+    }
+    render = format_table(rows, title="Figure 8 — rays per second")
+    render += (f"\n\nmean dynamic speedup vs PDOM block: "
+               f"{summary['mean_speedup_vs_pdom_block']}x (paper: 1.4x)")
+    return {"rows": rows, "summary": summary, "render": render}
+
+
+def fig10(preset: SimPreset, scene: str = "conference") -> dict:
+    """Figure 10: branching performance vs the MIMD theoretical ideal.
+
+    The paper's shape: PDOM gains nothing from an ideal memory system
+    (branch-bound); µ-kernels reach ~45% of MIMD with real memory and ~60%
+    with ideal memory.
+    """
+    workload = prepare_workload(scene, preset)
+    mimd = mimd_rays_per_second(workload)
+    bars = []
+    results = {}
+    for mode in ("pdom_block", "pdom_ideal", "spawn", "spawn_ideal"):
+        result = run_mode(mode, workload)
+        results[mode] = result
+        bars.append((mode, result.rays_per_second))
+    bars.append(("mimd_theoretical", mimd))
+    fractions = {mode: (value / mimd if mimd else 0.0)
+                 for mode, value in bars}
+    rows = [{"mode": mode, "mrays_per_s": round(value / 1e6, 2),
+             "fraction_of_mimd": round(fractions[mode], 3)}
+            for mode, value in bars]
+    render = format_table(rows, title=f"Figure 10 — vs MIMD ({scene})")
+    render += ("\n\npaper shape: PDOM flat under ideal memory; µ-kernels "
+               ">=45% of MIMD, up to ~60% ideal")
+    return {"rows": rows, "fractions": fractions, "results": results,
+            "mimd_rays_per_second": mimd, "render": render}
+
+
+def ablation_dwf(preset: SimPreset, workload=None) -> dict:
+    """Regrouping mechanisms: PDOM vs idealized DWF vs dynamic µ-kernels."""
+    import numpy as np
+
+    from repro.harness.runner import config_for_mode
+    from repro.kernels.layout import build_memory_image
+    from repro.kernels.traditional import traditional_program
+    from repro.simt.dwf import run_dwf
+
+    workload = workload or prepare_workload("conference", preset)
+    config = config_for_mode("pdom_warp", preset)
+    image = build_memory_image(workload.tree, workload.origins,
+                               workload.directions, workload.t_max)
+    dwf = run_dwf(config, traditional_program(), "trace", image.global_mem,
+                  image.const_mem,
+                  num_threads=min(workload.num_rays, 736),
+                  max_cycles=preset.max_cycles)
+    t, tri = image.results()
+    done = ~np.isnan(t)
+    verified = bool(np.array_equal(tri[done],
+                                   workload.reference.triangle[done]))
+    pdom = run_mode("pdom_warp", workload)
+    spawn = run_mode("spawn", workload)
+    rows = [
+        {"mechanism": "PDOM (stack)", "ipc": round(pdom.ipc, 1),
+         "efficiency": round(pdom.simt_efficiency, 3),
+         "rays_done": pdom.stats.rays_completed},
+        {"mechanism": "DWF (idealized)", "ipc": round(dwf.ipc, 1),
+         "efficiency": round(dwf.simt_efficiency, 3),
+         "rays_done": dwf.rays_completed},
+        {"mechanism": "dynamic µ-kernels", "ipc": round(spawn.ipc, 1),
+         "efficiency": round(spawn.simt_efficiency, 3),
+         "rays_done": spawn.stats.rays_completed},
+    ]
+    return {"rows": rows, "verified": verified,
+            "render": format_table(rows, title="Ablation — regrouping "
+                                                "mechanisms (conference)")}
+
+
+def ablation_persistent(preset: SimPreset, workload=None) -> dict:
+    """Work scheduling: grid launch vs persistent threads vs µ-kernels."""
+    import numpy as np
+
+    from repro.harness.runner import config_for_mode
+    from repro.kernels.layout import build_memory_image
+    from repro.kernels.persistent import (
+        persistent_launch_spec,
+        persistent_thread_count,
+    )
+    from repro.simt import GPU
+
+    workload = workload or prepare_workload("conference", preset)
+    config = config_for_mode("pdom_warp", preset)
+    image = build_memory_image(workload.tree, workload.origins,
+                               workload.directions, workload.t_max)
+    launch = persistent_launch_spec(persistent_thread_count(config))
+    gpu = GPU(config, launch, image.global_mem, image.const_mem,
+              divergence_window=preset.divergence_window)
+    persistent = gpu.run()
+    t, tri = image.results()
+    done = ~np.isnan(t)
+    verified = bool(np.array_equal(tri[done],
+                                   workload.reference.triangle[done]))
+    grid = run_mode("pdom_warp", workload)
+    spawn = run_mode("spawn", workload)
+    rows = [
+        {"approach": "grid launch (PDOM)", "ipc": round(grid.ipc, 1),
+         "efficiency": round(grid.simt_efficiency, 3),
+         "rays_done": grid.stats.rays_completed},
+        {"approach": "persistent threads", "ipc": round(persistent.ipc, 1),
+         "efficiency": round(persistent.simt_efficiency, 3),
+         "rays_done": persistent.sm_stats.rays_completed},
+        {"approach": "dynamic µ-kernels", "ipc": round(spawn.ipc, 1),
+         "efficiency": round(spawn.simt_efficiency, 3),
+         "rays_done": spawn.stats.rays_completed},
+    ]
+    return {"rows": rows, "verified": verified,
+            "render": format_table(rows, title="Ablation — work "
+                                                "scheduling (conference)")}
+
+
+def export_all_csv(preset: SimPreset, out_dir: str) -> list[str]:
+    """Regenerate the figure data and write CSVs under ``out_dir``."""
+    from repro.analysis.export import write_breakdown_csv, write_rows_csv
+
+    written = []
+    for name, data in (("table2", table2()), ("table3", table3(preset)),
+                       ("table4", table4(preset)), ("fig8", fig8(preset))):
+        written.append(str(write_rows_csv(f"{out_dir}/{name}.csv",
+                                          data["rows"])))
+    for name, fig in (("fig3", fig3(preset)), ("fig7", fig7(preset)),
+                      ("fig9", fig9(preset))):
+        written.append(str(write_breakdown_csv(f"{out_dir}/{name}.csv",
+                                               fig["breakdown"])))
+    written.append(str(write_rows_csv(f"{out_dir}/fig10.csv",
+                                      fig10(preset)["rows"])))
+    return written
+
+
+def run_all(preset_name: str = "fast") -> str:
+    """Regenerate every table and figure; returns the combined report."""
+    preset = get_preset(preset_name)
+    sections = [
+        table1()["render"],
+        table2()["render"],
+        table3(preset)["render"],
+        table4(preset)["render"],
+        fig3(preset)["render"],
+        fig7(preset)["render"],
+        fig8(preset)["render"],
+        fig9(preset)["render"],
+        fig10(preset)["render"],
+        ablation_dwf(preset)["render"],
+        ablation_persistent(preset)["render"],
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    preset = argv[0] if argv else "fast"
+    print(run_all(preset))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Simulation presets: scale the paper's experiment to a Python budget.
+
+The paper simulates a 30-SM machine at 256x256 for the first 300k cycles.
+SMs are independent (no inter-SM communication in the paper's model), so a
+smaller SM count with a proportionally scaled memory partition reproduces
+per-SM behaviour exactly under the paper's own assumptions; rays/s numbers
+are scaled back to 30 SMs by the runner. Scene ``detail`` scales the
+procedural triangle counts (DESIGN.md documents the scene substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SimPreset:
+    """One simulation scale."""
+
+    name: str
+    num_sms: int
+    image_width: int
+    image_height: int
+    scene_detail: float
+    kd_max_depth: int
+    kd_leaf_size: int
+    max_cycles: int
+    divergence_window: int
+
+    @property
+    def num_rays(self) -> int:
+        return self.image_width * self.image_height
+
+
+PRESETS = {
+    # For unit/integration tests: seconds per run.
+    "tiny": SimPreset(name="tiny", num_sms=1, image_width=12,
+                      image_height=12, scene_detail=0.25, kd_max_depth=10,
+                      kd_leaf_size=8, max_cycles=2_000_000,
+                      divergence_window=2_000),
+    # For benchmarks: minutes for the full figure set.
+    "fast": SimPreset(name="fast", num_sms=1, image_width=40,
+                      image_height=40, scene_detail=0.5, kd_max_depth=13,
+                      kd_leaf_size=8, max_cycles=300_000,
+                      divergence_window=3_000),
+    # Closer to the paper's setup (long: hours in pure Python).
+    "paper": SimPreset(name="paper", num_sms=30, image_width=256,
+                       image_height=256, scene_detail=2.0, kd_max_depth=18,
+                       kd_leaf_size=8, max_cycles=300_000,
+                       divergence_window=3_000),
+}
+
+
+def get_preset(name: str) -> SimPreset:
+    if name not in PRESETS:
+        raise ConfigError(
+            f"unknown preset {name!r}; expected one of {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,199 @@
+"""Wire scenes, kernels, and configurations into simulation runs.
+
+``run_mode`` executes one (workload, machine-mode) pair and returns a
+:class:`RunResult` with the metrics the paper reports: IPC, SIMT
+efficiency, rays/second (scaled to the 30-SM machine), divergence
+breakdown, and traffic counters.
+
+Machine modes (see :data:`MODES`):
+
+=================  ==========================================================
+mode               meaning
+=================  ==========================================================
+pdom_block         traditional kernel, FX5800 block scheduling (paper
+                   "PDOM Block")
+pdom_warp          traditional kernel, warp/thread scheduling ("PDOM Warp")
+spawn              dynamic µ-kernels, conflict-free spawn memory (Fig 7)
+spawn_conflicts    dynamic µ-kernels with spawn-memory bank conflicts (Fig 9)
+pdom_ideal         pdom_warp with the ideal memory system (Fig 10)
+spawn_ideal        spawn with the ideal memory system (Fig 10)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GPUConfig, SchedulingModel, scaled_config
+from repro.errors import ConfigError
+from repro.harness.presets import SimPreset
+from repro.kernels.layout import MemoryImage, build_memory_image
+from repro.kernels.microkernels import microkernel_launch_spec
+from repro.kernels.traditional import (
+    dynamic_instruction_model,
+    traditional_launch_spec,
+)
+from repro.rt import Camera, build_kdtree, make_scene, trace_rays
+from repro.rt.kdtree import KDTree
+from repro.rt.rays import gi_rays, reflection_rays, shadow_rays
+from repro.rt.trace import TraceResult
+from repro.simt import GPU, mimd_theoretical
+from repro.simt.gpu import RunStats
+from repro.simt.mimd import MIMDResult
+
+#: Paper machine size used to scale rays/s.
+PAPER_SMS = 30
+
+MODES = ("pdom_block", "pdom_warp", "spawn", "spawn_conflicts",
+         "pdom_ideal", "spawn_ideal")
+
+
+@dataclass
+class Workload:
+    """A prepared scene + ray batch + reference solution."""
+
+    scene_name: str
+    ray_kind: str
+    tree: KDTree
+    origins: np.ndarray
+    directions: np.ndarray
+    t_max: np.ndarray
+    reference: TraceResult
+    preset: SimPreset
+
+    @property
+    def num_rays(self) -> int:
+        return self.origins.shape[0]
+
+
+@dataclass
+class RunResult:
+    """Metrics from one simulated run."""
+
+    mode: str
+    workload: Workload
+    stats: RunStats
+    image: MemoryImage
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def simt_efficiency(self) -> float:
+        return self.stats.simt_efficiency
+
+    @property
+    def rays_per_second(self) -> float:
+        """Rays/s scaled to the paper's 30-SM machine."""
+        return self.stats.rays_per_second(scale_to_sms=PAPER_SMS)
+
+    @property
+    def completed_fraction(self) -> float:
+        return self.stats.rays_completed / self.workload.num_rays
+
+    def verify(self) -> bool:
+        """Check results against the reference for completed rays."""
+        t, tri = self.image.results()
+        ref = self.workload.reference
+        done = ~np.isnan(t)
+        if not done.any():
+            return True
+        tri_ok = np.array_equal(tri[done], ref.triangle[done])
+        mine = np.where(np.isinf(t[done]), -1.0, t[done])
+        theirs = np.where(np.isinf(ref.t[done]), -1.0, ref.t[done])
+        return tri_ok and np.array_equal(mine, theirs)
+
+
+def prepare_workload(scene_name: str, preset: SimPreset,
+                     ray_kind: str = "primary", seed: int = 0) -> Workload:
+    """Build a scene, its kd-tree, and the requested ray batch."""
+    scene = make_scene(scene_name, detail=preset.scene_detail)
+    tree = build_kdtree(scene.triangles, max_depth=preset.kd_max_depth,
+                        leaf_size=preset.kd_leaf_size)
+    camera = Camera.for_scene(scene)
+    origins, directions = camera.primary_rays(preset.image_width,
+                                              preset.image_height)
+    t_max = np.full(origins.shape[0], np.inf)
+    if ray_kind != "primary":
+        primary = trace_rays(tree, origins, directions)
+        if ray_kind == "shadow":
+            batch = shadow_rays(scene.triangles, primary.triangle, primary.t,
+                                origins, directions, scene.light)
+        elif ray_kind == "reflection":
+            batch = reflection_rays(scene.triangles, primary.triangle,
+                                    primary.t, origins, directions)
+        elif ray_kind == "gi":
+            batch = gi_rays(scene.triangles, primary.triangle, primary.t,
+                            origins, directions, seed=seed)
+        else:
+            raise ConfigError(f"unknown ray kind {ray_kind!r}")
+        origins, directions, t_max = batch.origins, batch.directions, batch.t_max
+    reference = trace_rays(tree, origins, directions, t_max)
+    return Workload(scene_name=scene_name, ray_kind=ray_kind, tree=tree,
+                    origins=origins, directions=directions, t_max=t_max,
+                    reference=reference, preset=preset)
+
+
+def config_for_mode(mode: str, preset: SimPreset) -> GPUConfig:
+    """The machine configuration for one mode at one preset scale."""
+    if mode not in MODES:
+        raise ConfigError(f"unknown mode {mode!r}; expected one of {MODES}")
+    overrides: dict = {"max_cycles": preset.max_cycles}
+    if mode == "pdom_block":
+        overrides["scheduling"] = SchedulingModel.BLOCK
+    else:
+        overrides["scheduling"] = SchedulingModel.WARP
+    if mode.startswith("spawn"):
+        overrides["spawn_enabled"] = True
+        overrides["spawn_bank_conflicts"] = mode == "spawn_conflicts"
+    if mode.endswith("ideal"):
+        overrides["memory_ideal"] = True
+    return scaled_config(preset.num_sms, **overrides)
+
+
+def launch_for_mode(mode: str, num_rays: int):
+    if mode.startswith("spawn"):
+        return microkernel_launch_spec(num_rays)
+    return traditional_launch_spec(num_rays)
+
+
+def run_mode(mode: str, workload: Workload,
+             max_cycles: int | None = None) -> RunResult:
+    """Simulate one mode on a prepared workload."""
+    preset = workload.preset
+    config = config_for_mode(mode, preset)
+    image = build_memory_image(workload.tree, workload.origins,
+                               workload.directions, workload.t_max)
+    launch = launch_for_mode(mode, workload.num_rays)
+    gpu = GPU(config, launch, image.global_mem, image.const_mem,
+              divergence_window=preset.divergence_window)
+    stats = gpu.run(max_cycles=max_cycles)
+    return RunResult(mode=mode, workload=workload, stats=stats, image=image)
+
+
+def mimd_for_workload(workload: Workload) -> MIMDResult:
+    """MIMD-theoretical result from the analytic instruction model.
+
+    Per-thread dynamic instruction counts follow the traditional kernel's
+    static block sizes applied to the reference tracer's loop-trip counts
+    (see :func:`repro.kernels.traditional.dynamic_instruction_model`).
+    """
+    model = dynamic_instruction_model()
+    counters = workload.reference.counters
+    counts = (model["prologue"]
+              + counters.node_visits * model["node_visit"]
+              + counters.leaf_visits * (model["leaf_visit"] + model["pop"])
+              + counters.triangle_tests * model["triangle_test"]
+              + model["write"])
+    config = config_for_mode("pdom_ideal", workload.preset)
+    return mimd_theoretical(counts, config)
+
+
+def mimd_rays_per_second(workload: Workload) -> float:
+    """MIMD-theoretical rays/s scaled to the 30-SM machine."""
+    result = mimd_for_workload(workload)
+    config = config_for_mode("pdom_ideal", workload.preset)
+    return result.rays_per_second(config, scale_to_sms=PAPER_SMS)

@@ -1,0 +1,49 @@
+"""A small PTX-flavoured SIMT instruction set.
+
+The ISA mirrors the subset of NVIDIA PTX 1.x the paper works at (it
+hand-instruments Radius-CUDA at the PTX level), extended with the paper's
+contribution: a ``spawn`` instruction and a ``spawnMem`` state space.
+
+Public API:
+
+- :class:`~repro.isa.instructions.Instruction` and the opcode tables,
+- :class:`~repro.isa.program.Program` / :class:`~repro.isa.program.KernelInfo`,
+- :func:`~repro.isa.assembler.assemble` / :func:`~repro.isa.assembler.disassemble`,
+- :func:`~repro.isa.cfg.reconvergence_table` (PDOM points).
+"""
+
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.cfg import build_cfg, immediate_post_dominators, reconvergence_table
+from repro.isa.instructions import (
+    ARITH_OPS,
+    CMP_OPS,
+    MEMORY_SPACES,
+    OPCODES,
+    Instruction,
+    Operand,
+    imm,
+    preg,
+    reg,
+    sreg,
+)
+from repro.isa.program import KernelInfo, Program
+
+__all__ = [
+    "ARITH_OPS",
+    "CMP_OPS",
+    "MEMORY_SPACES",
+    "OPCODES",
+    "Instruction",
+    "KernelInfo",
+    "Operand",
+    "Program",
+    "assemble",
+    "build_cfg",
+    "disassemble",
+    "imm",
+    "immediate_post_dominators",
+    "preg",
+    "reconvergence_table",
+    "reg",
+    "sreg",
+]

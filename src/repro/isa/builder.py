@@ -1,0 +1,217 @@
+"""Programmatic kernel builder: construct programs without assembly text.
+
+The text assembler (:mod:`repro.isa.assembler`) is the primary authoring
+path, but generated kernels (sweeps, fuzzing, DSLs) are easier to build
+through an API. :class:`KernelBuilder` offers one method per opcode with
+Python-level operand checking and label management:
+
+>>> b = KernelBuilder()
+>>> b.kernel("main", registers=8)
+>>> b.mov("r0", "SREG.tid")
+>>> b.label("LOOP")
+>>> b.add("r1", "r1", 1)
+>>> b.setp("lt", "p0", "r1", "r0")
+>>> b.bra("LOOP", pred="p0")
+>>> b.exit()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    ARITH_OPS,
+    CMP_OPS,
+    MEMORY_SPACES,
+    SPECIAL_REGISTERS,
+    UNARY_OPS,
+    Instruction,
+    Operand,
+    imm,
+    preg,
+    reg,
+    sreg,
+)
+from repro.isa.program import Program
+
+
+def _operand(value) -> Operand:
+    """Coerce a Python value into an operand.
+
+    Accepts :class:`Operand`, register strings (``"r4"``/``"rd4"``/
+    ``"p1"``/``"SREG.tid"``), or numbers (immediates).
+    """
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, (int, float)):
+        return imm(float(value))
+    if isinstance(value, str):
+        match = re.fullmatch(r"rd?(\d+)", value)
+        if match:
+            return reg(int(match.group(1)))
+        match = re.fullmatch(r"p(\d+)", value)
+        if match:
+            return preg(int(match.group(1)))
+        if value.startswith("SREG."):
+            name = value[len("SREG."):]
+            if name in SPECIAL_REGISTERS:
+                return sreg(name)
+    raise ProgramError(f"cannot interpret operand {value!r}")
+
+
+def _guard(pred) -> tuple[Operand | None, bool]:
+    """Parse a guard spec: None, "p0", or "!p0"."""
+    if pred is None:
+        return None, False
+    if isinstance(pred, Operand):
+        return pred, False
+    negated = pred.startswith("!")
+    operand = _operand(pred.lstrip("!"))
+    if operand.kind != "p":
+        raise ProgramError(f"guard must be a predicate, got {pred!r}")
+    return operand, negated
+
+
+class KernelBuilder:
+    """Incrementally build a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self):
+        self._program = Program()
+        self._pending_kernels: list[tuple[str, dict]] = []
+
+    # -- structure ---------------------------------------------------------
+
+    def kernel(self, name: str, *, registers: int, state_words: int = 0,
+               shared_bytes: int = 0, local_bytes: int = 0,
+               const_bytes: int = 0) -> "KernelBuilder":
+        """Declare a kernel entry; also places its label here."""
+        self.label(name)
+        self._pending_kernels.append((name, dict(
+            registers=registers, state_words=state_words,
+            shared_bytes=shared_bytes, local_bytes=local_bytes,
+            const_bytes=const_bytes)))
+        return self
+
+    def label(self, name: str) -> "KernelBuilder":
+        self._program.add_label(name)
+        return self
+
+    def build(self) -> Program:
+        """Finalize: register kernels, resolve labels, validate."""
+        for name, params in self._pending_kernels:
+            self._program.add_kernel(name, **params)
+        self._pending_kernels = []
+        return self._program.finalize()
+
+    # -- instructions ------------------------------------------------------
+
+    def _emit(self, instruction: Instruction) -> "KernelBuilder":
+        self._program.add(instruction)
+        return self
+
+    def _binary(self, op: str, dst, a, b, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction(
+            op, dst=_operand(dst), srcs=(_operand(a), _operand(b)),
+            pred=guard, pred_neg=negated))
+
+    def _unary(self, op: str, dst, a, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction(
+            op, dst=_operand(dst), srcs=(_operand(a),),
+            pred=guard, pred_neg=negated))
+
+    def setp(self, cmp: str, dst, a, b, pred=None) -> "KernelBuilder":
+        if cmp not in CMP_OPS:
+            raise ProgramError(f"unknown comparison {cmp!r}")
+        guard, negated = _guard(pred)
+        destination = _operand(dst)
+        if destination.kind != "p":
+            raise ProgramError("setp destination must be a predicate")
+        return self._emit(Instruction(
+            "setp", dst=destination, srcs=(_operand(a), _operand(b)),
+            cmp=cmp, pred=guard, pred_neg=negated))
+
+    def selp(self, dst, a, b, chooser, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        chooser_op = _operand(chooser)
+        if chooser_op.kind != "p":
+            raise ProgramError("selp chooser must be a predicate")
+        return self._emit(Instruction(
+            "selp", dst=_operand(dst),
+            srcs=(_operand(a), _operand(b), chooser_op),
+            pred=guard, pred_neg=negated))
+
+    def mad(self, dst, a, b, c, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction(
+            "mad", dst=_operand(dst),
+            srcs=(_operand(a), _operand(b), _operand(c)),
+            pred=guard, pred_neg=negated))
+
+    def ld(self, space: str, dst, address, offset: int = 0, width: int = 1,
+           pred=None) -> "KernelBuilder":
+        if space not in MEMORY_SPACES:
+            raise ProgramError(f"unknown memory space {space!r}")
+        guard, negated = _guard(pred)
+        return self._emit(Instruction(
+            "ld", dst=_operand(dst), srcs=(_operand(address),),
+            space=space, width=width, offset=offset,
+            pred=guard, pred_neg=negated))
+
+    def st(self, space: str, address, src, offset: int = 0, width: int = 1,
+           pred=None) -> "KernelBuilder":
+        if space not in MEMORY_SPACES:
+            raise ProgramError(f"unknown memory space {space!r}")
+        guard, negated = _guard(pred)
+        return self._emit(Instruction(
+            "st", srcs=(_operand(address), _operand(src)),
+            space=space, width=width, offset=offset,
+            pred=guard, pred_neg=negated))
+
+    def bra(self, target: str, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction("bra", label=target, pred=guard,
+                                      pred_neg=negated))
+
+    def spawn(self, kernel: str, pointer, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction("spawn", label=kernel,
+                                      srcs=(_operand(pointer),),
+                                      pred=guard, pred_neg=negated))
+
+    def exit(self, pred=None) -> "KernelBuilder":
+        guard, negated = _guard(pred)
+        return self._emit(Instruction("exit", pred=guard, pred_neg=negated))
+
+    def nop(self) -> "KernelBuilder":
+        return self._emit(Instruction("nop"))
+
+
+def _install_op_methods() -> None:
+    """Generate one builder method per simple arithmetic opcode."""
+    def make_binary(op):
+        def method(self, dst, a, b, pred=None):
+            return self._binary(op, dst, a, b, pred)
+        method.__name__ = op
+        method.__doc__ = f"Emit `{op} dst, a, b`."
+        return method
+
+    def make_unary(op):
+        def method(self, dst, a, pred=None):
+            return self._unary(op, dst, a, pred)
+        method.__name__ = op
+        method.__doc__ = f"Emit `{op} dst, a`."
+        return method
+
+    for op in ARITH_OPS:
+        if not hasattr(KernelBuilder, op):
+            setattr(KernelBuilder, op, make_binary(op))
+    for op in UNARY_OPS:
+        if not hasattr(KernelBuilder, op):
+            setattr(KernelBuilder, op, make_unary(op))
+
+
+_install_op_methods()

@@ -1,0 +1,112 @@
+"""Control-flow graph and PDOM reconvergence-point analysis.
+
+SIMT hardware reconverges diverged warps at the *immediate post-dominator*
+of each branch (Fung et al., MICRO 2007; paper §II). Real toolchains compute
+these points in the compiler and encode them in the binary; we compute them
+offline from the assembled program with networkx and hand the table to the
+simulator's reconvergence stack.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+
+#: Virtual CFG node representing thread exit.
+EXIT = "EXIT"
+
+#: Sentinel reconvergence PC meaning "reconverge only at thread exit".
+RECONV_AT_EXIT = -1
+
+
+def basic_block_leaders(program: Program) -> list[int]:
+    """PCs that start a basic block, in ascending order."""
+    leaders = {0}
+    for info in program.kernels.values():
+        leaders.add(info.entry_pc)
+    for inst in program.instructions:
+        if inst.op == "bra":
+            leaders.add(inst.target)
+            if inst.pc + 1 < len(program):
+                leaders.add(inst.pc + 1)
+        elif inst.op == "exit" and inst.pc + 1 < len(program):
+            leaders.add(inst.pc + 1)
+    return sorted(pc for pc in leaders if 0 <= pc < len(program))
+
+
+def build_cfg(program: Program) -> nx.DiGraph:
+    """Build the CFG over basic blocks.
+
+    Nodes are block-leader PCs plus the virtual :data:`EXIT` node. Each node
+    carries ``last`` (PC of the block's final instruction).
+    """
+    if program[0] is None:  # pragma: no cover - Program guarantees non-empty
+        raise ProgramError("empty program")
+    leaders = basic_block_leaders(program)
+    leader_set = set(leaders)
+    graph = nx.DiGraph()
+    graph.add_node(EXIT)
+    for index, leader in enumerate(leaders):
+        end = leaders[index + 1] if index + 1 < len(leaders) else len(program)
+        last_pc = end - 1
+        graph.add_node(leader, last=last_pc)
+        last = program[last_pc]
+        if last.op == "bra":
+            graph.add_edge(leader, last.target)
+            if last.pred is not None and last_pc + 1 < len(program):
+                graph.add_edge(leader, last_pc + 1)
+        elif last.op == "exit":
+            graph.add_edge(leader, EXIT)
+            if last.pred is not None and last_pc + 1 < len(program):
+                graph.add_edge(leader, last_pc + 1)
+        else:
+            if last_pc + 1 >= len(program):
+                raise ProgramError("control falls off the end of the program")
+            graph.add_edge(leader, last_pc + 1)
+    for node in list(graph.nodes):
+        if node != EXIT and node not in leader_set:
+            raise ProgramError(f"branch target pc={node} is not a block leader")
+    return graph
+
+
+def immediate_post_dominators(program: Program) -> dict[int, object]:
+    """Map each block leader to its immediate post-dominator leader.
+
+    Values are leader PCs or :data:`EXIT`. Blocks unreachable from any
+    kernel entry are still analyzed (they are part of the PC space).
+    """
+    graph = build_cfg(program)
+    reversed_graph = graph.reverse(copy=False)
+    # Blocks that cannot reach EXIT (e.g. infinite loops) would be absent
+    # from the dominator tree; connect them so analysis is total.
+    reachable = set(nx.descendants(reversed_graph, EXIT)) | {EXIT}
+    for node in graph.nodes:
+        if node not in reachable:
+            reversed_graph = nx.DiGraph(reversed_graph)
+            reversed_graph.add_edge(EXIT, node)
+            reachable.add(node)
+    idom = nx.immediate_dominators(reversed_graph, EXIT)
+    return {node: idom[node] for node in graph.nodes if node != EXIT}
+
+
+def reconvergence_table(program: Program) -> dict[int, int]:
+    """Map each *divergent* branch PC to its reconvergence PC.
+
+    Only predicated branches can diverge. The reconvergence PC is the leader
+    of the branch block's immediate post-dominator, or
+    :data:`RECONV_AT_EXIT` when control only rejoins at thread exit.
+    """
+    ipdom = immediate_post_dominators(program)
+    graph = build_cfg(program)
+    block_of_pc: dict[int, int] = {}
+    for leader in (node for node in graph.nodes if node != EXIT):
+        for pc in range(leader, graph.nodes[leader]["last"] + 1):
+            block_of_pc[pc] = leader
+    table: dict[int, int] = {}
+    for inst in program.instructions:
+        if inst.op == "bra" and inst.pred is not None:
+            node = ipdom[block_of_pc[inst.pc]]
+            table[inst.pc] = RECONV_AT_EXIT if node == EXIT else int(node)
+    return table

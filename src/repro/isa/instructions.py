@@ -1,0 +1,165 @@
+"""Instruction and operand representations.
+
+Operands are small tagged tuples wrapped in :class:`Operand` so the
+executor can dispatch on ``kind`` without string parsing in the hot loop:
+
+- ``reg(i)``   — general-purpose register ``r<i>`` (one 64-bit lane value),
+- ``preg(i)``  — predicate register ``p<i>`` (boolean lane value),
+- ``imm(v)``   — immediate constant,
+- ``sreg(n)``  — special read-only register (``tid``, ``ntid``, ``warpid``,
+  ``smid``, ``spawnMemAddr``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Special registers readable via ``mov rd, SREG.<name>``.
+SPECIAL_REGISTERS = ("tid", "ntid", "warpid", "smid", "spawnMemAddr")
+
+#: State spaces for ld/st. ``local`` is per-thread off-chip memory backed by
+#: the global partition (the paper stores the kd-tree traversal stack there);
+#: ``const`` is read-only off-chip; ``shared`` and ``spawn`` are on-chip.
+MEMORY_SPACES = ("global", "local", "const", "shared", "spawn")
+
+#: Two-source arithmetic ops (dst, a, b).
+ARITH_OPS = (
+    "add", "sub", "mul", "div", "min", "max", "rem",
+    "and", "or", "xor", "shl", "shr",
+)
+
+#: One-source ops (dst, a).
+UNARY_OPS = ("mov", "neg", "abs", "not", "rcp", "sqrt", "rsqrt", "floor", "cvt")
+
+#: Comparison kinds for setp.
+CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+#: Atomic read-modify-write kinds for atom.
+ATOMIC_OPS = ("add", "max", "min", "exch")
+
+#: All opcodes understood by the executor.
+OPCODES = ARITH_OPS + UNARY_OPS + (
+    "mad",    # dst = a*b + c
+    "setp",   # pdst = cmp(a, b)
+    "selp",   # dst = p ? a : b
+    "ld",     # dst[, dst+1, ...] = mem[addr + off ...]
+    "st",     # mem[addr + off ...] = src[, src+1, ...]
+    "atom",   # dst = mem[addr]; mem[addr] = op(mem[addr], src) — serialized
+    "bra",    # branch to label (divergence point when predicated)
+    "spawn",  # create child threads running the labelled µ-kernel
+    "exit",   # retire the lane
+    "bar",    # block-wide barrier (block scheduling only; paper SIX
+              # future work: "thread block level restrictions, such as
+              # thread synchronization")
+    "nop",
+)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A tagged operand: ``kind`` in {'r','p','imm','sreg'}."""
+
+    kind: str
+    value: object
+
+    def __repr__(self) -> str:  # keep asserts/debug output compact
+        if self.kind == "r":
+            return f"r{self.value}"
+        if self.kind == "p":
+            return f"p{self.value}"
+        if self.kind == "sreg":
+            return f"SREG.{self.value}"
+        return repr(self.value)
+
+
+def reg(index: int) -> Operand:
+    """General register ``r<index>``."""
+    if index < 0:
+        raise ValueError("register index must be non-negative")
+    return Operand("r", index)
+
+
+def preg(index: int) -> Operand:
+    """Predicate register ``p<index>``."""
+    if index < 0:
+        raise ValueError("predicate index must be non-negative")
+    return Operand("p", index)
+
+
+def imm(value: float) -> Operand:
+    """Immediate constant operand."""
+    return Operand("imm", float(value))
+
+
+def sreg(name: str) -> Operand:
+    """Special register operand (see :data:`SPECIAL_REGISTERS`)."""
+    if name not in SPECIAL_REGISTERS:
+        raise ValueError(f"unknown special register {name!r}")
+    return Operand("sreg", name)
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction.
+
+    ``pred``/``pred_neg`` guard execution (``@p0`` / ``@!p0``); lanes whose
+    guard is false commit nothing. ``label`` names a branch or spawn target
+    and is resolved to ``target`` (a PC) by :class:`repro.isa.program.Program`.
+    For ld/st, ``srcs[0]`` is the address register and ``offset`` the
+    immediate word offset; ``width`` > 1 selects vector transfers over
+    consecutive registers and words.
+    """
+
+    op: str
+    dst: Operand | None = None
+    srcs: tuple[Operand, ...] = ()
+    pred: Operand | None = None
+    pred_neg: bool = False
+    space: str | None = None
+    width: int = 1
+    cmp: str | None = None
+    label: str | None = None
+    target: int | None = None
+    offset: int = 0
+    pc: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        if self.op == "setp" and self.cmp not in CMP_OPS:
+            raise ValueError(f"setp requires a comparison kind, got {self.cmp!r}")
+        if self.op == "atom":
+            if self.cmp not in ATOMIC_OPS:
+                raise ValueError(f"atom requires an atomic kind, got {self.cmp!r}")
+            if self.space != "global":
+                raise ValueError("atomics are supported on global memory only")
+        if self.op in ("ld", "st"):
+            if self.space not in MEMORY_SPACES:
+                raise ValueError(f"{self.op} requires a memory space, got {self.space!r}")
+            if self.width not in (1, 2, 4):
+                raise ValueError(f"vector width must be 1, 2, or 4, got {self.width}")
+        if self.op in ("bra", "spawn") and self.label is None and self.target is None:
+            raise ValueError(f"{self.op} requires a label or resolved target")
+
+    @property
+    def is_control(self) -> bool:
+        """True for instructions that change control flow (bra/exit)."""
+        return self.op in ("bra", "exit")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in ("ld", "st", "atom")
+
+    @property
+    def is_offchip_memory(self) -> bool:
+        return self.is_memory and self.space in ("global", "local", "const")
+
+    @property
+    def is_onchip_memory(self) -> bool:
+        return self.is_memory and self.space in ("shared", "spawn")
+
+    def guard_repr(self) -> str:
+        if self.pred is None:
+            return ""
+        bang = "!" if self.pred_neg else ""
+        return f"@{bang}p{self.pred.value} "

@@ -1,0 +1,154 @@
+"""Program container: instructions, labels, and kernel entry points.
+
+A :class:`Program` is an ordered list of instructions sharing one flat PC
+space (as on real SIMT hardware, where all µ-kernels of an application are
+compiled into one image and the spawn LUT is indexed by PC). Kernel entry
+points — including every µ-kernel a `spawn` may target — are declared with
+labels registered via :meth:`Program.add_kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Metadata for one kernel entry point.
+
+    ``state_words`` is the number of spawn-memory words the kernel's threads
+    pass between parent and child (paper: 48 bytes = 12 words for the ray
+    tracing µ-kernels). ``registers`` is the per-thread register requirement
+    used for occupancy (paper Table II).
+    """
+
+    name: str
+    entry_pc: int
+    registers: int
+    state_words: int = 0
+    shared_bytes: int = 0
+    local_bytes: int = 0
+    const_bytes: int = 0
+
+
+@dataclass
+class Program:
+    """An assembled program with resolved branch/spawn targets."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    kernels: dict[str, KernelInfo] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def add(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its PC."""
+        pc = len(self.instructions)
+        instruction.pc = pc
+        self.instructions.append(instruction)
+        return pc
+
+    def add_label(self, name: str) -> int:
+        """Bind ``name`` to the next instruction's PC."""
+        if name in self.labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        pc = len(self.instructions)
+        self.labels[name] = pc
+        return pc
+
+    def add_kernel(self, name: str, *, registers: int, state_words: int = 0,
+                   shared_bytes: int = 0, local_bytes: int = 0,
+                   const_bytes: int = 0) -> KernelInfo:
+        """Declare the label ``name`` as a kernel entry point."""
+        if name not in self.labels:
+            raise ProgramError(f"kernel label {name!r} is not defined")
+        if name in self.kernels:
+            raise ProgramError(f"duplicate kernel {name!r}")
+        info = KernelInfo(name=name, entry_pc=self.labels[name],
+                          registers=registers, state_words=state_words,
+                          shared_bytes=shared_bytes, local_bytes=local_bytes,
+                          const_bytes=const_bytes)
+        self.kernels[name] = info
+        return info
+
+    def finalize(self) -> "Program":
+        """Resolve labels to PCs and validate the program. Returns self."""
+        if not self.instructions:
+            raise ProgramError("empty program")
+        for inst in self.instructions:
+            if inst.label is not None:
+                if inst.label not in self.labels:
+                    raise ProgramError(
+                        f"pc={inst.pc}: undefined label {inst.label!r}")
+                inst.target = self.labels[inst.label]
+        for inst in self.instructions:
+            if inst.op == "spawn":
+                name = inst.label
+                if name not in self.kernels:
+                    raise ProgramError(
+                        f"pc={inst.pc}: spawn target {name!r} is not a "
+                        f"declared kernel")
+        last = self.instructions[-1]
+        if not (last.op == "exit" and last.pred is None) and last.op != "bra":
+            raise ProgramError("program must end in an unconditional exit or branch")
+        return self
+
+    # -- static analysis helpers -------------------------------------------
+
+    def kernel_for_pc(self, pc: int) -> KernelInfo | None:
+        """The kernel whose entry is the greatest entry_pc <= pc."""
+        best = None
+        for info in self.kernels.values():
+            if info.entry_pc <= pc and (best is None or info.entry_pc > best.entry_pc):
+                best = info
+        return best
+
+    def max_register_index(self) -> int:
+        """Highest general-register index referenced anywhere."""
+        top = -1
+        for inst in self.instructions:
+            # Only the data operand of a vector ld/st spans width registers
+            # (the address register does not).
+            data = inst.dst if inst.op == "ld" else (
+                inst.srcs[1] if inst.op == "st" else None)
+            operands = list(inst.srcs)
+            if inst.dst is not None:
+                operands.append(inst.dst)
+            for operand in operands:
+                if operand.kind == "r":
+                    span = inst.width - 1 if operand is data else 0
+                    top = max(top, operand.value + span)
+        return top
+
+    def max_predicate_index(self) -> int:
+        top = -1
+        for inst in self.instructions:
+            operands = list(inst.srcs)
+            if inst.dst is not None:
+                operands.append(inst.dst)
+            if inst.pred is not None:
+                operands.append(inst.pred)
+            for operand in operands:
+                if operand.kind == "p":
+                    top = max(top, operand.value)
+        return top
+
+    def dynamic_spawn_targets(self) -> list[KernelInfo]:
+        """Kernels reachable via spawn, ordered by entry PC (LUT order)."""
+        names = {inst.label for inst in self.instructions if inst.op == "spawn"}
+        infos = [self.kernels[name] for name in sorted(names, key=lambda n: self.kernels[n].entry_pc)]
+        return infos
+
+    def instruction_counts(self) -> dict[str, int]:
+        """Static opcode histogram (useful for resource reporting)."""
+        counts: dict[str, int] = {}
+        for inst in self.instructions:
+            counts[inst.op] = counts.get(inst.op, 0) + 1
+        return counts

@@ -1,0 +1,42 @@
+"""SIMT ray-tracing kernels: traditional (Example 1) and dynamic µ-kernels.
+
+- :mod:`repro.kernels.layout` packs a scene, its kd-tree, and a ray batch
+  into simulated global/constant memory.
+- :mod:`repro.kernels.traditional` is the paper's Example 1 kernel: three
+  nested data-dependent loops, executed with PDOM branching.
+- :mod:`repro.kernels.microkernels` is the paper's §V decomposition: the
+  three loops are removed and replaced by spawn chains through four
+  µ-kernels, passing 48 bytes of state through spawn memory.
+- :mod:`repro.kernels.resources` reproduces Table II's per-thread resource
+  accounting and the resulting occupancy (512 vs 800 threads/SM).
+"""
+
+from repro.kernels.layout import MemoryImage, build_memory_image
+from repro.kernels.microkernels import (
+    MICRO_KERNEL_NAMES,
+    MICRO_STATE_WORDS,
+    microkernel_launch_spec,
+    microkernel_program,
+)
+from repro.kernels.resources import (
+    KernelResources,
+    PAPER_TABLE2,
+    occupancy_threads_per_sm,
+    table2_rows,
+)
+from repro.kernels.traditional import traditional_launch_spec, traditional_program
+
+__all__ = [
+    "MICRO_KERNEL_NAMES",
+    "MICRO_STATE_WORDS",
+    "MemoryImage",
+    "KernelResources",
+    "PAPER_TABLE2",
+    "build_memory_image",
+    "microkernel_launch_spec",
+    "microkernel_program",
+    "occupancy_threads_per_sm",
+    "table2_rows",
+    "traditional_launch_spec",
+    "traditional_program",
+]

@@ -1,0 +1,330 @@
+"""Shared assembly fragments for the ray-tracing kernels.
+
+Both the traditional kernel (Example 1) and the µ-kernel decomposition are
+generated from these fragments, so the two implementations perform
+*bit-identical* floating-point arithmetic — a property the test suite
+relies on when comparing either kernel against the scalar reference tracer
+(:mod:`repro.rt.trace`), which mirrors the same operation ordering.
+
+Register map (shared by all kernels; the first 12 registers are exactly the
+48-byte/12-word state record passed through spawn memory):
+
+======  =====  =========================================================
+name    reg    contents
+======  =====  =========================================================
+ox..oz  r0-2   ray origin
+dx..dz  r3-5   ray direction
+bt      r6     best hit t (initialized to the ray's t limit)
+btri    r7     best hit triangle index (-1 = none)
+w8      r8     traversal t_min / leaf iterator (phase-dependent)
+tmax    r9     traversal t_max
+pk      r10    packed node*32 + stack pointer (µ-kernels) / scratch
+rid     r11    ray id
+ix..iz  r12-14 reciprocal direction
+node    r15    current node index
+sp      r16    traversal stack pointer
+sa      r17    stack base address (traditional) / state pointer (µ)
+t0..t7  r18-25 temporaries
+k..pad2 r26-37 Wald triangle record (12 consecutive words)
+z       r38    constant zero (constant-memory base addressing)
+nb      r39    node-array base address
+tb      r40    triangle-array base address
+lb      r41    leaf-index-array base address
+======  =====  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.rt.trace import T_EPS
+
+#: Registers available to kernels (see module docstring).
+REGS = {
+    "ox": "r0", "oy": "r1", "oz": "r2",
+    "dx": "r3", "dy": "r4", "dz": "r5",
+    "bt": "r6", "btri": "r7", "w8": "r8", "tmax": "r9",
+    "pk": "r10", "rid": "r11",
+    "ix": "r12", "iy": "r13", "iz": "r14",
+    "node": "r15", "sp": "r16", "sa": "r17",
+    "t0": "r18", "t1": "r19", "t2": "r20", "t3": "r21",
+    "t4": "r22", "t5": "r23", "t6": "r24", "t7": "r25",
+    "k": "r26", "nu": "r27", "nv": "r28", "nd": "r29",
+    "au": "r30", "av": "r31", "bnu": "r32", "bnv": "r33",
+    "cnu": "r34", "cnv": "r35", "pad1": "r36", "pad2": "r37",
+    "z": "r38", "nb": "r39", "tb": "r40", "lb": "r41",
+}
+
+#: Total general registers the generated kernels touch.
+NUM_REGS_USED = 42
+
+#: Epsilon shared with the reference tracer (bit-identical comparisons).
+EPS = T_EPS
+
+
+def fmt(template: str, **extra) -> str:
+    """Expand {reg} placeholders (plus any extras) in an asm template."""
+    return template.format(**REGS, EPS=repr(EPS), **extra)
+
+
+def load_const_bases() -> str:
+    """Zero register + node/triangle/leaf base addresses from constant mem."""
+    return fmt("""
+    mov {z}, 0;
+    ld.const {nb}, [{z}+0];
+    ld.const {tb}, [{z}+1];
+    ld.const {lb}, [{z}+2];
+""")
+
+
+def load_ray() -> str:
+    """Load the 8-word ray record for ray ``rid`` into r0..r7.
+
+    Word 6 (the ray's t limit) lands directly in ``bt``, initializing the
+    closest-hit search; ``btri`` is reset to -1 afterwards.
+    """
+    return fmt("""
+    ld.const {t0}, [{z}+3];
+    mul {t1}, {rid}, 8;
+    add {t1}, {t1}, {t0};
+    ld.global.v4 {ox}, [{t1}+0];
+    ld.global.v4 {dy}, [{t1}+4];
+    mov {btri}, -1;
+""")
+
+
+def compute_inverse_direction() -> str:
+    return fmt("""
+    rcp {ix}, {dx};
+    rcp {iy}, {dy};
+    rcp {iz}, {dz};
+""")
+
+
+def compute_stack_address() -> str:
+    """sa = stack_base + rid * stack_words."""
+    return fmt("""
+    ld.const {t0}, [{z}+5];
+    ld.const {t1}, [{z}+6];
+    mul {t1}, {rid}, {t1};
+    add {sa}, {t0}, {t1};
+""")
+
+
+def _slab_axis(axis_index: int, o: str, i: str) -> str:
+    return fmt("""
+    ld.const {t0}, [{z}+{LO}];
+    ld.const {t1}, [{z}+{HI}];
+    sub {t0}, {t0}, {O};
+    mul {t0}, {t0}, {I};
+    sub {t1}, {t1}, {O};
+    mul {t1}, {t1}, {I};
+    setp.eq p0, {t0}, {t0};
+    selp {t0}, {t0}, -inf, p0;
+    setp.eq p0, {t1}, {t1};
+    selp {t1}, {t1}, inf, p0;
+    min {t2}, {t0}, {t1};
+    max {t3}, {t0}, {t1};
+    max {w8}, {w8}, {t2};
+    min {tmax}, {tmax}, {t3};
+""", LO=8 + axis_index, HI=11 + axis_index, O=REGS[o], I=REGS[i])
+
+
+def slab_test(miss_label: str) -> str:
+    """World-bounds slab test; leaves [t_enter, t_exit] in (w8, tmax).
+
+    Mirrors :meth:`repro.rt.geometry.AABB.ray_range` exactly, including the
+    NaN-to-infinity fixups for zero direction components, then clamps
+    t_enter to 0 and t_exit to the ray limit (held in ``bt``). Branches to
+    ``miss_label`` when the ray misses the world.
+    """
+    body = fmt("""
+    mov {w8}, -inf;
+    mov {tmax}, inf;
+""")
+    body += _slab_axis(0, "ox", "ix")
+    body += _slab_axis(1, "oy", "iy")
+    body += _slab_axis(2, "oz", "iz")
+    body += fmt("""
+    max {w8}, {w8}, 0;
+    min {tmax}, {tmax}, {bt};
+    setp.gt p0, {w8}, {tmax};
+    @p0 bra MISS;
+""", ).replace("MISS", miss_label)
+    return body
+
+
+def load_node_words() -> str:
+    """Fetch the 4 node words for ``node`` into t0..t3."""
+    return fmt("""
+    mul {t4}, {node}, 4;
+    add {t4}, {t4}, {nb};
+    ld.global.v4 {t0}, [{t4}+0];
+""")
+
+
+def down_step() -> str:
+    """One inner-node traversal step (predicated, branch-free).
+
+    Expects node words in t0..t3 (axis, split, left, right); updates
+    ``node``, ``w8`` (t_min), ``tmax``, ``sp`` and pushes the far child on
+    the per-ray stack at ``sa``. The arithmetic mirrors
+    :func:`repro.rt.trace._trace_one` line for line.
+    """
+    return fmt("""
+    setp.eq p1, {t0}, 0;
+    setp.eq p2, {t0}, 1;
+    selp {t4}, {oy}, {oz}, p2;
+    selp {t4}, {ox}, {t4}, p1;
+    selp {t5}, {dy}, {dz}, p2;
+    selp {t5}, {dx}, {t5}, p1;
+    selp {t6}, {iy}, {iz}, p2;
+    selp {t6}, {ix}, {t6}, p1;
+    sub {t7}, {t1}, {t4};
+    mul {t7}, {t7}, {t6};
+    setp.eq p1, {t7}, {t7};
+    selp {t7}, {t7}, inf, p1;
+    setp.lt p1, {t4}, {t1};
+    setp.eq p2, {t4}, {t1};
+    setp.gt p3, {t5}, 0;
+    selp {k}, 1, 0, p2;
+    selp {k}, {k}, 0, p3;
+    selp {k}, 1, {k}, p1;
+    setp.gt p1, {k}, 0;
+    selp {nu}, {t2}, {t3}, p1;
+    selp {nv}, {t3}, {t2}, p1;
+    add {nd}, {tmax}, {EPS};
+    setp.ge p2, {t7}, {nd};
+    setp.lt p3, {t7}, 0;
+    selp {nd}, 1, 0, p2;
+    selp {nd}, 1, {nd}, p3;
+    setp.gt p2, {nd}, 0;
+    sub {au}, {w8}, {EPS};
+    setp.le p3, {t7}, {au};
+    selp {au}, 0, 1, p2;
+    selp {av}, {au}, 0, p3;
+    selp {bnu}, 0, {au}, p3;
+    setp.gt p1, {av}, 0;
+    setp.gt p3, {bnu}, 0;
+    selp {node}, {nv}, {nu}, p1;
+    mul {bnv}, {sp}, 3;
+    add {bnv}, {sa}, {bnv};
+    max {cnu}, {t7}, {w8};
+    @p3 st.global [{bnv}+0], {nv};
+    @p3 st.global [{bnv}+1], {cnu};
+    @p3 st.global [{bnv}+2], {tmax};
+    @p3 add {sp}, {sp}, 1;
+    min {cnv}, {t7}, {tmax};
+    @p3 mov {tmax}, {cnv};
+""")
+
+
+def triangle_test() -> str:
+    """Wald intersection of the triangle whose index is in t4.
+
+    Updates ``bt``/``btri`` under predicate on hit; preserves t1..t4
+    (leaf bookkeeping). Mirrors :meth:`WaldTriangle.intersect` exactly.
+    """
+    return fmt("""
+    mul {t5}, {t4}, 12;
+    add {t5}, {t5}, {tb};
+    ld.global.v4 {k}, [{t5}+0];
+    ld.global.v4 {au}, [{t5}+4];
+    ld.global.v4 {cnu}, [{t5}+8];
+    setp.eq p1, {k}, 0;
+    setp.eq p2, {k}, 1;
+    selp {t5}, {oy}, {oz}, p2;
+    selp {t5}, {ox}, {t5}, p1;
+    selp {t6}, {oz}, {ox}, p2;
+    selp {t6}, {oy}, {t6}, p1;
+    selp {t7}, {ox}, {oy}, p2;
+    selp {t7}, {oz}, {t7}, p1;
+    selp {pad1}, {dy}, {dz}, p2;
+    selp {pad1}, {dx}, {pad1}, p1;
+    selp {pad2}, {dz}, {dx}, p2;
+    selp {pad2}, {dy}, {pad2}, p1;
+    selp {t0}, {dx}, {dy}, p2;
+    selp {t0}, {dz}, {t0}, p1;
+    mul {pad2}, {nu}, {pad2};
+    add {pad1}, {pad1}, {pad2};
+    mul {t0}, {nv}, {t0};
+    add {pad1}, {pad1}, {t0};
+    sub {t5}, {nd}, {t5};
+    mul {t0}, {nu}, {t6};
+    sub {t5}, {t5}, {t0};
+    mul {t0}, {nv}, {t7};
+    sub {t5}, {t5}, {t0};
+    div {t5}, {t5}, {pad1};
+    selp {pad1}, {dz}, {dx}, p2;
+    selp {pad1}, {dy}, {pad1}, p1;
+    selp {pad2}, {dx}, {dy}, p2;
+    selp {pad2}, {dz}, {pad2}, p1;
+    mul {pad1}, {t5}, {pad1};
+    add {pad1}, {t6}, {pad1};
+    sub {pad1}, {pad1}, {au};
+    mul {pad2}, {t5}, {pad2};
+    add {pad2}, {t7}, {pad2};
+    sub {pad2}, {pad2}, {av};
+    mul {t6}, {pad1}, {bnu};
+    mul {t7}, {pad2}, {bnv};
+    add {t6}, {t6}, {t7};
+    mul {t7}, {pad1}, {cnu};
+    mul {t0}, {pad2}, {cnv};
+    add {t7}, {t7}, {t0};
+    mov {t0}, 1;
+    sub {t0}, {t0}, {t6};
+    sub {t0}, {t0}, {t7};
+    min {t0}, {t0}, {t6};
+    min {t0}, {t0}, {t7};
+    setp.ge p1, {t0}, 0;
+    sub {t0}, {bt}, {t5};
+    min {t0}, {t0}, {t5};
+    setp.gt p2, {t0}, 0;
+    selp {t0}, 1, 0, p1;
+    selp {t0}, {t0}, 0, p2;
+    setp.gt p1, {t0}, 0;
+    @p1 mov {bt}, {t5};
+    @p1 mov {btri}, {t4};
+""")
+
+
+def early_exit_test(write_label: str) -> str:
+    """Branch to ``write_label`` when the closest hit is final.
+
+    The reference's post-leaf check: a recorded hit whose t lies within the
+    leaf's [.., t_max + eps] range cannot be beaten by any unvisited node.
+    """
+    return fmt("""
+    add {t0}, {tmax}, {EPS};
+    setp.le p1, {bt}, {t0};
+    setp.ge p2, {btri}, 0;
+    selp {t0}, 1, 0, p1;
+    selp {t0}, {t0}, 0, p2;
+    setp.gt p1, {t0}, 0;
+    @p1 bra WRITE;
+""").replace("WRITE", write_label)
+
+
+def stack_pop(write_label: str) -> str:
+    """Pop (node, t_min, t_max); branch to ``write_label`` if empty."""
+    return fmt("""
+    setp.le p2, {sp}, 0;
+    @p2 bra WRITE;
+    sub {sp}, {sp}, 1;
+    mul {t0}, {sp}, 3;
+    add {t0}, {sa}, {t0};
+    ld.global {node}, [{t0}+0];
+    ld.global {w8}, [{t0}+1];
+    ld.global {tmax}, [{t0}+2];
+""").replace("WRITE", write_label)
+
+
+def write_result() -> str:
+    """Store (t, triangle) to the result region; misses store (inf, -1)."""
+    return fmt("""
+    setp.ge p1, {btri}, 0;
+    selp {t0}, {bt}, inf, p1;
+    mov {t1}, {btri};
+    ld.const {t2}, [{z}+4];
+    mul {t3}, {rid}, 2;
+    add {t2}, {t2}, {t3};
+    st.global.v2 [{t2}+0], {t0};
+""")

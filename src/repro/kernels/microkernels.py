@@ -1,0 +1,184 @@
+"""Dynamic µ-kernel decomposition of the ray tracer (paper §V).
+
+The three loops of Example 1 are removed; each loop body becomes a
+µ-kernel executed by a freshly spawned thread (the paper's *naïve*
+scheme — every iteration spawns). 48 bytes (12 words) of state pass
+between parent and child through spawn memory:
+
+- ``uk_primary`` — launch kernel: loads the ray, runs the world slab test,
+  initializes traversal state, spawns ``uk_traverse`` (or writes a miss
+  directly, ending the chain).
+- ``uk_traverse`` — one down-traversal step: inner node → step and respawn
+  itself; leaf → spawn ``uk_isect`` (or ``uk_pop`` for empty leaves).
+- ``uk_isect`` — one ray-triangle test; respawns itself while objects
+  remain, then spawns ``uk_pop``.
+- ``uk_pop`` — the outer-loop iteration: early-exit check, stack pop, and
+  either respawn ``uk_traverse`` or write the result and end the chain.
+
+Each µ-kernel restores its thread's state with three 4-wide vector loads
+and saves it back with three 4-wide stores, exactly the overhead the paper
+describes (Table II / §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.kernels import _fragments as frag
+from repro.simt.gpu import LaunchSpec
+
+#: Paper Table II: µ-kernel per-thread register requirement.
+PAPER_REGISTERS = 20
+
+#: Words of state passed between threads (48 bytes; paper §VI-A).
+MICRO_STATE_WORDS = 12
+
+MICRO_KERNEL_NAMES = ("uk_primary", "uk_traverse", "uk_isect", "uk_pop")
+
+_KERNEL_DECL = (
+    "regs={regs} state={state} shared=56 local=384 const=24".format(
+        regs=PAPER_REGISTERS, state=MICRO_STATE_WORDS))
+
+
+def _state_restore() -> str:
+    """µ-kernel prologue: follow the warp-formation pointer, load state.
+
+    Leaves the state pointer in ``pk`` (the packed word it displaces is
+    unpacked into ``node``/``sp`` first) — Example 2 lines 2-8.
+    """
+    return frag.fmt("""
+    mov {t4}, SREG.spawnMemAddr;
+    ld.spawnMem {t5}, [{t4}+0];
+    ld.spawnMem.v4 {ox}, [{t5}+0];
+    ld.spawnMem.v4 {dy}, [{t5}+4];
+    ld.spawnMem.v4 {w8}, [{t5}+8];
+    and {sp}, {pk}, 31;
+    shr {node}, {pk}, 5;
+    mov {pk}, {t5};
+""")
+
+
+def _state_save() -> str:
+    """µ-kernel epilogue: re-pack node/sp, store state, pointer → t5.
+
+    Example 2 lines 13-15; the subsequent ``spawn`` takes t5.
+    """
+    return frag.fmt("""
+    mul {t4}, {node}, 32;
+    add {t4}, {t4}, {sp};
+    mov {t5}, {pk};
+    mov {pk}, {t4};
+    st.spawnMem.v4 [{t5}+0], {ox};
+    st.spawnMem.v4 [{t5}+4], {dy};
+    st.spawnMem.v4 [{t5}+8], {w8};
+""")
+
+
+def microkernel_source() -> str:
+    """Generate the four-µ-kernel program."""
+    pieces = [
+        f".kernel uk_primary {_KERNEL_DECL}",
+        f".kernel uk_traverse {_KERNEL_DECL}",
+        f".kernel uk_isect {_KERNEL_DECL}",
+        f".kernel uk_pop {_KERNEL_DECL}",
+        # ----------------------------------------------------- uk_primary
+        "uk_primary:",
+        frag.load_const_bases(),
+        frag.fmt("    mov {rid}, SREG.tid;"),
+        frag.load_ray(),
+        frag.compute_inverse_direction(),
+        frag.slab_test("PRIM_WRITE"),
+        frag.fmt("""
+    mov {pk}, 0;
+    mov {t5}, SREG.spawnMemAddr;
+    st.spawnMem.v4 [{t5}+0], {ox};
+    st.spawnMem.v4 [{t5}+4], {dy};
+    st.spawnMem.v4 [{t5}+8], {w8};
+    spawn $uk_traverse, {t5};
+    exit;
+"""),
+        "PRIM_WRITE:",
+        frag.write_result(),
+        "    exit;",
+        # ---------------------------------------------------- uk_traverse
+        "uk_traverse:",
+        _state_restore(),
+        frag.load_const_bases(),
+        frag.compute_inverse_direction(),
+        frag.compute_stack_address(),
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.eq p1, {t0}, 3;
+    @p1 bra TRAV_LEAF;
+"""),
+        frag.down_step(),
+        _state_save(),
+        frag.fmt("""
+    spawn $uk_traverse, {t5};
+    exit;
+"""),
+        "TRAV_LEAF:",
+        frag.fmt("    mov {w8}, 0;"),
+        _state_save(),
+        frag.fmt("""
+    setp.gt p1, {t1}, 0;
+    @p1 spawn $uk_isect, {t5};
+    @p1 exit;
+    spawn $uk_pop, {t5};
+    exit;
+"""),
+        # ------------------------------------------------------- uk_isect
+        "uk_isect:",
+        _state_restore(),
+        frag.load_const_bases(),
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.ge p1, {w8}, {t1};
+    @p1 bra ISECT_NEXT;
+    add {t4}, {t2}, {w8};
+    add {t4}, {t4}, {lb};
+    ld.global {t4}, [{t4}+0];
+"""),
+        frag.triangle_test(),
+        frag.fmt("    add {w8}, {w8}, 1;"),
+        "ISECT_NEXT:",
+        frag.fmt("    setp.lt p2, {w8}, {t1};"),
+        _state_save(),
+        frag.fmt("""
+    @p2 spawn $uk_isect, {t5};
+    @p2 exit;
+    spawn $uk_pop, {t5};
+    exit;
+"""),
+        # --------------------------------------------------------- uk_pop
+        "uk_pop:",
+        _state_restore(),
+        frag.load_const_bases(),
+        frag.compute_stack_address(),
+        frag.early_exit_test("POP_WRITE"),
+        frag.stack_pop("POP_WRITE"),
+        _state_save(),
+        frag.fmt("""
+    spawn $uk_traverse, {t5};
+    exit;
+"""),
+        "POP_WRITE:",
+        frag.write_result(),
+        "    exit;",
+    ]
+    return "\n".join(pieces)
+
+
+def microkernel_program() -> Program:
+    """Assemble the µ-kernel program."""
+    return assemble(microkernel_source())
+
+
+def microkernel_launch_spec(num_rays: int, *, block_size: int = 32
+                            ) -> LaunchSpec:
+    """Launch spec for the µ-kernel benchmark (warp scheduling assumed)."""
+    program = microkernel_program()
+    return LaunchSpec(program=program, entry_kernel="uk_primary",
+                      num_threads=num_rays,
+                      registers_per_thread=PAPER_REGISTERS,
+                      block_size=block_size,
+                      state_words=MICRO_STATE_WORDS)

@@ -1,0 +1,129 @@
+"""Persistent-threads software baseline (Aila & Laine, HPG 2009).
+
+The paper's §VIII describes this related work: launch "just enough threads
+to keep the machine full" and let each thread pull work items from a
+global queue with atomic instructions, rather than mapping one launch
+thread per ray. This is the single-queue variant: after finishing a ray,
+every lane atomically fetches a fresh ray id and loops. It removes the
+end-of-grid tail imbalance and keeps warps full of *some* work, but — as
+the paper argues — it cannot remove intra-warp divergence inside the
+traversal loops, and the atomics serialize.
+
+The kernel body is generated from the same fragments as the traditional
+kernel, so results remain bit-identical to the reference tracer.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.kernels import _fragments as frag
+from repro.simt.gpu import LaunchSpec
+
+KERNEL_NAME = "persist"
+
+#: Same per-thread resources as the traditional kernel plus the work
+#: counter register; the paper's description implies comparable residency.
+PAPER_REGISTERS = 22
+
+
+def persistent_source() -> str:
+    """Generate the persistent-threads kernel assembly."""
+    pieces = [
+        f".kernel {KERNEL_NAME} regs={PAPER_REGISTERS} "
+        f"shared=60 local=384 const=128",
+        f"{KERNEL_NAME}:",
+        frag.load_const_bases(),
+        """
+PERSIST_NEXT:
+""",
+        # Fetch the next ray id from the global work queue.
+        frag.fmt("""
+    ld.const {t0}, [{z}+14];
+    atom.add.global {rid}, [{t0}+0], 1;
+    ld.const {t1}, [{z}+7];
+    setp.ge p1, {rid}, {t1};
+    @p1 exit;
+"""),
+        frag.load_ray(),
+        frag.compute_inverse_direction(),
+        frag.compute_stack_address(),
+        frag.fmt("""
+    mov {sp}, 0;
+    mov {node}, 0;
+"""),
+        frag.slab_test("PERSIST_WRITE"),
+        """
+PERSIST_DOWN:
+""",
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.eq p1, {t0}, 3;
+    @p1 bra PERSIST_LEAF;
+"""),
+        frag.down_step(),
+        """
+    bra PERSIST_DOWN;
+PERSIST_LEAF:
+""",
+        frag.fmt("    mov {t3}, 0;"),
+        """
+PERSIST_ISECT:
+""",
+        frag.fmt("""
+    setp.ge p1, {t3}, {t1};
+    @p1 bra PERSIST_POP;
+    add {t4}, {t2}, {t3};
+    add {t4}, {t4}, {lb};
+    ld.global {t4}, [{t4}+0];
+"""),
+        frag.triangle_test(),
+        frag.fmt("""
+    add {t3}, {t3}, 1;
+    bra PERSIST_ISECT;
+"""),
+        """
+PERSIST_POP:
+""",
+        frag.early_exit_test("PERSIST_WRITE"),
+        frag.stack_pop("PERSIST_WRITE"),
+        """
+    bra PERSIST_DOWN;
+PERSIST_WRITE:
+""",
+        frag.write_result(),
+        # Instead of exiting, loop back for more work (persistence).
+        """
+    bra PERSIST_NEXT;
+""",
+    ]
+    return "\n".join(pieces)
+
+
+def persistent_program() -> Program:
+    return assemble(persistent_source())
+
+
+def persistent_launch_spec(num_persistent_threads: int, *,
+                           block_size: int = 64) -> LaunchSpec:
+    """Launch spec for ``num_persistent_threads`` worker threads.
+
+    Unlike the grid kernels, the launch size is the machine's residency
+    ("just enough threads to keep the machine full"), not the ray count;
+    the ray count lives in constant memory and the work counter in global
+    memory (:mod:`repro.kernels.layout`).
+    """
+    program = persistent_program()
+    return LaunchSpec(program=program, entry_kernel=KERNEL_NAME,
+                      num_threads=num_persistent_threads,
+                      registers_per_thread=PAPER_REGISTERS,
+                      block_size=block_size)
+
+
+def persistent_thread_count(config, scheduling: str | None = None) -> int:
+    """Residency-filling thread count for ``config`` (whole machine)."""
+    from repro.kernels.resources import occupancy_threads_per_sm
+
+    per_sm = occupancy_threads_per_sm(config, PAPER_REGISTERS,
+                                      block_size=64,
+                                      scheduling=scheduling)
+    return per_sm * config.num_sms

@@ -1,0 +1,132 @@
+"""The traditional ray-tracing kernel (paper Example 1).
+
+One thread per ray, three nested data-dependent loops executed with PDOM
+branching:
+
+1. the outer restart loop over stack entries (``while ray is not finished``),
+2. the down-traversal loop (``while not leaf node``),
+3. the intersection loop (``while untested objects``).
+
+The loop back-edges are real predicated branches, so warps diverge exactly
+as the paper describes: every ray in a warp pays for the longest ray.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.kernels import _fragments as frag
+from repro.simt.gpu import LaunchSpec
+
+#: Paper Table II: traditional kernel register requirement (used for
+#: occupancy; our generated assembly touches more architectural registers
+#: because the toy ISA has no typed sub-registers — see resources.py).
+PAPER_REGISTERS = 22
+
+KERNEL_NAME = "trace"
+
+
+def traditional_source() -> str:
+    """Generate the kernel assembly text."""
+    pieces = [
+        f".kernel {KERNEL_NAME} regs={PAPER_REGISTERS} "
+        f"shared=60 local=384 const=128",
+        f"{KERNEL_NAME}:",
+        frag.load_const_bases(),
+        frag.fmt("    mov {rid}, SREG.tid;"),
+        frag.load_ray(),
+        frag.compute_inverse_direction(),
+        frag.compute_stack_address(),
+        frag.fmt("""
+    mov {sp}, 0;
+    mov {node}, 0;
+"""),
+        frag.slab_test("TRACE_WRITE"),
+        """
+TRACE_DOWN:
+""",
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.eq p1, {t0}, 3;
+    @p1 bra TRACE_LEAF;
+"""),
+        frag.down_step(),
+        """
+    bra TRACE_DOWN;
+TRACE_LEAF:
+""",
+        frag.fmt("    mov {t3}, 0;"),
+        """
+TRACE_ISECT:
+""",
+        frag.fmt("""
+    setp.ge p1, {t3}, {t1};
+    @p1 bra TRACE_POP;
+    add {t4}, {t2}, {t3};
+    add {t4}, {t4}, {lb};
+    ld.global {t4}, [{t4}+0];
+"""),
+        frag.triangle_test(),
+        frag.fmt("""
+    add {t3}, {t3}, 1;
+    bra TRACE_ISECT;
+"""),
+        """
+TRACE_POP:
+""",
+        frag.early_exit_test("TRACE_WRITE"),
+        frag.stack_pop("TRACE_WRITE"),
+        """
+    bra TRACE_DOWN;
+TRACE_WRITE:
+""",
+        frag.write_result(),
+        "    exit;",
+    ]
+    return "\n".join(pieces)
+
+
+def traditional_program() -> Program:
+    """Assemble the traditional kernel into a program."""
+    return assemble(traditional_source())
+
+
+def traditional_launch_spec(num_rays: int, *, block_size: int = 64
+                            ) -> LaunchSpec:
+    """Launch specification for ``num_rays`` rays (paper: 64-thread blocks
+    give the best traditional block-scheduling performance)."""
+    program = traditional_program()
+    return LaunchSpec(program=program, entry_kernel=KERNEL_NAME,
+                      num_threads=num_rays,
+                      registers_per_thread=PAPER_REGISTERS,
+                      block_size=block_size)
+
+
+def dynamic_instruction_model(program: Program | None = None
+                              ) -> dict[str, int]:
+    """Per-operation instruction costs for the MIMD-theoretical model.
+
+    Derived from the assembled program's label positions, so it tracks any
+    edit to the kernel. Keys: ``prologue`` (per ray), ``node_visit`` (per
+    inner-node step), ``leaf_visit`` (per leaf entered), ``triangle_test``
+    (per object test), ``pop`` (per outer-loop iteration), ``write``.
+    """
+    program = program or traditional_program()
+    labels = program.labels
+    start = program.kernels[KERNEL_NAME].entry_pc
+    down = labels["TRACE_DOWN"]
+    leaf = labels["TRACE_LEAF"]
+    isect = labels["TRACE_ISECT"]
+    pop = labels["TRACE_POP"]
+    write = labels["TRACE_WRITE"]
+    end = len(program)
+    # The leaf-check prefix of TRACE_DOWN runs on every node *and* leaf
+    # visit; the remainder of the block only on inner nodes.
+    leaf_check = 6  # load_node_words (3) + setp + bra, plus the mul inside
+    return {
+        "prologue": down - start,
+        "node_visit": down and (leaf - down),
+        "leaf_visit": leaf_check + (isect - leaf) + 2,
+        "triangle_test": pop - isect,
+        "pop": write - pop,
+        "write": end - write,
+    }

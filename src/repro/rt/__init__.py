@@ -1,0 +1,49 @@
+"""Ray-tracing substrate: geometry, acceleration structures, scenes.
+
+This package is the from-scratch stand-in for Radius-CUDA's data structures
+and algorithms: Wald ray-triangle intersection, a kd-tree accelerator, the
+paper's three benchmark-scene archetypes (as procedural generators), and a
+scalar reference tracer used as ground truth for the SIMT kernels.
+"""
+
+from repro.rt.camera import Camera
+from repro.rt.geometry import AABB, Triangle, WaldTriangle
+from repro.rt.kdtree import KDTree, KDTreeStats, build_kdtree
+from repro.rt.bvh import BVH, build_bvh
+from repro.rt.rays import RayBatch, gi_rays, reflection_rays, shadow_rays
+from repro.rt.scenes import (
+    BENCHMARK_SCENES,
+    Scene,
+    atrium_like,
+    conference_like,
+    fairyforest_like,
+    make_scene,
+)
+from repro.rt.trace import TraceCounters, TraceResult, trace_rays
+from repro.rt.image import Framebuffer
+
+__all__ = [
+    "AABB",
+    "BENCHMARK_SCENES",
+    "BVH",
+    "Camera",
+    "Framebuffer",
+    "KDTree",
+    "KDTreeStats",
+    "RayBatch",
+    "Scene",
+    "TraceCounters",
+    "TraceResult",
+    "Triangle",
+    "WaldTriangle",
+    "atrium_like",
+    "build_bvh",
+    "build_kdtree",
+    "conference_like",
+    "fairyforest_like",
+    "gi_rays",
+    "make_scene",
+    "reflection_rays",
+    "shadow_rays",
+    "trace_rays",
+]

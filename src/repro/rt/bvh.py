@@ -1,0 +1,110 @@
+"""Bounding Volume Hierarchy — the paper's alternate acceleration structure.
+
+Section III-A notes rendering engines use either kd-trees or BVHs
+(Shirley & Morley 2003). The benchmark kernels use the kd-tree; the BVH is
+provided for the reference tracer and as an ablation substrate (its
+traversal produces a different loop-iteration distribution, hence different
+divergence behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.geometry import AABB, Triangle, WaldTriangle
+
+
+@dataclass
+class BVHNode:
+    bounds: AABB
+    left: "BVHNode | None" = None
+    right: "BVHNode | None" = None
+    triangle_indices: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class BVH:
+    """A built BVH with a scalar closest-hit query."""
+
+    root: BVHNode
+    triangles: list[Triangle]
+    wald: list[WaldTriangle]
+
+    def intersect(self, origin: np.ndarray, direction: np.ndarray,
+                  t_max: float = np.inf) -> tuple[float, int] | None:
+        """Closest hit as (t, triangle_index), or None."""
+        best_t = t_max
+        best_tri = -1
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            t_enter, t_exit = node.bounds.ray_range(origin, direction)
+            if t_enter > t_exit or t_enter > best_t:
+                continue
+            if node.is_leaf:
+                for tri_index in node.triangle_indices:
+                    t = self.wald[tri_index].intersect(origin, direction, best_t)
+                    if t is not None:
+                        best_t = t
+                        best_tri = tri_index
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if best_tri < 0:
+            return None
+        return best_t, best_tri
+
+    def depth(self) -> int:
+        def walk(node: BVHNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self.root)
+
+    def num_nodes(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend((node.left, node.right))
+        return count
+
+
+def build_bvh(triangles: list[Triangle], *, leaf_size: int = 4,
+              max_depth: int = 32) -> BVH:
+    """Median-centroid BVH build."""
+    if not triangles:
+        raise SceneError("cannot build a BVH over zero triangles")
+    if leaf_size < 1 or max_depth < 0:
+        raise SceneError("leaf_size must be >= 1 and max_depth >= 0")
+    tri_bounds = [tri.bounds() for tri in triangles]
+    centroids = np.stack([tri.centroid() for tri in triangles])
+
+    def build(indices: list[int], depth: int) -> BVHNode:
+        bounds = AABB.empty()
+        for i in indices:
+            bounds = bounds.union(tri_bounds[i])
+        if len(indices) <= leaf_size or depth >= max_depth:
+            return BVHNode(bounds=bounds, triangle_indices=indices)
+        axis = int(np.argmax(bounds.extent))
+        order = sorted(indices, key=lambda i: centroids[i][axis])
+        mid = len(order) // 2
+        if mid == 0 or mid == len(order):
+            return BVHNode(bounds=bounds, triangle_indices=indices)
+        node = BVHNode(bounds=bounds)
+        node.left = build(order[:mid], depth + 1)
+        node.right = build(order[mid:], depth + 1)
+        return node
+
+    root = build(list(range(len(triangles))), 0)
+    wald = [WaldTriangle.precompute(tri) for tri in triangles]
+    return BVH(root=root, triangles=list(triangles), wald=wald)

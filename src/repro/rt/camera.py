@@ -1,0 +1,69 @@
+"""Pinhole camera and primary-ray generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.vecmath import cross, normalize
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera generating one primary ray per pixel.
+
+    The paper renders at 256x256 with one thread per pixel; ray order is
+    row-major so consecutive threads map to horizontally adjacent pixels
+    (which is what makes warp-coherent primary rays, and what secondary
+    rays subsequently destroy).
+    """
+
+    eye: np.ndarray
+    look_at: np.ndarray
+    up: np.ndarray
+    fov_degrees: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fov_degrees < 180.0:
+            raise SceneError("fov must be in (0, 180) degrees")
+        forward = np.asarray(self.look_at, float) - np.asarray(self.eye, float)
+        if float(np.dot(forward, forward)) == 0.0:
+            raise SceneError("eye and look_at must differ")
+
+    def basis(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Right-handed (right, up, forward) unit basis."""
+        forward = normalize(np.asarray(self.look_at, float) - np.asarray(self.eye, float))
+        right = normalize(cross(forward, np.asarray(self.up, float)))
+        true_up = cross(right, forward)
+        return right, true_up, forward
+
+    def primary_rays(self, width: int, height: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Ray (origins, directions) for a width x height pixel grid.
+
+        Returns arrays of shape (width*height, 3); directions are unit
+        length; origin is the camera eye for every ray.
+        """
+        if width <= 0 or height <= 0:
+            raise SceneError("image dimensions must be positive")
+        right, true_up, forward = self.basis()
+        tan_half = np.tan(np.radians(self.fov_degrees) / 2.0)
+        aspect = width / height
+        xs = (np.arange(width) + 0.5) / width * 2.0 - 1.0
+        ys = 1.0 - (np.arange(height) + 0.5) / height * 2.0
+        px, py = np.meshgrid(xs * tan_half * aspect, ys * tan_half)
+        directions = (forward[None, :]
+                      + px.reshape(-1, 1) * right[None, :]
+                      + py.reshape(-1, 1) * true_up[None, :])
+        directions = normalize(directions)
+        origins = np.broadcast_to(np.asarray(self.eye, float),
+                                  directions.shape).copy()
+        return origins, directions
+
+    @staticmethod
+    def for_scene(scene) -> "Camera":
+        """Camera using the scene's suggested view parameters."""
+        return Camera(eye=scene.eye, look_at=scene.look_at, up=scene.up,
+                      fov_degrees=scene.fov_degrees)

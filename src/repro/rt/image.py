@@ -1,0 +1,61 @@
+"""Framebuffer and simple shading for example renders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.vecmath import normalize
+
+
+@dataclass
+class Framebuffer:
+    """An RGB image with float [0,1] channels."""
+
+    width: int
+    height: int
+    pixels: np.ndarray
+
+    @staticmethod
+    def blank(width: int, height: int) -> "Framebuffer":
+        if width <= 0 or height <= 0:
+            raise SceneError("framebuffer dimensions must be positive")
+        return Framebuffer(width, height, np.zeros((height, width, 3)))
+
+    def write_ppm(self, path: str) -> None:
+        """Write a binary PPM (P6) image."""
+        data = np.clip(self.pixels, 0.0, 1.0)
+        bytes_ = (data * 255.0 + 0.5).astype(np.uint8)
+        with open(path, "wb") as handle:
+            handle.write(f"P6 {self.width} {self.height} 255\n".encode())
+            handle.write(bytes_.tobytes())
+
+    def mean_luminance(self) -> float:
+        weights = np.array([0.2126, 0.7152, 0.0722])
+        return float(np.mean(self.pixels @ weights))
+
+
+def shade_hits(width: int, height: int, triangles, hit_triangle: np.ndarray,
+               hit_t: np.ndarray, directions: np.ndarray,
+               shadowed: np.ndarray | None = None) -> Framebuffer:
+    """Lambert-ish shading by triangle normal; misses are sky-blue.
+
+    ``shadowed`` (optional boolean per ray) darkens pixels whose shadow ray
+    was occluded — used by the shadow-ray example.
+    """
+    frame = Framebuffer.blank(width, height)
+    colors = np.tile(np.array([0.55, 0.68, 0.90]), (width * height, 1))  # sky
+    hits = np.nonzero(hit_triangle >= 0)[0]
+    for index in hits:
+        tri = triangles[int(hit_triangle[index])]
+        normal = normalize(tri.normal)
+        facing = abs(float(np.dot(normal, directions[index])))
+        base = 0.25 + 0.75 * facing
+        colors[index] = np.array([base, base * 0.95, base * 0.85])
+    if shadowed is not None:
+        dark = np.nonzero((hit_triangle >= 0) & shadowed)[0]
+        colors[dark] *= 0.35
+    frame.pixels = colors.reshape(height, width, 3)
+    return frame

@@ -1,0 +1,231 @@
+"""kd-tree acceleration structure (build, flatten, stats).
+
+The paper's control workload (Radius-CUDA) uses a kd-tree: inner nodes
+split space with an axis-aligned plane, leaf nodes list the triangles whose
+bounds overlap the leaf volume. Build uses either a spatial-median split or
+a binned surface-area heuristic (SAH); both terminate on depth or leaf size.
+
+The flattened layout is what the SIMT kernels walk (4 words per node):
+
+==========  ======================  ======================
+word        inner node              leaf node
+==========  ======================  ======================
+0           split axis (0/1/2)      3 (leaf marker)
+1           split position          triangle count
+2           left child index        first index into the
+                                    leaf-triangle index list
+3           right child index       unused (0)
+==========  ======================  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.geometry import AABB, Triangle
+
+#: Marker stored in word 0 of leaf nodes.
+LEAF_AXIS = 3
+
+#: Words per flattened node.
+NODE_WORDS = 4
+
+
+@dataclass
+class KDNode:
+    """Build-time node; exactly one of (children, triangle_indices) is set."""
+
+    bounds: AABB
+    axis: int = LEAF_AXIS
+    split: float = 0.0
+    left: "KDNode | None" = None
+    right: "KDNode | None" = None
+    triangle_indices: list[int] = field(default_factory=list)
+    index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass(frozen=True)
+class KDTreeStats:
+    """Tree shape statistics (paper Table III reports these per scene)."""
+
+    num_triangles: int
+    num_nodes: int
+    num_leaves: int
+    max_depth: int
+    avg_leaf_depth: float
+    avg_triangles_per_leaf: float
+    max_triangles_per_leaf: int
+    empty_leaves: int
+
+
+@dataclass
+class KDTree:
+    """A built kd-tree plus its flattened arrays."""
+
+    root: KDNode
+    bounds: AABB
+    triangles: list[Triangle]
+    nodes: np.ndarray        # (num_nodes, NODE_WORDS) float64
+    leaf_indices: np.ndarray  # flat triangle-index list referenced by leaves
+
+    @property
+    def num_nodes(self) -> int:
+        return self.nodes.shape[0]
+
+    def stats(self) -> KDTreeStats:
+        leaves = 0
+        max_depth = 0
+        depth_sum = 0
+        tri_sum = 0
+        tri_max = 0
+        empty = 0
+        stack = [(self.root, 0)]
+        total_nodes = 0
+        while stack:
+            node, depth = stack.pop()
+            total_nodes += 1
+            max_depth = max(max_depth, depth)
+            if node.is_leaf:
+                leaves += 1
+                depth_sum += depth
+                count = len(node.triangle_indices)
+                tri_sum += count
+                tri_max = max(tri_max, count)
+                if count == 0:
+                    empty += 1
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return KDTreeStats(
+            num_triangles=len(self.triangles),
+            num_nodes=total_nodes,
+            num_leaves=leaves,
+            max_depth=max_depth,
+            avg_leaf_depth=depth_sum / leaves if leaves else 0.0,
+            avg_triangles_per_leaf=tri_sum / leaves if leaves else 0.0,
+            max_triangles_per_leaf=tri_max,
+            empty_leaves=empty,
+        )
+
+
+def _median_split(bounds: AABB, tri_bounds: list[AABB], indices: list[int]
+                  ) -> tuple[int, float] | None:
+    axis = int(np.argmax(bounds.extent))
+    centers = np.array([(tri_bounds[i].lo[axis] + tri_bounds[i].hi[axis]) * 0.5
+                        for i in indices])
+    split = float(np.median(centers))
+    if not bounds.lo[axis] < split < bounds.hi[axis]:
+        split = float((bounds.lo[axis] + bounds.hi[axis]) * 0.5)
+        if not bounds.lo[axis] < split < bounds.hi[axis]:
+            return None
+    return axis, split
+
+
+def _sah_split(bounds: AABB, tri_bounds: list[AABB], indices: list[int],
+               num_bins: int = 16) -> tuple[int, float] | None:
+    """Binned SAH: minimize SA(L)*N_L + SA(R)*N_R over candidate planes."""
+    best = None
+    best_cost = len(indices) * bounds.surface_area  # cost of not splitting
+    for axis in range(3):
+        lo = bounds.lo[axis]
+        hi = bounds.hi[axis]
+        if hi - lo <= 0.0:
+            continue
+        for bin_index in range(1, num_bins):
+            split = lo + (hi - lo) * bin_index / num_bins
+            n_left = sum(1 for i in indices if tri_bounds[i].lo[axis] <= split)
+            n_right = sum(1 for i in indices if tri_bounds[i].hi[axis] >= split)
+            left_box, right_box = bounds.split(axis, split)
+            cost = (left_box.surface_area * n_left
+                    + right_box.surface_area * n_right)
+            if cost < best_cost:
+                best_cost = cost
+                best = (axis, float(split))
+    return best
+
+
+_SPLITTERS = {"median": _median_split, "sah": _sah_split}
+
+
+def build_kdtree(triangles: list[Triangle], *, max_depth: int = 18,
+                 leaf_size: int = 8, method: str = "median",
+                 bounds_eps: float = 1e-6) -> KDTree:
+    """Build a kd-tree over ``triangles``.
+
+    ``method`` selects the split heuristic (``"median"`` or ``"sah"``).
+    ``leaf_size`` is the target triangle count below which nodes become
+    leaves (the paper: "node subdivision is performed until leaf nodes
+    contain a specified number of objects").
+    """
+    if method not in _SPLITTERS:
+        raise SceneError(f"unknown kd-tree build method {method!r}")
+    if not triangles:
+        raise SceneError("cannot build a kd-tree over zero triangles")
+    if max_depth < 0 or leaf_size < 1:
+        raise SceneError("max_depth must be >= 0 and leaf_size >= 1")
+    splitter = _SPLITTERS[method]
+    tri_bounds = [tri.bounds() for tri in triangles]
+    world = AABB.empty()
+    for box in tri_bounds:
+        world = world.union(box)
+    world = world.grown(max(bounds_eps, bounds_eps * float(np.max(world.extent))))
+
+    def build(bounds: AABB, indices: list[int], depth: int) -> KDNode:
+        if depth >= max_depth or len(indices) <= leaf_size:
+            return KDNode(bounds=bounds, triangle_indices=indices)
+        plane = splitter(bounds, tri_bounds, indices)
+        if plane is None:
+            return KDNode(bounds=bounds, triangle_indices=indices)
+        axis, split = plane
+        left_idx = [i for i in indices if tri_bounds[i].lo[axis] <= split]
+        right_idx = [i for i in indices if tri_bounds[i].hi[axis] >= split]
+        if len(left_idx) == len(indices) and len(right_idx) == len(indices):
+            # Every triangle straddles the plane; splitting cannot help.
+            return KDNode(bounds=bounds, triangle_indices=indices)
+        left_box, right_box = bounds.split(axis, split)
+        node = KDNode(bounds=bounds, axis=axis, split=split)
+        node.left = build(left_box, left_idx, depth + 1)
+        node.right = build(right_box, right_idx, depth + 1)
+        return node
+
+    root = build(world, list(range(len(triangles))), 0)
+    nodes, leaf_indices = _flatten(root)
+    return KDTree(root=root, bounds=world, triangles=list(triangles),
+                  nodes=nodes, leaf_indices=leaf_indices)
+
+
+def _flatten(root: KDNode) -> tuple[np.ndarray, np.ndarray]:
+    """Depth-first flatten into the documented array layout."""
+    rows: list[list[float]] = []
+    leaf_list: list[int] = []
+    order: list[KDNode] = []
+
+    def number(node: KDNode) -> None:
+        node.index = len(order)
+        order.append(node)
+        rows.append([0.0] * NODE_WORDS)
+        if not node.is_leaf:
+            number(node.left)
+            number(node.right)
+
+    number(root)
+    for node in order:
+        if node.is_leaf:
+            rows[node.index] = [float(LEAF_AXIS),
+                                float(len(node.triangle_indices)),
+                                float(len(leaf_list)), 0.0]
+            leaf_list.extend(node.triangle_indices)
+        else:
+            rows[node.index] = [float(node.axis), node.split,
+                                float(node.left.index),
+                                float(node.right.index)]
+    nodes = np.asarray(rows, dtype=np.float64)
+    indices = np.asarray(leaf_list, dtype=np.int64)
+    return nodes, indices

@@ -1,0 +1,106 @@
+"""Wavefront OBJ mesh loading.
+
+The paper's original scenes (fairyforest, atrium, conference) circulate as
+OBJ meshes; this loader lets users who have those files run the benchmarks
+on the real geometry instead of the procedural stand-ins. Supports the
+subset OBJ features those meshes use: ``v`` positions and ``f`` faces
+(triangles and polygon fans, with ``v/vt/vn`` index syntax and negative
+indices). Normals/texcoords/materials are parsed past, not stored —
+the kernels need only positions.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.geometry import Triangle
+from repro.rt.scenes import Scene
+from repro.rt.vecmath import vec3
+
+
+def _face_vertex_index(token: str, num_vertices: int, line_number: int) -> int:
+    """Resolve one face-vertex token ('7', '7/1', '7//3', '-1/...')"""
+    raw = token.split("/", 1)[0]
+    try:
+        index = int(raw)
+    except ValueError:
+        raise SceneError(f"line {line_number}: bad face index {token!r}") from None
+    if index > 0:
+        resolved = index - 1
+    elif index < 0:
+        resolved = num_vertices + index
+    else:
+        raise SceneError(f"line {line_number}: face index 0 is invalid")
+    if not 0 <= resolved < num_vertices:
+        raise SceneError(
+            f"line {line_number}: face index {index} out of range "
+            f"(mesh has {num_vertices} vertices)")
+    return resolved
+
+
+def parse_obj(lines: Iterable[str]) -> list[Triangle]:
+    """Parse OBJ text into triangles (polygons become fans)."""
+    vertices: list[np.ndarray] = []
+    triangles: list[Triangle] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag == "v":
+            if len(parts) < 4:
+                raise SceneError(f"line {line_number}: vertex needs 3 coords")
+            try:
+                vertices.append(vec3(float(parts[1]), float(parts[2]),
+                                     float(parts[3])))
+            except ValueError:
+                raise SceneError(
+                    f"line {line_number}: bad vertex coordinates") from None
+        elif tag == "f":
+            if len(parts) < 4:
+                raise SceneError(f"line {line_number}: face needs >= 3 "
+                                 f"vertices")
+            indices = [_face_vertex_index(token, len(vertices), line_number)
+                       for token in parts[1:]]
+            anchor = vertices[indices[0]]
+            for second, third in zip(indices[1:-1], indices[2:]):
+                tri = Triangle(anchor, vertices[second], vertices[third])
+                if not tri.is_degenerate:
+                    triangles.append(tri)
+        # vn / vt / usemtl / mtllib / o / g / s: irrelevant here, skipped.
+    if not triangles:
+        raise SceneError("OBJ contained no (non-degenerate) triangles")
+    return triangles
+
+
+def load_obj(path: str | pathlib.Path) -> list[Triangle]:
+    """Load triangles from an OBJ file."""
+    path = pathlib.Path(path)
+    with path.open("r", errors="replace") as handle:
+        return parse_obj(handle)
+
+
+def scene_from_obj(path: str | pathlib.Path, *, name: str | None = None,
+                   fov_degrees: float = 60.0) -> Scene:
+    """Build a :class:`Scene` from an OBJ file with an auto-framed camera.
+
+    The camera is placed along the bounding box diagonal, looking at the
+    centroid; the light sits above the box. Good enough to benchmark any
+    mesh without hand-tuning a viewpoint.
+    """
+    triangles = load_obj(path)
+    points = np.concatenate([[t.a, t.b, t.c] for t in triangles])
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    center = (lo + hi) / 2.0
+    extent = float(np.linalg.norm(hi - lo))
+    eye = center + np.array([0.7, 0.45, 0.7]) * extent
+    light = center + np.array([0.0, 0.9, 0.0]) * extent
+    return Scene(name=name or pathlib.Path(path).stem, triangles=triangles,
+                 eye=eye, look_at=center, fov_degrees=fov_degrees,
+                 light=light)

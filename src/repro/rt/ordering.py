@@ -1,0 +1,68 @@
+"""Ray-order (warp coherence) utilities.
+
+Which rays share a warp is fixed at launch on traditional SIMT hardware,
+so the *order* of the ray buffer controls warp coherence: row-major order
+groups horizontally adjacent pixels, Morton (Z-curve) order groups square
+tiles (more coherent), and a random shuffle destroys coherence entirely.
+Dynamic µ-kernels regroup threads at runtime, so they should be much less
+sensitive to the launch order — the ordering ablation quantifies that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SceneError
+
+
+def _part1by1(values: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits of each value over even bit positions."""
+    v = values.astype(np.uint32)
+    v &= np.uint32(0x0000FFFF)
+    v = (v | (v << np.uint32(8))) & np.uint32(0x00FF00FF)
+    v = (v | (v << np.uint32(4))) & np.uint32(0x0F0F0F0F)
+    v = (v | (v << np.uint32(2))) & np.uint32(0x33333333)
+    v = (v | (v << np.uint32(1))) & np.uint32(0x55555555)
+    return v
+
+
+def morton_codes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Interleaved-bit Z-curve codes for 2D coordinates (< 2^16 each)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if np.any(x < 0) or np.any(y < 0) or np.any(x >= 1 << 16) or np.any(y >= 1 << 16):
+        raise SceneError("morton coordinates must be in [0, 65536)")
+    return (_part1by1(x) | (_part1by1(y) << np.uint32(1))).astype(np.int64)
+
+
+def morton_order(width: int, height: int) -> np.ndarray:
+    """Permutation mapping new position -> row-major ray index.
+
+    ``origins[morton_order(w, h)]`` reorders a row-major pixel grid into
+    Z-curve order; tiles of 2^k x 2^k pixels become contiguous, so warps
+    cover compact screen tiles.
+    """
+    if width <= 0 or height <= 0:
+        raise SceneError("grid dimensions must be positive")
+    ys, xs = np.divmod(np.arange(width * height), width)
+    codes = morton_codes(xs, ys)
+    return np.argsort(codes, kind="stable")
+
+
+def shuffled_order(count: int, seed: int = 0) -> np.ndarray:
+    """A random permutation (destroys warp coherence)."""
+    if count <= 0:
+        raise SceneError("count must be positive")
+    return np.random.default_rng(seed).permutation(count)
+
+
+def apply_order(order: np.ndarray, *arrays: np.ndarray) -> tuple:
+    """Apply one permutation to several parallel per-ray arrays."""
+    return tuple(np.asarray(array)[order] for array in arrays)
+
+
+def invert_order(order: np.ndarray) -> np.ndarray:
+    """The inverse permutation (to scatter results back to pixels)."""
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(order.shape[0])
+    return inverse

@@ -1,0 +1,128 @@
+"""Secondary-ray generators (paper §III-A's three ray-tracing usages).
+
+The paper motivates ray tracing with three global-rendering ray types:
+shadow rays toward a light, reflection rays off specular surfaces, and
+randomly distributed global-illumination rays. These generators build each
+kind from a primary-hit batch so examples and benchmarks can exercise the
+incoherent workloads that stress SIMT divergence hardest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.rt.geometry import Triangle
+from repro.rt.vecmath import normalize, orthonormal_basis, reflect
+
+#: Offset along the surface normal to avoid self-intersection.
+SURFACE_EPS = 1e-4
+
+
+@dataclass(frozen=True)
+class RayBatch:
+    """A batch of rays with optional per-ray maximum distance."""
+
+    origins: np.ndarray     # (N, 3)
+    directions: np.ndarray  # (N, 3) unit vectors
+    t_max: np.ndarray       # (N,) parametric limit (inf = unbounded)
+
+    def __post_init__(self) -> None:
+        if self.origins.shape != self.directions.shape:
+            raise SceneError("origins and directions must have equal shapes")
+        if self.t_max.shape[0] != self.origins.shape[0]:
+            raise SceneError("t_max length must match ray count")
+
+    @property
+    def num_rays(self) -> int:
+        return self.origins.shape[0]
+
+    @staticmethod
+    def unbounded(origins: np.ndarray, directions: np.ndarray) -> "RayBatch":
+        origins = np.asarray(origins, float).reshape(-1, 3)
+        directions = np.asarray(directions, float).reshape(-1, 3)
+        return RayBatch(origins, directions, np.full(origins.shape[0], np.inf))
+
+
+def _hit_geometry(triangles: list[Triangle], hit_triangle: np.ndarray,
+                  hit_t: np.ndarray, origins: np.ndarray,
+                  directions: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(points, shading normals, mask) for rays that hit something."""
+    mask = hit_triangle >= 0
+    points = origins + hit_t[:, None] * directions
+    normals = np.zeros_like(origins)
+    for index in np.nonzero(mask)[0]:
+        normal = normalize(triangles[int(hit_triangle[index])].normal)
+        # Face the normal against the incoming ray.
+        if float(np.dot(normal, directions[index])) > 0.0:
+            normal = -normal
+        normals[index] = normal
+    return points, normals, mask
+
+
+def shadow_rays(triangles: list[Triangle], hit_triangle: np.ndarray,
+                hit_t: np.ndarray, origins: np.ndarray,
+                directions: np.ndarray, light: np.ndarray) -> RayBatch:
+    """Rays from hit points toward a point light, bounded at the light.
+
+    Missed primary rays produce degenerate rays with ``t_max = 0`` so the
+    batch stays aligned with the pixel grid (one thread per pixel).
+    """
+    points, normals, mask = _hit_geometry(
+        triangles, hit_triangle, hit_t, origins, directions)
+    to_light = np.asarray(light, float)[None, :] - points
+    distance = np.sqrt(np.sum(to_light * to_light, axis=1))
+    safe = np.where(distance == 0.0, 1.0, distance)
+    dirs = to_light / safe[:, None]
+    new_origins = points + SURFACE_EPS * normals
+    t_max = np.where(mask, np.maximum(distance - 2 * SURFACE_EPS, 0.0), 0.0)
+    return RayBatch(new_origins, dirs, t_max)
+
+
+def reflection_rays(triangles: list[Triangle], hit_triangle: np.ndarray,
+                    hit_t: np.ndarray, origins: np.ndarray,
+                    directions: np.ndarray) -> RayBatch:
+    """Mirror-reflection rays from hit points (paper's second usage)."""
+    points, normals, mask = _hit_geometry(
+        triangles, hit_triangle, hit_t, origins, directions)
+    dirs = reflect(directions, normals)
+    dirs[~mask] = directions[~mask]
+    new_origins = points + SURFACE_EPS * normals
+    t_max = np.where(mask, np.inf, 0.0)
+    return RayBatch(new_origins, dirs, t_max)
+
+
+def gi_rays(triangles: list[Triangle], hit_triangle: np.ndarray,
+            hit_t: np.ndarray, origins: np.ndarray, directions: np.ndarray,
+            samples_per_hit: int = 1, seed: int = 0) -> RayBatch:
+    """Cosine-weighted hemisphere rays (paper's global-illumination usage).
+
+    Produces ``samples_per_hit`` rays per primary ray; rays for missed
+    pixels get ``t_max = 0``. This is the most warp-incoherent workload.
+    """
+    if samples_per_hit < 1:
+        raise SceneError("samples_per_hit must be >= 1")
+    points, normals, mask = _hit_geometry(
+        triangles, hit_triangle, hit_t, origins, directions)
+    rng = np.random.default_rng(seed)
+    num = points.shape[0] * samples_per_hit
+    rep_points = np.repeat(points, samples_per_hit, axis=0)
+    rep_normals = np.repeat(normals, samples_per_hit, axis=0)
+    rep_mask = np.repeat(mask, samples_per_hit)
+    u1 = rng.uniform(size=num)
+    u2 = rng.uniform(size=num)
+    radius = np.sqrt(u1)
+    phi = 2.0 * np.pi * u2
+    local = np.stack([radius * np.cos(phi), radius * np.sin(phi),
+                      np.sqrt(np.maximum(0.0, 1.0 - u1))], axis=1)
+    fallback = np.tile(np.array([0.0, 0.0, 1.0]), (num, 1))
+    basis_n = np.where(rep_mask[:, None], rep_normals, fallback)
+    t1, t2 = orthonormal_basis(basis_n)
+    dirs = (local[:, 0:1] * t1 + local[:, 1:2] * t2 + local[:, 2:3] * basis_n)
+    dirs = normalize(dirs)
+    new_origins = rep_points + SURFACE_EPS * basis_n
+    t_max = np.where(rep_mask, np.inf, 0.0)
+    return RayBatch(new_origins, dirs, t_max)

@@ -1,0 +1,66 @@
+"""Small 3D vector helpers over numpy arrays.
+
+Vectors are plain ``numpy`` arrays: shape ``(3,)`` for a single vector or
+``(N, 3)`` for batches. Functions work on both shapes (broadcasting over the
+leading axis) so the camera and ray generators can stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """A single 3-vector as float64."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot product (scalar for (3,) inputs)."""
+    return np.sum(np.asarray(a) * np.asarray(b), axis=-1)
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cross product."""
+    return np.cross(np.asarray(a), np.asarray(b))
+
+
+def length(a: np.ndarray) -> np.ndarray:
+    """Euclidean length along the last axis."""
+    return np.sqrt(dot(a, a))
+
+
+def normalize(a: np.ndarray) -> np.ndarray:
+    """Unit vector(s); zero vectors are returned unchanged."""
+    a = np.asarray(a, dtype=np.float64)
+    norm = length(a)
+    safe = np.where(norm == 0.0, 1.0, norm)
+    return a / np.expand_dims(safe, -1) if a.ndim > 1 else a / safe
+
+
+def reflect(direction: np.ndarray, normal: np.ndarray) -> np.ndarray:
+    """Mirror ``direction`` about ``normal`` (both may be batched)."""
+    d = np.asarray(direction, dtype=np.float64)
+    n = np.asarray(normal, dtype=np.float64)
+    scale = 2.0 * dot(d, n)
+    return d - np.expand_dims(scale, -1) * n if d.ndim > 1 else d - scale * n
+
+
+def orthonormal_basis(normal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Two unit tangents forming a right-handed basis with ``normal``.
+
+    Accepts a single (3,) normal or an (N, 3) batch; uses the
+    branch-free Frisvad construction.
+    """
+    n = np.asarray(normal, dtype=np.float64)
+    single = n.ndim == 1
+    if single:
+        n = n[None, :]
+    sign = np.where(n[:, 2] >= 0.0, 1.0, -1.0)
+    a = -1.0 / (sign + n[:, 2])
+    b = n[:, 0] * n[:, 1] * a
+    t1 = np.stack([1.0 + sign * n[:, 0] ** 2 * a, sign * b, -sign * n[:, 0]], axis=1)
+    t2 = np.stack([b, sign + n[:, 1] ** 2 * a, -n[:, 1]], axis=1)
+    if single:
+        return t1[0], t2[0]
+    return t1, t2

@@ -1,0 +1,37 @@
+"""Cycle-level SIMT processor simulator with dynamic µ-kernel support.
+
+The simulator models the paper's machine (Table I) at warp-instruction
+granularity: each SM issues at most one warp instruction per cycle, lanes
+execute functionally in lockstep under an active mask, PDOM reconvergence
+stacks handle branch divergence, and an interleaved DRAM model with
+per-module bandwidth provides memory timing. The paper's contribution —
+the ``spawn`` instruction, spawn memory, PC-indexed LUT, partial-warp pool
+and new-warp FIFO — lives in :mod:`repro.simt.spawn`.
+"""
+
+from repro.simt.gpu import GPU, LaunchSpec, RunStats
+from repro.simt.memory import DRAM, GlobalMemory
+from repro.simt.banked import BankedMemory
+from repro.simt.spawn import SpawnUnit
+from repro.simt.stack import ReconvergenceStack, StackEntry
+from repro.simt.stats import DivergenceSampler, SMStats, W_CATEGORIES
+from repro.simt.warp import Warp
+from repro.simt.mimd import MIMDResult, mimd_theoretical
+
+__all__ = [
+    "BankedMemory",
+    "DRAM",
+    "DivergenceSampler",
+    "GPU",
+    "GlobalMemory",
+    "LaunchSpec",
+    "MIMDResult",
+    "ReconvergenceStack",
+    "RunStats",
+    "SMStats",
+    "SpawnUnit",
+    "StackEntry",
+    "W_CATEGORIES",
+    "Warp",
+    "mimd_theoretical",
+]

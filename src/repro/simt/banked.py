@@ -1,0 +1,82 @@
+"""On-chip banked memory (shared memory and spawn memory).
+
+The paper places spawn memory on-chip inside each SM. On-chip memories are
+word-interleaved across ``num_banks`` banks; when the lanes of a warp access
+more than one address in the same bank, the accesses serialize and the
+pipeline stalls for the extra cycles (paper Figure 9). The conflict model
+can be disabled to reproduce the paper's "no bank conflicts" assumption
+used for Figure 7 ("simulation of future programming models or compiler
+optimization designed to eliminate a majority of the bank conflicts").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+
+class BankedMemory:
+    """Functional + timing model for one SM's on-chip memory."""
+
+    def __init__(self, num_words: int, num_banks: int = 16,
+                 model_conflicts: bool = True):
+        if num_words <= 0:
+            raise MemoryError_("on-chip memory size must be positive")
+        if num_banks <= 0:
+            raise MemoryError_("bank count must be positive")
+        self.words = np.zeros(num_words, dtype=np.float64)
+        self.num_banks = num_banks
+        self.model_conflicts = model_conflicts
+        self.read_words = 0
+        self.write_words = 0
+        self.conflict_cycles = 0
+
+    @property
+    def num_words(self) -> int:
+        return self.words.shape[0]
+
+    def _check(self, addresses: np.ndarray) -> None:
+        if addresses.size == 0:
+            return
+        lo = int(addresses.min())
+        hi = int(addresses.max())
+        if lo < 0 or hi >= self.num_words:
+            raise MemoryError_(
+                f"on-chip access out of range: [{lo}, {hi}] not in "
+                f"[0, {self.num_words})")
+
+    def conflict_penalty(self, addresses: np.ndarray) -> int:
+        """Extra serialization cycles for this access pattern.
+
+        A warp access completes in one pass when every bank receives at
+        most one distinct address (broadcast of a single address is free,
+        as on real hardware); otherwise it replays once per extra distinct
+        address on the worst bank.
+        """
+        if not self.model_conflicts or addresses.size == 0:
+            return 0
+        addresses = np.asarray(addresses, dtype=np.int64)
+        distinct = np.unique(addresses)
+        banks = distinct % self.num_banks
+        worst = int(np.bincount(banks, minlength=self.num_banks).max())
+        return worst - 1
+
+    def read(self, addresses: np.ndarray) -> tuple[np.ndarray, int]:
+        """Masked warp read; returns (values, conflict penalty cycles)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check(addresses)
+        penalty = self.conflict_penalty(addresses)
+        self.conflict_cycles += penalty
+        self.read_words += int(addresses.size)
+        return self.words[addresses], penalty
+
+    def write(self, addresses: np.ndarray, values: np.ndarray) -> int:
+        """Masked warp write; returns conflict penalty cycles."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check(addresses)
+        penalty = self.conflict_penalty(addresses)
+        self.conflict_cycles += penalty
+        self.write_words += int(addresses.size)
+        self.words[addresses] = values
+        return penalty

@@ -1,0 +1,394 @@
+"""Functional execution of one warp instruction (lane-vectorized).
+
+The executor applies an instruction to every active lane of a warp using
+masked numpy operations, updates the SIMT stack for control flow, and
+returns an :class:`IssueResult` describing the timing-relevant side effects
+(memory addresses to coalesce, bank-conflict penalties, spawn requests,
+lane exits) that the SM turns into latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import Instruction
+from repro.simt.warp import Warp
+
+#: IssueResult.kind values.
+ALU = "alu"
+OFFCHIP = "offchip"
+ONCHIP = "onchip"
+SPAWN = "spawn"
+CONTROL = "control"
+BARRIER = "barrier"
+
+
+@dataclass
+class SpawnRequest:
+    """Active lanes asking to create children for one µ-kernel."""
+
+    kernel_name: str
+    target_pc: int
+    pointers: np.ndarray  # spawn-memory pointers, one per spawning lane
+
+
+@dataclass
+class IssueResult:
+    """Timing-relevant outcome of issuing one warp instruction."""
+
+    kind: str
+    active: int
+    addresses: np.ndarray | None = None
+    is_store: bool = False
+    space: str | None = None
+    conflict_penalty: int = 0
+    spawn: SpawnRequest | None = None
+    completions: int = 0
+    exited_lanes: int = 0
+    warp_finished: bool = False
+    onchip_words: int = 0
+    freed_data_addresses: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+    """Spawn-memory thread-data slots released by exiting thread chains
+    (threads that exit without having spawned a child; paper §IV-A1)."""
+
+
+class MachineState:
+    """Functional state an executor needs: memories + program metadata."""
+
+    def __init__(self, program, global_mem, const_mem, shared_mem, spawn_mem,
+                 reconv_table):
+        self.program = program
+        self.global_mem = global_mem
+        self.const_mem = const_mem
+        self.shared_mem = shared_mem
+        self.spawn_mem = spawn_mem
+        self.reconv_table = reconv_table
+
+
+def _int64(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int64)
+
+
+def _binary_op(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return a / b
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    if op == "rem":
+        ib = _int64(b)
+        safe = np.where(ib == 0, 1, ib)
+        return np.where(ib == 0, 0, _int64(a) % safe).astype(np.float64)
+    if op == "and":
+        return (_int64(a) & _int64(b)).astype(np.float64)
+    if op == "or":
+        return (_int64(a) | _int64(b)).astype(np.float64)
+    if op == "xor":
+        return (_int64(a) ^ _int64(b)).astype(np.float64)
+    if op == "shl":
+        return (_int64(a) << _int64(b)).astype(np.float64)
+    if op == "shr":
+        return (_int64(a) >> _int64(b)).astype(np.float64)
+    raise ExecutionError(f"unhandled binary op {op!r}")
+
+
+def _unary_op(op: str, a: np.ndarray) -> np.ndarray:
+    if op == "mov":
+        return a
+    if op == "neg":
+        return -a
+    if op == "abs":
+        return np.abs(a)
+    if op == "not":
+        return (~_int64(a)).astype(np.float64)
+    if op == "rcp":
+        with np.errstate(divide="ignore"):
+            return 1.0 / a
+    if op == "sqrt":
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(a)
+    if op == "rsqrt":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return 1.0 / np.sqrt(a)
+    if op == "floor":
+        return np.floor(a)
+    if op == "cvt":
+        return np.trunc(a)
+    raise ExecutionError(f"unhandled unary op {op!r}")
+
+
+_COMPARES = {
+    "lt": np.less, "le": np.less_equal, "gt": np.greater,
+    "ge": np.greater_equal, "eq": np.equal, "ne": np.not_equal,
+}
+
+
+def _fetch(warp: Warp, operand) -> np.ndarray:
+    kind = operand.kind
+    if kind == "r":
+        return warp.regs[operand.value]
+    if kind == "imm":
+        return np.full(warp.warp_size, operand.value)
+    if kind == "p":
+        return warp.preds[operand.value].astype(np.float64)
+    if kind == "sreg":
+        name = operand.value
+        if name == "tid":
+            return warp.tids.astype(np.float64)
+        if name == "spawnMemAddr":
+            return warp.spawn_addr.astype(np.float64)
+        if name == "warpid":
+            return np.full(warp.warp_size, float(warp.warp_id))
+        if name == "ntid":
+            return np.full(warp.warp_size, float(warp.warp_size))
+        if name == "smid":
+            return np.zeros(warp.warp_size)
+    raise ExecutionError(f"cannot fetch operand {operand!r}")
+
+
+def _guard_mask(warp: Warp, inst: Instruction, active: np.ndarray) -> np.ndarray:
+    if inst.pred is None:
+        return active
+    guard = warp.preds[inst.pred.value]
+    if inst.pred_neg:
+        guard = ~guard
+    return active & guard
+
+
+def execute(warp: Warp, machine: MachineState) -> IssueResult:
+    """Execute the instruction at the warp's PC; returns its IssueResult."""
+    pc = warp.pc
+    if not 0 <= pc < len(machine.program):
+        raise ExecutionError("PC outside program", pc=pc)
+    inst = machine.program[pc]
+    active = warp.active_mask()
+    active_count = int(active.sum())
+    if active_count == 0:
+        raise ExecutionError("issued a warp with no active lanes", pc=pc)
+    mask = _guard_mask(warp, inst, active)
+    warp.issued_instructions += 1
+    warp.lane_commits += active
+    op = inst.op
+
+    if op == "bra":
+        return _execute_branch(warp, machine, inst, active, mask, active_count)
+    if op == "exit":
+        return _execute_exit(warp, inst, active, mask, active_count)
+    if op in ("ld", "st"):
+        result = _execute_memory(warp, machine, inst, mask, active_count)
+        warp.stack.advance(pc + 1)
+        return result
+    if op == "atom":
+        result = _execute_atomic(warp, machine, inst, mask, active_count)
+        warp.stack.advance(pc + 1)
+        return result
+    if op == "bar":
+        if warp.stack.depth != 1:
+            raise ExecutionError(
+                "bar reached with divergent control flow; all threads of "
+                "the block must reach the barrier together", pc=pc)
+        warp.stack.advance(pc + 1)
+        return IssueResult(kind=BARRIER, active=active_count)
+    if op == "spawn":
+        pointers = _int64(warp.regs[inst.srcs[0].value][mask])
+        info = machine.program.kernels[inst.label]
+        warp.spawned_flag |= mask
+        warp.stack.advance(pc + 1)
+        return IssueResult(
+            kind=SPAWN, active=active_count,
+            spawn=SpawnRequest(kernel_name=inst.label,
+                               target_pc=info.entry_pc, pointers=pointers))
+    _execute_alu(warp, inst, mask)
+    warp.stack.advance(pc + 1)
+    return IssueResult(kind=ALU, active=active_count)
+
+
+def _execute_alu(warp: Warp, inst: Instruction, mask: np.ndarray) -> None:
+    op = inst.op
+    if op == "nop":
+        return
+    if op == "setp":
+        a = _fetch(warp, inst.srcs[0])
+        b = _fetch(warp, inst.srcs[1])
+        with np.errstate(invalid="ignore"):
+            result = _COMPARES[inst.cmp](a, b)
+        dest = warp.preds[inst.dst.value]
+        dest[mask] = result[mask]
+        return
+    if op == "selp":
+        a = _fetch(warp, inst.srcs[0])
+        b = _fetch(warp, inst.srcs[1])
+        chooser = warp.preds[inst.srcs[2].value]
+        result = np.where(chooser, a, b)
+    elif op == "mad":
+        a = _fetch(warp, inst.srcs[0])
+        b = _fetch(warp, inst.srcs[1])
+        c = _fetch(warp, inst.srcs[2])
+        result = a * b + c
+    elif len(inst.srcs) == 2:
+        result = _binary_op(op, _fetch(warp, inst.srcs[0]),
+                            _fetch(warp, inst.srcs[1]))
+    else:
+        result = _unary_op(op, _fetch(warp, inst.srcs[0]))
+    if inst.dst.kind == "p":
+        warp.preds[inst.dst.value][mask] = result[mask] != 0.0
+    else:
+        warp.regs[inst.dst.value][mask] = result[mask]
+
+
+def _execute_memory(warp: Warp, machine: MachineState, inst: Instruction,
+                    mask: np.ndarray, active_count: int) -> IssueResult:
+    lanes = np.nonzero(mask)[0]
+    if lanes.size == 0:
+        return IssueResult(kind=ALU, active=active_count)
+    base = _int64(warp.regs[inst.srcs[0].value][lanes]) + inst.offset
+    width = inst.width
+    # Column-major stacking keeps per-lane words adjacent for coalescing.
+    all_addresses = (base[:, None] + np.arange(width)[None, :]).reshape(-1)
+    space = inst.space
+    is_store = inst.op == "st"
+    if space in ("global", "local"):
+        memory = machine.global_mem
+        completions = 0
+        if is_store:
+            values = _store_values(warp, inst, lanes, width)
+            completions = memory.write(all_addresses, values)
+        else:
+            _load_values(warp, inst, lanes, width, memory.read(all_addresses))
+        return IssueResult(kind=OFFCHIP, active=active_count,
+                           addresses=all_addresses, is_store=is_store,
+                           space=space, completions=completions)
+    if space == "const":
+        if is_store:
+            raise ExecutionError("constant memory is read-only", pc=inst.pc)
+        values = machine.const_mem[all_addresses]
+        _load_values(warp, inst, lanes, width, values)
+        # The constant cache (present on the modelled GT200 even though
+        # Table I disables L1/L2 data caches) makes uniform constant reads
+        # an on-chip broadcast: low latency, no DRAM traffic.
+        return IssueResult(kind=ONCHIP, active=active_count,
+                           addresses=all_addresses, is_store=False,
+                           space=space, conflict_penalty=0,
+                           onchip_words=int(all_addresses.size))
+    memory = machine.shared_mem if space == "shared" else machine.spawn_mem
+    if is_store:
+        values = _store_values(warp, inst, lanes, width)
+        penalty = memory.write(all_addresses, values)
+    else:
+        values, penalty = memory.read(all_addresses)
+        _load_values(warp, inst, lanes, width, values)
+    return IssueResult(kind=ONCHIP, active=active_count,
+                       addresses=all_addresses, is_store=is_store,
+                       space=space, conflict_penalty=penalty,
+                       onchip_words=int(all_addresses.size))
+
+
+#: Extra serialization cycles per conflicting atomic lane (the paper's
+#: related-work note: "atomic instructions result in higher instruction
+#: latencies to serialize the instructions operating on the same data").
+ATOMIC_SERIALIZATION_CYCLES = 2
+
+
+def _execute_atomic(warp: Warp, machine: MachineState, inst: Instruction,
+                    mask: np.ndarray, active_count: int) -> IssueResult:
+    """Serialized read-modify-write on global memory, in lane order."""
+    lanes = np.nonzero(mask)[0]
+    if lanes.size == 0:
+        return IssueResult(kind=ALU, active=active_count)
+    addresses = _int64(warp.regs[inst.srcs[0].value][lanes]) + inst.offset
+    operand = inst.srcs[1]
+    values = (np.full(lanes.size, operand.value) if operand.kind == "imm"
+              else warp.regs[operand.value][lanes])
+    memory = machine.global_mem
+    memory._check(addresses)
+    old = np.empty(lanes.size)
+    for index in range(lanes.size):
+        address = int(addresses[index])
+        current = memory.words[address]
+        old[index] = current
+        if inst.cmp == "add":
+            memory.words[address] = current + values[index]
+        elif inst.cmp == "max":
+            memory.words[address] = max(current, values[index])
+        elif inst.cmp == "min":
+            memory.words[address] = min(current, values[index])
+        else:  # exch
+            memory.words[address] = values[index]
+    warp.regs[inst.dst.value][lanes] = old
+    penalty = ATOMIC_SERIALIZATION_CYCLES * (int(lanes.size) - 1)
+    return IssueResult(kind=OFFCHIP, active=active_count,
+                       addresses=addresses, is_store=True, space="global",
+                       conflict_penalty=penalty)
+
+
+def _store_values(warp: Warp, inst: Instruction, lanes: np.ndarray,
+                  width: int) -> np.ndarray:
+    src = inst.srcs[1]
+    if src.kind == "imm":
+        return np.full(lanes.size * width, src.value)
+    first = src.value
+    columns = [warp.regs[first + j][lanes] for j in range(width)]
+    return np.stack(columns, axis=1).reshape(-1)
+
+
+def _load_values(warp: Warp, inst: Instruction, lanes: np.ndarray,
+                 width: int, values: np.ndarray) -> None:
+    grid = values.reshape(lanes.size, width)
+    first = inst.dst.value
+    for j in range(width):
+        warp.regs[first + j][lanes] = grid[:, j]
+
+
+def _execute_branch(warp: Warp, machine: MachineState, inst: Instruction,
+                    active: np.ndarray, mask: np.ndarray, active_count: int
+                    ) -> IssueResult:
+    pc = inst.pc
+    target = inst.target
+    if inst.pred is None:
+        warp.stack.advance(target)
+        return IssueResult(kind=CONTROL, active=active_count)
+    taken = mask
+    not_taken = active & ~taken
+    if not taken.any():
+        warp.stack.advance(pc + 1)
+    elif not not_taken.any():
+        warp.stack.advance(target)
+    else:
+        reconv = machine.reconv_table.get(pc)
+        if reconv is None:
+            raise ExecutionError("divergent branch missing reconvergence "
+                                 "point", pc=pc)
+        warp.stack.diverge(taken, not_taken, target, pc + 1, reconv)
+    return IssueResult(kind=CONTROL, active=active_count)
+
+
+def _execute_exit(warp: Warp, inst: Instruction, active: np.ndarray,
+                  mask: np.ndarray, active_count: int) -> IssueResult:
+    pc = inst.pc
+    exiting = int(mask.sum())
+    if exiting == 0:
+        warp.stack.advance(pc + 1)
+        return IssueResult(kind=CONTROL, active=active_count)
+    executing_entry = warp.stack.top
+    ends_chain = mask & ~warp.spawned_flag & (warp.data_slot_addr >= 0)
+    freed = warp.data_slot_addr[ends_chain].copy()
+    warp.data_slot_addr[mask] = -1
+    warp.stack.retire_lanes(mask)
+    finished = warp.finish_if_empty()
+    if not finished and warp.stack.entries and warp.stack.entries[-1] is executing_entry:
+        warp.stack.advance(pc + 1)
+    return IssueResult(kind=CONTROL, active=active_count,
+                       exited_lanes=exiting, warp_finished=finished,
+                       freed_data_addresses=freed)

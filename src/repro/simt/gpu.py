@@ -1,0 +1,306 @@
+"""Top-level GPU: SM array, shared memory partition, run loop.
+
+The GPU wires together the per-SM machinery, distributes launch-time thread
+blocks round-robin across SMs (as the paper's hardware does), and advances
+all SMs cycle by cycle until every thread — including dynamically spawned
+ones — has retired, or until ``config.max_cycles`` (the paper simulates the
+first 300k cycles only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import BYTES_PER_WORD, GPUConfig
+from repro.errors import ConfigError, SchedulingError
+from repro.isa.cfg import reconvergence_table
+from repro.isa.program import KernelInfo, Program
+from repro.simt.banked import BankedMemory
+from repro.simt.executor import MachineState
+from repro.simt.memory import DRAM, GlobalMemory
+from repro.simt.sm import SM, LaunchBlock
+from repro.simt.spawn import SpawnUnit
+from repro.simt.stats import DivergenceSampler, SMStats
+
+#: Abort threshold: cycles without any issue across the whole machine.
+DEADLOCK_HORIZON = 100_000
+
+
+@dataclass
+class LaunchSpec:
+    """Everything needed to launch a grid on the machine."""
+
+    program: Program
+    entry_kernel: str
+    num_threads: int
+    registers_per_thread: int
+    block_size: int = 64
+    state_words: int = 0
+    shared_bytes_per_thread: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entry_kernel not in self.program.kernels:
+            raise ConfigError(f"entry kernel {self.entry_kernel!r} not in program")
+        if self.num_threads <= 0:
+            raise ConfigError("num_threads must be positive")
+        if self.registers_per_thread <= 0:
+            raise ConfigError("registers_per_thread must be positive")
+        if self.block_size <= 0:
+            raise ConfigError("block_size must be positive")
+
+    @property
+    def entry_pc(self) -> int:
+        return self.program.kernels[self.entry_kernel].entry_pc
+
+    def spawn_kernels(self) -> list[KernelInfo]:
+        return self.program.dynamic_spawn_targets()
+
+
+@dataclass
+class RunStats:
+    """Aggregated results of one simulation run."""
+
+    config: GPUConfig
+    cycles: int
+    sm_stats: SMStats
+    divergence: DivergenceSampler
+    rays_completed: int
+    dram_read_bytes: int
+    dram_write_bytes: int
+    dram_transactions: int
+    per_sm: list[SMStats] = field(default_factory=list)
+    thread_commits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Machine-wide committed thread-instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.sm_stats.committed_thread_instructions / self.cycles
+
+    @property
+    def simt_efficiency(self) -> float:
+        """Mean fraction of lanes active per issued warp instruction."""
+        issued = self.sm_stats.issued_instructions
+        if issued == 0:
+            return 0.0
+        return (self.sm_stats.committed_thread_instructions
+                / (issued * self.config.warp_size))
+
+    def rays_per_second(self, scale_to_sms: int | None = None) -> float:
+        """Rays/s at the configured clock, optionally scaled to a larger
+        machine (SMs are independent, so per-SM throughput scales
+        linearly; see DESIGN.md)."""
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / (self.config.clock_ghz * 1e9)
+        rays = self.rays_completed / seconds
+        if scale_to_sms is not None:
+            rays *= scale_to_sms / self.config.num_sms
+        return rays
+
+
+class GPU:
+    """The simulated machine."""
+
+    def __init__(self, config: GPUConfig, launch: LaunchSpec,
+                 global_mem: GlobalMemory, const_mem: np.ndarray | None = None,
+                 divergence_window: int | None = None):
+        config.validate()
+        self.config = config
+        self.launch = launch
+        self.global_mem = global_mem
+        self.const_mem = (np.zeros(1) if const_mem is None
+                          else np.asarray(const_mem, dtype=np.float64))
+        self.dram = DRAM(config.memory)
+        self.program = launch.program
+        self._reconv = reconvergence_table(self.program)
+        window = divergence_window or max(1, config.max_cycles // 100)
+        self.sms = [self._build_sm(sm_id, window)
+                    for sm_id in range(config.num_sms)]
+        self._distribute_blocks()
+        self.cycle = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _occupancy(self) -> tuple[int, int, int]:
+        """(max_warps, warps_per_block, max_blocks) for this launch."""
+        config = self.config
+        launch = self.launch
+        warp_size = config.warp_size
+        warps_by_threads = config.max_threads_per_sm // warp_size
+        regs_per_warp = launch.registers_per_thread * warp_size
+        warps_by_regs = config.registers_per_sm // regs_per_warp
+        warps_per_block = max(1, math.ceil(launch.block_size / warp_size))
+        if config.scheduling == "block":
+            blocks_by_threads = warps_by_threads // warps_per_block
+            blocks_by_regs = warps_by_regs // warps_per_block
+            max_blocks = min(config.max_blocks_per_sm, blocks_by_threads,
+                             blocks_by_regs)
+            return max_blocks * warps_per_block, warps_per_block, max_blocks
+        max_warps = min(warps_by_threads, warps_by_regs)
+        return max_warps, warps_per_block, config.max_blocks_per_sm
+
+    def _spawn_layout(self, max_warps: int) -> dict | None:
+        """Size the spawn memory space (paper §IV-A) or None if disabled."""
+        config = self.config
+        launch = self.launch
+        if not config.spawn.enabled:
+            return None
+        spawn_kernels = launch.spawn_kernels()
+        if not spawn_kernels:
+            raise ConfigError("spawn enabled but the program has no spawn "
+                              "targets")
+        state_words = max([launch.state_words]
+                          + [k.state_words for k in spawn_kernels])
+        if state_words <= 0:
+            raise ConfigError("spawn requires a positive state size")
+        threads_per_sm = max_warps * config.warp_size
+        data_words = threads_per_sm * state_words
+        # size = NumThreads + (SpawnLocations - 1) * WarpSize, doubled (§IV-A2).
+        formation_words = 2 * (threads_per_sm
+                               + (len(spawn_kernels) - 1) * config.warp_size)
+        # Round the formation region to whole warps for the allocator.
+        formation_words = math.ceil(formation_words / config.warp_size
+                                    ) * config.warp_size
+        total_bytes = (data_words + formation_words) * BYTES_PER_WORD
+        if total_bytes > config.onchip_memory_bytes:
+            raise ConfigError(
+                f"spawn memory ({total_bytes} B) exceeds on-chip memory "
+                f"({config.onchip_memory_bytes} B); the paper would spill "
+                f"to device memory — reduce threads or state size")
+        return {
+            "state_words": state_words,
+            "num_data_slots": threads_per_sm,
+            "data_words": data_words,
+            "formation_words": formation_words,
+            "spawn_kernels": spawn_kernels,
+            "total_bytes": total_bytes,
+        }
+
+    def _build_sm(self, sm_id: int, divergence_window: int) -> SM:
+        config = self.config
+        launch = self.launch
+        max_warps, warps_per_block, max_blocks = self._occupancy()
+        if max_warps <= 0:
+            raise ConfigError("kernel register requirements allow zero warps")
+        layout = self._spawn_layout(max_warps)
+        shared_words = config.onchip_memory_bytes // BYTES_PER_WORD
+        shared_mem = BankedMemory(max(shared_words, 1),
+                                  num_banks=config.spawn.num_banks,
+                                  model_conflicts=False)
+        spawn_unit = None
+        spawn_mem = shared_mem
+        if layout is not None:
+            spawn_words = layout["data_words"] + layout["formation_words"]
+            spawn_mem = BankedMemory(
+                spawn_words, num_banks=config.spawn.num_banks,
+                model_conflicts=config.spawn.bank_conflicts)
+            spawn_unit = SpawnUnit(
+                spawn_mem, warp_size=config.warp_size,
+                data_base=0, num_data_slots=layout["num_data_slots"],
+                state_words=layout["state_words"],
+                formation_base=layout["data_words"],
+                formation_words=layout["formation_words"],
+                kernels=layout["spawn_kernels"])
+        machine = MachineState(
+            program=self.program, global_mem=self.global_mem,
+            const_mem=self.const_mem, shared_mem=shared_mem,
+            spawn_mem=spawn_mem, reconv_table=self._reconv)
+        num_regs = max(self.program.max_register_index() + 1,
+                       launch.registers_per_thread)
+        return SM(sm_id, config, machine, self.dram,
+                  entry_pc=launch.entry_pc, num_regs=num_regs,
+                  max_warps=max_warps, warps_per_block=warps_per_block,
+                  max_blocks=max_blocks, spawn_unit=spawn_unit,
+                  divergence_window=divergence_window)
+
+    def _distribute_blocks(self) -> None:
+        """Round-robin launch blocks (contiguous thread ids) over SMs."""
+        config = self.config
+        launch = self.launch
+        warp_size = config.warp_size
+        block_size = launch.block_size
+        num_blocks = math.ceil(launch.num_threads / block_size)
+        for block_id in range(num_blocks):
+            first = block_id * block_size
+            last = min(first + block_size, launch.num_threads)
+            block = LaunchBlock(block_id=block_id)
+            for warp_first in range(first, last, warp_size):
+                warp_last = min(warp_first + warp_size, last)
+                tids = np.arange(warp_first, warp_first + warp_size,
+                                 dtype=np.int64)
+                active = np.zeros(warp_size, dtype=bool)
+                active[:warp_last - warp_first] = True
+                tids[warp_last - warp_first:] = -1
+                block.warps.append((tids, active))
+            self.sms[block_id % len(self.sms)].enqueue_block(block)
+
+    # -- run loop ----------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> RunStats:
+        """Simulate until completion or the cycle budget; returns stats."""
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        last_progress = self.cycle
+        # Kernels lean on IEEE semantics (inf - inf, 0 * inf, 1/0) for
+        # branch-free hit tests; silence the corresponding numpy warnings
+        # for the whole run instead of per instruction.
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            self._run_loop(budget, last_progress)
+        return self.collect_stats()
+
+    def _run_loop(self, budget: int, last_progress: int) -> None:
+        while self.cycle < budget:
+            progressed = False
+            alive = False
+            for sm in self.sms:
+                if sm.done:
+                    continue
+                alive = True
+                if sm.step(self.cycle):
+                    progressed = True
+            if not alive:
+                break
+            if progressed:
+                last_progress = self.cycle
+            elif self.cycle - last_progress > DEADLOCK_HORIZON:
+                raise SchedulingError(
+                    f"no instruction issued for {DEADLOCK_HORIZON} cycles "
+                    f"(cycle {self.cycle}); simulation is deadlocked")
+            self.cycle += 1
+
+    def collect_stats(self) -> RunStats:
+        total = SMStats()
+        divergence = DivergenceSampler(
+            warp_size=self.config.warp_size,
+            window=self.sms[0].divergence.window)
+        per_sm = []
+        thread_commits: dict[int, int] = {}
+        for sm in self.sms:
+            total.merge(sm.stats)
+            divergence.merge(sm.divergence)
+            per_sm.append(sm.stats)
+            for warp in sm.warps:  # warps still in flight at the cycle cap
+                sm.record_thread_commits(warp)
+                warp.lane_commits[:] = 0
+            for tid, count in sm.thread_commits.items():
+                thread_commits[tid] = thread_commits.get(tid, 0) + count
+        total.cycles = self.cycle
+        total.dram_read_bytes = self.dram.read_bytes
+        total.dram_write_bytes = self.dram.write_bytes
+        total.dram_transactions = self.dram.transactions
+        return RunStats(
+            config=self.config, cycles=self.cycle, sm_stats=total,
+            divergence=divergence,
+            rays_completed=self.global_mem.rays_completed,
+            dram_read_bytes=self.dram.read_bytes,
+            dram_write_bytes=self.dram.write_bytes,
+            dram_transactions=self.dram.transactions,
+            per_sm=per_sm, thread_commits=thread_commits)
+
+    @property
+    def done(self) -> bool:
+        return all(sm.done for sm in self.sms)

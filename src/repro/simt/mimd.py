@@ -1,0 +1,68 @@
+"""MIMD theoretical performance model (paper Figure 10).
+
+The paper's "MIMD Theoretical" bar is the performance of the same scalar
+threads on a hypothetical machine with no lockstep constraint and an ideal
+memory system: every lane fetches independently, so processor time is
+bounded only by each thread's own dynamic instruction count and by total
+lane throughput. For a machine with ``L = num_sms * warp_size`` lanes and
+per-thread dynamic instruction counts ``n_i``, the makespan under any
+work-conserving scheduler is bounded below by
+
+    max( ceil(sum(n_i) / L), max(n_i) )
+
+and list scheduling achieves within one thread of this bound, so we use the
+bound itself as the theoretical optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class MIMDResult:
+    """Theoretical MIMD execution of a thread population."""
+
+    num_threads: int
+    total_instructions: int
+    max_thread_instructions: int
+    lanes: int
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.total_instructions / self.cycles
+
+    def rays_per_second(self, config: GPUConfig,
+                        scale_to_sms: int | None = None) -> float:
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / (config.clock_ghz * 1e9)
+        rays = self.num_threads / seconds
+        if scale_to_sms is not None:
+            rays *= scale_to_sms / config.num_sms
+        return rays
+
+
+def mimd_theoretical(thread_instructions: np.ndarray,
+                     config: GPUConfig) -> MIMDResult:
+    """Theoretical MIMD makespan for per-thread instruction counts."""
+    counts = np.asarray(thread_instructions, dtype=np.int64)
+    if counts.size == 0 or np.any(counts < 0):
+        raise ValueError("thread_instructions must be non-empty and "
+                         "non-negative")
+    lanes = config.num_sms * config.warp_size
+    total = int(counts.sum())
+    longest = int(counts.max())
+    cycles = max(math.ceil(total / lanes), longest)
+    return MIMDResult(num_threads=int(counts.size),
+                      total_instructions=total,
+                      max_thread_instructions=longest,
+                      lanes=lanes, cycles=cycles)

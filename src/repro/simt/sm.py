@@ -1,0 +1,389 @@
+"""Streaming multiprocessor: warp slots, issue logic, scheduling policies.
+
+Each SM issues at most one warp instruction per cycle, round-robin among
+warps whose previous instruction has completed (the paper's two thread
+queues: the scheduling queue is modelled by per-warp ``ready_at`` times and
+the pending queue by memory completion times from the DRAM model).
+
+Scheduling models (paper §VI):
+
+- **block** — FX5800 behaviour: a thread block is admitted only when warp
+  slots exist for the whole block and the per-SM block limit is not
+  exceeded.
+- **warp** — thread scheduling: individual warps are admitted while
+  resources last; required by dynamic µ-kernels.
+
+With spawn enabled, dynamically formed warps have admission priority over
+unscheduled launch-time threads (§IV-D), launch threads additionally wait
+for free spawn-memory data slots, and partial warps are flushed
+lowest-PC-first when nothing else remains to schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import GPUConfig, SchedulingModel
+from repro.errors import SchedulingError
+from repro.simt.executor import (
+    ALU,
+    BARRIER,
+    CONTROL,
+    OFFCHIP,
+    ONCHIP,
+    SPAWN,
+    MachineState,
+    execute,
+)
+from repro.simt.spawn import SpawnUnit
+from repro.simt.stats import DivergenceSampler, SMStats
+from repro.simt.warp import BLOCKED, FINISHED, READY, Warp
+
+
+@dataclass
+class LaunchBlock:
+    """One thread block: warps of (tids, active mask) launched together."""
+
+    block_id: int
+    warps: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def num_threads(self) -> int:
+        return sum(int(mask.sum()) for _, mask in self.warps)
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, machine: MachineState,
+                 dram, *, entry_pc: int, num_regs: int, max_warps: int,
+                 warps_per_block: int, max_blocks: int,
+                 spawn_unit: SpawnUnit | None,
+                 divergence_window: int = 1000):
+        if max_warps <= 0:
+            raise SchedulingError("SM has zero warp slots; kernel resources "
+                                  "exceed the machine configuration")
+        self.sm_id = sm_id
+        self.config = config
+        self.machine = machine
+        self.dram = dram
+        self.entry_pc = entry_pc
+        self.num_regs = num_regs
+        self.max_warps = max_warps
+        self.warps_per_block = warps_per_block
+        self.max_blocks = max_blocks
+        self.spawn_unit = spawn_unit
+        self.warps: list[Warp] = []
+        self.launch_queue: deque[LaunchBlock] = deque()
+        self.stats = SMStats()
+        self.divergence = DivergenceSampler(warp_size=config.warp_size,
+                                            window=divergence_window)
+        self.stall_until = 0
+        self._rr = 0
+        self._next_warp_id = 0
+        self._next_dynamic_tid = -1
+        self._block_live: dict[int, int] = {}
+        self._block_of_warp: dict[int, int] = {}
+        self._barriers: dict[int, list[Warp]] = {}
+        self.last_progress_cycle = 0
+        self.thread_commits: dict[int, int] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        return self.max_warps - len(self.warps)
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._block_live)
+
+    def enqueue_block(self, block: LaunchBlock) -> None:
+        self.launch_queue.append(block)
+
+    def _admit_warp(self, entry_pc: int, tids: np.ndarray, active: np.ndarray,
+                    cycle: int, *, is_dynamic: bool, kernel_name: str = "",
+                    spawn_addr: np.ndarray | None = None,
+                    data_slots: np.ndarray | None = None,
+                    block_id: int | None = None) -> Warp:
+        warp = Warp.launch(self._next_warp_id, self.config.warp_size,
+                           self.num_regs, entry_pc, tids, active,
+                           is_dynamic=is_dynamic, kernel_name=kernel_name)
+        self._next_warp_id += 1
+        lanes = np.nonzero(active)[0]
+        if spawn_addr is not None:
+            warp.spawn_addr[lanes] = spawn_addr
+        if data_slots is not None:
+            warp.data_slot_addr[lanes] = data_slots
+        warp.ready_at = cycle + 1
+        self.warps.append(warp)
+        if block_id is not None:
+            self._block_of_warp[warp.warp_id] = block_id
+            self._block_live[block_id] = self._block_live.get(block_id, 0) + 1
+        self.stats.warps_launched += 1
+        self.stats.threads_launched += int(active.sum())
+        return warp
+
+    def _admit_dynamic(self, cycle: int) -> None:
+        formed = self.spawn_unit.pop_full_warp()
+        size = self.config.warp_size
+        count = formed.num_threads
+        active = np.zeros(size, dtype=bool)
+        active[:count] = True
+        tids = np.full(size, -1, dtype=np.int64)
+        tids[:count] = np.arange(self._next_dynamic_tid,
+                                 self._next_dynamic_tid - count, -1)
+        self._next_dynamic_tid -= count
+        warp = self._admit_warp(formed.entry_pc, tids, active, cycle,
+                                is_dynamic=True,
+                                kernel_name=formed.kernel_name,
+                                spawn_addr=formed.formation_addresses,
+                                data_slots=formed.data_pointers)
+        warp.formation_region = formed.region
+
+    def _admit_launch_warp(self, tids: np.ndarray, active: np.ndarray,
+                           cycle: int, block_id: int | None) -> bool:
+        """Admit one launch warp; False if spawn data slots are exhausted."""
+        spawn_addr = None
+        data_slots = None
+        if self.spawn_unit is not None:
+            count = int(active.sum())
+            addresses = self.spawn_unit.allocate_data_slots(count)
+            if addresses is None:
+                return False
+            spawn_addr = addresses
+            data_slots = addresses
+        self._admit_warp(self.entry_pc, tids, active, cycle,
+                         is_dynamic=False, spawn_addr=spawn_addr,
+                         data_slots=data_slots, block_id=block_id)
+        return True
+
+    def _block_fits(self, block: LaunchBlock) -> bool:
+        if self.free_slots < block.num_warps:
+            return False
+        if self.config.scheduling == SchedulingModel.BLOCK:
+            if self.resident_blocks >= self.max_blocks:
+                return False
+        if self.spawn_unit is not None:
+            if self.spawn_unit.free_slot_count < block.num_threads:
+                return False
+        return True
+
+    def try_schedule(self, cycle: int) -> None:
+        """Fill free warp slots: dynamic warps first, then launch threads,
+        then (only when nothing else exists) flushed partial warps."""
+        while self.free_slots > 0:
+            if self.spawn_unit is not None and self.spawn_unit.has_full_warps:
+                self._admit_dynamic(cycle)
+                continue
+            if self.launch_queue:
+                if self.config.scheduling == SchedulingModel.BLOCK:
+                    block = self.launch_queue[0]
+                    if not self._block_fits(block):
+                        break
+                    self.launch_queue.popleft()
+                    for tids, active in block.warps:
+                        self._admit_launch_warp(tids, active, cycle,
+                                                block.block_id)
+                    continue
+                block = self.launch_queue[0]
+                tids, active = block.warps[0]
+                if not self._admit_launch_warp(tids, active, cycle, None):
+                    break
+                block.warps.pop(0)
+                if not block.warps:
+                    self.launch_queue.popleft()
+                continue
+            if (self.spawn_unit is not None
+                    and self.config.spawn.flush_partial_warps
+                    and not self.warps
+                    and self.spawn_unit.partial_thread_count > 0):
+                formed = self.spawn_unit.flush_partial_warp()
+                if formed is None:
+                    break
+                self.spawn_unit.fifo.append(formed)
+                self.stats.partial_warps_flushed += 1
+                continue
+            break
+
+    # -- per-cycle issue -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return (not self.warps and not self.launch_queue
+                and (self.spawn_unit is None or self.spawn_unit.idle))
+
+    def step(self, cycle: int) -> bool:
+        """Advance one cycle; returns True if an instruction issued."""
+        if self.done:
+            return False
+        self.stats.cycles += 1
+        if self.stall_until > cycle:
+            self.stats.stall_cycles += 1
+            self.divergence.record_stall(cycle)
+            return False
+        if self.free_slots > 0:
+            self.try_schedule(cycle)
+        warp = self._select_warp(cycle)
+        if warp is None:
+            self.stats.idle_cycles += 1
+            self.divergence.record_idle(cycle)
+            return False
+        self._issue(warp, cycle)
+        self.last_progress_cycle = cycle
+        return True
+
+    def _select_warp(self, cycle: int) -> Warp | None:
+        count = len(self.warps)
+        if count == 0:
+            return None
+        for probe in range(count):
+            warp = self.warps[(self._rr + probe) % count]
+            if warp.status == READY and warp.ready_at <= cycle:
+                self._rr = (self._rr + probe + 1) % count
+                return warp
+        return None
+
+    def _issue(self, warp: Warp, cycle: int) -> None:
+        result = execute(warp, self.machine)
+        stats = self.stats
+        stats.issued_instructions += 1
+        stats.committed_thread_instructions += result.active
+        self.divergence.record_issue(cycle, result.active)
+        config = self.config
+        if result.kind in (ALU, CONTROL):
+            warp.ready_at = cycle + config.alu_latency
+        elif result.kind == ONCHIP:
+            penalty = result.conflict_penalty
+            warp.ready_at = cycle + config.onchip_latency + penalty
+            if penalty:
+                self.stall_until = max(self.stall_until, cycle + 1 + penalty)
+                stats.bank_conflict_cycles += penalty
+            if result.is_store:
+                stats.onchip_write_words += result.onchip_words
+            else:
+                stats.onchip_read_words += result.onchip_words
+        elif result.kind == OFFCHIP:
+            if result.addresses is None or result.addresses.size == 0:
+                warp.ready_at = cycle + config.alu_latency
+            else:
+                done = self.dram.access(cycle, result.addresses,
+                                        result.is_store)
+                # Atomics serialize lanes touching the same data.
+                warp.ready_at = done + result.conflict_penalty
+        elif result.kind == SPAWN:
+            warp.ready_at = cycle + config.alu_latency
+            if self.spawn_unit is None:
+                raise SchedulingError(
+                    "spawn instruction executed without spawn hardware "
+                    "(enable config.spawn.enabled)")
+            if self._convert_uniform_spawn_to_branch(warp, result):
+                return
+            request = result.spawn
+            penalty = self.spawn_unit.spawn(request.kernel_name,
+                                            request.pointers)
+            stats.spawn_instructions += 1
+            stats.threads_spawned += int(request.pointers.size)
+            stats.onchip_write_words += int(request.pointers.size)
+            if penalty:
+                self.stall_until = max(self.stall_until, cycle + 1 + penalty)
+                stats.bank_conflict_cycles += penalty
+            stats.full_warps_formed = self.spawn_unit.full_warps_formed
+        elif result.kind == BARRIER:
+            self._arrive_at_barrier(warp, cycle)
+        stats.rays_completed += result.completions
+        if result.exited_lanes:
+            stats.threads_exited += result.exited_lanes
+        if result.freed_data_addresses.size and self.spawn_unit is not None:
+            self.spawn_unit.free_data_addresses(result.freed_data_addresses)
+        if result.warp_finished:
+            self._retire_warp(warp, cycle)
+
+    def record_thread_commits(self, warp: Warp) -> None:
+        """Fold a warp's per-lane commit counts into per-thread totals.
+
+        Only launch-time threads (non-negative tids) are recorded; they
+        drive the MIMD-theoretical model of the original scalar algorithm.
+        """
+        for tid, count in zip(warp.tids.tolist(),
+                              warp.lane_commits.tolist()):
+            if tid >= 0 and count:
+                self.thread_commits[tid] = self.thread_commits.get(tid, 0) + count
+
+    def _arrive_at_barrier(self, warp: Warp, cycle: int) -> None:
+        """Block-wide barrier: stall until every live warp of the block
+        arrives (paper §IX future work; block scheduling only, since warp
+        scheduling may split a block across scheduling slots)."""
+        block_id = self._block_of_warp.get(warp.warp_id)
+        if block_id is None:
+            raise SchedulingError(
+                "bar requires block scheduling (thread scheduling has no "
+                "synchronization support; paper §VI)")
+        waiting = self._barriers.setdefault(block_id, [])
+        waiting.append(warp)
+        warp.status = BLOCKED
+        if len(waiting) == self._block_live.get(block_id, 0):
+            for blocked in waiting:
+                blocked.status = READY
+                blocked.ready_at = cycle + 1
+            del self._barriers[block_id]
+
+    def _convert_uniform_spawn_to_branch(self, warp: Warp, result) -> bool:
+        """Paper §IX future work: when every live thread of a warp spawns
+        to the same µ-kernel, branch there instead of creating children.
+
+        The warp jumps straight to the µ-kernel entry (skipping its own
+        exit); since the state was just saved and ``spawnMemAddr`` still
+        resolves to the same thread-data slots, the µ-kernel prologue
+        reloads correctly. Only dynamic warps qualify — launch warps hold
+        a direct data-slot pointer in ``spawnMemAddr``, which the child
+        prologue's extra indirection would misinterpret — and only when no
+        other control path is pending on the SIMT stack.
+        """
+        if self.config.spawn.spawn_when_uniform:
+            return False  # naïve mode: always spawn (the paper's default)
+        if not warp.is_dynamic or warp.stack.depth != 1:
+            return False
+        request = result.spawn
+        if request.pointers.size != warp.active_count:
+            return False
+        # Only fully-populated warps skip the spawn: a full warp gains
+        # nothing from re-forming, while a partial warp must still spawn
+        # so its threads can regroup with others into a full warp.
+        if warp.active_count != self.config.warp_size:
+            return False
+        # Continue in place: undo the spawned flag (no children created)
+        # and redirect the whole warp to the µ-kernel entry.
+        warp.spawned_flag[warp.active_mask()] = False
+        warp.stack.top.pc = request.target_pc
+        self.stats.uniform_spawn_branches += 1
+        return True
+
+    def _retire_warp(self, warp: Warp, cycle: int) -> None:
+        self.record_thread_commits(warp)
+        if warp.formation_region >= 0 and self.spawn_unit is not None:
+            self.spawn_unit.release_region(warp.formation_region)
+        self.warps.remove(warp)
+        self._rr = 0 if not self.warps else self._rr % len(self.warps)
+        self.stats.warps_completed += 1
+        block_id = self._block_of_warp.pop(warp.warp_id, None)
+        if block_id is not None:
+            self._block_live[block_id] -= 1
+            if self._block_live[block_id] == 0:
+                del self._block_live[block_id]
+            elif block_id in self._barriers:
+                # A sibling exited; the barrier may now be complete.
+                waiting = self._barriers[block_id]
+                if len(waiting) == self._block_live[block_id]:
+                    for blocked in waiting:
+                        blocked.status = READY
+                        blocked.ready_at = cycle + 1
+                    del self._barriers[block_id]
+        self.try_schedule(cycle)

@@ -1,0 +1,100 @@
+"""PDOM reconvergence stack (SIMT stack).
+
+Implements the post-dominator reconvergence mechanism of §II / Figure 2:
+when the lanes of a warp disagree at a branch, the current stack entry's PC
+is set to the branch's immediate post-dominator (keeping the pre-divergence
+mask) and one entry per outgoing path is pushed. Execution always proceeds
+from the top entry; when its PC reaches its reconvergence PC the entry pops
+and the lanes merge back into the entry below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.cfg import RECONV_AT_EXIT
+
+
+@dataclass
+class StackEntry:
+    """One control-flow path: next PC, lanes on it, reconvergence PC."""
+
+    pc: int
+    mask: np.ndarray
+    reconv_pc: int = RECONV_AT_EXIT
+
+
+@dataclass
+class ReconvergenceStack:
+    """The per-warp SIMT stack."""
+
+    entries: list[StackEntry] = field(default_factory=list)
+
+    @staticmethod
+    def initial(pc: int, mask: np.ndarray) -> "ReconvergenceStack":
+        return ReconvergenceStack([StackEntry(pc, mask.copy(), RECONV_AT_EXIT)])
+
+    @property
+    def top(self) -> StackEntry:
+        if not self.entries:
+            raise ExecutionError("reconvergence stack underflow")
+        return self.entries[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries or not bool(self.top.mask.any())
+
+    def active_mask(self) -> np.ndarray:
+        return self.top.mask
+
+    def advance(self, next_pc: int) -> None:
+        """Move the top entry to ``next_pc`` and pop on reconvergence."""
+        self.top.pc = next_pc
+        self._pop_reconverged()
+
+    def _pop_reconverged(self) -> None:
+        while (len(self.entries) > 1
+               and (self.top.pc == self.top.reconv_pc
+                    or not bool(self.top.mask.any()))):
+            self.entries.pop()
+
+    def diverge(self, taken_mask: np.ndarray, not_taken_mask: np.ndarray,
+                target_pc: int, fallthrough_pc: int, reconv_pc: int) -> None:
+        """Split the top entry at a divergent branch.
+
+        The top entry keeps the union mask and waits at ``reconv_pc``;
+        the not-taken then taken paths are pushed (taken executes first,
+        matching PDOM's serialization of control paths).
+        """
+        top = self.top
+        top.pc = reconv_pc if reconv_pc != RECONV_AT_EXIT else fallthrough_pc
+        if reconv_pc == RECONV_AT_EXIT:
+            # Paths only meet at exit: replace top with the two paths.
+            self.entries.pop()
+        if not_taken_mask.any():
+            self.entries.append(
+                StackEntry(fallthrough_pc, not_taken_mask.copy(), reconv_pc))
+        if taken_mask.any():
+            self.entries.append(
+                StackEntry(target_pc, taken_mask.copy(), reconv_pc))
+        if not self.entries:
+            raise ExecutionError("divergence produced an empty stack")
+        # A path that starts at the reconvergence point has not really
+        # diverged: merge it immediately so it waits for the other path.
+        self._pop_reconverged()
+
+    def retire_lanes(self, exit_mask: np.ndarray) -> None:
+        """Remove exiting lanes from every entry and drop empty entries."""
+        for entry in self.entries:
+            entry.mask = entry.mask & ~exit_mask
+        self.entries = [entry for entry in self.entries if entry.mask.any()]
+
+    def max_depth_reached(self) -> int:
+        return len(self.entries)

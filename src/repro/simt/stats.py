@@ -1,0 +1,156 @@
+"""Simulation statistics: IPC, divergence breakdown, traffic counters.
+
+The divergence breakdown reproduces the AerialVision plots of Figures 3, 7
+and 9: every issued warp instruction is classified by how many of its
+``warp_size`` lanes were active, into buckets W1:4, W5:8, ..., W29:32.
+Together with idle (no issue) and stall (issue port blocked by bank-conflict
+serialization) cycles this gives the paper's 10 categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Number of active-lane buckets (paper's W1:4 ... W29:32 for 32-wide warps).
+NUM_W_BUCKETS = 8
+
+
+def w_bucket(active: int, warp_size: int = 32) -> int:
+    """Bucket index 0..7 for ``active`` lanes of a ``warp_size`` warp."""
+    if active <= 0:
+        raise ValueError("an issued warp must have at least one active lane")
+    per_bucket = max(1, warp_size // NUM_W_BUCKETS)
+    return min(NUM_W_BUCKETS - 1, (active - 1) // per_bucket)
+
+
+def w_labels(warp_size: int = 32) -> list[str]:
+    """Bucket labels, e.g. ['W1:4', ..., 'W29:32']."""
+    per_bucket = max(1, warp_size // NUM_W_BUCKETS)
+    return [f"W{b * per_bucket + 1}:{(b + 1) * per_bucket}"
+            for b in range(NUM_W_BUCKETS)]
+
+
+W_CATEGORIES = w_labels()
+
+
+@dataclass
+class DivergenceSampler:
+    """Time-bucketed warp-occupancy histogram.
+
+    ``window`` cycles per time bucket; each issue adds to the bucket of its
+    cycle. ``idle`` counts cycles with no issue; ``stall`` counts cycles the
+    issue port was blocked (bank-conflict serialization).
+    """
+
+    warp_size: int = 32
+    window: int = 1000
+    issues: list[np.ndarray] = field(default_factory=list)
+    idle: list[int] = field(default_factory=list)
+    stall: list[int] = field(default_factory=list)
+
+    def _bucket_for(self, cycle: int) -> int:
+        index = cycle // self.window
+        while len(self.issues) <= index:
+            self.issues.append(np.zeros(NUM_W_BUCKETS, dtype=np.int64))
+            self.idle.append(0)
+            self.stall.append(0)
+        return index
+
+    def record_issue(self, cycle: int, active: int) -> None:
+        self.issues[self._bucket_for(cycle)][w_bucket(active, self.warp_size)] += 1
+
+    def record_idle(self, cycle: int) -> None:
+        self.idle[self._bucket_for(cycle)] += 1
+
+    def record_stall(self, cycle: int) -> None:
+        self.stall[self._bucket_for(cycle)] += 1
+
+    def merge(self, other: "DivergenceSampler") -> None:
+        """Accumulate another sampler (e.g. from a different SM)."""
+        for index in range(len(other.issues)):
+            self._bucket_for(index * self.window)
+            self.issues[index] += other.issues[index]
+            self.idle[index] += other.idle[index]
+            self.stall[index] += other.stall[index]
+
+    def totals(self) -> np.ndarray:
+        """Whole-run issue counts per W bucket."""
+        if not self.issues:
+            return np.zeros(NUM_W_BUCKETS, dtype=np.int64)
+        return np.sum(np.stack(self.issues), axis=0)
+
+    def fractions_over_time(self) -> np.ndarray:
+        """(num_windows, NUM_W_BUCKETS+2) rows: [W buckets..., idle, stall].
+
+        Each row is normalized by its window's total cycles accounted, so
+        rows are directly comparable to the AerialVision stacked plots.
+        """
+        rows = []
+        for index in range(len(self.issues)):
+            counts = np.concatenate([
+                self.issues[index].astype(np.float64),
+                [float(self.idle[index]), float(self.stall[index])],
+            ])
+            total = counts.sum()
+            rows.append(counts / total if total else counts)
+        if not rows:
+            return np.zeros((0, NUM_W_BUCKETS + 2))
+        return np.stack(rows)
+
+    def mean_active_lanes(self) -> float:
+        """Average active lanes per issued instruction (bucket midpoints)."""
+        totals = self.totals()
+        if totals.sum() == 0:
+            return 0.0
+        per_bucket = max(1, self.warp_size // NUM_W_BUCKETS)
+        midpoints = np.array([b * per_bucket + (per_bucket + 1) / 2.0
+                              for b in range(NUM_W_BUCKETS)])
+        return float((totals * midpoints).sum() / totals.sum())
+
+
+@dataclass
+class SMStats:
+    """Per-SM counters (merged into machine totals by the GPU)."""
+
+    cycles: int = 0
+    issued_instructions: int = 0
+    committed_thread_instructions: int = 0
+    idle_cycles: int = 0
+    stall_cycles: int = 0
+    warps_launched: int = 0
+    warps_completed: int = 0
+    threads_launched: int = 0
+    threads_exited: int = 0
+    spawn_instructions: int = 0
+    threads_spawned: int = 0
+    full_warps_formed: int = 0
+    partial_warps_flushed: int = 0
+    uniform_spawn_branches: int = 0
+    bank_conflict_cycles: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    dram_transactions: int = 0
+    onchip_read_words: int = 0
+    onchip_write_words: int = 0
+    rays_completed: int = 0
+
+    def ipc(self) -> float:
+        """Committed thread-instructions per cycle for this SM."""
+        return (self.committed_thread_instructions / self.cycles
+                if self.cycles else 0.0)
+
+    def merge(self, other: "SMStats") -> None:
+        self.cycles = max(self.cycles, other.cycles)
+        for name in ("issued_instructions", "committed_thread_instructions",
+                     "idle_cycles", "stall_cycles", "warps_launched",
+                     "warps_completed", "threads_launched", "threads_exited",
+                     "spawn_instructions", "threads_spawned",
+                     "full_warps_formed", "partial_warps_flushed",
+                     "uniform_spawn_branches",
+                     "bank_conflict_cycles", "dram_read_bytes",
+                     "dram_write_bytes", "dram_transactions",
+                     "onchip_read_words", "onchip_write_words",
+                     "rays_completed"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -1,0 +1,99 @@
+"""Warp context: lane registers, predicates, SIMT stack, schedule state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt.stack import ReconvergenceStack
+
+#: Number of predicate registers per lane.
+NUM_PREDICATES = 8
+
+#: Warp scheduler states.
+READY = "ready"       # may issue when ready_at <= cycle
+PENDING = "pending"   # waiting on a memory response
+BLOCKED = "blocked"   # waiting at a block barrier
+FINISHED = "finished"  # all lanes exited; slot reclaimable
+
+
+@dataclass
+class Warp:
+    """One warp's architectural and scheduling state.
+
+    ``regs`` is (num_regs, warp_size) float64 — lane-vectorized so the
+    executor can run a whole warp instruction with a handful of numpy ops.
+    ``tids`` holds each lane's logical thread id (the ray index for
+    launch-time threads; reassigned for dynamically spawned threads).
+    ``spawn_addr`` models the paper's ``spawnMemAddr`` special register.
+    """
+
+    warp_id: int
+    warp_size: int
+    num_regs: int
+    tids: np.ndarray
+    active_at_launch: np.ndarray
+    regs: np.ndarray = field(init=False)
+    preds: np.ndarray = field(init=False)
+    spawn_addr: np.ndarray = field(init=False)
+    spawned_flag: np.ndarray = field(init=False)
+    data_slot_addr: np.ndarray = field(init=False)
+    lane_commits: np.ndarray = field(init=False)
+    stack: ReconvergenceStack = field(init=False)
+    status: str = READY
+    ready_at: int = 0
+    is_dynamic: bool = False
+    kernel_name: str = ""
+    issued_instructions: int = 0
+    formation_region: int = -1
+    """Spawn-memory warp-formation region owned by this (dynamic) warp;
+    released back to the spawn unit when the warp retires."""
+
+    def __post_init__(self) -> None:
+        self.tids = np.asarray(self.tids, dtype=np.int64)
+        self.active_at_launch = np.asarray(self.active_at_launch, dtype=bool)
+        if self.tids.shape != (self.warp_size,):
+            raise ValueError("tids must have warp_size entries")
+        self.regs = np.zeros((self.num_regs, self.warp_size), dtype=np.float64)
+        self.preds = np.zeros((NUM_PREDICATES, self.warp_size), dtype=bool)
+        self.spawn_addr = np.zeros(self.warp_size, dtype=np.int64)
+        self.spawned_flag = np.zeros(self.warp_size, dtype=bool)
+        self.data_slot_addr = np.full(self.warp_size, -1, dtype=np.int64)
+        self.lane_commits = np.zeros(self.warp_size, dtype=np.int64)
+        self.stack = ReconvergenceStack.initial(0, self.active_at_launch)
+
+    @staticmethod
+    def launch(warp_id: int, warp_size: int, num_regs: int, entry_pc: int,
+               tids: np.ndarray, active: np.ndarray,
+               is_dynamic: bool = False, kernel_name: str = "") -> "Warp":
+        warp = Warp(warp_id=warp_id, warp_size=warp_size, num_regs=num_regs,
+                    tids=tids, active_at_launch=active)
+        warp.stack = ReconvergenceStack.initial(entry_pc, warp.active_at_launch)
+        warp.is_dynamic = is_dynamic
+        warp.kernel_name = kernel_name
+        return warp
+
+    @property
+    def pc(self) -> int:
+        return self.stack.top.pc
+
+    def active_mask(self) -> np.ndarray:
+        if self.status == FINISHED or self.stack.empty:
+            return np.zeros(self.warp_size, dtype=bool)
+        return self.stack.active_mask()
+
+    @property
+    def active_count(self) -> int:
+        return int(self.active_mask().sum())
+
+    @property
+    def done(self) -> bool:
+        return self.status == FINISHED
+
+    def finish_if_empty(self) -> bool:
+        """Mark FINISHED when no lanes remain; returns True if finished."""
+        if self.status != FINISHED and self.stack.empty:
+            self.status = FINISHED
+            return True
+        return False

@@ -1,0 +1,106 @@
+"""Table IV bandwidth model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import (
+    METADATA_BYTES,
+    NODE_BYTES,
+    RAY_BYTES,
+    RESULT_BYTES,
+    STATE_BYTES,
+    TRIANGLE_BYTES,
+    LEAF_INDEX_BYTES,
+    bandwidth_table,
+    dynamic_bandwidth,
+    spawned_threads,
+    traditional_bandwidth,
+)
+from repro.rt.trace import TraceCounters
+
+
+def counters(nodes=10, leaves=4, tests=6, rays=2):
+    return TraceCounters(
+        node_visits=np.full(rays, nodes, dtype=np.int64),
+        leaf_visits=np.full(rays, leaves, dtype=np.int64),
+        triangle_tests=np.full(rays, tests, dtype=np.int64),
+        stack_pushes=np.zeros(rays, dtype=np.int64),
+    )
+
+
+class TestTraditional:
+    def test_reads_formula(self):
+        c = counters()
+        model = traditional_bandwidth(c, num_rays=2)
+        expected = (2 * RAY_BYTES
+                    + (20 + 8) * NODE_BYTES
+                    + 12 * (LEAF_INDEX_BYTES + TRIANGLE_BYTES))
+        assert model.read_bytes == expected
+
+    def test_writes_are_results_only(self):
+        model = traditional_bandwidth(counters(), num_rays=2)
+        assert model.write_bytes == 2 * RESULT_BYTES
+
+    def test_total(self):
+        model = traditional_bandwidth(counters(), num_rays=2)
+        assert model.total_bytes == model.read_bytes + model.write_bytes
+
+    def test_megabytes(self):
+        model = traditional_bandwidth(counters(), num_rays=2)
+        read_mb, write_mb, total_mb = model.as_megabytes()
+        assert read_mb == pytest.approx(model.read_bytes / 2**20)
+        assert total_mb == pytest.approx(read_mb + write_mb)
+
+
+class TestDynamic:
+    def test_spawned_threads_formula(self):
+        c = counters(nodes=10, leaves=4, tests=6, rays=2)
+        # per ray: 10 + 2*4 + 6 = 24; two rays = 48.
+        assert spawned_threads(c) == 48
+
+    def test_dynamic_adds_state_traffic(self):
+        c = counters()
+        base = traditional_bandwidth(c, 2)
+        dyn = dynamic_bandwidth(c, 2)
+        threads = spawned_threads(c)
+        extra = threads * (STATE_BYTES + METADATA_BYTES)
+        assert dyn.read_bytes == base.read_bytes + extra
+        assert dyn.write_bytes == base.write_bytes + extra
+
+    def test_write_ratio_huge(self):
+        """Paper: dynamic writes dwarf traditional writes (0.25 MB ->
+        hundreds of MB)."""
+        c = counters(nodes=40, leaves=10, tests=30, rays=64)
+        base = traditional_bandwidth(c, 64)
+        dyn = dynamic_bandwidth(c, 64)
+        assert dyn.write_bytes / base.write_bytes > 50
+
+    def test_read_ratio_several_x(self):
+        c = counters(nodes=40, leaves=10, tests=30, rays=64)
+        base = traditional_bandwidth(c, 64)
+        dyn = dynamic_bandwidth(c, 64)
+        assert 1.5 < dyn.read_bytes / base.read_bytes < 20
+
+
+class TestTable:
+    def test_rows_per_scene(self):
+        per_scene = {"a": (counters(), 2), "b": (counters(20, 5, 9), 2)}
+        rows = bandwidth_table(per_scene)
+        assert len(rows) == 4
+        variants = [row["variant"] for row in rows]
+        assert variants == ["Traditional", "Dynamic"] * 2
+
+    def test_ratios_present_on_dynamic_rows(self):
+        rows = bandwidth_table({"a": (counters(), 2)})
+        dynamic = rows[1]
+        assert dynamic["read_ratio"] > 1
+        assert dynamic["total_ratio"] > dynamic["read_ratio"]
+
+    def test_from_real_scene(self, tiny_tree, tiny_rays):
+        from repro.rt import trace_rays
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        rows = bandwidth_table({"tiny": (result.counters, origins.shape[0])})
+        trad, dyn = rows
+        assert dyn["total_mb"] > trad["total_mb"]
+        assert dyn["read_ratio"] > 1.0

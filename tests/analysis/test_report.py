@@ -1,0 +1,64 @@
+"""Report formatting tests."""
+
+from repro.analysis.report import format_bars, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "b" not in header
+        assert header.index("c") < header.index("a")
+
+    def test_alignment(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        text = format_series("s", [1.0, 2.0, 4.0], width=8)
+        lines = text.splitlines()
+        assert lines[0] == "s"
+        assert lines[3].count("#") == 8
+        assert lines[1].count("#") == 2
+
+    def test_empty(self):
+        assert "empty" in format_series("s", [])
+
+    def test_zero_values(self):
+        text = format_series("s", [0.0, 0.0])
+        assert "#" not in text
+
+
+class TestFormatBars:
+    def test_labels_aligned(self):
+        text = format_bars([("short", 1.0), ("much_longer", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("1.000") == lines[1].index("2.000")
+
+    def test_title_and_unit(self):
+        text = format_bars([("a", 1.0)], title="T", unit="M")
+        assert text.splitlines()[0] == "T"
+        assert "M" in text
+
+    def test_empty(self):
+        assert format_bars([], title="T") == "T"

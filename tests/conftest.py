@@ -1,0 +1,48 @@
+"""Shared fixtures: small scenes, trees, and ray batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rt import Camera, build_kdtree, make_scene
+from repro.rt.geometry import Triangle
+
+
+@pytest.fixture(scope="session")
+def tiny_scene():
+    """A small conference-like scene (a few hundred triangles)."""
+    return make_scene("conference", detail=0.25)
+
+
+@pytest.fixture(scope="session")
+def tiny_tree(tiny_scene):
+    return build_kdtree(tiny_scene.triangles, max_depth=10, leaf_size=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_rays(tiny_scene):
+    camera = Camera.for_scene(tiny_scene)
+    return camera.primary_rays(8, 8)
+
+
+@pytest.fixture
+def unit_triangles():
+    """Two triangles spanning the unit square at z=0."""
+    a = np.array([0.0, 0.0, 0.0])
+    b = np.array([1.0, 0.0, 0.0])
+    c = np.array([1.0, 1.0, 0.0])
+    d = np.array([0.0, 1.0, 0.0])
+    return [Triangle(a, b, c), Triangle(a, c, d)]
+
+
+def random_triangles(rng: np.random.Generator, count: int,
+                     scale: float = 10.0) -> list[Triangle]:
+    """Non-degenerate random triangles inside a cube."""
+    triangles = []
+    while len(triangles) < count:
+        points = rng.uniform(-scale, scale, size=(3, 3))
+        tri = Triangle(points[0], points[1], points[2])
+        if not tri.is_degenerate:
+            triangles.append(tri)
+    return triangles

@@ -1,0 +1,62 @@
+"""Ablation experiment functions and CSV export (tiny preset)."""
+
+import csv
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return get_preset("tiny")
+
+
+@pytest.fixture(scope="module")
+def workload(preset):
+    return prepare_workload("conference", preset)
+
+
+class TestAblationDWF:
+    def test_structure(self, preset, workload):
+        data = experiments.ablation_dwf(preset, workload)
+        assert data["verified"]
+        mechanisms = [row["mechanism"] for row in data["rows"]]
+        assert mechanisms == ["PDOM (stack)", "DWF (idealized)",
+                              "dynamic µ-kernels"]
+        assert "Ablation" in data["render"]
+
+    def test_all_complete_at_tiny_scale(self, preset, workload):
+        data = experiments.ablation_dwf(preset, workload)
+        for row in data["rows"]:
+            assert row["rays_done"] == workload.num_rays
+
+
+class TestAblationPersistent:
+    def test_structure(self, preset, workload):
+        data = experiments.ablation_persistent(preset, workload)
+        assert data["verified"]
+        approaches = [row["approach"] for row in data["rows"]]
+        assert "persistent threads" in approaches
+
+    def test_spawn_efficiency_highest(self, preset, workload):
+        data = experiments.ablation_persistent(preset, workload)
+        rows = {row["approach"]: row for row in data["rows"]}
+        assert (rows["dynamic µ-kernels"]["efficiency"]
+                > rows["grid launch (PDOM)"]["efficiency"])
+
+
+class TestCSVExport:
+    def test_export_all(self, preset, tmp_path):
+        paths = experiments.export_all_csv(preset, str(tmp_path))
+        assert len(paths) == 8
+        names = {p.rsplit("/", 1)[-1] for p in paths}
+        assert names == {"table2.csv", "table3.csv", "table4.csv",
+                         "fig8.csv", "fig3.csv", "fig7.csv", "fig9.csv",
+                         "fig10.csv"}
+        for path in paths:
+            with open(path, newline="") as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2  # header + data

@@ -1,0 +1,157 @@
+"""KernelBuilder API tests, including equivalence with the assembler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import assemble, disassemble
+from repro.isa.builder import KernelBuilder, _operand
+
+
+class TestOperandCoercion:
+    def test_registers(self):
+        assert _operand("r7").kind == "r" and _operand("r7").value == 7
+        assert _operand("rd3").value == 3
+
+    def test_predicates(self):
+        assert _operand("p2").kind == "p"
+
+    def test_immediates(self):
+        assert _operand(5).value == 5.0
+        assert _operand(2.5).value == 2.5
+
+    def test_sreg(self):
+        assert _operand("SREG.tid").kind == "sreg"
+
+    def test_garbage_raises(self):
+        with pytest.raises(ProgramError):
+            _operand("bogus")
+        with pytest.raises(ProgramError):
+            _operand("SREG.nope")
+
+
+class TestBuilding:
+    def build_loop(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=8)
+        builder.mov("r0", "SREG.tid")
+        builder.mov("r1", 0)
+        builder.label("LOOP")
+        builder.add("r1", "r1", 1)
+        builder.setp("lt", "p0", "r1", "r0")
+        builder.bra("LOOP", pred="p0")
+        builder.st("global", "r0", "r1")
+        builder.exit()
+        return builder.build()
+
+    def test_matches_assembler_output(self):
+        program = self.build_loop()
+        source = """
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    mov r1, 0;
+LOOP:
+    add r1, r1, 1;
+    setp.lt p0, r1, r0;
+    @p0 bra LOOP;
+    st.global [r0+0], r1;
+    exit;
+"""
+        assembled = assemble(source)
+        assert disassemble(program) == disassemble(assembled)
+
+    def test_built_program_executes(self):
+        from repro.config import scaled_config
+        from repro.simt import GPU, GlobalMemory, LaunchSpec
+        program = self.build_loop()
+        mem = GlobalMemory(64)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=8, registers_per_thread=8,
+                            block_size=32)
+        gpu = GPU(scaled_config(1, max_cycles=50_000), launch, mem)
+        gpu.run()
+        # Thread i stores max(1, i) at address i.
+        assert mem.words[:8].tolist() == [1, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_negated_guard(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=4)
+        builder.exit(pred="!p1")
+        builder.exit()
+        program = builder.build()
+        assert program[0].pred_neg
+
+    def test_chaining(self):
+        program = (KernelBuilder()
+                   .kernel("main", registers=4)
+                   .mov("r0", 1)
+                   .exit()
+                   .build())
+        assert len(program) == 2
+
+    def test_vector_memory(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=12)
+        builder.ld("global", "r4", "r0", offset=8, width=4)
+        builder.st("spawn", "r1", "r4", width=4)
+        builder.exit()
+        program = builder.build()
+        assert program[0].width == 4 and program[0].offset == 8
+        assert program[1].space == "spawn"
+
+    def test_spawn(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=4, state_words=2)
+        builder.spawn("child", "r1", pred="p0")
+        builder.exit()
+        builder.kernel("child", registers=4, state_words=2)
+        builder.exit()
+        program = builder.build()
+        assert program[0].op == "spawn"
+        assert program[0].target == program.kernels["child"].entry_pc
+
+    def test_mad_selp(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=8)
+        builder.mad("r3", "r0", "r1", "r2")
+        builder.selp("r4", "r0", "r1", "p0")
+        builder.exit()
+        program = builder.build()
+        assert program[0].op == "mad"
+        assert program[1].srcs[2].kind == "p"
+
+
+class TestValidation:
+    def test_setp_needs_predicate_dst(self):
+        builder = KernelBuilder()
+        with pytest.raises(ProgramError):
+            builder.setp("lt", "r0", "r1", "r2")
+
+    def test_unknown_cmp(self):
+        with pytest.raises(ProgramError):
+            KernelBuilder().setp("approx", "p0", "r1", "r2")
+
+    def test_unknown_space(self):
+        with pytest.raises(ProgramError):
+            KernelBuilder().ld("texture", "r0", "r1")
+
+    def test_guard_must_be_predicate(self):
+        with pytest.raises(ProgramError):
+            KernelBuilder().exit(pred="r1")
+
+    def test_selp_chooser_must_be_predicate(self):
+        with pytest.raises(ProgramError):
+            KernelBuilder().selp("r0", "r1", "r2", "r3")
+
+    def test_build_requires_valid_program(self):
+        builder = KernelBuilder()
+        builder.kernel("main", registers=4)
+        builder.mov("r0", 1)  # no trailing exit
+        with pytest.raises(ProgramError):
+            builder.build()
+
+    def test_all_arith_ops_present(self):
+        from repro.isa.instructions import ARITH_OPS, UNARY_OPS
+        for op in ARITH_OPS + UNARY_OPS:
+            assert callable(getattr(KernelBuilder, op))

@@ -1,0 +1,178 @@
+"""CFG construction and PDOM reconvergence analysis tests."""
+
+import pytest
+
+from repro.isa import assemble, build_cfg, immediate_post_dominators, reconvergence_table
+from repro.isa.cfg import EXIT, RECONV_AT_EXIT, basic_block_leaders
+
+
+def program_of(body: str):
+    return assemble(f".kernel main regs=8\nmain:\n{body}")
+
+
+IF_ELSE = """
+    setp.lt p0, r0, r1;
+    @p0 bra THEN;
+    mov r2, 1;
+    bra JOIN;
+THEN:
+    mov r2, 2;
+JOIN:
+    st.global [r0+0], r2;
+    exit;
+"""
+
+LOOP = """
+    mov r1, 0;
+LOOP:
+    add r1, r1, 1;
+    setp.lt p0, r1, r0;
+    @p0 bra LOOP;
+    exit;
+"""
+
+NESTED = """
+OUTER:
+    setp.lt p0, r0, r1;
+    @p0 bra INNER_DONE;
+INNER:
+    add r2, r2, 1;
+    setp.lt p1, r2, r3;
+    @p1 bra INNER;
+INNER_DONE:
+    add r0, r0, 1;
+    setp.lt p0, r0, 10;
+    @p0 bra OUTER;
+    exit;
+"""
+
+
+class TestLeaders:
+    def test_if_else_leaders(self):
+        program = program_of(IF_ELSE)
+        leaders = basic_block_leaders(program)
+        assert 0 in leaders
+        assert program.labels["THEN"] in leaders
+        assert program.labels["JOIN"] in leaders
+
+    def test_loop_leaders(self):
+        program = program_of(LOOP)
+        leaders = basic_block_leaders(program)
+        assert program.labels["LOOP"] in leaders
+
+
+class TestCFG:
+    def test_if_else_edges(self):
+        program = program_of(IF_ELSE)
+        graph = build_cfg(program)
+        then_pc = program.labels["THEN"]
+        join_pc = program.labels["JOIN"]
+        assert graph.has_edge(0, then_pc)       # taken
+        assert graph.has_edge(0, 2)             # fallthrough
+        assert graph.has_edge(then_pc, join_pc)
+        assert graph.has_edge(join_pc, EXIT)
+
+    def test_loop_back_edge(self):
+        program = program_of(LOOP)
+        graph = build_cfg(program)
+        loop_pc = program.labels["LOOP"]
+        assert graph.has_edge(loop_pc, loop_pc) or any(
+            graph.has_edge(node, loop_pc) for node in graph.nodes
+            if node != EXIT and node >= loop_pc)
+
+    def test_predicated_exit_edges(self):
+        program = program_of("""
+    setp.lt p0, r0, r1;
+    @p0 exit;
+    mov r2, 1;
+    exit;
+""")
+        graph = build_cfg(program)
+        assert graph.has_edge(0, EXIT)
+        assert graph.has_edge(0, 2)
+
+
+class TestPostDominators:
+    def test_if_else_join(self):
+        program = program_of(IF_ELSE)
+        ipdom = immediate_post_dominators(program)
+        join_pc = program.labels["JOIN"]
+        assert ipdom[0] == join_pc
+
+    def test_loop_exit_block(self):
+        program = program_of(LOOP)
+        ipdom = immediate_post_dominators(program)
+        loop_pc = program.labels["LOOP"]
+        # The loop block's post-dominator is the block after the back-edge.
+        branch_pc = next(inst.pc for inst in program.instructions
+                         if inst.op == "bra")
+        assert ipdom[loop_pc] == branch_pc + 1
+
+    def test_infinite_loop_handled(self):
+        program = assemble("""
+.kernel main regs=2
+main:
+SPIN:
+    bra SPIN;
+""")
+        ipdom = immediate_post_dominators(program)
+        assert program.labels["SPIN"] in ipdom
+
+
+class TestReconvergenceTable:
+    def test_only_predicated_branches(self):
+        program = program_of(IF_ELSE)
+        table = reconvergence_table(program)
+        predicated = [inst.pc for inst in program.instructions
+                      if inst.op == "bra" and inst.pred is not None]
+        assert set(table) == set(predicated)
+
+    def test_if_else_reconverges_at_join(self):
+        program = program_of(IF_ELSE)
+        table = reconvergence_table(program)
+        assert table[1] == program.labels["JOIN"]
+
+    def test_loop_reconverges_after_branch(self):
+        program = program_of(LOOP)
+        table = reconvergence_table(program)
+        branch_pc = next(iter(table))
+        assert table[branch_pc] == branch_pc + 1
+
+    def test_nested_loops(self):
+        program = program_of(NESTED)
+        table = reconvergence_table(program)
+        inner_branch = next(inst.pc for inst in program.instructions
+                            if inst.op == "bra"
+                            and inst.label == "INNER")
+        assert table[inner_branch] == program.labels["INNER_DONE"]
+
+    def test_paths_meeting_only_at_exit(self):
+        program = assemble("""
+.kernel main regs=4
+main:
+    setp.lt p0, r0, r1;
+    @p0 bra OTHER;
+    mov r2, 1;
+    exit;
+OTHER:
+    mov r2, 2;
+    exit;
+""")
+        table = reconvergence_table(program)
+        assert table[1] == RECONV_AT_EXIT
+
+    def test_traditional_kernel_branches_all_covered(self):
+        from repro.kernels.traditional import traditional_program
+        program = traditional_program()
+        table = reconvergence_table(program)
+        for inst in program.instructions:
+            if inst.op == "bra" and inst.pred is not None:
+                assert inst.pc in table
+
+    def test_microkernel_branches_all_covered(self):
+        from repro.kernels.microkernels import microkernel_program
+        program = microkernel_program()
+        table = reconvergence_table(program)
+        for inst in program.instructions:
+            if inst.op == "bra" and inst.pred is not None:
+                assert inst.pc in table

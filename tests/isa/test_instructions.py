@@ -1,0 +1,85 @@
+"""Instruction and operand construction tests."""
+
+import pytest
+
+from repro.isa import Instruction, imm, preg, reg, sreg
+from repro.isa.instructions import OPCODES, SPECIAL_REGISTERS
+
+
+class TestOperands:
+    def test_reg(self):
+        operand = reg(5)
+        assert operand.kind == "r" and operand.value == 5
+        assert repr(operand) == "r5"
+
+    def test_negative_reg_raises(self):
+        with pytest.raises(ValueError):
+            reg(-1)
+
+    def test_preg(self):
+        operand = preg(2)
+        assert operand.kind == "p" and repr(operand) == "p2"
+
+    def test_negative_preg_raises(self):
+        with pytest.raises(ValueError):
+            preg(-3)
+
+    def test_imm_coerces_float(self):
+        operand = imm(3)
+        assert operand.value == 3.0 and isinstance(operand.value, float)
+
+    def test_sreg_known(self):
+        for name in SPECIAL_REGISTERS:
+            assert sreg(name).value == name
+
+    def test_sreg_unknown_raises(self):
+        with pytest.raises(ValueError):
+            sreg("laneid")
+
+
+class TestInstructionValidation:
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(ValueError):
+            Instruction("setp", dst=preg(0), srcs=(reg(0), reg(1)))
+
+    def test_memory_requires_space(self):
+        with pytest.raises(ValueError):
+            Instruction("ld", dst=reg(0), srcs=(reg(1),))
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            Instruction("ld", dst=reg(0), srcs=(reg(1),), space="global",
+                        width=3)
+
+    def test_bra_requires_label(self):
+        with pytest.raises(ValueError):
+            Instruction("bra")
+
+    def test_spawn_requires_label(self):
+        with pytest.raises(ValueError):
+            Instruction("spawn", srcs=(reg(1),))
+
+    def test_all_opcodes_unique(self):
+        assert len(OPCODES) == len(set(OPCODES))
+
+
+class TestInstructionProperties:
+    def test_control_flags(self):
+        assert Instruction("bra", label="L").is_control
+        assert Instruction("exit").is_control
+        assert not Instruction("add", dst=reg(0), srcs=(reg(1), reg(2))).is_control
+
+    def test_memory_flags(self):
+        ld = Instruction("ld", dst=reg(0), srcs=(reg(1),), space="global")
+        assert ld.is_memory and ld.is_offchip_memory and not ld.is_onchip_memory
+        sh = Instruction("st", srcs=(reg(1), reg(2)), space="spawn")
+        assert sh.is_memory and sh.is_onchip_memory and not sh.is_offchip_memory
+
+    def test_guard_repr(self):
+        inst = Instruction("exit", pred=preg(1), pred_neg=True)
+        assert inst.guard_repr() == "@!p1 "
+        assert Instruction("exit").guard_repr() == ""

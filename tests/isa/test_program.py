@@ -1,0 +1,146 @@
+"""Program container tests."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import Instruction, Program, assemble, reg
+from repro.isa.instructions import imm
+
+
+def build_simple() -> Program:
+    program = Program()
+    program.add_label("main")
+    program.add(Instruction("mov", dst=reg(0), srcs=(imm(1),)))
+    program.add(Instruction("exit"))
+    program.add_kernel("main", registers=4)
+    return program.finalize()
+
+
+class TestConstruction:
+    def test_add_assigns_pcs(self):
+        program = build_simple()
+        assert [inst.pc for inst in program.instructions] == [0, 1]
+
+    def test_len_and_getitem(self):
+        program = build_simple()
+        assert len(program) == 2
+        assert program[1].op == "exit"
+
+    def test_duplicate_label_raises(self):
+        program = Program()
+        program.add_label("a")
+        with pytest.raises(ProgramError):
+            program.add_label("a")
+
+    def test_kernel_requires_label(self):
+        program = Program()
+        program.add(Instruction("exit"))
+        with pytest.raises(ProgramError):
+            program.add_kernel("ghost", registers=4)
+
+    def test_duplicate_kernel_raises(self):
+        program = Program()
+        program.add_label("main")
+        program.add(Instruction("exit"))
+        program.add_kernel("main", registers=4)
+        with pytest.raises(ProgramError):
+            program.add_kernel("main", registers=4)
+
+    def test_empty_program_raises(self):
+        with pytest.raises(ProgramError):
+            Program().finalize()
+
+    def test_missing_branch_target_raises(self):
+        program = Program()
+        program.add_label("main")
+        program.add(Instruction("bra", label="nowhere"))
+        program.add(Instruction("exit"))
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+    def test_spawn_to_plain_label_raises(self):
+        program = Program()
+        program.add_label("main")
+        program.add(Instruction("spawn", label="main", srcs=(reg(0),)))
+        program.add(Instruction("exit"))
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+    def test_must_end_in_exit_or_branch(self):
+        program = Program()
+        program.add_label("main")
+        program.add(Instruction("mov", dst=reg(0), srcs=(imm(0),)))
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+
+class TestAnalysisHelpers:
+    def test_max_register_index(self):
+        source = """
+.kernel main regs=8
+main:
+    ld.global.v4 r4, [r9+0];
+    exit;
+"""
+        program = assemble(source)
+        # v4 load writes r4..r7; address register r9 is the max.
+        assert program.max_register_index() == 9
+
+    def test_max_register_counts_vector_span(self):
+        source = """
+.kernel main regs=8
+main:
+    ld.global.v4 r6, [r2+0];
+    exit;
+"""
+        program = assemble(source)
+        assert program.max_register_index() == 9  # r6..r9
+
+    def test_max_predicate_index(self):
+        source = """
+.kernel main regs=4
+main:
+    setp.lt p3, r0, r1;
+    @p5 exit;
+    exit;
+"""
+        program = assemble(source)
+        assert program.max_predicate_index() == 5
+
+    def test_kernel_for_pc(self):
+        source = """
+.kernel a regs=2 state=1
+.kernel b regs=2 state=1
+a:
+    mov r0, 1;
+    exit;
+b:
+    exit;
+"""
+        program = assemble(source)
+        assert program.kernel_for_pc(0).name == "a"
+        assert program.kernel_for_pc(1).name == "a"
+        assert program.kernel_for_pc(2).name == "b"
+
+    def test_dynamic_spawn_targets_sorted_by_pc(self):
+        source = """
+.kernel main regs=2 state=1
+.kernel early regs=2 state=1
+.kernel late regs=2 state=1
+main:
+    spawn $late, r0;
+    spawn $early, r0;
+    exit;
+early:
+    exit;
+late:
+    exit;
+"""
+        program = assemble(source)
+        targets = [k.name for k in program.dynamic_spawn_targets()]
+        assert targets == ["early", "late"]
+
+    def test_instruction_counts(self):
+        program = build_simple()
+        counts = program.instruction_counts()
+        assert counts == {"mov": 1, "exit": 1}

@@ -1,0 +1,111 @@
+"""Memory image (device layout) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.kernels.layout import (
+    CONST_NODE_BASE,
+    CONST_NUM_RAYS,
+    CONST_RESULT_BASE,
+    CONST_STACK_WORDS,
+    CONST_WORLD_HI,
+    CONST_WORLD_LO,
+    RAY_WORDS,
+    RESULT_WORDS,
+    STACK_WORDS,
+    build_memory_image,
+)
+
+
+@pytest.fixture
+def image(tiny_tree, tiny_rays):
+    origins, directions = tiny_rays
+    return build_memory_image(tiny_tree, origins, directions)
+
+
+class TestLayout:
+    def test_regions_ordered_and_disjoint(self, image):
+        bases = [image.node_base, image.tri_base, image.leaf_base,
+                 image.ray_base, image.result_base, image.stack_base]
+        assert bases == sorted(bases)
+        assert len(set(bases)) == len(bases)
+
+    def test_total_size(self, image, tiny_tree, tiny_rays):
+        origins, _ = tiny_rays
+        n = origins.shape[0]
+        # Stacks end the per-ray regions; one extra word holds the
+        # persistent-threads work counter.
+        expected_tail = image.stack_base + n * STACK_WORDS + 1
+        assert image.global_mem.num_words == expected_tail
+
+    def test_counter_slot(self, image):
+        from repro.kernels.layout import CONST_COUNTER_BASE
+        counter_base = int(image.const_mem[CONST_COUNTER_BASE])
+        assert counter_base == image.global_mem.num_words - 1
+        assert image.global_mem.words[counter_base] == 0.0
+
+    def test_nodes_loaded(self, image, tiny_tree):
+        words = image.global_mem.words
+        stored = words[image.node_base:image.node_base + tiny_tree.nodes.size]
+        assert np.array_equal(stored, tiny_tree.nodes.reshape(-1))
+
+    def test_rays_loaded(self, image, tiny_rays):
+        origins, directions = tiny_rays
+        words = image.global_mem.words
+        first = words[image.ray_base:image.ray_base + RAY_WORDS]
+        assert np.array_equal(first[0:3], origins[0])
+        assert np.array_equal(first[3:6], directions[0])
+        assert np.isinf(first[6])
+
+    def test_t_max_array(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        limits = np.full(origins.shape[0], 5.0)
+        image = build_memory_image(tiny_tree, origins, directions, limits)
+        ray1 = image.global_mem.words[
+            image.ray_base + RAY_WORDS: image.ray_base + 2 * RAY_WORDS]
+        assert ray1[6] == 5.0
+
+    def test_const_contents(self, image, tiny_tree, tiny_rays):
+        origins, _ = tiny_rays
+        const = image.const_mem
+        assert const[CONST_NODE_BASE] == image.node_base
+        assert const[CONST_RESULT_BASE] == image.result_base
+        assert const[CONST_NUM_RAYS] == origins.shape[0]
+        assert const[CONST_STACK_WORDS] == STACK_WORDS
+        assert np.array_equal(const[CONST_WORLD_LO:CONST_WORLD_LO + 3],
+                              tiny_tree.bounds.lo)
+        assert np.array_equal(const[CONST_WORLD_HI:CONST_WORLD_HI + 3],
+                              tiny_tree.bounds.hi)
+
+    def test_stack_is_384_bytes_per_ray(self):
+        # Paper Table II: 384 bytes of per-thread global memory.
+        assert STACK_WORDS * 4 == 384
+
+    def test_result_sentinels(self, image):
+        t, tri = image.results()
+        assert np.all(np.isnan(t))
+        assert np.all(tri == -2)
+
+    def test_result_range_registered(self, image, tiny_rays):
+        origins, _ = tiny_rays
+        mem = image.global_mem
+        completions = mem.write(np.array([image.result_base]),
+                                np.array([1.0]))
+        assert completions == 1
+
+    def test_empty_rays_raise(self, tiny_tree):
+        with pytest.raises(SceneError):
+            build_memory_image(tiny_tree, np.zeros((0, 3)), np.zeros((0, 3)))
+
+    def test_mismatched_shapes_raise(self, tiny_tree):
+        with pytest.raises(SceneError):
+            build_memory_image(tiny_tree, np.zeros((4, 3)), np.zeros((5, 3)))
+
+    def test_results_readback(self, image):
+        mem = image.global_mem
+        mem.write(np.array([image.result_base, image.result_base + 1]),
+                  np.array([2.5, 7.0]))
+        t, tri = image.results()
+        assert t[0] == 2.5 and tri[0] == 7
+        assert RESULT_WORDS == 2

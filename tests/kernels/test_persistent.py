@@ -1,0 +1,159 @@
+"""Persistent-threads baseline kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.kernels.layout import build_memory_image
+from repro.kernels.persistent import (
+    KERNEL_NAME,
+    persistent_launch_spec,
+    persistent_program,
+    persistent_thread_count,
+)
+from repro.rt import trace_rays
+from repro.simt import GPU
+
+
+def simulate(tree, origins, directions, num_threads, **overrides):
+    image = build_memory_image(tree, origins, directions)
+    overrides.setdefault("max_cycles", 10_000_000)
+    config = scaled_config(1, **overrides)
+    launch = persistent_launch_spec(num_threads)
+    gpu = GPU(config, launch, image.global_mem, image.const_mem)
+    stats = gpu.run()
+    return image, stats
+
+
+class TestProgramShape:
+    def test_assembles_with_atomic(self):
+        program = persistent_program()
+        assert KERNEL_NAME in program.kernels
+        counts = program.instruction_counts()
+        assert counts.get("atom", 0) == 1
+
+    def test_single_exit_point(self):
+        # Persistent threads exit only when the work queue drains.
+        program = persistent_program()
+        exits = [inst for inst in program.instructions if inst.op == "exit"]
+        assert len(exits) == 1
+        assert exits[0].pred is not None
+
+    def test_thread_count_matches_occupancy(self):
+        config = scaled_config(1)
+        assert persistent_thread_count(config) == 736  # 23 warps x 32
+        config30 = scaled_config(30)
+        assert persistent_thread_count(config30) == 736 * 30
+
+
+class TestCorrectness:
+    def test_fewer_threads_than_rays(self, tiny_tree, tiny_rays):
+        """Each worker must process multiple rays."""
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions,
+                                num_threads=32)
+        assert stats.rays_completed == origins.shape[0]
+        t, tri = image.results()
+        assert np.array_equal(tri, reference.triangle)
+        mine = np.where(np.isinf(t), -1.0, t)
+        theirs = np.where(np.isinf(reference.t), -1.0, reference.t)
+        assert np.array_equal(mine, theirs)
+
+    def test_more_threads_than_rays(self, tiny_tree, tiny_rays):
+        """Excess workers must exit cleanly on an empty queue."""
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions,
+                                num_threads=256)
+        assert stats.rays_completed == origins.shape[0]
+        t, tri = image.results()
+        assert np.array_equal(tri, reference.triangle)
+
+    def test_single_worker(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        image, stats = simulate(tiny_tree, origins, directions[:16]
+                                if False else directions, num_threads=32)
+        assert stats.rays_completed == origins.shape[0]
+
+    def test_counter_ends_at_total_fetches(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        num_threads = 64
+        image, stats = simulate(tiny_tree, origins, directions,
+                                num_threads=num_threads)
+        counter = image.global_mem.words[-1]
+        # Every ray fetched once, plus one over-fetch per exiting worker.
+        assert counter == origins.shape[0] + num_threads
+
+
+class TestAtomicInstruction:
+    def test_atomic_add_returns_old_values(self):
+        from repro.isa import assemble
+        from repro.simt import GlobalMemory, LaunchSpec
+        source = """
+.kernel main regs=8
+main:
+    mov r1, 0;
+    atom.add.global r2, [r1+0], 1;
+    mov r3, SREG.tid;
+    add r3, r3, 8;
+    st.global [r3+0], r2;
+    exit;
+"""
+        program = assemble(source)
+        mem = GlobalMemory(64)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=8, registers_per_thread=8,
+                            block_size=32)
+        gpu = GPU(scaled_config(1, max_cycles=10_000), launch, mem)
+        gpu.run()
+        # Lanes receive 0..7 in lane order; the counter ends at 8.
+        assert mem.words[8:16].tolist() == list(range(8))
+        assert mem.words[0] == 8.0
+
+    def test_atomic_max_exch(self):
+        from repro.isa import assemble
+        from repro.simt import GlobalMemory, LaunchSpec
+        source = """
+.kernel main regs=8
+main:
+    mov r1, 0;
+    mov r2, SREG.tid;
+    atom.max.global r3, [r1+0], r2;
+    atom.exch.global r4, [r1+1], r2;
+    exit;
+"""
+        program = assemble(source)
+        mem = GlobalMemory(16)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=8, registers_per_thread=8,
+                            block_size=32)
+        gpu = GPU(scaled_config(1, max_cycles=10_000), launch, mem)
+        gpu.run()
+        assert mem.words[0] == 7.0     # max of tids
+        assert mem.words[1] == 7.0     # last exchanged value (lane order)
+
+    def test_atomic_round_trips_assembler(self):
+        from repro.isa import assemble, disassemble
+        source = """
+.kernel main regs=4
+main:
+    atom.add.global r2, [r1+4], 1;
+    exit;
+"""
+        program = assemble(source)
+        again = assemble(disassemble(program))
+        assert again[0].op == "atom"
+        assert again[0].cmp == "add"
+        assert again[0].offset == 4
+
+    def test_atomic_requires_global(self):
+        from repro.errors import AssemblerError
+        from repro.isa import assemble
+        with pytest.raises(AssemblerError):
+            assemble("""
+.kernel main regs=4
+main:
+    atom.add.shared r2, [r1+0], 1;
+    exit;
+""")

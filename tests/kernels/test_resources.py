@@ -1,0 +1,97 @@
+"""Table II resource accounting and occupancy tests."""
+
+import pytest
+
+from repro.config import paper_config
+from repro.kernels.microkernels import microkernel_program
+from repro.kernels.resources import (
+    PAPER_TABLE2,
+    measure_resources,
+    occupancy_threads_per_sm,
+    table2_rows,
+)
+from repro.kernels.traditional import traditional_program
+
+
+class TestPaperTable2:
+    def test_traditional_row(self):
+        row = PAPER_TABLE2["traditional"]
+        assert (row.registers, row.shared_bytes, row.global_bytes,
+                row.constant_bytes, row.spawn_bytes) == (22, 60, 388, 128, 0)
+
+    def test_microkernel_row(self):
+        row = PAPER_TABLE2["microkernel"]
+        assert (row.registers, row.shared_bytes, row.global_bytes,
+                row.constant_bytes, row.spawn_bytes) == (20, 56, 384, 24, 48)
+
+    def test_minimum_row(self):
+        row = PAPER_TABLE2["microkernel_minimum"]
+        assert row.registers == 16 and row.spawn_bytes == 48
+
+    def test_microkernel_needs_less_than_traditional(self):
+        trad = PAPER_TABLE2["traditional"]
+        micro = PAPER_TABLE2["microkernel"]
+        assert micro.registers < trad.registers
+        assert micro.constant_bytes < trad.constant_bytes
+
+
+class TestOccupancy:
+    """Paper §VI-A: 800 threads/SM for µ-kernels, 512 traditional block."""
+
+    def test_microkernel_800_threads(self):
+        config = paper_config()
+        assert occupancy_threads_per_sm(config, 20, block_size=32,
+                                        scheduling="warp") == 800
+
+    def test_traditional_block_512_threads(self):
+        config = paper_config()
+        assert occupancy_threads_per_sm(config, 22, block_size=64,
+                                        scheduling="block") == 512
+
+    def test_traditional_warp_more_than_block(self):
+        config = paper_config()
+        warp = occupancy_threads_per_sm(config, 22, block_size=64,
+                                        scheduling="warp")
+        block = occupancy_threads_per_sm(config, 22, block_size=64,
+                                         scheduling="block")
+        assert warp > block
+
+    def test_thread_limit_caps(self):
+        config = paper_config()
+        assert occupancy_threads_per_sm(config, 1, block_size=32,
+                                        scheduling="warp") == 1024
+
+    def test_register_pressure_reduces(self):
+        config = paper_config()
+        few = occupancy_threads_per_sm(config, 64, block_size=32,
+                                       scheduling="warp")
+        assert few == (16384 // (64 * 32)) * 32
+
+
+class TestMeasured:
+    def test_traditional_measured(self):
+        res = measure_resources(traditional_program(), "traditional")
+        assert res.registers == 22          # declared (occupancy) value
+        assert res.measured_registers > 22  # toy-ISA architectural usage
+        assert res.static_instructions > 100
+        assert res.spawn_bytes == 0
+
+    def test_microkernel_measured(self):
+        res = measure_resources(microkernel_program(), "microkernel")
+        assert res.registers == 20
+        assert res.spawn_bytes == 48
+        assert res.global_bytes >= 384
+
+    def test_table2_rows_structure(self):
+        trad = measure_resources(traditional_program(), "traditional")
+        micro = measure_resources(microkernel_program(), "microkernel")
+        rows = table2_rows(trad, micro)
+        assert len(rows) == 5
+        for row in rows:
+            assert "paper_traditional" in row
+            assert "measured_traditional" in row
+            assert "measured_microkernel" in row
+
+    def test_table2_rows_without_measurements(self):
+        rows = table2_rows()
+        assert all("measured_traditional" not in row for row in rows)

@@ -1,0 +1,150 @@
+"""Traditional (Example 1) kernel: end-to-end correctness on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.kernels.layout import build_memory_image
+from repro.kernels.traditional import (
+    KERNEL_NAME,
+    PAPER_REGISTERS,
+    dynamic_instruction_model,
+    traditional_launch_spec,
+    traditional_program,
+)
+from repro.rt import Camera, build_kdtree, make_scene, trace_rays
+from repro.simt import GPU
+
+
+def simulate(tree, origins, directions, t_max=np.inf, **overrides):
+    image = build_memory_image(tree, origins, directions, t_max)
+    overrides.setdefault("max_cycles", 8_000_000)
+    config = scaled_config(1, **overrides)
+    launch = traditional_launch_spec(origins.shape[0])
+    gpu = GPU(config, launch, image.global_mem, image.const_mem)
+    stats = gpu.run()
+    return image, stats
+
+
+def assert_matches_reference(image, reference):
+    t, tri = image.results()
+    assert np.array_equal(tri, reference.triangle)
+    mine = np.where(np.isinf(t), -1.0, t)
+    theirs = np.where(np.isinf(reference.t), -1.0, reference.t)
+    assert np.array_equal(mine, theirs)
+
+
+class TestProgramShape:
+    def test_assembles(self):
+        program = traditional_program()
+        assert KERNEL_NAME in program.kernels
+        assert len(program) > 100
+
+    def test_has_three_loop_branches(self):
+        program = traditional_program()
+        back_edges = [inst for inst in program.instructions
+                      if inst.op == "bra" and inst.pred is None
+                      and inst.target < inst.pc]
+        # Down-traversal and intersection loops use unconditional
+        # back-edges; the outer loop re-enters TRACE_DOWN from the pop.
+        assert len(back_edges) >= 3
+
+    def test_no_spawn_instructions(self):
+        program = traditional_program()
+        assert "spawn" not in program.instruction_counts()
+
+    def test_declared_registers_match_paper(self):
+        program = traditional_program()
+        assert program.kernels[KERNEL_NAME].registers == PAPER_REGISTERS == 22
+
+
+@pytest.mark.parametrize("scene_name", ["conference", "fairyforest", "atrium"])
+class TestCorrectnessPerScene:
+    def test_matches_reference(self, scene_name):
+        scene = make_scene(scene_name, detail=0.25)
+        tree = build_kdtree(scene.triangles, max_depth=10, leaf_size=8)
+        camera = Camera.for_scene(scene)
+        origins, directions = camera.primary_rays(8, 8)
+        reference = trace_rays(tree, origins, directions)
+        image, stats = simulate(tree, origins, directions)
+        assert stats.rays_completed == 64
+        assert_matches_reference(image, reference)
+
+
+class TestEdgeWorkloads:
+    def test_rays_missing_world(self, tiny_tree):
+        origins = np.tile(tiny_tree.bounds.hi + 50.0, (32, 1))
+        directions = np.tile(np.array([1.0, 0.0, 0.0]), (32, 1))
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions)
+        assert stats.rays_completed == 32
+        assert_matches_reference(image, reference)
+        assert not reference.hit_mask.any()
+
+    def test_bounded_shadow_style_rays(self, tiny_scene, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        primary = trace_rays(tiny_tree, origins, directions)
+        from repro.rt import shadow_rays
+        batch = shadow_rays(tiny_scene.triangles, primary.triangle,
+                            primary.t, origins, directions, tiny_scene.light)
+        reference = trace_rays(tiny_tree, batch.origins, batch.directions,
+                               batch.t_max)
+        image, stats = simulate(tiny_tree, batch.origins, batch.directions,
+                                batch.t_max)
+        assert stats.rays_completed == batch.num_rays
+        assert_matches_reference(image, reference)
+
+    def test_single_ray(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins[:1], directions[:1])
+        image, stats = simulate(tiny_tree, origins[:1], directions[:1])
+        assert stats.rays_completed == 1
+        assert_matches_reference(image, reference)
+
+    def test_axis_aligned_from_center(self, tiny_tree, tiny_scene):
+        center = (tiny_tree.bounds.lo + tiny_tree.bounds.hi) / 2.0
+        directions = np.array([[1.0, 0, 0], [-1.0, 0, 0], [0, 1.0, 0],
+                               [0, -1.0, 0], [0, 0, 1.0], [0, 0, -1.0]])
+        origins = np.tile(center, (6, 1))
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions)
+        assert_matches_reference(image, reference)
+
+    def test_ideal_memory_same_results(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions,
+                                memory_ideal=True)
+        assert_matches_reference(image, reference)
+
+    def test_block_scheduling_same_results(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions,
+                                scheduling="block")
+        assert_matches_reference(image, reference)
+
+
+class TestInstructionModel:
+    def test_model_keys(self):
+        model = dynamic_instruction_model()
+        assert set(model) == {"prologue", "node_visit", "leaf_visit",
+                              "triangle_test", "pop", "write"}
+        assert all(value > 0 for value in model.values())
+
+    def test_model_tracks_simulation_totals(self, tiny_tree, tiny_rays):
+        """The analytic per-thread model should land near the simulator's
+        committed instruction counts (it feeds the MIMD bound)."""
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image, stats = simulate(tiny_tree, origins, directions)
+        model = dynamic_instruction_model()
+        counters = reference.counters
+        predicted = (model["prologue"] * origins.shape[0]
+                     + counters.node_visits.sum() * model["node_visit"]
+                     + counters.leaf_visits.sum() * (model["leaf_visit"]
+                                                     + model["pop"])
+                     + counters.triangle_tests.sum() * model["triangle_test"]
+                     + model["write"] * origins.shape[0])
+        actual = stats.sm_stats.committed_thread_instructions
+        assert predicted == pytest.approx(actual, rel=0.25)

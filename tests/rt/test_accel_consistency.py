@@ -1,0 +1,78 @@
+"""Cross-validation: kd-tree and BVH must agree on every query."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rt import build_bvh, build_kdtree, trace_rays
+from tests.conftest import random_triangles
+
+
+class TestKDTreeVsBVH:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_hits_random_scenes(self, seed):
+        rng = np.random.default_rng(seed)
+        triangles = random_triangles(rng, 40)
+        tree = build_kdtree(triangles, max_depth=9, leaf_size=3)
+        bvh = build_bvh(triangles, leaf_size=3)
+        origins = rng.uniform(-15, 15, size=(10, 3))
+        directions = rng.normal(size=(10, 3))
+        kd = trace_rays(tree, origins, directions)
+        for i in range(10):
+            hit = bvh.intersect(origins[i], directions[i])
+            if kd.triangle[i] < 0:
+                assert hit is None
+            else:
+                assert hit is not None
+                # Same hit distance; the triangle may differ only when two
+                # triangles intersect the ray at exactly the same t.
+                assert hit[0] == pytest.approx(kd.t[i], rel=1e-9)
+                if hit[1] != kd.triangle[i]:
+                    assert hit[0] == pytest.approx(kd.t[i], abs=0.0)
+
+    def test_same_hits_on_benchmark_scene(self, tiny_scene, tiny_tree,
+                                          tiny_rays):
+        origins, directions = tiny_rays
+        bvh = build_bvh(tiny_scene.triangles, leaf_size=4)
+        kd = trace_rays(tiny_tree, origins, directions)
+        mismatches = 0
+        for i in range(origins.shape[0]):
+            hit = bvh.intersect(origins[i], directions[i])
+            if kd.triangle[i] < 0:
+                assert hit is None
+            else:
+                assert hit is not None
+                if hit[1] != kd.triangle[i]:
+                    mismatches += 1
+                    assert hit[0] == pytest.approx(kd.t[i])
+        assert mismatches <= origins.shape[0] // 10
+
+
+class TestBuildParameterInvariance:
+    """Hit results must not depend on acceleration-structure parameters."""
+
+    @pytest.mark.parametrize("max_depth,leaf_size", [(4, 16), (8, 4),
+                                                     (14, 1)])
+    def test_kdtree_params(self, tiny_scene, tiny_rays, max_depth, leaf_size):
+        origins, directions = tiny_rays
+        baseline = trace_rays(
+            build_kdtree(tiny_scene.triangles, max_depth=10, leaf_size=8),
+            origins, directions)
+        other = trace_rays(
+            build_kdtree(tiny_scene.triangles, max_depth=max_depth,
+                         leaf_size=leaf_size),
+            origins, directions)
+        assert np.array_equal(baseline.triangle, other.triangle)
+        assert np.allclose(np.where(np.isinf(baseline.t), -1, baseline.t),
+                           np.where(np.isinf(other.t), -1, other.t))
+
+    def test_sah_vs_median(self, tiny_scene, tiny_rays):
+        origins, directions = tiny_rays
+        median = trace_rays(
+            build_kdtree(tiny_scene.triangles, max_depth=10, method="median"),
+            origins, directions)
+        sah = trace_rays(
+            build_kdtree(tiny_scene.triangles, max_depth=10, method="sah"),
+            origins, directions)
+        assert np.array_equal(median.triangle, sah.triangle)

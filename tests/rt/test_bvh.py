@@ -1,0 +1,81 @@
+"""BVH build and query tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SceneError
+from repro.rt import build_bvh
+from repro.rt.trace import brute_force_trace
+from tests.conftest import random_triangles
+
+
+class TestBuild:
+    def test_empty_raises(self):
+        with pytest.raises(SceneError):
+            build_bvh([])
+
+    def test_bad_params_raise(self, unit_triangles):
+        with pytest.raises(SceneError):
+            build_bvh(unit_triangles, leaf_size=0)
+        with pytest.raises(SceneError):
+            build_bvh(unit_triangles, max_depth=-1)
+
+    def test_small_input_single_leaf(self, unit_triangles):
+        bvh = build_bvh(unit_triangles, leaf_size=4)
+        assert bvh.root.is_leaf
+        assert bvh.num_nodes() == 1
+
+    def test_node_count_odd(self, tiny_scene):
+        bvh = build_bvh(tiny_scene.triangles, leaf_size=4)
+        # Binary tree with 2-way splits: nodes = 2*leaves - 1 (odd).
+        assert bvh.num_nodes() % 2 == 1
+
+    def test_depth_limit(self, tiny_scene):
+        bvh = build_bvh(tiny_scene.triangles, leaf_size=1, max_depth=3)
+        assert bvh.depth() <= 3
+
+
+class TestQuery:
+    def test_matches_brute_force_scene(self, tiny_scene, tiny_rays):
+        origins, directions = tiny_rays
+        bvh = build_bvh(tiny_scene.triangles, leaf_size=4)
+        slow = brute_force_trace(tiny_scene.triangles, origins, directions)
+        for i in range(origins.shape[0]):
+            hit = bvh.intersect(origins[i], directions[i])
+            if slow.triangle[i] < 0:
+                assert hit is None
+            else:
+                assert hit is not None
+                assert hit[1] == slow.triangle[i]
+                assert hit[0] == pytest.approx(slow.t[i])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force_random(self, seed):
+        rng = np.random.default_rng(seed)
+        triangles = random_triangles(rng, 25)
+        bvh = build_bvh(triangles, leaf_size=2)
+        origins = rng.uniform(-15, 15, size=(6, 3))
+        directions = rng.normal(size=(6, 3))
+        slow = brute_force_trace(triangles, origins, directions)
+        for i in range(6):
+            hit = bvh.intersect(origins[i], directions[i])
+            expected = int(slow.triangle[i])
+            if expected < 0:
+                assert hit is None
+            else:
+                assert hit is not None and hit[1] == expected
+
+    def test_t_max_bound(self, tiny_scene, tiny_rays):
+        origins, directions = tiny_rays
+        bvh = build_bvh(tiny_scene.triangles, leaf_size=4)
+        hit = None
+        for i in range(origins.shape[0]):
+            hit = bvh.intersect(origins[i], directions[i])
+            if hit is not None:
+                bounded = bvh.intersect(origins[i], directions[i],
+                                        t_max=hit[0] * 0.5)
+                assert bounded is None or bounded[0] < hit[0]
+                break
+        assert hit is not None

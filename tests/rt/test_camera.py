@@ -1,0 +1,80 @@
+"""Camera and primary-ray generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.rt import Camera
+from repro.rt.vecmath import vec3
+
+
+def basic_camera(fov=60.0):
+    return Camera(eye=vec3(0, 0, 5), look_at=vec3(0, 0, 0),
+                  up=vec3(0, 1, 0), fov_degrees=fov)
+
+
+class TestCameraValidation:
+    def test_bad_fov_raises(self):
+        with pytest.raises(SceneError):
+            basic_camera(fov=0.0)
+        with pytest.raises(SceneError):
+            basic_camera(fov=180.0)
+
+    def test_eye_equals_lookat_raises(self):
+        with pytest.raises(SceneError):
+            Camera(eye=vec3(1, 1, 1), look_at=vec3(1, 1, 1), up=vec3(0, 1, 0))
+
+    def test_bad_dimensions_raise(self):
+        with pytest.raises(SceneError):
+            basic_camera().primary_rays(0, 8)
+        with pytest.raises(SceneError):
+            basic_camera().primary_rays(8, -1)
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        right, up, forward = basic_camera().basis()
+        for v in (right, up, forward):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert np.dot(right, up) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(right, forward) == pytest.approx(0.0, abs=1e-12)
+
+    def test_forward_towards_lookat(self):
+        _, _, forward = basic_camera().basis()
+        assert forward.tolist() == [0, 0, -1]
+
+
+class TestPrimaryRays:
+    def test_shapes_and_origin(self):
+        origins, directions = basic_camera().primary_rays(8, 4)
+        assert origins.shape == (32, 3)
+        assert directions.shape == (32, 3)
+        assert np.allclose(origins, [0, 0, 5])
+
+    def test_directions_unit(self):
+        _, directions = basic_camera().primary_rays(8, 8)
+        lengths = np.linalg.norm(directions, axis=1)
+        assert np.allclose(lengths, 1.0)
+
+    def test_center_ray_points_forward(self):
+        _, directions = basic_camera().primary_rays(9, 9)
+        center = directions[4 * 9 + 4]
+        assert np.allclose(center, [0, 0, -1], atol=1e-6)
+
+    def test_row_major_order(self):
+        _, directions = basic_camera().primary_rays(8, 8)
+        # Consecutive rays on a row differ in x more than in y.
+        delta = directions[1] - directions[0]
+        assert abs(delta[0]) > abs(delta[1])
+
+    def test_wider_fov_spreads_rays(self):
+        _, narrow = basic_camera(fov=30).primary_rays(8, 8)
+        _, wide = basic_camera(fov=100).primary_rays(8, 8)
+        spread = lambda d: float(np.dot(d[0], d[7]))
+        assert spread(wide) < spread(narrow)  # larger angle between corners
+
+    def test_for_scene(self, tiny_scene):
+        camera = Camera.for_scene(tiny_scene)
+        assert np.array_equal(camera.eye, tiny_scene.eye)
+        origins, directions = camera.primary_rays(4, 4)
+        assert origins.shape == (16, 3)

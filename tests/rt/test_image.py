@@ -1,0 +1,60 @@
+"""Framebuffer and shading tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.rt import Framebuffer, build_kdtree, trace_rays
+from repro.rt.image import shade_hits
+
+
+class TestFramebuffer:
+    def test_blank(self):
+        frame = Framebuffer.blank(4, 3)
+        assert frame.pixels.shape == (3, 4, 3)
+        assert frame.mean_luminance() == 0.0
+
+    def test_bad_dimensions_raise(self):
+        with pytest.raises(SceneError):
+            Framebuffer.blank(0, 4)
+
+    def test_ppm_write(self, tmp_path):
+        frame = Framebuffer.blank(2, 2)
+        frame.pixels[0, 0] = [1.0, 0.0, 0.0]
+        path = tmp_path / "out.ppm"
+        frame.write_ppm(str(path))
+        data = path.read_bytes()
+        assert data.startswith(b"P6 2 2 255\n")
+        assert data[len(b"P6 2 2 255\n"):][:3] == bytes([255, 0, 0])
+
+    def test_ppm_clamps(self, tmp_path):
+        frame = Framebuffer.blank(1, 1)
+        frame.pixels[0, 0] = [2.0, -1.0, 0.5]
+        path = tmp_path / "clamp.ppm"
+        frame.write_ppm(str(path))
+        body = path.read_bytes().split(b"\n", 1)[1]
+        assert body[0] == 255 and body[1] == 0
+
+
+class TestShadeHits:
+    def test_shading_hits_differ_from_sky(self, tiny_scene, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        frame = shade_hits(8, 8, tiny_scene.triangles, result.triangle,
+                           result.t, directions)
+        sky = np.array([0.55, 0.68, 0.90])
+        flat = frame.pixels.reshape(-1, 3)
+        hits = result.hit_mask
+        assert not np.allclose(flat[hits], sky)
+        if (~hits).any():
+            assert np.allclose(flat[~hits], sky)
+
+    def test_shadow_darkens(self, tiny_scene, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        shadowed = result.hit_mask.copy()
+        lit = shade_hits(8, 8, tiny_scene.triangles, result.triangle,
+                         result.t, directions)
+        dark = shade_hits(8, 8, tiny_scene.triangles, result.triangle,
+                          result.t, directions, shadowed=shadowed)
+        assert dark.mean_luminance() < lit.mean_luminance()

@@ -1,0 +1,134 @@
+"""OBJ loader tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.rt.obj import load_obj, parse_obj, scene_from_obj
+
+CUBE_OBJ = """
+# a unit cube
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+v 0 0 1
+v 1 0 1
+v 1 1 1
+v 0 1 1
+f 1 2 3 4
+f 5 8 7 6
+f 1 5 6 2
+f 2 6 7 3
+f 3 7 8 4
+f 5 1 4 8
+"""
+
+
+class TestParsing:
+    def test_cube_quads_fan_to_twelve_triangles(self):
+        triangles = parse_obj(CUBE_OBJ.splitlines())
+        assert len(triangles) == 12
+
+    def test_triangle_face(self):
+        triangles = parse_obj(["v 0 0 0", "v 1 0 0", "v 0 1 0", "f 1 2 3"])
+        assert len(triangles) == 1
+        assert np.array_equal(triangles[0].b, [1, 0, 0])
+
+    def test_slash_syntax(self):
+        source = ["v 0 0 0", "v 1 0 0", "v 0 1 0", "vt 0 0", "vn 0 0 1",
+                  "f 1/1/1 2/1/1 3/1/1"]
+        assert len(parse_obj(source)) == 1
+
+    def test_double_slash_syntax(self):
+        source = ["v 0 0 0", "v 1 0 0", "v 0 1 0", "f 1//1 2//1 3//1"]
+        assert len(parse_obj(source)) == 1
+
+    def test_negative_indices(self):
+        source = ["v 0 0 0", "v 1 0 0", "v 0 1 0", "f -3 -2 -1"]
+        tri = parse_obj(source)[0]
+        assert np.array_equal(tri.a, [0, 0, 0])
+        assert np.array_equal(tri.c, [0, 1, 0])
+
+    def test_comments_and_unknown_tags_skipped(self):
+        source = ["# header", "o object", "g group", "usemtl steel",
+                  "v 0 0 0", "v 1 0 0", "v 0 1 0", "s off", "f 1 2 3"]
+        assert len(parse_obj(source)) == 1
+
+    def test_degenerate_faces_dropped(self):
+        source = ["v 0 0 0", "v 1 0 0", "v 0 1 0",
+                  "f 1 1 1",  # degenerate
+                  "f 1 2 3"]
+        assert len(parse_obj(source)) == 1
+
+
+class TestErrors:
+    def test_out_of_range_index(self):
+        with pytest.raises(SceneError):
+            parse_obj(["v 0 0 0", "f 1 2 3"])
+
+    def test_zero_index(self):
+        with pytest.raises(SceneError):
+            parse_obj(["v 0 0 0", "v 1 0 0", "v 0 1 0", "f 0 1 2"])
+
+    def test_bad_vertex(self):
+        with pytest.raises(SceneError):
+            parse_obj(["v 1 2"])
+        with pytest.raises(SceneError):
+            parse_obj(["v a b c"])
+
+    def test_short_face(self):
+        with pytest.raises(SceneError):
+            parse_obj(["v 0 0 0", "v 1 0 0", "f 1 2"])
+
+    def test_empty_mesh(self):
+        with pytest.raises(SceneError):
+            parse_obj(["v 0 0 0"])
+
+
+class TestFileAndScene:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "cube.obj"
+        path.write_text(CUBE_OBJ)
+        assert len(load_obj(path)) == 12
+
+    def test_scene_from_obj(self, tmp_path):
+        path = tmp_path / "cube.obj"
+        path.write_text(CUBE_OBJ)
+        scene = scene_from_obj(path)
+        assert scene.name == "cube"
+        assert scene.num_triangles == 12
+        # Camera outside the box, looking at its center.
+        assert np.allclose(scene.look_at, [0.5, 0.5, 0.5])
+        assert np.linalg.norm(scene.eye - scene.look_at) > 1.0
+
+    def test_obj_scene_traces_end_to_end(self, tmp_path):
+        from repro.rt import Camera, build_kdtree, trace_rays
+        path = tmp_path / "cube.obj"
+        path.write_text(CUBE_OBJ)
+        scene = scene_from_obj(path)
+        tree = build_kdtree(scene.triangles, max_depth=6, leaf_size=2)
+        camera = Camera.for_scene(scene)
+        origins, directions = camera.primary_rays(8, 8)
+        result = trace_rays(tree, origins, directions)
+        assert result.hit_mask.any()
+
+    def test_obj_scene_on_simulator(self, tmp_path):
+        from repro.config import scaled_config
+        from repro.kernels import build_memory_image, traditional_launch_spec
+        from repro.rt import Camera, build_kdtree, trace_rays
+        from repro.simt import GPU
+        path = tmp_path / "cube.obj"
+        path.write_text(CUBE_OBJ)
+        scene = scene_from_obj(path)
+        tree = build_kdtree(scene.triangles, max_depth=6, leaf_size=2)
+        camera = Camera.for_scene(scene)
+        origins, directions = camera.primary_rays(8, 8)
+        reference = trace_rays(tree, origins, directions)
+        image = build_memory_image(tree, origins, directions)
+        gpu = GPU(scaled_config(1, max_cycles=2_000_000),
+                  traditional_launch_spec(origins.shape[0]),
+                  image.global_mem, image.const_mem)
+        gpu.run()
+        t, tri = image.results()
+        assert np.array_equal(tri, reference.triangle)

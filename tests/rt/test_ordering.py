@@ -1,0 +1,109 @@
+"""Ray-ordering (Morton / shuffle) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SceneError
+from repro.rt.ordering import (
+    apply_order,
+    invert_order,
+    morton_codes,
+    morton_order,
+    shuffled_order,
+)
+
+
+class TestMortonCodes:
+    def test_origin_is_zero(self):
+        assert morton_codes(np.array([0]), np.array([0]))[0] == 0
+
+    def test_known_values(self):
+        # (1,0)->1, (0,1)->2, (1,1)->3, (2,2)->12
+        xs = np.array([1, 0, 1, 2])
+        ys = np.array([0, 1, 1, 2])
+        assert morton_codes(xs, ys).tolist() == [1, 2, 3, 12]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SceneError):
+            morton_codes(np.array([-1]), np.array([0]))
+        with pytest.raises(SceneError):
+            morton_codes(np.array([1 << 16]), np.array([0]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 65535), st.integers(0, 65535))
+    def test_codes_unique_per_coordinate(self, x, y):
+        code = int(morton_codes(np.array([x]), np.array([y]))[0])
+        # Deinterleave and verify round trip.
+        def compact(v):
+            v &= 0x55555555
+            v = (v | (v >> 1)) & 0x33333333
+            v = (v | (v >> 2)) & 0x0F0F0F0F
+            v = (v | (v >> 4)) & 0x00FF00FF
+            v = (v | (v >> 8)) & 0x0000FFFF
+            return v
+        assert compact(code) == x
+        assert compact(code >> 1) == y
+
+
+class TestMortonOrder:
+    def test_is_permutation(self):
+        order = morton_order(8, 8)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_first_four_form_a_2x2_tile(self):
+        order = morton_order(8, 8)
+        ys, xs = np.divmod(order[:4], 8)
+        assert set(zip(xs.tolist(), ys.tolist())) == {(0, 0), (1, 0),
+                                                      (0, 1), (1, 1)}
+
+    def test_non_square(self):
+        order = morton_order(4, 2)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_bad_dims_raise(self):
+        with pytest.raises(SceneError):
+            morton_order(0, 4)
+
+    def test_improves_tile_locality(self):
+        """Consecutive groups of 32 cover smaller screen areas in Morton
+        order than in row-major order on a tall image."""
+        width, height = 32, 32
+        order = morton_order(width, height)
+        def mean_spread(indices):
+            ys, xs = np.divmod(indices, width)
+            return float((xs.max() - xs.min()) + (ys.max() - ys.min()))
+        row_major = np.arange(width * height)
+        spreads_rm = [mean_spread(row_major[i:i + 32])
+                      for i in range(0, 1024, 32)]
+        spreads_mo = [mean_spread(order[i:i + 32])
+                      for i in range(0, 1024, 32)]
+        assert np.mean(spreads_mo) < np.mean(spreads_rm)
+
+
+class TestShuffleAndApply:
+    def test_shuffled_is_permutation(self):
+        order = shuffled_order(100, seed=1)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_shuffled_deterministic(self):
+        assert np.array_equal(shuffled_order(50, 3), shuffled_order(50, 3))
+
+    def test_bad_count_raises(self):
+        with pytest.raises(SceneError):
+            shuffled_order(0)
+
+    def test_apply_order_parallel_arrays(self):
+        order = np.array([2, 0, 1])
+        a, b = apply_order(order, np.array([10, 20, 30]),
+                           np.array([[1, 1], [2, 2], [3, 3]]))
+        assert a.tolist() == [30, 10, 20]
+        assert b.tolist() == [[3, 3], [1, 1], [2, 2]]
+
+    def test_invert_order_round_trip(self):
+        order = shuffled_order(64, seed=7)
+        inverse = invert_order(order)
+        data = np.arange(64) * 3.0
+        (permuted,) = apply_order(order, data)
+        (restored,) = apply_order(inverse, permuted)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,136 @@
+"""Secondary-ray generator tests (shadow, reflection, GI)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.rt import Camera, build_kdtree, gi_rays, reflection_rays, shadow_rays, trace_rays
+from repro.rt.rays import RayBatch
+from repro.rt.vecmath import dot, normalize
+
+
+@pytest.fixture(scope="module")
+def primary_hits(request):
+    from repro.rt import make_scene
+    scene = make_scene("conference", detail=0.25)
+    tree = build_kdtree(scene.triangles, max_depth=10, leaf_size=8)
+    camera = Camera.for_scene(scene)
+    origins, directions = camera.primary_rays(8, 8)
+    result = trace_rays(tree, origins, directions)
+    return scene, tree, origins, directions, result
+
+
+class TestRayBatch:
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(SceneError):
+            RayBatch(np.zeros((3, 3)), np.zeros((4, 3)), np.zeros(3))
+
+    def test_mismatched_tmax_raises(self):
+        with pytest.raises(SceneError):
+            RayBatch(np.zeros((3, 3)), np.zeros((3, 3)), np.zeros(4))
+
+    def test_unbounded(self):
+        batch = RayBatch.unbounded(np.zeros((5, 3)), np.ones((5, 3)))
+        assert batch.num_rays == 5
+        assert np.all(np.isinf(batch.t_max))
+
+
+class TestShadowRays:
+    def test_alignment_and_bounds(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = shadow_rays(scene.triangles, result.triangle, result.t,
+                            origins, directions, scene.light)
+        assert batch.num_rays == origins.shape[0]
+        hits = result.hit_mask
+        assert np.all(batch.t_max[~hits] == 0.0)
+        assert np.all(np.isfinite(batch.t_max[hits]))
+
+    def test_directions_point_to_light(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = shadow_rays(scene.triangles, result.triangle, result.t,
+                            origins, directions, scene.light)
+        hits = np.nonzero(result.hit_mask)[0]
+        for index in hits[:10]:
+            to_light = scene.light - batch.origins[index]
+            cosine = float(dot(normalize(to_light), batch.directions[index]))
+            assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_shadow_rays_traceable(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = shadow_rays(scene.triangles, result.triangle, result.t,
+                            origins, directions, scene.light)
+        shadow = trace_rays(tree, batch.origins, batch.directions, batch.t_max)
+        # Occlusion only defined for primary hits; missed pixels can't hit.
+        assert not shadow.hit_mask[~result.hit_mask].any()
+
+
+class TestReflectionRays:
+    def test_alignment(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = reflection_rays(scene.triangles, result.triangle, result.t,
+                                origins, directions)
+        assert batch.num_rays == origins.shape[0]
+        assert np.all(batch.t_max[~result.hit_mask] == 0.0)
+
+    def test_reflected_away_from_surface(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = reflection_rays(scene.triangles, result.triangle, result.t,
+                                origins, directions)
+        hits = np.nonzero(result.hit_mask)[0]
+        for index in hits[:10]:
+            tri = scene.triangles[int(result.triangle[index])]
+            normal = normalize(tri.normal)
+            if float(dot(normal, directions[index])) > 0:
+                normal = -normal
+            # Incoming ray goes into the surface; reflected comes out.
+            assert float(dot(batch.directions[index], normal)) >= -1e-9
+
+    def test_unit_directions(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = reflection_rays(scene.triangles, result.triangle, result.t,
+                                origins, directions)
+        lengths = np.linalg.norm(batch.directions[result.hit_mask], axis=1)
+        assert np.allclose(lengths, 1.0)
+
+
+class TestGIRays:
+    def test_sample_multiplier(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = gi_rays(scene.triangles, result.triangle, result.t,
+                        origins, directions, samples_per_hit=3)
+        assert batch.num_rays == 3 * origins.shape[0]
+
+    def test_bad_samples_raise(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        with pytest.raises(SceneError):
+            gi_rays(scene.triangles, result.triangle, result.t,
+                    origins, directions, samples_per_hit=0)
+
+    def test_hemisphere_about_normal(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = gi_rays(scene.triangles, result.triangle, result.t,
+                        origins, directions, seed=3)
+        hits = np.nonzero(result.hit_mask)[0]
+        for index in hits[:20]:
+            tri = scene.triangles[int(result.triangle[index])]
+            normal = normalize(tri.normal)
+            if float(dot(normal, directions[index])) > 0:
+                normal = -normal
+            assert float(dot(batch.directions[index], normal)) >= -1e-9
+
+    def test_deterministic_by_seed(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        a = gi_rays(scene.triangles, result.triangle, result.t,
+                    origins, directions, seed=1)
+        b = gi_rays(scene.triangles, result.triangle, result.t,
+                    origins, directions, seed=1)
+        assert np.array_equal(a.directions, b.directions)
+
+    def test_incoherent_compared_to_primary(self, primary_hits):
+        scene, tree, origins, directions, result = primary_hits
+        batch = gi_rays(scene.triangles, result.triangle, result.t,
+                        origins, directions, seed=0)
+        # Mean pairwise alignment of adjacent rays is much lower for GI.
+        def coherence(dirs):
+            return float(np.mean(np.sum(dirs[:-1] * dirs[1:], axis=1)))
+        assert coherence(batch.directions) < coherence(directions)

@@ -1,0 +1,82 @@
+"""Procedural benchmark scene generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.rt import BENCHMARK_SCENES, build_kdtree, make_scene
+from repro.rt.scenes import PAPER_TRIANGLE_COUNTS
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", BENCHMARK_SCENES)
+    def test_scene_builds(self, name):
+        scene = make_scene(name, detail=0.25)
+        assert scene.name == name
+        assert scene.num_triangles > 50
+
+    @pytest.mark.parametrize("name", BENCHMARK_SCENES)
+    def test_no_degenerate_triangles(self, name):
+        scene = make_scene(name, detail=0.25)
+        assert not any(tri.is_degenerate for tri in scene.triangles)
+
+    @pytest.mark.parametrize("name", BENCHMARK_SCENES)
+    def test_detail_scales_triangle_count(self, name):
+        small = make_scene(name, detail=0.25).num_triangles
+        large = make_scene(name, detail=1.0).num_triangles
+        assert large > small
+
+    @pytest.mark.parametrize("name", BENCHMARK_SCENES)
+    def test_deterministic_for_seed(self, name):
+        a = make_scene(name, detail=0.25, seed=5)
+        b = make_scene(name, detail=0.25, seed=5)
+        assert a.num_triangles == b.num_triangles
+        assert np.array_equal(a.triangles[10].a, b.triangles[10].a)
+
+    def test_seeds_change_geometry(self):
+        a = make_scene("fairyforest", detail=0.25, seed=1)
+        b = make_scene("fairyforest", detail=0.25, seed=2)
+        different = any(
+            not np.array_equal(ta.a, tb.a)
+            for ta, tb in zip(a.triangles, b.triangles))
+        assert different
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(SceneError):
+            make_scene("cornell")
+
+    def test_nonpositive_detail_raises(self):
+        with pytest.raises(SceneError):
+            make_scene("atrium", detail=0.0)
+
+    def test_paper_counts_listed_for_all(self):
+        assert set(PAPER_TRIANGLE_COUNTS) == set(BENCHMARK_SCENES)
+
+
+class TestSceneCharacter:
+    """The spatial characters that drive the paper's divergence claims."""
+
+    def _leaf_visit_variance(self, name):
+        from repro.rt import Camera, trace_rays
+        scene = make_scene(name, detail=0.5)
+        tree = build_kdtree(scene.triangles, max_depth=12, leaf_size=8)
+        camera = Camera.for_scene(scene)
+        origins, directions = camera.primary_rays(16, 16)
+        result = trace_rays(tree, origins, directions)
+        visits = result.counters.node_visits.astype(float)
+        return visits.std() / max(visits.mean(), 1e-9), result
+
+    def test_fairyforest_open_space_with_clusters(self):
+        cv, result = self._leaf_visit_variance("fairyforest")
+        # Open space + clusters: high relative variance in traversal work.
+        assert cv > 0.3
+
+    def test_all_scenes_have_hits(self):
+        for name in BENCHMARK_SCENES:
+            _, result = self._leaf_visit_variance(name)
+            assert result.hit_mask.mean() > 0.3
+
+    def test_conference_enclosed_room_hits_everywhere(self):
+        _, result = self._leaf_visit_variance("conference")
+        # Camera inside a closed room: essentially every ray hits geometry.
+        assert result.hit_mask.mean() > 0.95

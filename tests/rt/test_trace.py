@@ -1,0 +1,102 @@
+"""Reference tracer behaviour: counters, early exit, limits."""
+
+import numpy as np
+import pytest
+
+from repro.rt import build_kdtree, trace_rays
+from repro.rt.geometry import Triangle
+from repro.rt.trace import brute_force_trace
+
+
+def wall_scene():
+    """Two parallel walls at z=0 and z=-5 facing +z."""
+    def quad(z):
+        a = np.array([-10.0, -10.0, z])
+        b = np.array([10.0, -10.0, z])
+        c = np.array([10.0, 10.0, z])
+        d = np.array([-10.0, 10.0, z])
+        return [Triangle(a, b, c), Triangle(a, c, d)]
+    return quad(0.0) + quad(-5.0)
+
+
+class TestBasicHits:
+    def test_closest_wall_wins(self):
+        tris = wall_scene()
+        tree = build_kdtree(tris, leaf_size=1, max_depth=6)
+        result = trace_rays(tree, np.array([[0.5, 0.5, 3.0]]),
+                            np.array([[0.0, 0.0, -1.0]]))
+        assert result.triangle[0] in (0, 1)
+        assert result.t[0] == pytest.approx(3.0)
+
+    def test_miss_behind(self):
+        tris = wall_scene()
+        tree = build_kdtree(tris, leaf_size=1, max_depth=6)
+        result = trace_rays(tree, np.array([[0.5, 0.5, 3.0]]),
+                            np.array([[0.0, 0.0, 1.0]]))
+        assert result.triangle[0] == -1
+        assert np.isinf(result.t[0])
+
+    def test_ray_outside_world_misses(self, tiny_tree):
+        far = tiny_tree.bounds.hi + 100.0
+        result = trace_rays(tiny_tree, far[None, :],
+                            np.array([[1.0, 0.0, 0.0]]))
+        assert result.triangle[0] == -1
+        assert result.counters.node_visits[0] == 0
+
+    def test_t_limit_excludes_far_wall(self):
+        tris = wall_scene()
+        tree = build_kdtree(tris, leaf_size=1, max_depth=6)
+        result = trace_rays(tree, np.array([[0.5, 0.5, 3.0]]),
+                            np.array([[0.0, 0.0, -1.0]]), t_max=2.0)
+        assert result.triangle[0] == -1
+
+    def test_t_limit_keeps_near_wall(self):
+        tris = wall_scene()
+        tree = build_kdtree(tris, leaf_size=1, max_depth=6)
+        result = trace_rays(tree, np.array([[0.5, 0.5, 3.0]]),
+                            np.array([[0.0, 0.0, -1.0]]), t_max=4.0)
+        assert result.triangle[0] in (0, 1)
+
+
+class TestCounters:
+    def test_counts_scale_with_rays(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        full = trace_rays(tiny_tree, origins, directions)
+        half = trace_rays(tiny_tree, origins[:32], directions[:32])
+        assert (full.counters.totals()["node_visits"]
+                > half.counters.totals()["node_visits"])
+
+    def test_per_ray_counter_shapes(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        n = origins.shape[0]
+        assert result.counters.node_visits.shape == (n,)
+        assert result.counters.leaf_visits.shape == (n,)
+        assert result.counters.triangle_tests.shape == (n,)
+        assert result.counters.stack_pushes.shape == (n,)
+
+    def test_pushes_bounded_by_node_visits(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        assert np.all(result.counters.stack_pushes
+                      <= result.counters.node_visits)
+
+    def test_brute_force_counters(self, tiny_scene, tiny_rays):
+        origins, directions = tiny_rays
+        result = brute_force_trace(tiny_scene.triangles, origins, directions)
+        assert np.all(result.counters.triangle_tests
+                      == len(tiny_scene.triangles))
+
+
+class TestResultAccessors:
+    def test_hit_mask(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        assert np.array_equal(result.hit_mask, result.triangle >= 0)
+        assert result.num_rays == origins.shape[0]
+
+    def test_misses_have_infinite_t(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        result = trace_rays(tiny_tree, origins, directions)
+        assert np.all(np.isinf(result.t[~result.hit_mask]))
+        assert np.all(np.isfinite(result.t[result.hit_mask]))

@@ -1,0 +1,94 @@
+"""Vector math unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rt import vecmath as vm
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+vec = st.tuples(finite, finite, finite)
+nonzero_vec = vec.filter(lambda v: sum(x * x for x in v) > 1e-6)
+
+
+class TestVec3:
+    def test_vec3_builds_float64(self):
+        v = vm.vec3(1, 2, 3)
+        assert v.dtype == np.float64
+        assert v.tolist() == [1.0, 2.0, 3.0]
+
+    def test_dot_single(self):
+        assert vm.dot(vm.vec3(1, 2, 3), vm.vec3(4, 5, 6)) == 32.0
+
+    def test_dot_batched(self):
+        a = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        b = np.array([[1.0, 0, 0], [0, 3.0, 0]])
+        assert vm.dot(a, b).tolist() == [1.0, 6.0]
+
+    def test_cross_right_handed(self):
+        assert vm.cross(vm.vec3(1, 0, 0), vm.vec3(0, 1, 0)).tolist() == [0, 0, 1]
+
+    def test_length(self):
+        assert vm.length(vm.vec3(3, 4, 0)) == 5.0
+
+    def test_normalize_zero_vector_unchanged(self):
+        assert vm.normalize(vm.vec3(0, 0, 0)).tolist() == [0, 0, 0]
+
+    def test_normalize_batch(self):
+        batch = np.array([[2.0, 0, 0], [0, 0, 5.0]])
+        out = vm.normalize(batch)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestVecProperties:
+    @given(nonzero_vec)
+    def test_normalize_gives_unit_length(self, v):
+        out = vm.normalize(np.array(v))
+        assert abs(float(vm.length(out)) - 1.0) < 1e-9
+
+    @given(nonzero_vec, nonzero_vec)
+    def test_cross_orthogonal_to_inputs(self, a, b):
+        a = np.array(a)
+        b = np.array(b)
+        c = vm.cross(a, b)
+        scale = float(vm.length(a) * vm.length(b))
+        assert abs(float(vm.dot(a, c))) <= 1e-6 * max(scale, 1.0)
+        assert abs(float(vm.dot(b, c))) <= 1e-6 * max(scale, 1.0)
+
+    @given(nonzero_vec, nonzero_vec)
+    def test_reflect_preserves_length(self, d, n):
+        d = vm.normalize(np.array(d))
+        n = vm.normalize(np.array(n))
+        r = vm.reflect(d, n)
+        assert abs(float(vm.length(r)) - 1.0) < 1e-9
+
+    @given(nonzero_vec)
+    def test_reflect_along_normal_negates(self, n):
+        n = vm.normalize(np.array(n))
+        assert np.allclose(vm.reflect(n, n), -n)
+
+    @given(nonzero_vec)
+    def test_orthonormal_basis_is_orthonormal(self, n):
+        n = vm.normalize(np.array(n))
+        t1, t2 = vm.orthonormal_basis(n)
+        for v in (t1, t2):
+            assert abs(float(vm.length(v)) - 1.0) < 1e-9
+        assert abs(float(vm.dot(t1, n))) < 1e-9
+        assert abs(float(vm.dot(t2, n))) < 1e-9
+        assert abs(float(vm.dot(t1, t2))) < 1e-9
+
+    def test_orthonormal_basis_batched(self):
+        normals = vm.normalize(np.array([[0.0, 0, 1], [1.0, 0, 0], [0, -1.0, 0]]))
+        t1, t2 = vm.orthonormal_basis(normals)
+        assert t1.shape == normals.shape
+        assert np.allclose(vm.dot(t1, normals), 0.0, atol=1e-12)
+        assert np.allclose(vm.dot(t2, normals), 0.0, atol=1e-12)
+
+
+class TestReflectBatch:
+    def test_reflect_batched(self):
+        d = np.array([[1.0, -1.0, 0.0], [0.0, -1.0, 0.0]])
+        n = np.array([[0.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+        out = vm.reflect(d, n)
+        assert np.allclose(out, [[1.0, 1.0, 0.0], [0.0, 1.0, 0.0]])

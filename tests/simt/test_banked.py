@@ -1,0 +1,86 @@
+"""On-chip banked memory (shared/spawn) conflict model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.simt.banked import BankedMemory
+
+
+class TestFunctional:
+    def test_roundtrip(self):
+        mem = BankedMemory(64)
+        mem.write(np.array([0, 5]), np.array([1.5, 2.5]))
+        values, _ = mem.read(np.array([5, 0]))
+        assert values.tolist() == [2.5, 1.5]
+
+    def test_bounds(self):
+        mem = BankedMemory(8)
+        with pytest.raises(MemoryError_):
+            mem.read(np.array([8]))
+        with pytest.raises(MemoryError_):
+            mem.write(np.array([-1]), np.array([0.0]))
+
+    def test_bad_construction(self):
+        with pytest.raises(MemoryError_):
+            BankedMemory(0)
+        with pytest.raises(MemoryError_):
+            BankedMemory(8, num_banks=0)
+
+    def test_traffic_counters(self):
+        mem = BankedMemory(64)
+        mem.read(np.arange(4))
+        mem.write(np.arange(8), np.zeros(8))
+        assert mem.read_words == 4
+        assert mem.write_words == 8
+
+
+class TestConflicts:
+    def test_sequential_addresses_conflict_free(self):
+        mem = BankedMemory(256, num_banks=16)
+        assert mem.conflict_penalty(np.arange(16)) == 0
+
+    def test_broadcast_is_free(self):
+        mem = BankedMemory(256, num_banks=16)
+        assert mem.conflict_penalty(np.zeros(32, dtype=np.int64)) == 0
+
+    def test_same_bank_stride_serializes(self):
+        mem = BankedMemory(1024, num_banks=16)
+        addresses = np.arange(8) * 16  # all hit bank 0
+        assert mem.conflict_penalty(addresses) == 7
+
+    def test_stride_twelve_on_sixteen_banks(self):
+        # The µ-kernel state stride: 12 words on 16 banks -> 4-way reuse.
+        mem = BankedMemory(4096, num_banks=16)
+        addresses = np.arange(32) * 12
+        penalty = mem.conflict_penalty(addresses)
+        assert penalty > 0
+
+    def test_disabled_model_never_conflicts(self):
+        mem = BankedMemory(1024, num_banks=16, model_conflicts=False)
+        addresses = np.arange(8) * 16
+        assert mem.conflict_penalty(addresses) == 0
+
+    def test_conflict_cycles_accumulate(self):
+        mem = BankedMemory(1024, num_banks=16)
+        mem.read(np.arange(8) * 16)
+        mem.write(np.arange(4) * 16, np.zeros(4))
+        assert mem.conflict_cycles == 7 + 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1,
+                    max_size=64))
+    def test_penalty_matches_bincount(self, addresses):
+        mem = BankedMemory(1024, num_banks=16)
+        distinct = np.unique(np.array(addresses))
+        worst = int(np.bincount(distinct % 16, minlength=16).max())
+        assert mem.conflict_penalty(np.array(addresses)) == worst - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1,
+                    max_size=64))
+    def test_penalty_bounded_by_distinct_count(self, addresses):
+        mem = BankedMemory(1024, num_banks=16)
+        penalty = mem.conflict_penalty(np.array(addresses))
+        assert 0 <= penalty < len(set(addresses)) or penalty == 0

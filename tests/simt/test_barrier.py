@@ -1,0 +1,141 @@
+"""Block-barrier (`bar`) instruction tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import AssemblerError, ExecutionError, SchedulingError
+from repro.isa import assemble
+from repro.simt import GPU, GlobalMemory, LaunchSpec
+
+# Two warps per block: each thread publishes to shared memory, waits at
+# the barrier, then reads the slot written by a thread of the *other*
+# warp. Correct results require real synchronization. Shared memory is
+# per-SM in the model, so the kernel partitions it by block base (as a
+# compiler would when allocating per-block shared arrays).
+EXCHANGE_KERNEL = """
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    rem r1, r0, 64;          # index within the block
+    sub r4, r0, r1;          # block base = block_id * 64
+    st.shared [r0+0], r0;
+    bar;
+    add r2, r1, 32;
+    rem r2, r2, 64;          # partner slot in the other warp
+    add r2, r2, r4;
+    ld.shared r3, [r2+0];
+    st.global [r0+0], r3;
+    exit;
+"""
+
+
+def run_exchange(num_threads=64, scheduling="block", **overrides):
+    program = assemble(EXCHANGE_KERNEL)
+    mem = GlobalMemory(256)
+    mem.set_result_range(0, num_threads, stride=1)
+    overrides.setdefault("max_cycles", 200_000)
+    config = scaled_config(1, scheduling=scheduling, **overrides)
+    launch = LaunchSpec(program=program, entry_kernel="main",
+                        num_threads=num_threads, registers_per_thread=8,
+                        block_size=64)
+    gpu = GPU(config, launch, mem)
+    stats = gpu.run()
+    return stats, mem
+
+
+class TestBarrierSemantics:
+    def test_cross_warp_exchange(self):
+        stats, mem = run_exchange()
+        expected = [(i + 32) % 64 for i in range(64)]
+        assert mem.words[:64].tolist() == expected
+
+    def test_multiple_blocks(self):
+        stats, mem = run_exchange(num_threads=192)
+        for block in range(3):
+            base = block * 64
+            got = mem.words[base:base + 64].tolist()
+            expected = [base + (i + 32) % 64 for i in range(64)]
+            assert got == expected
+
+    def test_warp_scheduling_rejected(self):
+        with pytest.raises(SchedulingError):
+            run_exchange(scheduling="warp")
+
+    def test_divergent_barrier_rejected(self):
+        program = assemble("""
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    setp.lt p0, r0, 16;
+    @p0 bra SIDE;
+    bar;
+    exit;
+SIDE:
+    bar;
+    exit;
+""")
+        mem = GlobalMemory(64)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=32, registers_per_thread=8,
+                            block_size=32)
+        gpu = GPU(scaled_config(1, scheduling="block", max_cycles=50_000),
+                  launch, mem)
+        with pytest.raises(ExecutionError):
+            gpu.run()
+
+    def test_single_warp_block_passes_through(self):
+        program = assemble("""
+.kernel main regs=4
+main:
+    bar;
+    mov r0, SREG.tid;
+    st.global [r0+0], 1;
+    exit;
+""")
+        mem = GlobalMemory(64)
+        mem.set_result_range(0, 32, stride=1)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=32, registers_per_thread=4,
+                            block_size=32)
+        gpu = GPU(scaled_config(1, scheduling="block", max_cycles=50_000),
+                  launch, mem)
+        stats = gpu.run()
+        assert stats.rays_completed == 32
+
+    def test_sibling_exit_releases_barrier(self):
+        # Warp 0 exits before the barrier; warp 1 must not deadlock.
+        program = assemble("""
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    setp.lt p0, r0, 32;
+    @p0 exit;
+    bar;
+    st.global [r0+0], 1;
+    exit;
+""")
+        mem = GlobalMemory(128)
+        mem.set_result_range(0, 128, stride=1)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=64, registers_per_thread=8,
+                            block_size=64)
+        gpu = GPU(scaled_config(1, scheduling="block", max_cycles=100_000),
+                  launch, mem)
+        stats = gpu.run()
+        assert stats.rays_completed == 32  # the surviving warp finished
+
+
+class TestBarrierParsing:
+    def test_assembles(self):
+        program = assemble(".kernel main regs=2\nmain:\n    bar;\n    exit;")
+        assert program[0].op == "bar"
+
+    def test_predicated_bar_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel main regs=2\nmain:\n    @p0 bar;\n    exit;")
+
+    def test_round_trips(self):
+        from repro.isa import disassemble
+        program = assemble(".kernel main regs=2\nmain:\n    bar;\n    exit;")
+        assert "bar;" in disassemble(program)

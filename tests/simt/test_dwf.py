@@ -1,0 +1,157 @@
+"""Dynamic warp formation baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import SchedulingError
+from repro.isa import assemble
+from repro.kernels.layout import build_memory_image
+from repro.kernels.traditional import traditional_program
+from repro.rt import trace_rays
+from repro.simt import GlobalMemory
+from repro.simt.dwf import DWFCore, run_dwf
+
+LOOP_KERNEL = """
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    ld.global r2, [r0+0];
+    mov r1, 0;
+LOOP:
+    add r1, r1, 1;
+    setp.lt p0, r1, r2;
+    @p0 bra LOOP;
+    add r3, r0, 128;
+    mul r4, r1, 10;
+    st.global [r3+0], r4;
+    exit;
+"""
+
+
+def run_loop(num_threads=64, **overrides):
+    program = assemble(LOOP_KERNEL)
+    mem = GlobalMemory(512)
+    trips = np.arange(1, num_threads + 1)
+    mem.load_array(0, trips.astype(float))
+    mem.set_result_range(128, num_threads, stride=1)
+    overrides.setdefault("max_cycles", 500_000)
+    config = scaled_config(1, **overrides)
+    result = run_dwf(config, program, "main", mem, np.zeros(1), num_threads)
+    return result, mem, trips
+
+
+class TestLoopKernel:
+    def test_results_correct(self):
+        result, mem, trips = run_loop()
+        assert np.array_equal(mem.words[128:192], trips * 10.0)
+        assert result.rays_completed == 64
+
+    def test_all_threads_retire(self):
+        result, _, _ = run_loop()
+        assert result.stats.threads_exited == 64
+
+    def test_divergence_recorded(self):
+        result, _, _ = run_loop()
+        assert result.divergence.totals().sum() > 0
+
+    def test_ipc_positive(self):
+        result, _, _ = run_loop()
+        assert result.ipc > 0
+        assert 0 < result.simt_efficiency <= 1.0
+
+    def test_max_cycles_respected(self):
+        result, _, _ = run_loop(max_cycles=100)
+        assert result.cycles <= 100
+        assert result.rays_completed < 64
+
+
+class TestRegrouping:
+    def test_dwf_beats_pdom_on_incoherent_loop(self):
+        """The Fung et al. claim: regrouping by PC recovers loop
+        divergence that PDOM serializes."""
+        from repro.simt import GPU, LaunchSpec
+        rng = np.random.default_rng(0)
+        trips = rng.integers(1, 40, size=256)
+        program = assemble(LOOP_KERNEL)
+
+        def fresh_memory():
+            mem = GlobalMemory(512)
+            mem.load_array(0, trips.astype(float))
+            mem.set_result_range(128, 256, stride=1)
+            return mem
+
+        config = scaled_config(1, max_cycles=500_000)
+        mem_dwf = fresh_memory()
+        dwf = run_dwf(config, program, "main", mem_dwf, np.zeros(1), 256)
+        mem_pdom = fresh_memory()
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=256, registers_per_thread=8,
+                            block_size=32)
+        gpu = GPU(config, launch, mem_pdom)
+        pdom = gpu.run()
+        assert np.array_equal(mem_dwf.words[128:384],
+                              mem_pdom.words[128:384])
+        assert dwf.cycles < pdom.cycles
+
+    def test_majority_pc_grouping(self):
+        program = assemble(LOOP_KERNEL)
+        mem = GlobalMemory(512)
+        mem.load_array(0, np.ones(64))
+        config = scaled_config(1)
+        from repro.isa.cfg import reconvergence_table
+        from repro.simt.banked import BankedMemory
+        from repro.simt.executor import MachineState
+        from repro.simt.memory import DRAM
+        machine = MachineState(program=program, global_mem=mem,
+                               const_mem=np.zeros(1),
+                               shared_mem=BankedMemory(64),
+                               spawn_mem=BankedMemory(64),
+                               reconv_table=reconvergence_table(program))
+        core = DWFCore(config, machine, DRAM(config.memory), entry_pc=0,
+                       num_regs=10, num_threads=64)
+        core.pcs[:40] = 3
+        core.pcs[40:] = 5
+        group = core._select_group(0)
+        assert group.size == 32
+        assert np.all(core.pcs[group] == 3)  # majority PC wins
+
+
+class TestErrors:
+    def test_zero_threads_raises(self):
+        program = assemble(LOOP_KERNEL)
+        config = scaled_config(1)
+        with pytest.raises(SchedulingError):
+            run_dwf(config, program, "main", GlobalMemory(512),
+                    np.zeros(1), 0)
+
+    def test_spawn_program_rejected(self):
+        source = """
+.kernel main regs=8 state=2
+.kernel child regs=8 state=2
+main:
+    mov r1, 0;
+    spawn $child, r1;
+    exit;
+child:
+    exit;
+"""
+        program = assemble(source)
+        config = scaled_config(1)
+        with pytest.raises(SchedulingError):
+            run_dwf(config, program, "main", GlobalMemory(64),
+                    np.zeros(1), 8)
+
+
+class TestRayTracing:
+    def test_matches_reference(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        image = build_memory_image(tiny_tree, origins, directions)
+        config = scaled_config(1, max_cycles=5_000_000)
+        result = run_dwf(config, traditional_program(), "trace",
+                         image.global_mem, image.const_mem,
+                         origins.shape[0])
+        assert result.rays_completed == origins.shape[0]
+        t, tri = image.results()
+        assert np.array_equal(tri, reference.triangle)

@@ -1,0 +1,104 @@
+"""MIMD-theoretical model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import paper_config, scaled_config
+from repro.simt import mimd_theoretical
+
+
+class TestMakespan:
+    def test_balanced_load(self):
+        config = scaled_config(1)  # 32 lanes
+        counts = np.full(64, 100)
+        result = mimd_theoretical(counts, config)
+        assert result.cycles == 200  # 6400 instrs / 32 lanes
+
+    def test_long_thread_dominates(self):
+        config = scaled_config(1)
+        counts = np.array([10_000] + [1] * 31)
+        result = mimd_theoretical(counts, config)
+        assert result.cycles == 10_000
+
+    def test_single_thread(self):
+        config = paper_config()
+        result = mimd_theoretical(np.array([123]), config)
+        assert result.cycles == 123
+        assert result.num_threads == 1
+
+    def test_ipc_bounded_by_lanes(self):
+        config = paper_config()
+        counts = np.random.default_rng(0).integers(1, 1000, size=5000)
+        result = mimd_theoretical(counts, config)
+        assert result.ipc <= result.lanes
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mimd_theoretical(np.array([]), paper_config())
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mimd_theoretical(np.array([5, -1]), paper_config())
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=200))
+    def test_bounds_hold(self, counts):
+        config = scaled_config(2)
+        counts = np.array(counts)
+        result = mimd_theoretical(counts, config)
+        lanes = config.num_sms * config.warp_size
+        assert result.cycles >= int(counts.max())
+        assert result.cycles >= -(-int(counts.sum()) // lanes)
+        # Within one quantum of the lower bound (the bound itself is used).
+        assert result.cycles == max(int(counts.max()),
+                                    -(-int(counts.sum()) // lanes))
+
+
+class TestRaysPerSecond:
+    def test_scaling(self):
+        config = scaled_config(1)
+        result = mimd_theoretical(np.full(32, 100), config)
+        base = result.rays_per_second(config)
+        scaled = result.rays_per_second(config, scale_to_sms=30)
+        assert scaled == pytest.approx(base * 30)
+
+    def test_zero_cycles_guard(self):
+        config = scaled_config(1)
+        result = mimd_theoretical(np.array([0]), config)
+        assert result.rays_per_second(config) == 0.0
+
+
+class TestAgainstSimulator:
+    def test_mimd_beats_pdom(self):
+        """MIMD theoretical must upper-bound the lockstep simulation."""
+        from repro.isa import assemble
+        from repro.simt import GPU, GlobalMemory, LaunchSpec
+        source = """
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    ld.global r2, [r0+0];
+    mov r1, 0;
+LOOP:
+    add r1, r1, 1;
+    setp.lt p0, r1, r2;
+    @p0 bra LOOP;
+    st.global [r0+64], r1;
+    exit;
+"""
+        program = assemble(source)
+        mem = GlobalMemory(256)
+        trips = np.arange(1, 65)
+        mem.load_array(0, trips.astype(float))
+        mem.set_result_range(64, 64, stride=1)
+        config = scaled_config(1, memory_ideal=True, max_cycles=500_000)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=64, registers_per_thread=8,
+                            block_size=64)
+        gpu = GPU(config, launch, mem)
+        stats = gpu.run()
+        counts = np.array([stats.thread_commits[t] for t in range(64)])
+        mimd = mimd_theoretical(counts, config)
+        assert mimd.cycles < stats.cycles

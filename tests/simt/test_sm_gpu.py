@@ -1,0 +1,230 @@
+"""SM + GPU integration tests: scheduling models, occupancy, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import ConfigError, SchedulingError
+from repro.isa import assemble
+from repro.simt import GPU, GlobalMemory, LaunchSpec
+
+LOOP_KERNEL = """
+.kernel main regs=8
+main:
+    mov r0, SREG.tid;
+    ld.global r2, [r0+0];
+    mov r1, 0;
+LOOP:
+    add r1, r1, 1;
+    setp.lt p0, r1, r2;
+    @p0 bra LOOP;
+    add r3, r0, 128;
+    mul r4, r1, 10;
+    st.global [r3+0], r4;
+    exit;
+"""
+
+SPAWN_KERNEL = """
+.kernel K0 regs=8 state=4
+.kernel K1 regs=8 state=4
+K0:
+    mov r6, SREG.spawnMemAddr;
+    mov r0, SREG.tid;
+    ld.global r2, [r0+0];
+    mov r1, 0;
+    st.spawn [r6+0], r1;
+    st.spawn [r6+1], r2;
+    st.spawn [r6+2], r0;
+    spawn $K1, r6;
+    exit;
+K1:
+    mov r6, SREG.spawnMemAddr;
+    ld.spawn r5, [r6+0];
+    mov r6, r5;
+    ld.spawn r1, [r6+0];
+    ld.spawn r2, [r6+1];
+    ld.spawn r0, [r6+2];
+    add r1, r1, 1;
+    setp.lt p0, r1, r2;
+    st.spawn [r6+0], r1;
+    @p0 spawn $K1, r6;
+    @p0 exit;
+    add r3, r0, 128;
+    mul r4, r1, 10;
+    st.global [r3+0], r4;
+    exit;
+"""
+
+
+def run_loop_kernel(num_threads=64, scheduling="warp", num_sms=1,
+                    trips=None, **config_overrides):
+    program = assemble(LOOP_KERNEL)
+    mem = GlobalMemory(512)
+    trips = np.arange(1, num_threads + 1) if trips is None else trips
+    mem.load_array(0, trips.astype(float))
+    mem.set_result_range(128, num_threads, stride=1)
+    config = scaled_config(num_sms, scheduling=scheduling,
+                           max_cycles=500_000, **config_overrides)
+    launch = LaunchSpec(program=program, entry_kernel="main",
+                        num_threads=num_threads, registers_per_thread=8,
+                        block_size=64)
+    gpu = GPU(config, launch, mem)
+    stats = gpu.run()
+    return gpu, stats, mem, trips
+
+
+class TestPDOMExecution:
+    def test_results_correct(self):
+        gpu, stats, mem, trips = run_loop_kernel()
+        assert np.array_equal(mem.words[128:192], trips * 10.0)
+
+    def test_all_rays_complete(self):
+        _, stats, _, _ = run_loop_kernel()
+        assert stats.rays_completed == 64
+
+    def test_partial_last_warp(self):
+        gpu, stats, mem, trips = run_loop_kernel(num_threads=40)
+        assert stats.rays_completed == 40
+        assert np.array_equal(mem.words[128:168], trips * 10.0)
+
+    def test_divergence_recorded(self):
+        _, stats, _, _ = run_loop_kernel()
+        totals = stats.divergence.totals()
+        assert totals.sum() > 0
+        assert totals[:-1].sum() > 0  # the ramp causes partial warps
+
+    def test_uniform_trips_stay_converged(self):
+        trips = np.full(64, 5)
+        _, stats, _, _ = run_loop_kernel(trips=trips)
+        totals = stats.divergence.totals()
+        # All issues should be full-warp (highest bucket only).
+        assert totals[:-1].sum() == 0
+        assert stats.simt_efficiency == 1.0
+
+    def test_multi_sm_distribution(self):
+        gpu, stats, mem, trips = run_loop_kernel(num_threads=256, num_sms=2)
+        assert stats.rays_completed == 256
+        launched = [sm.stats.threads_launched for sm in gpu.sms]
+        assert all(count > 0 for count in launched)
+
+    def test_ipc_positive_and_bounded(self):
+        _, stats, _, _ = run_loop_kernel()
+        assert 0 < stats.ipc <= stats.config.peak_ipc
+
+
+class TestSchedulingModels:
+    def test_block_scheduling_limits_residency(self):
+        program = assemble(LOOP_KERNEL)
+        config_block = scaled_config(1, scheduling="block")
+        config_warp = scaled_config(1, scheduling="warp")
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=2048, registers_per_thread=20,
+                            block_size=64)
+        mem = GlobalMemory(4096)
+        gpu_b = GPU(config_block, launch, mem)
+        gpu_w = GPU(config_warp, launch, GlobalMemory(4096))
+        # Block: 8 blocks x 2 warps; warp: register-limited (25 warps).
+        assert gpu_b.sms[0].max_warps == 16
+        assert gpu_w.sms[0].max_warps == 25
+
+    def test_zero_warps_raises(self):
+        program = assemble(LOOP_KERNEL)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=64, registers_per_thread=2000,
+                            block_size=64)
+        with pytest.raises(ConfigError):
+            GPU(scaled_config(1), launch, GlobalMemory(512))
+
+    def test_block_mode_completes(self):
+        _, stats, mem, trips = run_loop_kernel(scheduling="block")
+        assert stats.rays_completed == 64
+
+
+class TestSpawnExecution:
+    def run_spawn(self, num_threads=64, **overrides):
+        program = assemble(SPAWN_KERNEL)
+        mem = GlobalMemory(512)
+        trips = np.arange(1, num_threads + 1)
+        mem.load_array(0, trips.astype(float))
+        mem.set_result_range(128, num_threads, stride=1)
+        overrides.setdefault("max_cycles", 1_000_000)
+        config = scaled_config(1, spawn_enabled=True, **overrides)
+        launch = LaunchSpec(program=program, entry_kernel="K0",
+                            num_threads=num_threads, registers_per_thread=8,
+                            block_size=32, state_words=4)
+        gpu = GPU(config, launch, mem)
+        stats = gpu.run()
+        return gpu, stats, mem, trips
+
+    def test_results_correct(self):
+        _, stats, mem, trips = self.run_spawn()
+        assert np.array_equal(mem.words[128:192], trips * 10.0)
+        assert stats.rays_completed == 64
+
+    def test_spawn_counters(self):
+        _, stats, _, trips = self.run_spawn()
+        # Each K1 generation is one spawn: sum(trips) total.
+        assert stats.sm_stats.threads_spawned == int(trips.sum())
+
+    def test_bank_conflicts_slow_down(self):
+        _, fast, _, _ = self.run_spawn()
+        _, slow, _, _ = self.run_spawn(spawn_bank_conflicts=True)
+        assert slow.sm_stats.bank_conflict_cycles > 0
+        assert fast.sm_stats.bank_conflict_cycles == 0
+        assert slow.cycles >= fast.cycles
+
+    def test_spawn_without_hardware_raises(self):
+        program = assemble(SPAWN_KERNEL)
+        mem = GlobalMemory(512)
+        mem.load_array(0, np.ones(64))
+        launch = LaunchSpec(program=program, entry_kernel="K0",
+                            num_threads=64, registers_per_thread=8,
+                            block_size=32, state_words=4)
+        gpu = GPU(scaled_config(1, max_cycles=100_000), launch, mem)
+        with pytest.raises(SchedulingError):
+            gpu.run()
+
+    def test_spawn_config_without_targets_raises(self):
+        program = assemble(LOOP_KERNEL)
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=64, registers_per_thread=8,
+                            block_size=64, state_words=4)
+        with pytest.raises(ConfigError):
+            GPU(scaled_config(1, spawn_enabled=True), launch,
+                GlobalMemory(512))
+
+    def test_dynamic_warps_have_priority(self):
+        gpu, stats, _, _ = self.run_spawn(num_threads=96)
+        # Some dynamic warps must have been admitted before all launch
+        # warps (otherwise partial flush count explodes); check activity.
+        assert stats.sm_stats.full_warps_formed > 0
+        assert stats.rays_completed == 96
+
+    def test_max_cycles_caps_run(self):
+        gpu, stats, _, _ = self.run_spawn(max_cycles=500)
+        assert stats.cycles <= 500
+        assert stats.rays_completed < 64
+
+
+class TestRunStats:
+    def test_efficiency_in_unit_range(self):
+        _, stats, _, _ = run_loop_kernel()
+        assert 0.0 < stats.simt_efficiency <= 1.0
+
+    def test_rays_per_second_scaling(self):
+        _, stats, _, _ = run_loop_kernel()
+        base = stats.rays_per_second()
+        scaled = stats.rays_per_second(scale_to_sms=30)
+        assert scaled == pytest.approx(base * 30)
+
+    def test_thread_commits_collected(self):
+        _, stats, _, trips = run_loop_kernel()
+        assert len(stats.thread_commits) == 64
+        # Loop kernel: longer trips mean more committed instructions.
+        assert stats.thread_commits[63] > stats.thread_commits[0]
+
+    def test_dram_traffic_counted(self):
+        _, stats, _, _ = run_loop_kernel()
+        assert stats.dram_read_bytes > 0
+        assert stats.dram_write_bytes > 0
+        assert stats.dram_transactions > 0

@@ -1,0 +1,205 @@
+"""Spawn unit tests: LUT grouping, warp formation, flush, slot lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.isa.program import KernelInfo
+from repro.simt.banked import BankedMemory
+from repro.simt.spawn import SpawnUnit
+
+WARP = 8
+
+
+def make_unit(num_slots=32, state_words=4, kernels=None, regions=16):
+    kernels = kernels or [
+        KernelInfo("ka", entry_pc=10, registers=8, state_words=state_words),
+        KernelInfo("kb", entry_pc=50, registers=8, state_words=state_words),
+    ]
+    data_words = num_slots * state_words
+    formation_words = regions * WARP
+    mem = BankedMemory(data_words + formation_words, model_conflicts=False)
+    unit = SpawnUnit(mem, warp_size=WARP, data_base=0,
+                     num_data_slots=num_slots, state_words=state_words,
+                     formation_base=data_words,
+                     formation_words=formation_words, kernels=kernels)
+    return unit
+
+
+class TestDataSlots:
+    def test_allocate_returns_addresses(self):
+        unit = make_unit()
+        addresses = unit.allocate_data_slots(3)
+        assert addresses.tolist() == [0, 4, 8]
+        assert unit.free_slot_count == 29
+
+    def test_allocate_exhausted_returns_none(self):
+        unit = make_unit(num_slots=2)
+        assert unit.allocate_data_slots(3) is None
+        assert unit.free_slot_count == 2  # unchanged
+
+    def test_free_returns_slots(self):
+        unit = make_unit()
+        addresses = unit.allocate_data_slots(2)
+        unit.free_data_addresses(addresses)
+        assert unit.free_slot_count == 32
+
+    def test_double_free_raises(self):
+        unit = make_unit()
+        addresses = unit.allocate_data_slots(1)
+        unit.free_data_addresses(addresses)
+        with pytest.raises(SchedulingError):
+            unit.free_data_addresses(addresses)
+
+    def test_free_bad_address_raises(self):
+        unit = make_unit(num_slots=4)
+        with pytest.raises(SchedulingError):
+            unit.free_data_addresses(np.array([9999]))
+
+
+class TestWarpFormation:
+    def test_partial_warp_accumulates(self):
+        unit = make_unit()
+        unit.spawn("ka", np.array([100, 104, 108]))
+        assert unit.partial_thread_count == 3
+        assert not unit.has_full_warps
+
+    def test_full_warp_pushes_fifo(self):
+        unit = make_unit()
+        unit.spawn("ka", np.arange(WARP) * 4)
+        assert unit.has_full_warps
+        formed = unit.pop_full_warp()
+        assert formed.kernel_name == "ka"
+        assert formed.entry_pc == 10
+        assert formed.num_threads == WARP
+        assert formed.data_pointers.tolist() == (np.arange(WARP) * 4).tolist()
+        assert not formed.is_partial
+
+    def test_metadata_written_to_spawn_memory(self):
+        unit = make_unit()
+        unit.spawn("ka", np.array([44, 48]))
+        entry = unit.lut["ka"]
+        stored = unit.spawn_mem.words[entry.addresses]
+        assert stored.tolist() == [44, 48]
+
+    def test_overflow_splits_into_two_warps(self):
+        unit = make_unit()
+        unit.spawn("ka", np.arange(WARP + 3))
+        assert unit.has_full_warps
+        assert unit.partial_thread_count == 3
+        formed = unit.pop_full_warp()
+        assert formed.num_threads == WARP
+
+    def test_kernels_group_separately(self):
+        unit = make_unit()
+        unit.spawn("ka", np.array([1, 2]))
+        unit.spawn("kb", np.array([3]))
+        assert unit.lut["ka"].count == 2
+        assert unit.lut["kb"].count == 1
+
+    def test_unknown_kernel_raises(self):
+        unit = make_unit()
+        with pytest.raises(SchedulingError):
+            unit.spawn("ghost", np.array([1]))
+
+    def test_pop_empty_fifo_raises(self):
+        unit = make_unit()
+        with pytest.raises(SchedulingError):
+            unit.pop_full_warp()
+
+    def test_formation_addresses_sequential(self):
+        unit = make_unit()
+        unit.spawn("ka", np.arange(WARP))
+        formed = unit.pop_full_warp()
+        deltas = np.diff(formed.formation_addresses)
+        assert np.all(deltas == 1)
+
+    def test_counters(self):
+        unit = make_unit()
+        unit.spawn("ka", np.arange(WARP * 2))
+        assert unit.threads_spawned == WARP * 2
+        assert unit.full_warps_formed == 2
+
+
+class TestFlush:
+    def test_flush_lowest_pc_first(self):
+        unit = make_unit()
+        unit.spawn("kb", np.array([7]))
+        unit.spawn("ka", np.array([3, 4]))
+        flushed = unit.flush_partial_warp()
+        assert flushed.kernel_name == "ka"  # entry_pc 10 < 50
+        assert flushed.is_partial
+        assert flushed.num_threads == 2
+        second = unit.flush_partial_warp()
+        assert second.kernel_name == "kb"
+
+    def test_flush_empty_returns_none(self):
+        unit = make_unit()
+        assert unit.flush_partial_warp() is None
+
+    def test_flush_resets_entry(self):
+        unit = make_unit()
+        unit.spawn("ka", np.array([1]))
+        unit.flush_partial_warp()
+        assert unit.partial_thread_count == 0
+        assert unit.idle
+
+    def test_idle_accounts_fifo(self):
+        unit = make_unit()
+        assert unit.idle
+        unit.spawn("ka", np.arange(WARP))
+        assert not unit.idle
+        unit.pop_full_warp()
+        assert unit.idle
+
+
+class TestFormationRegions:
+    def test_regions_released_and_reused(self):
+        unit = make_unit(regions=8)
+        regions = []
+        for _ in range(4):
+            unit.spawn("ka", np.arange(WARP))
+            formed = unit.pop_full_warp()
+            regions.append(formed.region)
+            unit.release_region(formed.region)
+        assert len(regions) == 4
+
+    def test_exhaustion_raises(self):
+        unit = make_unit(regions=4)  # 4 regions; LUT holds 4 at init
+        with pytest.raises(SchedulingError):
+            for _ in range(4):
+                unit.spawn("ka", np.arange(WARP))  # never released
+
+    def test_double_release_raises(self):
+        unit = make_unit()
+        unit.spawn("ka", np.arange(WARP))
+        formed = unit.pop_full_warp()
+        unit.release_region(formed.region)
+        with pytest.raises(SchedulingError):
+            unit.release_region(formed.region)
+
+    def test_release_negative_is_noop(self):
+        unit = make_unit()
+        unit.release_region(-1)  # launch warps have no region
+
+    def test_distinct_live_regions(self):
+        unit = make_unit(regions=12)
+        live = []
+        for _ in range(3):
+            unit.spawn("ka", np.arange(WARP))
+            live.append(unit.pop_full_warp().region)
+        assert len(set(live)) == 3
+
+
+class TestConstructionValidation:
+    def test_zero_slots_raises(self):
+        with pytest.raises(SchedulingError):
+            make_unit(num_slots=0)
+
+    def test_tiny_formation_raises(self):
+        with pytest.raises(SchedulingError):
+            SpawnUnit(BankedMemory(16), warp_size=WARP, data_base=0,
+                      num_data_slots=2, state_words=2, formation_base=8,
+                      formation_words=4, kernels=[
+                          KernelInfo("k", entry_pc=0, registers=4,
+                                     state_words=2)])

@@ -1,0 +1,122 @@
+"""Stateful property tests: spawn-unit invariants under random operations.
+
+The spawn unit must conserve threads (every pointer handed to ``spawn``
+comes back exactly once through a formed or flushed warp), never reuse a
+live formation region, and keep slot accounting consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.program import KernelInfo
+from repro.simt.banked import BankedMemory
+from repro.simt.spawn import SpawnUnit
+
+WARP = 8
+
+
+def make_unit(regions=64, slots=128):
+    kernels = [
+        KernelInfo("ka", entry_pc=10, registers=8, state_words=4),
+        KernelInfo("kb", entry_pc=50, registers=8, state_words=4),
+        KernelInfo("kc", entry_pc=90, registers=8, state_words=4),
+    ]
+    data_words = slots * 4
+    formation_words = regions * WARP
+    mem = BankedMemory(data_words + formation_words, model_conflicts=False)
+    return SpawnUnit(mem, warp_size=WARP, data_base=0, num_data_slots=slots,
+                     state_words=4, formation_base=data_words,
+                     formation_words=formation_words, kernels=kernels)
+
+
+operation = st.one_of(
+    st.tuples(st.just("spawn"), st.sampled_from(["ka", "kb", "kc"]),
+              st.integers(1, WARP)),
+    st.tuples(st.just("pop")),
+    st.tuples(st.just("flush")),
+)
+
+
+class TestThreadConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(operation, min_size=1, max_size=60))
+    def test_every_pointer_comes_back_exactly_once(self, operations):
+        unit = make_unit()
+        next_pointer = 1000
+        sent: list[int] = []
+        received: list[int] = []
+        live_regions: set[int] = set()
+        for op in operations:
+            if op[0] == "spawn":
+                _, kernel, count = op
+                pointers = np.arange(next_pointer, next_pointer + count)
+                next_pointer += count
+                sent.extend(pointers.tolist())
+                unit.spawn(kernel, pointers)
+            elif op[0] == "pop" and unit.has_full_warps:
+                formed = unit.pop_full_warp()
+                received.extend(formed.data_pointers.tolist())
+                assert formed.region not in live_regions
+                live_regions.add(formed.region)
+                assert formed.num_threads == WARP
+            elif op[0] == "flush":
+                formed = unit.flush_partial_warp()
+                if formed is not None:
+                    received.extend(formed.data_pointers.tolist())
+                    assert formed.region not in live_regions
+                    live_regions.add(formed.region)
+                    assert 1 <= formed.num_threads <= WARP
+        # Drain: everything still queued must come back exactly once.
+        while unit.has_full_warps:
+            received.extend(unit.pop_full_warp().data_pointers.tolist())
+        while True:
+            formed = unit.flush_partial_warp()
+            if formed is None:
+                break
+            received.extend(formed.data_pointers.tolist())
+        assert sorted(received) == sorted(sent)
+        assert unit.idle
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 3 * WARP), min_size=1, max_size=20))
+    def test_full_warp_count_formula(self, batch_sizes):
+        unit = make_unit(regions=256)
+        total = 0
+        for size in batch_sizes:
+            unit.spawn("ka", np.arange(size))
+            total += size
+        assert unit.full_warps_formed == total // WARP
+        assert unit.partial_thread_count == total % WARP
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=20))
+    def test_slot_accounting_balances(self, counts):
+        unit = make_unit(slots=512)
+        allocated = []
+        for count in counts:
+            addresses = unit.allocate_data_slots(count)
+            assert addresses is not None
+            allocated.append(addresses)
+        used = sum(len(a) for a in allocated)
+        assert unit.free_slot_count == 512 - used
+        for addresses in allocated:
+            unit.free_data_addresses(addresses)
+        assert unit.free_slot_count == 512
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200))
+    def test_metadata_round_trip(self, count):
+        """Pointers written to formation memory read back correctly."""
+        unit = make_unit(regions=128)
+        pointers = np.arange(count) * 4
+        unit.spawn("kb", pointers)
+        collected = []
+        while unit.has_full_warps:
+            formed = unit.pop_full_warp()
+            stored = unit.spawn_mem.words[formed.formation_addresses]
+            assert np.array_equal(stored, formed.data_pointers)
+            collected.extend(formed.data_pointers.tolist())
+        flushed = unit.flush_partial_warp()
+        if flushed is not None:
+            collected.extend(flushed.data_pointers.tolist())
+        assert collected == pointers.tolist()

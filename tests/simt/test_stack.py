@@ -1,0 +1,144 @@
+"""Reconvergence (SIMT) stack unit tests, including the Figure 2 scenario."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.cfg import RECONV_AT_EXIT
+from repro.simt import ReconvergenceStack
+
+
+def mask(*lanes, size=8):
+    out = np.zeros(size, dtype=bool)
+    for lane in lanes:
+        out[lane] = True
+    return out
+
+
+class TestBasics:
+    def test_initial(self):
+        stack = ReconvergenceStack.initial(5, mask(0, 1, 2))
+        assert stack.top.pc == 5
+        assert stack.depth == 1
+        assert stack.active_mask().tolist() == mask(0, 1, 2).tolist()
+
+    def test_advance(self):
+        stack = ReconvergenceStack.initial(0, mask(0))
+        stack.advance(1)
+        assert stack.top.pc == 1
+
+    def test_empty_stack_top_raises(self):
+        stack = ReconvergenceStack(entries=[])
+        with pytest.raises(ExecutionError):
+            _ = stack.top
+
+    def test_empty_property(self):
+        stack = ReconvergenceStack.initial(0, mask())
+        assert stack.empty
+
+
+class TestDivergence:
+    def test_diverge_pushes_taken_on_top(self):
+        stack = ReconvergenceStack.initial(10, mask(0, 1, 2, 3))
+        stack.diverge(mask(0, 1), mask(2, 3), target_pc=20,
+                      fallthrough_pc=11, reconv_pc=30)
+        assert stack.depth == 3
+        assert stack.top.pc == 20
+        assert stack.top.mask.tolist() == mask(0, 1).tolist()
+
+    def test_reconvergence_restores_union(self):
+        stack = ReconvergenceStack.initial(10, mask(0, 1, 2, 3))
+        stack.diverge(mask(0, 1), mask(2, 3), 20, 11, 30)
+        stack.advance(30)   # taken path reaches reconvergence
+        assert stack.top.pc == 11
+        assert stack.top.mask.tolist() == mask(2, 3).tolist()
+        stack.advance(30)   # fallthrough path reaches reconvergence
+        assert stack.top.pc == 30
+        assert stack.top.mask.tolist() == mask(0, 1, 2, 3).tolist()
+        assert stack.depth == 1
+
+    def test_taken_path_at_reconv_point_merges_immediately(self):
+        # Branch whose target IS the reconvergence point: the taken lanes
+        # must wait, not execute the join early with a partial mask.
+        stack = ReconvergenceStack.initial(10, mask(0, 1, 2, 3))
+        stack.diverge(mask(0, 1), mask(2, 3), target_pc=30,
+                      fallthrough_pc=11, reconv_pc=30)
+        assert stack.top.pc == 11
+        assert stack.top.mask.tolist() == mask(2, 3).tolist()
+
+    def test_nested_divergence(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1, 2, 3))
+        stack.diverge(mask(0, 1), mask(2, 3), 10, 1, 50)
+        stack.diverge(mask(0), mask(1), 20, 11, 40)
+        assert stack.depth == 5
+        assert stack.top.mask.tolist() == mask(0).tolist()
+        stack.advance(40)
+        assert stack.top.mask.tolist() == mask(1).tolist()
+        stack.advance(40)
+        assert stack.top.mask.tolist() == mask(0, 1).tolist()
+        stack.advance(50)
+        assert stack.top.mask.tolist() == mask(2, 3).tolist()
+
+    def test_reconv_at_exit_replaces_union(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1))
+        stack.diverge(mask(0), mask(1), 10, 1, RECONV_AT_EXIT)
+        assert stack.depth == 2  # no union entry kept
+
+    def test_one_sided_masks(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1))
+        stack.diverge(mask(0, 1), mask(), 10, 1, 30)
+        assert stack.top.pc == 10
+        assert stack.top.mask.tolist() == mask(0, 1).tolist()
+
+
+class TestRetire:
+    def test_retire_from_all_entries(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1, 2, 3))
+        stack.diverge(mask(0, 1), mask(2, 3), 10, 1, 30)
+        stack.retire_lanes(mask(0, 2))
+        masks = [entry.mask.tolist() for entry in stack.entries]
+        assert masks[-1] == mask(1).tolist()
+        assert all(not entry.mask[0] and not entry.mask[2]
+                   for entry in stack.entries)
+
+    def test_retire_drops_empty_entries(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1, 2, 3))
+        stack.diverge(mask(0), mask(1, 2, 3), 10, 1, 30)
+        stack.retire_lanes(mask(0))
+        assert all(entry.mask.any() for entry in stack.entries)
+
+    def test_retire_everything_empties(self):
+        stack = ReconvergenceStack.initial(0, mask(0, 1))
+        stack.retire_lanes(mask(0, 1))
+        assert stack.empty
+
+
+class TestFigure2Scenario:
+    """Paper Figure 2: a data-dependent loop halves SP utilization.
+
+    Program: A; loop B (half the lanes run it twice); C. PDOM executes B's
+    second iteration with half the lanes idle, then reconverges at C.
+    """
+
+    def test_loop_divergence_efficiency(self):
+        lanes = 8
+        full = np.ones(lanes, dtype=bool)
+        stack = ReconvergenceStack.initial(0, full)   # A at pc 0
+        occupancy = []
+
+        def step(pc_next):
+            occupancy.append(int(stack.active_mask().sum()))
+            stack.advance(pc_next)
+
+        step(1)   # A executes, all 8 lanes
+        # B at pc 1, branch at pc 2: half the lanes loop back to 1.
+        occupancy.append(int(stack.active_mask().sum()))  # B, 8 lanes
+        loopers = mask(0, 1, 2, 3)
+        others = full & ~loopers
+        stack.diverge(loopers, others, target_pc=1, fallthrough_pc=3,
+                      reconv_pc=3)
+        occupancy.append(int(stack.active_mask().sum()))  # B again, 4 lanes
+        stack.advance(3)  # loopers reach reconvergence at C
+        occupancy.append(int(stack.active_mask().sum()))  # C, 8 lanes again
+        assert occupancy == [8, 8, 4, 8]
+        assert stack.depth == 1

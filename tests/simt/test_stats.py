@@ -1,0 +1,112 @@
+"""Statistics: W-bucket math, sampler, SMStats merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simt.stats import (
+    NUM_W_BUCKETS,
+    DivergenceSampler,
+    SMStats,
+    w_bucket,
+    w_labels,
+)
+
+
+class TestWBuckets:
+    def test_boundaries_for_32(self):
+        assert w_bucket(1) == 0
+        assert w_bucket(4) == 0
+        assert w_bucket(5) == 1
+        assert w_bucket(28) == 6
+        assert w_bucket(29) == 7
+        assert w_bucket(32) == 7
+
+    def test_zero_active_rejected(self):
+        with pytest.raises(ValueError):
+            w_bucket(0)
+
+    def test_labels_for_32(self):
+        labels = w_labels(32)
+        assert labels[0] == "W1:4"
+        assert labels[-1] == "W29:32"
+        assert len(labels) == NUM_W_BUCKETS
+
+    def test_labels_for_8(self):
+        labels = w_labels(8)
+        assert labels[0] == "W1:1"
+        assert labels[-1] == "W8:8"
+
+    @given(st.integers(min_value=1, max_value=32))
+    def test_bucket_in_range(self, active):
+        assert 0 <= w_bucket(active) < NUM_W_BUCKETS
+
+    @given(st.integers(min_value=1, max_value=31))
+    def test_bucket_monotone(self, active):
+        assert w_bucket(active) <= w_bucket(active + 1)
+
+
+class TestDivergenceSampler:
+    def test_issue_recording(self):
+        sampler = DivergenceSampler(window=100)
+        sampler.record_issue(0, 32)
+        sampler.record_issue(50, 3)
+        sampler.record_issue(150, 16)
+        totals = sampler.totals()
+        assert totals[7] == 1 and totals[0] == 1 and totals[3] == 1
+        assert len(sampler.issues) == 2
+
+    def test_idle_and_stall(self):
+        sampler = DivergenceSampler(window=10)
+        sampler.record_idle(5)
+        sampler.record_stall(5)
+        rows = sampler.fractions_over_time()
+        assert rows.shape == (1, NUM_W_BUCKETS + 2)
+        assert rows[0, -2] == 0.5  # idle
+        assert rows[0, -1] == 0.5  # stall
+
+    def test_fractions_rows_sum_to_one(self):
+        sampler = DivergenceSampler(window=10)
+        for cycle in range(30):
+            sampler.record_issue(cycle, (cycle % 32) + 1)
+        rows = sampler.fractions_over_time()
+        assert np.allclose(rows.sum(axis=1), 1.0)
+
+    def test_merge(self):
+        a = DivergenceSampler(window=10)
+        b = DivergenceSampler(window=10)
+        a.record_issue(0, 32)
+        b.record_issue(0, 32)
+        b.record_issue(15, 1)
+        a.merge(b)
+        assert a.totals()[7] == 2
+        assert a.totals()[0] == 1
+        assert len(a.issues) == 2
+
+    def test_mean_active_lanes(self):
+        sampler = DivergenceSampler(window=10)
+        for _ in range(10):
+            sampler.record_issue(0, 32)
+        assert sampler.mean_active_lanes() == pytest.approx(30.5)
+        empty = DivergenceSampler()
+        assert empty.mean_active_lanes() == 0.0
+
+    def test_empty_totals(self):
+        sampler = DivergenceSampler()
+        assert sampler.totals().sum() == 0
+        assert sampler.fractions_over_time().shape == (0, NUM_W_BUCKETS + 2)
+
+
+class TestSMStats:
+    def test_ipc(self):
+        stats = SMStats(cycles=100, committed_thread_instructions=3200)
+        assert stats.ipc() == 32.0
+        assert SMStats().ipc() == 0.0
+
+    def test_merge_sums_counters(self):
+        a = SMStats(cycles=100, issued_instructions=10, rays_completed=5)
+        b = SMStats(cycles=80, issued_instructions=7, rays_completed=3)
+        a.merge(b)
+        assert a.issued_instructions == 17
+        assert a.rays_completed == 8
+        assert a.cycles == 100  # max, not sum

@@ -1,0 +1,72 @@
+"""Uniform-spawn-to-branch optimization (paper §IX future work) tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.kernels.layout import build_memory_image
+from repro.kernels.microkernels import microkernel_launch_spec
+from repro.rt import trace_rays
+from repro.simt import GPU
+
+
+def run_spawn_mode(tree, origins, directions, *, uniform_spawn: bool):
+    image = build_memory_image(tree, origins, directions)
+    config = scaled_config(1, spawn_enabled=True, max_cycles=15_000_000,
+                           spawn_spawn_when_uniform=uniform_spawn)
+    launch = microkernel_launch_spec(origins.shape[0])
+    gpu = GPU(config, launch, image.global_mem, image.const_mem)
+    stats = gpu.run()
+    return stats, image
+
+
+class TestOptimization:
+    def test_results_identical_to_naive(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        reference = trace_rays(tiny_tree, origins, directions)
+        stats, image = run_spawn_mode(tiny_tree, origins, directions,
+                                      uniform_spawn=False)
+        assert stats.rays_completed == origins.shape[0]
+        t, tri = image.results()
+        assert np.array_equal(tri, reference.triangle)
+        mine = np.where(np.isinf(t), -1.0, t)
+        theirs = np.where(np.isinf(reference.t), -1.0, reference.t)
+        assert np.array_equal(mine, theirs)
+
+    def test_reduces_spawn_count(self, tiny_tree):
+        # Uniform trip counts keep warps full and uniform, so the
+        # optimization should convert many spawns into branches.
+        from repro.rt import Camera, make_scene
+        scene = make_scene("conference", detail=0.3)
+        from repro.rt import build_kdtree
+        tree = build_kdtree(scene.triangles, max_depth=11, leaf_size=8)
+        camera = Camera.for_scene(scene)
+        origins, directions = camera.primary_rays(16, 16)
+        naive, _ = run_spawn_mode(tree, origins, directions,
+                                  uniform_spawn=True)
+        opt, _ = run_spawn_mode(tree, origins, directions,
+                                uniform_spawn=False)
+        assert naive.sm_stats.uniform_spawn_branches == 0
+        assert opt.sm_stats.uniform_spawn_branches > 0
+        assert (opt.sm_stats.threads_spawned
+                < naive.sm_stats.threads_spawned)
+        assert opt.rays_completed == naive.rays_completed
+
+    def test_naive_mode_never_converts(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        stats, _ = run_spawn_mode(tiny_tree, origins, directions,
+                                  uniform_spawn=True)
+        assert stats.sm_stats.uniform_spawn_branches == 0
+
+    def test_onchip_traffic_reduced(self, tiny_tree, tiny_rays):
+        origins, directions = tiny_rays
+        naive, _ = run_spawn_mode(tiny_tree, origins, directions,
+                                  uniform_spawn=True)
+        opt, _ = run_spawn_mode(tiny_tree, origins, directions,
+                                uniform_spawn=False)
+        if opt.sm_stats.uniform_spawn_branches > 0:
+            naive_words = (naive.sm_stats.onchip_read_words
+                           + naive.sm_stats.onchip_write_words)
+            opt_words = (opt.sm_stats.onchip_read_words
+                         + opt.sm_stats.onchip_write_words)
+            assert opt_words <= naive_words

@@ -1,0 +1,67 @@
+"""Warp context tests."""
+
+import numpy as np
+import pytest
+
+from repro.simt.warp import FINISHED, Warp
+
+
+def launch(active_count=8, size=8, entry=10):
+    active = np.zeros(size, dtype=bool)
+    active[:active_count] = True
+    return Warp.launch(3, size, 16, entry, np.arange(size), active)
+
+
+class TestLaunch:
+    def test_initial_state(self):
+        warp = launch()
+        assert warp.pc == 10
+        assert warp.active_count == 8
+        assert warp.regs.shape == (16, 8)
+        assert not warp.done
+        assert warp.kernel_name == ""
+
+    def test_partial_active(self):
+        warp = launch(active_count=3)
+        assert warp.active_count == 3
+        assert warp.active_mask().tolist() == [True] * 3 + [False] * 5
+
+    def test_bad_tids_shape(self):
+        with pytest.raises(ValueError):
+            Warp(warp_id=0, warp_size=8, num_regs=4,
+                 tids=np.arange(4), active_at_launch=np.ones(8, dtype=bool))
+
+    def test_registers_zeroed(self):
+        warp = launch()
+        assert np.all(warp.regs == 0.0)
+        assert not warp.preds.any()
+        assert np.all(warp.data_slot_addr == -1)
+        assert not warp.spawned_flag.any()
+        assert np.all(warp.lane_commits == 0)
+
+
+class TestLifecycle:
+    def test_finish_if_empty(self):
+        warp = launch()
+        warp.stack.retire_lanes(np.ones(8, dtype=bool))
+        assert warp.finish_if_empty()
+        assert warp.status == FINISHED
+        assert warp.done
+        assert warp.active_count == 0
+
+    def test_finish_idempotent(self):
+        warp = launch()
+        warp.stack.retire_lanes(np.ones(8, dtype=bool))
+        assert warp.finish_if_empty()
+        assert not warp.finish_if_empty()  # already finished
+
+    def test_not_finished_with_lanes(self):
+        warp = launch()
+        assert not warp.finish_if_empty()
+
+    def test_dynamic_flag(self):
+        warp = Warp.launch(0, 8, 4, 0, np.arange(8), np.ones(8, dtype=bool),
+                           is_dynamic=True, kernel_name="uk_traverse")
+        assert warp.is_dynamic
+        assert warp.kernel_name == "uk_traverse"
+        assert warp.formation_region == -1

@@ -1,0 +1,62 @@
+"""CLI tests (tiny preset to keep them fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scene == "conference"
+        assert args.mode == "spawn"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "magic"])
+
+    def test_bad_scene_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--scene", "cornell"])
+
+
+class TestCommands:
+    def test_disasm_traditional(self, capsys):
+        assert main(["disasm", "traditional"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel trace" in out
+        assert "TRACE_DOWN:" in out
+
+    def test_disasm_microkernels(self, capsys):
+        assert main(["disasm", "microkernels"]) == 0
+        out = capsys.readouterr().out
+        assert "spawn $uk_traverse" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "--preset", "tiny",
+                     "--only", "table1,table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "--only", "fig99"]) == 2
+
+    def test_run_command(self, capsys):
+        code = main(["run", "--preset", "tiny", "--mode", "pdom_warp",
+                     "--divergence"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SIMT efficiency" in out
+        assert "W29:32" in out
+
+    def test_render_command(self, tmp_path, capsys):
+        out_file = tmp_path / "img.ppm"
+        code = main(["render", "--scene", "atrium", "--width", "8",
+                     "--height", "8", "--detail", "0.25",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert out_file.read_bytes().startswith(b"P6 8 8 255")

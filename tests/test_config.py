@@ -1,0 +1,122 @@
+"""Configuration (Table I) tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GPUConfig,
+    MemoryConfig,
+    SchedulingModel,
+    SpawnConfig,
+    paper_config,
+    scaled_config,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        config = paper_config()
+        rows = dict(config.table1_rows())
+        assert rows["Processor Cores"] == "30"
+        assert rows["Warp Size"] == "32"
+        assert rows["Stream Processors per Warp"] == "8"
+        assert rows["Threads / Processor Core"] == "1024"
+        assert rows["Thread Blocks / Processor Core"] == "8"
+        assert rows["Registers / Processor Core"] == "16384"
+        assert rows["On-chip Memory / Processor Core"] == "64 KB"
+        assert rows["Spawn LUT Size / Processor Core"] == "1024 Bytes"
+        assert rows["Memory Modules"] == "8"
+        assert rows["Bandwidth per Memory Module"] == "8 Bytes/Cycle"
+        assert rows["L1 and L2 Memory Caching"] == "None"
+
+    def test_peak_ipc(self):
+        assert paper_config().peak_ipc == 960
+
+    def test_warps_per_sm_limit(self):
+        assert paper_config().warps_per_sm_limit == 32
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_sms", 0), ("warp_size", 0), ("sps_per_sm", 0),
+        ("max_blocks_per_sm", 0), ("registers_per_sm", -1),
+        ("clock_ghz", 0.0), ("max_cycles", 0),
+    ])
+    def test_bad_values_raise(self, field, value):
+        with pytest.raises(ConfigError):
+            GPUConfig(**{field: value})
+
+    def test_warp_size_multiple_of_sps(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=30, sps_per_sm=8)
+
+    def test_threads_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_threads_per_sm=1000)
+
+    def test_unknown_scheduling(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(scheduling="fifo")
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(num_modules=0).validate()
+        with pytest.raises(ConfigError):
+            MemoryConfig(segment_bytes=30).validate()
+
+    def test_spawn_validation(self):
+        with pytest.raises(ConfigError):
+            SpawnConfig(lut_bytes=0).validate()
+        with pytest.raises(ConfigError):
+            SpawnConfig(num_banks=0).validate()
+
+
+class TestReplace:
+    def test_plain_field(self):
+        config = paper_config().replace(num_sms=4)
+        assert config.num_sms == 4
+        assert paper_config().num_sms == 30  # original untouched
+
+    def test_nested_memory_field(self):
+        config = paper_config().replace(memory_ideal=True,
+                                        memory_latency_cycles=10)
+        assert config.memory.ideal
+        assert config.memory.latency_cycles == 10
+
+    def test_nested_spawn_field(self):
+        config = paper_config().replace(spawn_enabled=True,
+                                        spawn_bank_conflicts=True)
+        assert config.spawn.enabled
+        assert config.spawn.bank_conflicts
+
+    def test_mixed(self):
+        config = paper_config().replace(num_sms=2, spawn_enabled=True,
+                                        memory_ideal=True)
+        assert (config.num_sms, config.spawn.enabled,
+                config.memory.ideal) == (2, True, True)
+
+
+class TestScaled:
+    def test_scaled_sm_count(self):
+        config = scaled_config(2)
+        assert config.num_sms == 2
+
+    def test_scaled_keeps_memory_partition(self):
+        config = scaled_config(1)
+        assert config.memory.num_modules == 8
+        assert config.memory.bandwidth_bytes_per_cycle == 8
+
+    def test_scaled_with_overrides(self):
+        config = scaled_config(1, scheduling=SchedulingModel.BLOCK)
+        assert config.scheduling == "block"
+
+    def test_bad_count_raises(self):
+        with pytest.raises(ConfigError):
+            scaled_config(0)
+
+    def test_frozen(self):
+        config = paper_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.num_sms = 5
