@@ -1,0 +1,64 @@
+"""Simulator throughput — cycles simulated per wall-clock second.
+
+Tracks the event-driven fast-forward + vectorized issue path (see
+docs/architecture.md, "Event-driven fast-forward"): the Figure 8
+rays-per-second workload is run in both clock modes and the bench emits
+cycles/s for each, so regressions in either the exact cycle loop or the
+fast-forward path show up in BENCH output. Correctness of the fast mode
+(bit-identical stats) is enforced separately by
+tests/simt/test_fastforward_differential.py; this bench only checks that
+fast mode is not slower than exact, since jumping idle spans can only
+remove work.
+
+The headline speedup of the change itself (measured against the
+pre-event-driven simulator on this workload: >= 3x cycles/s across the
+Figure 8 modes) is recorded in CHANGES.md; it cannot be re-measured here
+because the old cycle loop no longer exists in the tree.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.harness.runner import run_mode
+
+#: The Figure 8 modes (traditional block/warp scheduling + dynamic
+#: µ-kernels) on the conference scene — the paper's headline workload.
+MODES = ("pdom_block", "pdom_warp", "spawn")
+SCENE = "conference"
+
+
+def _time_mode(mode: str, workload, fast_forward: bool):
+    start = time.perf_counter()
+    result = run_mode(mode, workload, fast_forward=fast_forward)
+    elapsed = time.perf_counter() - start
+    return result.stats.cycles / elapsed, result
+
+
+def _run_all(workloads):
+    workload = workloads(SCENE)
+    rows = []
+    for mode in MODES:
+        fast_rate, fast_result = _time_mode(mode, workload, True)
+        exact_rate, exact_result = _time_mode(mode, workload, False)
+        assert fast_result.stats.cycles == exact_result.stats.cycles
+        rows.append({
+            "mode": mode,
+            "cycles": fast_result.stats.cycles,
+            "fast_cyc_per_s": round(fast_rate),
+            "exact_cyc_per_s": round(exact_rate),
+            "fast_vs_exact": round(fast_rate / exact_rate, 2),
+        })
+    return rows
+
+
+def bench_simulator_speed(benchmark, workloads, report):
+    rows = benchmark.pedantic(_run_all, args=(workloads,),
+                              rounds=1, iterations=1)
+    report(format_table(
+        rows, title="Simulator speed — cycles simulated per wall second"))
+    for row in rows:
+        assert row["fast_cyc_per_s"] > 0
+        # Fast-forward only skips work; allow generous timing noise.
+        assert row["fast_vs_exact"] > 0.7, row

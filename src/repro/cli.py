@@ -4,8 +4,9 @@ Commands:
 
 - ``experiments [--preset P] [--only table1,fig8,...]`` — regenerate the
   paper's tables and figures,
-- ``run --scene S --mode M [--preset P] [--rays shadow]`` — one simulation
-  with full metrics,
+- ``run --scene S --mode M [--preset P] [--rays shadow] [--fast|--exact]``
+  — one simulation with full metrics (``--fast``, the default, uses the
+  event-driven clock; ``--exact`` ticks every cycle),
 - ``render --scene S [--width W --height H] [--out f.ppm]`` — reference
   render of a benchmark scene,
 - ``disasm {traditional|microkernels}`` — print a benchmark kernel's
@@ -60,9 +61,10 @@ def _cmd_experiments(args) -> int:
 def _cmd_run(args) -> int:
     preset = get_preset(args.preset)
     workload = prepare_workload(args.scene, preset, ray_kind=args.rays)
-    result = run_mode(args.mode, workload)
+    result = run_mode(args.mode, workload, fast_forward=args.fast_forward)
+    clock = "fast" if args.fast_forward else "exact"
     print(f"scene={args.scene} rays={args.rays} mode={args.mode} "
-          f"preset={preset.name}")
+          f"preset={preset.name} clock={clock}")
     print(f"  cycles             {result.stats.cycles}")
     print(f"  IPC                {result.ipc:.2f}")
     print(f"  SIMT efficiency    {result.simt_efficiency:.3f}")
@@ -132,7 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("primary", "shadow", "reflection", "gi"))
     p_run.add_argument("--divergence", action="store_true",
                        help="print the warp-occupancy breakdown")
-    p_run.set_defaults(func=_cmd_run)
+    clock = p_run.add_mutually_exclusive_group()
+    clock.add_argument("--fast", dest="fast_forward", action="store_true",
+                       help="event-driven clock: skip idle cycles (default)")
+    clock.add_argument("--exact", dest="fast_forward", action="store_false",
+                       help="tick every cycle (reference mode; statistics "
+                            "are identical to --fast)")
+    p_run.set_defaults(func=_cmd_run, fast_forward=True)
 
     p_render = sub.add_parser("render", help="reference-render a scene")
     p_render.add_argument("--scene", default="conference",

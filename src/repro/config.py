@@ -116,6 +116,14 @@ class GPUConfig:
     max_cycles: int = 300_000
     divergence_sample_interval: int = 1
     """Issue-granularity sampling interval for divergence breakdowns."""
+    fast_forward: bool = True
+    """Event-driven clock advance: when no SM can issue, jump straight to
+    the next event time (earliest warp ``ready_at``, memory completion, or
+    stall expiry) instead of ticking idle cycles one by one. The skipped
+    span is credited to the idle/stall counters exactly as the cycle-by-
+    cycle loop would, so all reported statistics are bit-identical to
+    ``fast_forward=False`` (the *exact* mode); the differential test suite
+    enforces this equivalence for every execution model."""
 
     def __post_init__(self) -> None:
         self.validate()

@@ -137,11 +137,18 @@ def prepare_workload(scene_name: str, preset: SimPreset,
                     reference=reference, preset=preset)
 
 
-def config_for_mode(mode: str, preset: SimPreset) -> GPUConfig:
-    """The machine configuration for one mode at one preset scale."""
+def config_for_mode(mode: str, preset: SimPreset,
+                    fast_forward: bool | None = None) -> GPUConfig:
+    """The machine configuration for one mode at one preset scale.
+
+    ``fast_forward`` overrides the event-driven clock toggle; None keeps
+    the :class:`GPUConfig` default (fast).
+    """
     if mode not in MODES:
         raise ConfigError(f"unknown mode {mode!r}; expected one of {MODES}")
     overrides: dict = {"max_cycles": preset.max_cycles}
+    if fast_forward is not None:
+        overrides["fast_forward"] = fast_forward
     if mode == "pdom_block":
         overrides["scheduling"] = SchedulingModel.BLOCK
     else:
@@ -161,10 +168,11 @@ def launch_for_mode(mode: str, num_rays: int):
 
 
 def run_mode(mode: str, workload: Workload,
-             max_cycles: int | None = None) -> RunResult:
+             max_cycles: int | None = None,
+             fast_forward: bool | None = None) -> RunResult:
     """Simulate one mode on a prepared workload."""
     preset = workload.preset
-    config = config_for_mode(mode, preset)
+    config = config_for_mode(mode, preset, fast_forward=fast_forward)
     image = build_memory_image(workload.tree, workload.origins,
                                workload.directions, workload.t_max)
     launch = launch_for_mode(mode, workload.num_rays)

@@ -54,7 +54,7 @@ class BankedMemory:
         as on real hardware); otherwise it replays once per extra distinct
         address on the worst bank.
         """
-        if not self.model_conflicts or addresses.size == 0:
+        if not self.model_conflicts or addresses.size <= 1:
             return 0
         addresses = np.asarray(addresses, dtype=np.int64)
         distinct = np.unique(addresses)

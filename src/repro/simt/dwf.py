@@ -93,6 +93,26 @@ class DWFCore:
     def done(self) -> bool:
         return not bool(self.alive.any())
 
+    def next_event_time(self, now: int) -> int | None:
+        """Earliest cycle >= ``now`` a thread becomes ready (fast-forward).
+
+        Every alive thread's wake-up is its ``ready_at`` (set at issue
+        time from ALU/memory latency); DWF has no stalls, barriers, or
+        admission queues, so nothing else can change core state.
+        """
+        if self.done:
+            return None
+        earliest = int(self.ready_at[self.alive].min())
+        return max(earliest, now)
+
+    def credit_skipped(self, start: int, stop: int) -> None:
+        """Credit the fast-forwarded span [start, stop) as idle cycles."""
+        if stop <= start or self.done:
+            return
+        self.stats.cycles += stop - start
+        self.stats.idle_cycles += stop - start
+        self.divergence.record_idle_span(start, stop)
+
     def _select_group(self, cycle: int) -> np.ndarray | None:
         """Majority-PC policy: the ready PC with the most threads wins."""
         ready = self.alive & (self.ready_at <= cycle)
@@ -184,11 +204,18 @@ def run_dwf(config: GPUConfig, program, entry_kernel: str,
                    num_regs=num_regs, num_threads=num_threads,
                    divergence_window=divergence_window)
     budget = max_cycles if max_cycles is not None else config.max_cycles
+    fast = config.fast_forward
     cycle = 0
     with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
         while cycle < budget and not core.done:
-            core.step(cycle)
+            progressed = core.step(cycle)
             cycle += 1
+            if fast and not progressed and cycle < budget and not core.done:
+                target = core.next_event_time(cycle)
+                target = budget if target is None else min(target, budget)
+                if target > cycle:
+                    core.credit_skipped(cycle, target)
+                    cycle = target
     core.stats.dram_read_bytes = dram.read_bytes
     core.stats.dram_write_bytes = dram.write_bytes
     result = DWFResult(cycles=cycle, stats=core.stats,

@@ -5,6 +5,15 @@ masked numpy operations, updates the SIMT stack for control flow, and
 returns an :class:`IssueResult` describing the timing-relevant side effects
 (memory addresses to coalesce, bank-conflict penalties, spawn requests,
 lane exits) that the SM turns into latency.
+
+Decode happens once per static instruction, not once per issue: the first
+time a PC is executed the instruction is *compiled* into a closure (a
+"plan") that has already resolved the opcode dispatch, operand fetchers,
+guard predicate, and reconvergence metadata. Plans are cached on the
+:class:`MachineState` (indexed by PC) so the per-issue cost is just the
+closure call plus the numpy work itself. Immediate operands are served
+from a process-wide read-only array cache keyed by (type, value, width) —
+warp widths vary because DWF builds transient issue groups.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import numpy as np
 
 from repro.errors import ExecutionError
 from repro.isa.instructions import Instruction
-from repro.simt.warp import Warp
+from repro.simt.warp import FINISHED, Warp
 
 #: IssueResult.kind values.
 ALU = "alu"
@@ -25,8 +34,11 @@ SPAWN = "spawn"
 CONTROL = "control"
 BARRIER = "barrier"
 
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_I64.setflags(write=False)
 
-@dataclass
+
+@dataclass(slots=True)
 class SpawnRequest:
     """Active lanes asking to create children for one µ-kernel."""
 
@@ -35,7 +47,7 @@ class SpawnRequest:
     pointers: np.ndarray  # spawn-memory pointers, one per spawning lane
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueResult:
     """Timing-relevant outcome of issuing one warp instruction."""
 
@@ -51,13 +63,20 @@ class IssueResult:
     warp_finished: bool = False
     onchip_words: int = 0
     freed_data_addresses: np.ndarray = field(
-        default_factory=lambda: np.zeros(0, dtype=np.int64))
+        default_factory=lambda: _EMPTY_I64)
     """Spawn-memory thread-data slots released by exiting thread chains
     (threads that exit without having spawned a child; paper §IV-A1)."""
+    simple: bool = False
+    """True for the shared cached ALU/CONTROL results: the only effect on
+    the SM is ``ready_at = cycle + alu_latency`` (no exits, completions,
+    freed slots, stalls, or retirement), letting the issue path skip the
+    side-effect bookkeeping entirely."""
 
 
 class MachineState:
-    """Functional state an executor needs: memories + program metadata."""
+    """Functional state an executor needs: memories + program metadata.
+
+    Also owns the per-PC compiled plan cache (see module docstring)."""
 
     def __init__(self, program, global_mem, const_mem, shared_mem, spawn_mem,
                  reconv_table):
@@ -67,66 +86,98 @@ class MachineState:
         self.shared_mem = shared_mem
         self.spawn_mem = spawn_mem
         self.reconv_table = reconv_table
+        self.plans: list = [None] * len(program)
+
+    def plan_for(self, pc: int):
+        plan = _compile(self.program[pc], self)
+        self.plans[pc] = plan
+        return plan
 
 
 def _int64(values: np.ndarray) -> np.ndarray:
     return values.astype(np.int64)
 
 
+def _op_div(a, b):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return a / b
+
+
+def _op_rem(a, b):
+    ib = _int64(b)
+    safe = np.where(ib == 0, 1, ib)
+    return np.where(ib == 0, 0, _int64(a) % safe).astype(np.float64)
+
+
+def _op_and(a, b):
+    return (_int64(a) & _int64(b)).astype(np.float64)
+
+
+def _op_or(a, b):
+    return (_int64(a) | _int64(b)).astype(np.float64)
+
+
+def _op_xor(a, b):
+    return (_int64(a) ^ _int64(b)).astype(np.float64)
+
+
+def _op_shl(a, b):
+    return (_int64(a) << _int64(b)).astype(np.float64)
+
+
+def _op_shr(a, b):
+    return (_int64(a) >> _int64(b)).astype(np.float64)
+
+
+_BINARY_OPS = {
+    "add": np.add, "sub": np.subtract, "mul": np.multiply, "div": _op_div,
+    "min": np.minimum, "max": np.maximum, "rem": _op_rem, "and": _op_and,
+    "or": _op_or, "xor": _op_xor, "shl": _op_shl, "shr": _op_shr,
+}
+
+
+def _op_mov(a):
+    return a
+
+
+def _op_not(a):
+    return (~_int64(a)).astype(np.float64)
+
+
+def _op_rcp(a):
+    with np.errstate(divide="ignore"):
+        return 1.0 / a
+
+
+def _op_sqrt(a):
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(a)
+
+
+def _op_rsqrt(a):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return 1.0 / np.sqrt(a)
+
+
+_UNARY_OPS = {
+    "mov": _op_mov, "neg": np.negative, "abs": np.abs, "not": _op_not,
+    "rcp": _op_rcp, "sqrt": _op_sqrt, "rsqrt": _op_rsqrt, "floor": np.floor,
+    "cvt": np.trunc,
+}
+
+
 def _binary_op(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if op == "add":
-        return a + b
-    if op == "sub":
-        return a - b
-    if op == "mul":
-        return a * b
-    if op == "div":
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return a / b
-    if op == "min":
-        return np.minimum(a, b)
-    if op == "max":
-        return np.maximum(a, b)
-    if op == "rem":
-        ib = _int64(b)
-        safe = np.where(ib == 0, 1, ib)
-        return np.where(ib == 0, 0, _int64(a) % safe).astype(np.float64)
-    if op == "and":
-        return (_int64(a) & _int64(b)).astype(np.float64)
-    if op == "or":
-        return (_int64(a) | _int64(b)).astype(np.float64)
-    if op == "xor":
-        return (_int64(a) ^ _int64(b)).astype(np.float64)
-    if op == "shl":
-        return (_int64(a) << _int64(b)).astype(np.float64)
-    if op == "shr":
-        return (_int64(a) >> _int64(b)).astype(np.float64)
-    raise ExecutionError(f"unhandled binary op {op!r}")
+    fn = _BINARY_OPS.get(op)
+    if fn is None:
+        raise ExecutionError(f"unhandled binary op {op!r}")
+    return fn(a, b)
 
 
 def _unary_op(op: str, a: np.ndarray) -> np.ndarray:
-    if op == "mov":
-        return a
-    if op == "neg":
-        return -a
-    if op == "abs":
-        return np.abs(a)
-    if op == "not":
-        return (~_int64(a)).astype(np.float64)
-    if op == "rcp":
-        with np.errstate(divide="ignore"):
-            return 1.0 / a
-    if op == "sqrt":
-        with np.errstate(invalid="ignore"):
-            return np.sqrt(a)
-    if op == "rsqrt":
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return 1.0 / np.sqrt(a)
-    if op == "floor":
-        return np.floor(a)
-    if op == "cvt":
-        return np.trunc(a)
-    raise ExecutionError(f"unhandled unary op {op!r}")
+    fn = _UNARY_OPS.get(op)
+    if fn is None:
+        raise ExecutionError(f"unhandled unary op {op!r}")
+    return fn(a)
 
 
 _COMPARES = {
@@ -134,165 +185,584 @@ _COMPARES = {
     "ge": np.greater_equal, "eq": np.equal, "ne": np.not_equal,
 }
 
+#: Read-only replicated immediates keyed by (type, value, width); typed so
+#: ``np.full(n, 1)`` (int64) and ``np.full(n, 1.0)`` (float64) stay distinct.
+_IMM_CACHE: dict = {}
 
-def _fetch(warp: Warp, operand) -> np.ndarray:
+
+def _imm_array(value, size: int) -> np.ndarray:
+    key = (type(value), value, size)
+    arr = _IMM_CACHE.get(key)
+    if arr is None:
+        arr = np.full(size, value)
+        arr.setflags(write=False)
+        _IMM_CACHE[key] = arr
+    return arr
+
+
+def _replicated_fetch(value):
+    """Per-plan inline cache of a replicated constant; keyed only on the
+    warp width (constant for a GPU run, variable for DWF issue groups)."""
+    last_size = -1
+    last_arr = None
+
+    def fetch(warp: Warp) -> np.ndarray:
+        nonlocal last_size, last_arr
+        size = warp.warp_size
+        if size != last_size:
+            last_arr = np.full(size, value)
+            last_arr.setflags(write=False)
+            last_size = size
+        return last_arr
+    return fetch
+
+
+def _compile_fetch(operand):
+    """Resolve an operand into a ``fetch(warp) -> ndarray`` closure."""
     kind = operand.kind
     if kind == "r":
-        return warp.regs[operand.value]
+        index = operand.value
+        return lambda warp: warp.reg_rows[index]
     if kind == "imm":
-        return np.full(warp.warp_size, operand.value)
+        return _replicated_fetch(operand.value)
     if kind == "p":
-        return warp.preds[operand.value].astype(np.float64)
+        index = operand.value
+        return lambda warp: warp.pred_rows[index].astype(np.float64)
     if kind == "sreg":
         name = operand.value
         if name == "tid":
-            return warp.tids.astype(np.float64)
+            return lambda warp: warp.tids.astype(np.float64)
         if name == "spawnMemAddr":
-            return warp.spawn_addr.astype(np.float64)
+            return lambda warp: warp.spawn_addr.astype(np.float64)
         if name == "warpid":
-            return np.full(warp.warp_size, float(warp.warp_id))
+            return lambda warp: _imm_array(float(warp.warp_id),
+                                           warp.warp_size)
         if name == "ntid":
-            return np.full(warp.warp_size, float(warp.warp_size))
+            return lambda warp: _imm_array(float(warp.warp_size),
+                                           warp.warp_size)
         if name == "smid":
-            return np.zeros(warp.warp_size)
+            return _replicated_fetch(0.0)
     raise ExecutionError(f"cannot fetch operand {operand!r}")
 
 
-def _guard_mask(warp: Warp, inst: Instruction, active: np.ndarray) -> np.ndarray:
+def _fetch(warp: Warp, operand) -> np.ndarray:
+    """Uncompiled operand fetch (kept for direct use in tests)."""
+    return _compile_fetch(operand)(warp)
+
+
+class _ResultCache(dict):
+    """Shared immutable IssueResults keyed by active count, filled on first
+    miss. An ALU or control result depends only on the count, so plans index
+    these dicts directly (``_ALU_RESULTS[count]``) with no helper call.
+    Treat cached instances as frozen — the SM only ever reads them."""
+
+    def __init__(self, kind: str):
+        super().__init__()
+        self._kind = kind
+
+    def __missing__(self, count: int) -> IssueResult:
+        result = self[count] = IssueResult(kind=self._kind, active=count,
+                                           simple=True)
+        return result
+
+
+_ALU_RESULTS = _ResultCache(ALU)
+_CONTROL_RESULTS = _ResultCache(CONTROL)
+
+
+def _compile_guard(inst: Instruction):
+    """Guard-predicate closure, or None when the instruction is unguarded
+    (callers then use the active mask directly, saving an allocation)."""
     if inst.pred is None:
-        return active
-    guard = warp.preds[inst.pred.value]
+        return None
+    index = inst.pred.value
     if inst.pred_neg:
-        guard = ~guard
-    return active & guard
+        return lambda warp, active: active & ~warp.pred_rows[index]
+    return lambda warp, active: active & warp.pred_rows[index]
 
 
 def execute(warp: Warp, machine: MachineState) -> IssueResult:
     """Execute the instruction at the warp's PC; returns its IssueResult."""
-    pc = warp.pc
-    if not 0 <= pc < len(machine.program):
+    entries = warp.stack.entries
+    if not entries:
+        raise ExecutionError("reconvergence stack underflow")
+    top = entries[-1]
+    pc = top.pc
+    plans = machine.plans
+    if not 0 <= pc < len(plans):
         raise ExecutionError("PC outside program", pc=pc)
-    inst = machine.program[pc]
-    active = warp.active_mask()
-    active_count = int(active.sum())
-    if active_count == 0:
+    if warp.status == FINISHED or top.count == 0:
         raise ExecutionError("issued a warp with no active lanes", pc=pc)
-    mask = _guard_mask(warp, inst, active)
     warp.issued_instructions += 1
-    warp.lane_commits += active
-    op = inst.op
+    # Batched per-lane commit accounting: consecutive issues under the
+    # same mask object fold into one count (see Warp.lane_commits).
+    mask = top.mask
+    if mask is warp._commit_mask:
+        warp._commit_count += 1
+    else:
+        warp.flush_commits()
+        warp._commit_mask = mask
+        warp._commit_count = 1
+    plan = plans[pc]
+    if plan is None:
+        plan = machine.plan_for(pc)
+    return plan(warp, top)
 
+
+# -- plan compilation ---------------------------------------------------------
+
+
+def _compile(inst: Instruction, machine: MachineState):
+    """Build the issue closure for one static instruction."""
+    op = inst.op
     if op == "bra":
-        return _execute_branch(warp, machine, inst, active, mask, active_count)
+        return _compile_branch(inst, machine)
     if op == "exit":
-        return _execute_exit(warp, inst, active, mask, active_count)
+        return _compile_exit(inst)
     if op in ("ld", "st"):
-        result = _execute_memory(warp, machine, inst, mask, active_count)
-        warp.stack.advance(pc + 1)
-        return result
+        return _compile_memory(inst, machine)
     if op == "atom":
-        result = _execute_atomic(warp, machine, inst, mask, active_count)
-        warp.stack.advance(pc + 1)
-        return result
+        return _compile_atomic(inst, machine)
     if op == "bar":
+        return _compile_bar(inst)
+    if op == "spawn":
+        return _compile_spawn(inst, machine)
+    return _compile_alu(inst)
+
+
+def _compile_alu(inst: Instruction):
+    op = inst.op
+    next_pc = inst.pc + 1
+    guard = _compile_guard(inst)
+
+    if op == "nop":
+        def plan(warp: Warp, top) -> IssueResult:
+            top.pc = next_pc
+            if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                warp.stack._pop_reconverged()
+            return _ALU_RESULTS[top.count]
+        return plan
+
+    if op == "setp":
+        fetch_a = _compile_fetch(inst.srcs[0])
+        fetch_b = _compile_fetch(inst.srcs[1])
+        compare = _COMPARES[inst.cmp]
+        dst = inst.dst.value
+
+        # Comparison ufuncs write the predicate row in place; masked-out
+        # lanes keep their previous value, matching dest[mask] = res[mask].
+        # A fully-populated unguarded warp skips the where= machinery:
+        # writing every lane is identical and measurably cheaper. NaN
+        # comparisons are quiet because both run loops (GPU and DWF)
+        # execute plans under a blanket np.errstate(invalid="ignore").
+        def plan(warp: Warp, top) -> IssueResult:
+            count = top.count
+            if guard is None:
+                if count == warp.warp_size:
+                    compare(fetch_a(warp), fetch_b(warp),
+                            out=warp.pred_rows[dst])
+                else:
+                    compare(fetch_a(warp), fetch_b(warp),
+                            out=warp.pred_rows[dst], where=top.mask)
+            else:
+                compare(fetch_a(warp), fetch_b(warp),
+                        out=warp.pred_rows[dst],
+                        where=guard(warp, top.mask))
+            top.pc = next_pc
+            if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                warp.stack._pop_reconverged()
+            return _ALU_RESULTS[count]
+        return plan
+
+    if op == "selp":
+        fetch_a = _compile_fetch(inst.srcs[0])
+        fetch_b = _compile_fetch(inst.srcs[1])
+        chooser = inst.srcs[2].value
+
+        # Fused select: copy the not-taken value then overwrite the taken
+        # lanes, skipping np.where's temporary. Requires that the first
+        # source does not alias the destination (it is read second).
+        if (inst.dst.kind != "p"
+                and not (inst.srcs[0].kind == "r"
+                         and inst.srcs[0].value == inst.dst.value)):
+            dst = inst.dst.value
+
+            def plan(warp: Warp, top) -> IssueResult:
+                count = top.count
+                dest = warp.reg_rows[dst]
+                pred = warp.pred_rows[chooser]
+                if guard is None and count == warp.warp_size:
+                    np.copyto(dest, fetch_b(warp))
+                    np.copyto(dest, fetch_a(warp), where=pred)
+                else:
+                    mask = (top.mask if guard is None
+                            else guard(warp, top.mask))
+                    np.copyto(dest,
+                              np.where(pred, fetch_a(warp), fetch_b(warp)),
+                              where=mask)
+                top.pc = next_pc
+                if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                    warp.stack._pop_reconverged()
+                return _ALU_RESULTS[count]
+            return plan
+
+        def compute(warp: Warp) -> np.ndarray:
+            return np.where(warp.pred_rows[chooser], fetch_a(warp),
+                            fetch_b(warp))
+    elif op == "mad":
+        fetch_a = _compile_fetch(inst.srcs[0])
+        fetch_b = _compile_fetch(inst.srcs[1])
+        fetch_c = _compile_fetch(inst.srcs[2])
+        dst = inst.dst.value
+        if inst.dst.kind != "p":
+            def plan(warp: Warp, top) -> IssueResult:
+                count = top.count
+                if guard is None:
+                    if count == warp.warp_size:
+                        np.add(fetch_a(warp) * fetch_b(warp), fetch_c(warp),
+                               out=warp.reg_rows[dst])
+                    else:
+                        np.add(fetch_a(warp) * fetch_b(warp), fetch_c(warp),
+                               out=warp.reg_rows[dst], where=top.mask)
+                else:
+                    np.add(fetch_a(warp) * fetch_b(warp), fetch_c(warp),
+                           out=warp.reg_rows[dst],
+                           where=guard(warp, top.mask))
+                top.pc = next_pc
+                if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                    warp.stack._pop_reconverged()
+                return _ALU_RESULTS[count]
+            return plan
+
+        def compute(warp: Warp) -> np.ndarray:
+            return fetch_a(warp) * fetch_b(warp) + fetch_c(warp)
+    elif len(inst.srcs) == 2:
+        fetch_a = _compile_fetch(inst.srcs[0])
+        fetch_b = _compile_fetch(inst.srcs[1])
+        fn2 = _BINARY_OPS.get(op)
+        if fn2 is None:
+            raise ExecutionError(f"unhandled binary op {op!r}")
+        if inst.dst.kind != "p" and isinstance(fn2, np.ufunc):
+            dst = inst.dst.value
+
+            # Fused masked update: one ufunc call computes straight into
+            # the destination row, skipping the temporary + copyto.
+            def plan(warp: Warp, top) -> IssueResult:
+                count = top.count
+                if guard is None:
+                    if count == warp.warp_size:
+                        fn2(fetch_a(warp), fetch_b(warp),
+                            out=warp.reg_rows[dst])
+                    else:
+                        fn2(fetch_a(warp), fetch_b(warp),
+                            out=warp.reg_rows[dst], where=top.mask)
+                else:
+                    fn2(fetch_a(warp), fetch_b(warp),
+                        out=warp.reg_rows[dst], where=guard(warp, top.mask))
+                top.pc = next_pc
+                if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                    warp.stack._pop_reconverged()
+                return _ALU_RESULTS[count]
+            return plan
+
+        def compute(warp: Warp) -> np.ndarray:
+            return fn2(fetch_a(warp), fetch_b(warp))
+    else:
+        fetch_a = _compile_fetch(inst.srcs[0])
+        fn1 = _UNARY_OPS.get(op)
+        if fn1 is None:
+            raise ExecutionError(f"unhandled unary op {op!r}")
+        if inst.dst.kind != "p":
+            dst = inst.dst.value
+            if fn1 is _op_mov:
+                def plan(warp: Warp, top) -> IssueResult:
+                    count = top.count
+                    if guard is None:
+                        if count == warp.warp_size:
+                            np.copyto(warp.reg_rows[dst], fetch_a(warp))
+                        else:
+                            np.copyto(warp.reg_rows[dst], fetch_a(warp),
+                                      where=top.mask)
+                    else:
+                        np.copyto(warp.reg_rows[dst], fetch_a(warp),
+                                  where=guard(warp, top.mask))
+                    top.pc = next_pc
+                    if (next_pc == top.reconv_pc
+                            and len(warp.stack.entries) > 1):
+                        warp.stack._pop_reconverged()
+                    return _ALU_RESULTS[count]
+                return plan
+            if isinstance(fn1, np.ufunc):
+                def plan(warp: Warp, top) -> IssueResult:
+                    count = top.count
+                    if guard is None:
+                        if count == warp.warp_size:
+                            fn1(fetch_a(warp), out=warp.reg_rows[dst])
+                        else:
+                            fn1(fetch_a(warp), out=warp.reg_rows[dst],
+                                where=top.mask)
+                    else:
+                        fn1(fetch_a(warp), out=warp.reg_rows[dst],
+                            where=guard(warp, top.mask))
+                    top.pc = next_pc
+                    if (next_pc == top.reconv_pc
+                            and len(warp.stack.entries) > 1):
+                        warp.stack._pop_reconverged()
+                    return _ALU_RESULTS[count]
+                return plan
+
+        def compute(warp: Warp) -> np.ndarray:
+            return fn1(fetch_a(warp))
+
+    if inst.dst.kind == "p":
+        dst = inst.dst.value
+
+        def plan(warp: Warp, top) -> IssueResult:
+            mask = top.mask if guard is None else guard(warp, top.mask)
+            np.copyto(warp.pred_rows[dst], compute(warp) != 0.0, where=mask)
+            warp.stack.advance(next_pc)
+            return _ALU_RESULTS[top.count]
+    else:
+        dst = inst.dst.value
+
+        def plan(warp: Warp, top) -> IssueResult:
+            mask = top.mask if guard is None else guard(warp, top.mask)
+            np.copyto(warp.reg_rows[dst], compute(warp), where=mask)
+            warp.stack.advance(next_pc)
+            return _ALU_RESULTS[top.count]
+    return plan
+
+
+def _compile_branch(inst: Instruction, machine: MachineState):
+    pc = inst.pc
+    next_pc = pc + 1
+    target = inst.target
+
+    if inst.pred is None:
+        def plan(warp: Warp, top) -> IssueResult:
+            top.pc = target
+            if target == top.reconv_pc and len(warp.stack.entries) > 1:
+                warp.stack._pop_reconverged()
+            return _CONTROL_RESULTS[top.count]
+        return plan
+
+    guard = _compile_guard(inst)
+    reconv = machine.reconv_table.get(pc)
+
+    def plan(warp: Warp, top) -> IssueResult:
+        active = top.mask
+        count = top.count
+        taken = guard(warp, active)
+        # One reduction decides uniformity: taken is a subset of active,
+        # so "no lane falls through" is exactly taken_count == count.
+        taken_count = int(taken.sum())
+        if taken_count == 0:
+            top.pc = next_pc
+            if next_pc == top.reconv_pc and len(warp.stack.entries) > 1:
+                warp.stack._pop_reconverged()
+        elif taken_count == count:
+            top.pc = target
+            if target == top.reconv_pc and len(warp.stack.entries) > 1:
+                warp.stack._pop_reconverged()
+        else:
+            if reconv is None:
+                raise ExecutionError("divergent branch missing reconvergence "
+                                     "point", pc=pc)
+            warp.stack.diverge(taken, active & ~taken, target, next_pc,
+                               reconv)
+        return _CONTROL_RESULTS[count]
+    return plan
+
+
+def _compile_exit(inst: Instruction):
+    pc = inst.pc
+    next_pc = pc + 1
+    guard = _compile_guard(inst)
+
+    def plan(warp: Warp, top) -> IssueResult:
+        active_count = top.count
+        if guard is None:
+            mask = top.mask
+            exiting = active_count
+        else:
+            mask = guard(warp, top.mask)
+            exiting = int(mask.sum())
+        if exiting == 0:
+            warp.stack.advance(next_pc)
+            return _CONTROL_RESULTS[active_count]
+        executing_entry = top
+        ends_chain = mask & ~warp.spawned_flag & (warp.data_slot_addr >= 0)
+        freed = warp.data_slot_addr[ends_chain]
+        warp.data_slot_addr[mask] = -1
+        warp.stack.retire_lanes(mask)
+        finished = warp.finish_if_empty()
+        entries = warp.stack.entries
+        if not finished and entries and entries[-1] is executing_entry:
+            warp.stack.advance(next_pc)
+        return IssueResult(kind=CONTROL, active=active_count,
+                           exited_lanes=exiting, warp_finished=finished,
+                           freed_data_addresses=freed)
+    return plan
+
+
+def _compile_bar(inst: Instruction):
+    pc = inst.pc
+    next_pc = pc + 1
+
+    def plan(warp: Warp, top) -> IssueResult:
         if warp.stack.depth != 1:
             raise ExecutionError(
                 "bar reached with divergent control flow; all threads of "
                 "the block must reach the barrier together", pc=pc)
-        warp.stack.advance(pc + 1)
-        return IssueResult(kind=BARRIER, active=active_count)
-    if op == "spawn":
-        pointers = _int64(warp.regs[inst.srcs[0].value][mask])
-        info = machine.program.kernels[inst.label]
+        warp.stack.advance(next_pc)
+        return IssueResult(kind=BARRIER, active=top.count)
+    return plan
+
+
+def _compile_spawn(inst: Instruction, machine: MachineState):
+    next_pc = inst.pc + 1
+    guard = _compile_guard(inst)
+    pointer_reg = inst.srcs[0].value
+    kernel_name = inst.label
+    info = machine.program.kernels[kernel_name]
+    target_pc = info.entry_pc
+
+    def plan(warp: Warp, top) -> IssueResult:
+        mask = top.mask if guard is None else guard(warp, top.mask)
+        pointers = _int64(warp.reg_rows[pointer_reg][mask])
         warp.spawned_flag |= mask
-        warp.stack.advance(pc + 1)
+        warp.stack.advance(next_pc)
         return IssueResult(
-            kind=SPAWN, active=active_count,
-            spawn=SpawnRequest(kernel_name=inst.label,
-                               target_pc=info.entry_pc, pointers=pointers))
-    _execute_alu(warp, inst, mask)
-    warp.stack.advance(pc + 1)
-    return IssueResult(kind=ALU, active=active_count)
+            kind=SPAWN, active=top.count,
+            spawn=SpawnRequest(kernel_name=kernel_name,
+                               target_pc=target_pc, pointers=pointers))
+    return plan
 
 
-def _execute_alu(warp: Warp, inst: Instruction, mask: np.ndarray) -> None:
-    op = inst.op
-    if op == "nop":
-        return
-    if op == "setp":
-        a = _fetch(warp, inst.srcs[0])
-        b = _fetch(warp, inst.srcs[1])
-        with np.errstate(invalid="ignore"):
-            result = _COMPARES[inst.cmp](a, b)
-        dest = warp.preds[inst.dst.value]
-        dest[mask] = result[mask]
-        return
-    if op == "selp":
-        a = _fetch(warp, inst.srcs[0])
-        b = _fetch(warp, inst.srcs[1])
-        chooser = warp.preds[inst.srcs[2].value]
-        result = np.where(chooser, a, b)
-    elif op == "mad":
-        a = _fetch(warp, inst.srcs[0])
-        b = _fetch(warp, inst.srcs[1])
-        c = _fetch(warp, inst.srcs[2])
-        result = a * b + c
-    elif len(inst.srcs) == 2:
-        result = _binary_op(op, _fetch(warp, inst.srcs[0]),
-                            _fetch(warp, inst.srcs[1]))
-    else:
-        result = _unary_op(op, _fetch(warp, inst.srcs[0]))
-    if inst.dst.kind == "p":
-        warp.preds[inst.dst.value][mask] = result[mask] != 0.0
-    else:
-        warp.regs[inst.dst.value][mask] = result[mask]
-
-
-def _execute_memory(warp: Warp, machine: MachineState, inst: Instruction,
-                    mask: np.ndarray, active_count: int) -> IssueResult:
-    lanes = np.nonzero(mask)[0]
-    if lanes.size == 0:
-        return IssueResult(kind=ALU, active=active_count)
-    base = _int64(warp.regs[inst.srcs[0].value][lanes]) + inst.offset
+def _compile_memory(inst: Instruction, machine: MachineState):
+    next_pc = inst.pc + 1
+    guard = _compile_guard(inst)
+    base_reg = inst.srcs[0].value
+    offset = inst.offset
     width = inst.width
-    # Column-major stacking keeps per-lane words adjacent for coalescing.
-    all_addresses = (base[:, None] + np.arange(width)[None, :]).reshape(-1)
+    word_offsets = np.arange(width)[None, :]
     space = inst.space
     is_store = inst.op == "st"
-    if space in ("global", "local"):
-        memory = machine.global_mem
-        completions = 0
-        if is_store:
-            values = _store_values(warp, inst, lanes, width)
-            completions = memory.write(all_addresses, values)
-        else:
-            _load_values(warp, inst, lanes, width, memory.read(all_addresses))
-        return IssueResult(kind=OFFCHIP, active=active_count,
-                           addresses=all_addresses, is_store=is_store,
-                           space=space, completions=completions)
-    if space == "const":
-        if is_store:
-            raise ExecutionError("constant memory is read-only", pc=inst.pc)
-        values = machine.const_mem[all_addresses]
-        _load_values(warp, inst, lanes, width, values)
-        # The constant cache (present on the modelled GT200 even though
-        # Table I disables L1/L2 data caches) makes uniform constant reads
-        # an on-chip broadcast: low latency, no DRAM traffic.
-        return IssueResult(kind=ONCHIP, active=active_count,
-                           addresses=all_addresses, is_store=False,
-                           space=space, conflict_penalty=0,
-                           onchip_words=int(all_addresses.size))
-    memory = machine.shared_mem if space == "shared" else machine.spawn_mem
+
+    if space == "const" and is_store:
+        raise ExecutionError("constant memory is read-only", pc=inst.pc)
+
     if is_store:
-        values = _store_values(warp, inst, lanes, width)
-        penalty = memory.write(all_addresses, values)
-    else:
-        values, penalty = memory.read(all_addresses)
-        _load_values(warp, inst, lanes, width, values)
-    return IssueResult(kind=ONCHIP, active=active_count,
-                       addresses=all_addresses, is_store=is_store,
-                       space=space, conflict_penalty=penalty,
-                       onchip_words=int(all_addresses.size))
+        src = inst.srcs[1]
+        store_imm = src.value if src.kind == "imm" else None
+        store_reg = src.value if src.kind != "imm" else None
+    load_reg = inst.dst.value if not is_store else None
+
+    # ``lanes is None`` means every lane of the warp is active (the common
+    # fully-converged case): the helpers then skip np.nonzero and the fancy
+    # gather/scatter indexing in favour of whole-row operations.
+
+    def active_lanes(warp: Warp, top):
+        if guard is None:
+            if top.count == warp.warp_size:
+                return None, top.count
+            lanes = np.nonzero(top.mask)[0]
+        else:
+            lanes = np.nonzero(guard(warp, top.mask))[0]
+        return lanes, lanes.size
+
+    def gather_addresses(warp: Warp, lanes) -> np.ndarray:
+        row = warp.reg_rows[base_reg]
+        base = _int64(row if lanes is None else row[lanes]) + offset
+        if width == 1:
+            return base
+        # Column-major stacking keeps per-lane words adjacent for
+        # coalescing.
+        return (base[:, None] + word_offsets).reshape(-1)
+
+    def store_values(warp: Warp, lanes, n: int) -> np.ndarray:
+        if store_imm is not None:
+            return np.full(n * width, store_imm)
+        if width == 1:
+            row = warp.reg_rows[store_reg]
+            return row if lanes is None else row[lanes]
+        columns = [warp.reg_rows[store_reg + j] if lanes is None
+                   else warp.reg_rows[store_reg + j][lanes]
+                   for j in range(width)]
+        return np.stack(columns, axis=1).reshape(-1)
+
+    def load_values(warp: Warp, lanes, n: int, values: np.ndarray) -> None:
+        if width == 1:
+            if lanes is None:
+                np.copyto(warp.reg_rows[load_reg], values)
+            else:
+                warp.reg_rows[load_reg][lanes] = values
+            return
+        grid = values.reshape(n, width)
+        for j in range(width):
+            if lanes is None:
+                np.copyto(warp.reg_rows[load_reg + j], grid[:, j])
+            else:
+                warp.reg_rows[load_reg + j][lanes] = grid[:, j]
+
+    if space in ("global", "local"):
+        def plan(warp: Warp, top) -> IssueResult:
+            lanes, n = active_lanes(warp, top)
+            if n == 0:
+                warp.stack.advance(next_pc)
+                return _ALU_RESULTS[top.count]
+            all_addresses = gather_addresses(warp, lanes)
+            memory = machine.global_mem
+            completions = 0
+            if is_store:
+                completions = memory.write(all_addresses,
+                                           store_values(warp, lanes, n))
+            else:
+                load_values(warp, lanes, n, memory.read(all_addresses))
+            warp.stack.advance(next_pc)
+            return IssueResult(kind=OFFCHIP, active=top.count,
+                               addresses=all_addresses, is_store=is_store,
+                               space=space, completions=completions)
+        return plan
+
+    if space == "const":
+        def plan(warp: Warp, top) -> IssueResult:
+            lanes, n = active_lanes(warp, top)
+            if n == 0:
+                warp.stack.advance(next_pc)
+                return _ALU_RESULTS[top.count]
+            all_addresses = gather_addresses(warp, lanes)
+            load_values(warp, lanes, n, machine.const_mem[all_addresses])
+            warp.stack.advance(next_pc)
+            # The constant cache (present on the modelled GT200 even though
+            # Table I disables L1/L2 data caches) makes uniform constant
+            # reads an on-chip broadcast: low latency, no DRAM traffic.
+            return IssueResult(kind=ONCHIP, active=top.count,
+                               addresses=all_addresses, is_store=False,
+                               space=space, conflict_penalty=0,
+                               onchip_words=int(all_addresses.size))
+        return plan
+
+    onchip = machine.shared_mem if space == "shared" else machine.spawn_mem
+
+    def plan(warp: Warp, top) -> IssueResult:
+        lanes, n = active_lanes(warp, top)
+        if n == 0:
+            warp.stack.advance(next_pc)
+            return _ALU_RESULTS[top.count]
+        all_addresses = gather_addresses(warp, lanes)
+        if is_store:
+            penalty = onchip.write(all_addresses,
+                                   store_values(warp, lanes, n))
+        else:
+            values, penalty = onchip.read(all_addresses)
+            load_values(warp, lanes, n, values)
+        warp.stack.advance(next_pc)
+        return IssueResult(kind=ONCHIP, active=top.count,
+                           addresses=all_addresses, is_store=is_store,
+                           space=space, conflict_penalty=penalty,
+                           onchip_words=int(all_addresses.size))
+    return plan
 
 
 #: Extra serialization cycles per conflicting atomic lane (the paper's
@@ -301,94 +771,45 @@ def _execute_memory(warp: Warp, machine: MachineState, inst: Instruction,
 ATOMIC_SERIALIZATION_CYCLES = 2
 
 
-def _execute_atomic(warp: Warp, machine: MachineState, inst: Instruction,
-                    mask: np.ndarray, active_count: int) -> IssueResult:
+def _compile_atomic(inst: Instruction, machine: MachineState):
     """Serialized read-modify-write on global memory, in lane order."""
-    lanes = np.nonzero(mask)[0]
-    if lanes.size == 0:
-        return IssueResult(kind=ALU, active=active_count)
-    addresses = _int64(warp.regs[inst.srcs[0].value][lanes]) + inst.offset
+    next_pc = inst.pc + 1
+    guard = _compile_guard(inst)
+    address_reg = inst.srcs[0].value
+    offset = inst.offset
     operand = inst.srcs[1]
-    values = (np.full(lanes.size, operand.value) if operand.kind == "imm"
-              else warp.regs[operand.value][lanes])
-    memory = machine.global_mem
-    memory._check(addresses)
-    old = np.empty(lanes.size)
-    for index in range(lanes.size):
-        address = int(addresses[index])
-        current = memory.words[address]
-        old[index] = current
-        if inst.cmp == "add":
-            memory.words[address] = current + values[index]
-        elif inst.cmp == "max":
-            memory.words[address] = max(current, values[index])
-        elif inst.cmp == "min":
-            memory.words[address] = min(current, values[index])
-        else:  # exch
-            memory.words[address] = values[index]
-    warp.regs[inst.dst.value][lanes] = old
-    penalty = ATOMIC_SERIALIZATION_CYCLES * (int(lanes.size) - 1)
-    return IssueResult(kind=OFFCHIP, active=active_count,
-                       addresses=addresses, is_store=True, space="global",
-                       conflict_penalty=penalty)
+    dst = inst.dst.value
+    cmp = inst.cmp
 
-
-def _store_values(warp: Warp, inst: Instruction, lanes: np.ndarray,
-                  width: int) -> np.ndarray:
-    src = inst.srcs[1]
-    if src.kind == "imm":
-        return np.full(lanes.size * width, src.value)
-    first = src.value
-    columns = [warp.regs[first + j][lanes] for j in range(width)]
-    return np.stack(columns, axis=1).reshape(-1)
-
-
-def _load_values(warp: Warp, inst: Instruction, lanes: np.ndarray,
-                 width: int, values: np.ndarray) -> None:
-    grid = values.reshape(lanes.size, width)
-    first = inst.dst.value
-    for j in range(width):
-        warp.regs[first + j][lanes] = grid[:, j]
-
-
-def _execute_branch(warp: Warp, machine: MachineState, inst: Instruction,
-                    active: np.ndarray, mask: np.ndarray, active_count: int
-                    ) -> IssueResult:
-    pc = inst.pc
-    target = inst.target
-    if inst.pred is None:
-        warp.stack.advance(target)
-        return IssueResult(kind=CONTROL, active=active_count)
-    taken = mask
-    not_taken = active & ~taken
-    if not taken.any():
-        warp.stack.advance(pc + 1)
-    elif not not_taken.any():
-        warp.stack.advance(target)
-    else:
-        reconv = machine.reconv_table.get(pc)
-        if reconv is None:
-            raise ExecutionError("divergent branch missing reconvergence "
-                                 "point", pc=pc)
-        warp.stack.diverge(taken, not_taken, target, pc + 1, reconv)
-    return IssueResult(kind=CONTROL, active=active_count)
-
-
-def _execute_exit(warp: Warp, inst: Instruction, active: np.ndarray,
-                  mask: np.ndarray, active_count: int) -> IssueResult:
-    pc = inst.pc
-    exiting = int(mask.sum())
-    if exiting == 0:
-        warp.stack.advance(pc + 1)
-        return IssueResult(kind=CONTROL, active=active_count)
-    executing_entry = warp.stack.top
-    ends_chain = mask & ~warp.spawned_flag & (warp.data_slot_addr >= 0)
-    freed = warp.data_slot_addr[ends_chain].copy()
-    warp.data_slot_addr[mask] = -1
-    warp.stack.retire_lanes(mask)
-    finished = warp.finish_if_empty()
-    if not finished and warp.stack.entries and warp.stack.entries[-1] is executing_entry:
-        warp.stack.advance(pc + 1)
-    return IssueResult(kind=CONTROL, active=active_count,
-                       exited_lanes=exiting, warp_finished=finished,
-                       freed_data_addresses=freed)
+    def plan(warp: Warp, top) -> IssueResult:
+        mask = top.mask if guard is None else guard(warp, top.mask)
+        lanes = np.nonzero(mask)[0]
+        if lanes.size == 0:
+            warp.stack.advance(next_pc)
+            return _ALU_RESULTS[top.count]
+        addresses = _int64(warp.reg_rows[address_reg][lanes]) + offset
+        values = (np.full(lanes.size, operand.value)
+                  if operand.kind == "imm"
+                  else warp.reg_rows[operand.value][lanes])
+        memory = machine.global_mem
+        memory._check(addresses)
+        old = np.empty(lanes.size)
+        for index in range(lanes.size):
+            address = int(addresses[index])
+            current = memory.words[address]
+            old[index] = current
+            if cmp == "add":
+                memory.words[address] = current + values[index]
+            elif cmp == "max":
+                memory.words[address] = max(current, values[index])
+            elif cmp == "min":
+                memory.words[address] = min(current, values[index])
+            else:  # exch
+                memory.words[address] = values[index]
+        warp.reg_rows[dst][lanes] = old
+        penalty = ATOMIC_SERIALIZATION_CYCLES * (int(lanes.size) - 1)
+        warp.stack.advance(next_pc)
+        return IssueResult(kind=OFFCHIP, active=top.count,
+                           addresses=addresses, is_store=True, space="global",
+                           conflict_penalty=penalty)
+    return plan

@@ -236,7 +236,7 @@ class GPU:
                 active = np.zeros(warp_size, dtype=bool)
                 active[:warp_last - warp_first] = True
                 tids[warp_last - warp_first:] = -1
-                block.warps.append((tids, active))
+                block.warps.append((tids, active, warp_last - warp_first))
             self.sms[block_id % len(self.sms)].enqueue_block(block)
 
     # -- run loop ----------------------------------------------------------------
@@ -253,6 +253,31 @@ class GPU:
         return self.collect_stats()
 
     def _run_loop(self, budget: int, last_progress: int) -> None:
+        fast = self.config.fast_forward
+        if len(self.sms) == 1:
+            # Specialized single-SM loop: same visible behaviour as the
+            # generic loop below, without the per-cycle list iteration,
+            # flag bookkeeping and duplicated done checks.
+            sm = self.sms[0]
+            cycle = self.cycle
+            while cycle < budget:
+                progressed = sm.step(cycle)
+                if progressed:
+                    last_progress = cycle
+                elif sm.done:
+                    break
+                elif cycle - last_progress > DEADLOCK_HORIZON:
+                    self.cycle = cycle
+                    raise SchedulingError(
+                        f"no instruction issued for {DEADLOCK_HORIZON} "
+                        f"cycles (cycle {cycle}); simulation is deadlocked")
+                cycle += 1
+                if fast and not progressed and cycle < budget:
+                    self.cycle = cycle
+                    self._fast_forward(budget, last_progress)
+                    cycle = self.cycle
+            self.cycle = cycle
+            return
         while self.cycle < budget:
             progressed = False
             alive = False
@@ -271,6 +296,29 @@ class GPU:
                     f"no instruction issued for {DEADLOCK_HORIZON} cycles "
                     f"(cycle {self.cycle}); simulation is deadlocked")
             self.cycle += 1
+            if fast and not progressed and self.cycle < budget:
+                self._fast_forward(budget, last_progress)
+
+    def _fast_forward(self, budget: int, last_progress: int) -> None:
+        """Jump the clock to the machine's next event (event-driven mode).
+
+        The target is the earliest cycle any SM could issue or change
+        state, capped at the cycle budget and at the deadlock horizon so
+        the exact-mode deadlock diagnosis fires at the same cycle. The
+        skipped span is credited per SM to the idle/stall counters, which
+        keeps every statistic bit-identical to ticking cycle by cycle.
+        """
+        target: int | None = None
+        for sm in self.sms:
+            event = sm.next_event_time(self.cycle)
+            if event is not None and (target is None or event < target):
+                target = event
+        cap = min(budget, last_progress + DEADLOCK_HORIZON + 1)
+        target = cap if target is None else min(target, cap)
+        if target > self.cycle:
+            for sm in self.sms:
+                sm.credit_skipped(self.cycle, target)
+            self.cycle = target
 
     def collect_stats(self) -> RunStats:
         total = SMStats()

@@ -74,15 +74,15 @@ class GlobalMemory:
         if self.result_base < 0:
             return 0
         offsets = addresses - self.result_base
-        in_range = (offsets >= 0) & (offsets < self.result_words)
-        completions = 0
-        for offset in offsets[in_range]:
-            if offset % self.result_stride == 0:
-                ray = int(offset) // self.result_stride
-                if ray not in self._completed:
-                    self._completed.add(ray)
-                    completions += 1
-        return completions
+        hits = offsets[(offsets >= 0) & (offsets < self.result_words)]
+        hits = hits[hits % self.result_stride == 0]
+        if hits.size == 0:
+            return 0
+        completed = self._completed
+        fresh = [ray for ray in np.unique(hits // self.result_stride).tolist()
+                 if ray not in completed]
+        completed.update(fresh)
+        return len(fresh)
 
     @property
     def rays_completed(self) -> int:
@@ -112,7 +112,10 @@ class DRAM:
         self.segment_words = config.segment_bytes // BYTES_PER_WORD
         self.transfer_cycles = max(
             1, config.segment_bytes // config.bandwidth_bytes_per_cycle)
-        self.module_free = np.zeros(config.num_modules, dtype=np.int64)
+        #: Next-free cycle per module. A plain int list: the access path
+        #: reads/writes one or two entries per warp access, where list
+        #: indexing beats ndarray element access by a wide margin.
+        self.module_free = [0] * config.num_modules
         self.read_bytes = 0
         self.write_bytes = 0
         self.transactions = 0
@@ -129,22 +132,42 @@ class DRAM:
         module ``segment % num_modules``; a transaction occupies its module
         for ``transfer_cycles`` and completes ``latency_cycles`` later.
         """
-        segments = self.coalesce(addresses)
-        if segments.size == 0:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        # Set-based dedup: warp accesses carry at most warp_size addresses,
+        # where a Python set beats np.unique (which sorts). The coalesce()
+        # method keeps the sorted-ndarray contract for external callers;
+        # nothing below depends on segment order.
+        segments = set((addresses // self.segment_words).tolist())
+        num_segments = len(segments)
+        if num_segments == 0:
             return cycle
-        bytes_moved = int(segments.size) * self.config.segment_bytes
+        bytes_moved = num_segments * self.config.segment_bytes
         if is_store:
             self.write_bytes += bytes_moved
         else:
             self.read_bytes += bytes_moved
-        self.transactions += int(segments.size)
+        self.transactions += num_segments
         if self.config.ideal:
             return cycle + 1
-        done = cycle
+        module_free = self.module_free
+        num_modules = self.config.num_modules
+        transfer = self.transfer_cycles
+        if num_segments == 1:
+            module = next(iter(segments)) % num_modules
+            finish = max(module_free[module], cycle) + transfer
+            module_free[module] = finish
+            return finish + self.config.latency_cycles
+        # Same-cycle transactions at one module serialize back-to-back, so
+        # the module's last finish is max(free, now) + count * transfer —
+        # identical to queueing them one at a time.
+        counts: dict[int, int] = {}
         for segment in segments:
-            module = int(segment) % self.config.num_modules
-            start = max(int(self.module_free[module]), cycle)
-            finish = start + self.transfer_cycles
-            self.module_free[module] = finish
-            done = max(done, finish + self.config.latency_cycles)
-        return done
+            module = segment % num_modules
+            counts[module] = counts.get(module, 0) + 1
+        worst = 0
+        for module, count in counts.items():
+            finish = max(module_free[module], cycle) + count * transfer
+            module_free[module] = finish
+            if finish > worst:
+                worst = finish
+        return worst + self.config.latency_cycles

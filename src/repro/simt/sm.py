@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import GPUConfig, SchedulingModel
-from repro.errors import SchedulingError
+from repro.errors import ExecutionError, SchedulingError
 from repro.simt.executor import (
     ALU,
     BARRIER,
@@ -36,19 +36,22 @@ from repro.simt.executor import (
     ONCHIP,
     SPAWN,
     MachineState,
-    execute,
 )
 from repro.simt.spawn import SpawnUnit
-from repro.simt.stats import DivergenceSampler, SMStats
+from repro.simt.stats import NUM_W_BUCKETS, DivergenceSampler, SMStats
 from repro.simt.warp import BLOCKED, FINISHED, READY, Warp
 
 
 @dataclass
 class LaunchBlock:
-    """One thread block: warps of (tids, active mask) launched together."""
+    """One thread block: warps of (tids, active mask, thread count)
+    launched together. The count is precomputed so per-cycle admission
+    attempts (which may fail on exhausted spawn data slots for thousands
+    of consecutive cycles) never re-reduce the mask."""
 
     block_id: int
-    warps: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+    warps: list[tuple[np.ndarray, np.ndarray, int]] = field(
+        default_factory=list)
 
     @property
     def num_warps(self) -> int:
@@ -56,7 +59,7 @@ class LaunchBlock:
 
     @property
     def num_threads(self) -> int:
-        return sum(int(mask.sum()) for _, mask in self.warps)
+        return sum(count for _, _, count in self.warps)
 
 
 class SM:
@@ -87,6 +90,13 @@ class SM:
                                             window=divergence_window)
         self.stall_until = 0
         self._rr = 0
+        self._admission_dirty = True
+        """False while try_schedule is known to be unable to admit
+        anything: every admission blocker (free warp slots, free spawn
+        data slots / formation regions, formed warps, partial-pool
+        threads, queued blocks) only changes through an issue, a warp
+        retirement, or a new block — each of which re-arms the flag. The
+        per-cycle scheduler then skips the admission scan entirely."""
         self._next_warp_id = 0
         self._next_dynamic_tid = -1
         self._block_live: dict[int, int] = {}
@@ -107,12 +117,14 @@ class SM:
 
     def enqueue_block(self, block: LaunchBlock) -> None:
         self.launch_queue.append(block)
+        self._admission_dirty = True
 
     def _admit_warp(self, entry_pc: int, tids: np.ndarray, active: np.ndarray,
                     cycle: int, *, is_dynamic: bool, kernel_name: str = "",
                     spawn_addr: np.ndarray | None = None,
                     data_slots: np.ndarray | None = None,
-                    block_id: int | None = None) -> Warp:
+                    block_id: int | None = None,
+                    count: int = -1) -> Warp:
         warp = Warp.launch(self._next_warp_id, self.config.warp_size,
                            self.num_regs, entry_pc, tids, active,
                            is_dynamic=is_dynamic, kernel_name=kernel_name)
@@ -128,7 +140,8 @@ class SM:
             self._block_of_warp[warp.warp_id] = block_id
             self._block_live[block_id] = self._block_live.get(block_id, 0) + 1
         self.stats.warps_launched += 1
-        self.stats.threads_launched += int(active.sum())
+        self.stats.threads_launched += (count if count >= 0
+                                        else int(active.sum()))
         return warp
 
     def _admit_dynamic(self, cycle: int) -> None:
@@ -145,16 +158,17 @@ class SM:
                                 is_dynamic=True,
                                 kernel_name=formed.kernel_name,
                                 spawn_addr=formed.formation_addresses,
-                                data_slots=formed.data_pointers)
+                                data_slots=formed.data_pointers,
+                                count=count)
         warp.formation_region = formed.region
 
     def _admit_launch_warp(self, tids: np.ndarray, active: np.ndarray,
-                           cycle: int, block_id: int | None) -> bool:
+                           count: int, cycle: int,
+                           block_id: int | None) -> bool:
         """Admit one launch warp; False if spawn data slots are exhausted."""
         spawn_addr = None
         data_slots = None
         if self.spawn_unit is not None:
-            count = int(active.sum())
             addresses = self.spawn_unit.allocate_data_slots(count)
             if addresses is None:
                 return False
@@ -162,7 +176,8 @@ class SM:
             data_slots = addresses
         self._admit_warp(self.entry_pc, tids, active, cycle,
                          is_dynamic=False, spawn_addr=spawn_addr,
-                         data_slots=data_slots, block_id=block_id)
+                         data_slots=data_slots, block_id=block_id,
+                         count=count)
         return True
 
     def _block_fits(self, block: LaunchBlock) -> bool:
@@ -178,8 +193,13 @@ class SM:
 
     def try_schedule(self, cycle: int) -> None:
         """Fill free warp slots: dynamic warps first, then launch threads,
-        then (only when nothing else exists) flushed partial warps."""
-        while self.free_slots > 0:
+        then (only when nothing else exists) flushed partial warps.
+
+        Every ``break`` means admission is blocked until an issue,
+        retirement, or enqueue changes the blocker, so the method clears
+        ``_admission_dirty`` on the way out; those three events re-arm it.
+        """
+        while len(self.warps) < self.max_warps:
             if self.spawn_unit is not None and self.spawn_unit.has_full_warps:
                 self._admit_dynamic(cycle)
                 continue
@@ -189,13 +209,17 @@ class SM:
                     if not self._block_fits(block):
                         break
                     self.launch_queue.popleft()
-                    for tids, active in block.warps:
-                        self._admit_launch_warp(tids, active, cycle,
+                    for tids, active, count in block.warps:
+                        self._admit_launch_warp(tids, active, count, cycle,
                                                 block.block_id)
                     continue
                 block = self.launch_queue[0]
-                tids, active = block.warps[0]
-                if not self._admit_launch_warp(tids, active, cycle, None):
+                tids, active, count = block.warps[0]
+                if (self.spawn_unit is not None
+                        and self.spawn_unit.free_slot_count < count):
+                    break  # data slots exhausted; admission must wait
+                if not self._admit_launch_warp(tids, active, count, cycle,
+                                               None):
                     break
                 block.warps.pop(0)
                 if not block.warps:
@@ -212,6 +236,7 @@ class SM:
                 self.stats.partial_warps_flushed += 1
                 continue
             break
+        self._admission_dirty = False
 
     # -- per-cycle issue -------------------------------------------------------
 
@@ -224,40 +249,153 @@ class SM:
         """Advance one cycle; returns True if an instruction issued."""
         if self.done:
             return False
-        self.stats.cycles += 1
+        stats = self.stats
+        stats.cycles += 1
         if self.stall_until > cycle:
-            self.stats.stall_cycles += 1
+            stats.stall_cycles += 1
             self.divergence.record_stall(cycle)
             return False
-        if self.free_slots > 0:
+        if self._admission_dirty and len(self.warps) < self.max_warps:
             self.try_schedule(cycle)
-        warp = self._select_warp(cycle)
+        # Round-robin warp pick, inlined from _select_warp (hot path).
+        warps = self.warps
+        count = len(warps)
+        warp = None
+        rr = self._rr
+        for index in range(rr, count):
+            candidate = warps[index]
+            if candidate.status == READY and candidate.ready_at <= cycle:
+                self._rr = index + 1 if index + 1 < count else 0
+                warp = candidate
+                break
+        else:
+            for index in range(rr):
+                candidate = warps[index]
+                if candidate.status == READY and candidate.ready_at <= cycle:
+                    self._rr = index + 1 if index + 1 < count else 0
+                    warp = candidate
+                    break
         if warp is None:
-            self.stats.idle_cycles += 1
+            stats.idle_cycles += 1
             self.divergence.record_idle(cycle)
             return False
         self._issue(warp, cycle)
         self.last_progress_cycle = cycle
         return True
 
+    # -- event-driven fast-forward --------------------------------------------
+
+    def next_event_time(self, now: int) -> int | None:
+        """Earliest cycle >= ``now`` at which this SM could change state.
+
+        Used by the fast-forward run loop after a cycle with no issue.
+        While the issue port is stalled the only event is the stall
+        expiring (``step`` does not even admit warps during a stall);
+        otherwise it is the earliest ``ready_at`` of a READY warp.
+        Admission (launch queue, spawn FIFO, partial-warp flush) never
+        becomes possible between events: every admission blocker — free
+        warp slots, free data slots, formed warps — changes only when this
+        SM issues, and warps admitted on the last attempted cycle are
+        already READY with ``ready_at`` in the future. BLOCKED warps wake
+        only via a sibling's issue, so they carry no event of their own.
+        Returns None when the SM is quiescent (nothing can ever happen
+        without external input — e.g. all warps blocked at a barrier).
+        """
+        if self.done:
+            return None
+        if self.stall_until > now:
+            return self.stall_until
+        if self.stall_until == now:
+            # The stall expired exactly at ``now``: no step has reached
+            # try_schedule since the stall began, so an admission (launch
+            # warp, formed warp, partial flush) may be possible right now.
+            return now
+        best: int | None = None
+        for warp in self.warps:
+            if warp.status != READY:
+                continue
+            if warp.ready_at <= now:
+                return now
+            if best is None or warp.ready_at < best:
+                best = warp.ready_at
+        return best
+
+    def credit_skipped(self, start: int, stop: int) -> None:
+        """Account the fast-forwarded span [start, stop) exactly as the
+        cycle-by-cycle loop would: one cycle each, stalled while
+        ``stall_until`` has not expired, idle afterwards."""
+        if stop <= start or self.done:
+            return
+        self.stats.cycles += stop - start
+        stall_end = min(stop, max(start, self.stall_until))
+        if stall_end > start:
+            self.stats.stall_cycles += stall_end - start
+            self.divergence.record_stall_span(start, stall_end)
+        if stop > stall_end:
+            self.stats.idle_cycles += stop - stall_end
+            self.divergence.record_idle_span(stall_end, stop)
+
     def _select_warp(self, cycle: int) -> Warp | None:
-        count = len(self.warps)
+        """Round-robin pick starting at ``self._rr`` (two-range scan)."""
+        warps = self.warps
+        count = len(warps)
         if count == 0:
             return None
-        for probe in range(count):
-            warp = self.warps[(self._rr + probe) % count]
+        rr = self._rr
+        for index in range(rr, count):
+            warp = warps[index]
             if warp.status == READY and warp.ready_at <= cycle:
-                self._rr = (self._rr + probe + 1) % count
+                self._rr = index + 1 if index + 1 < count else 0
+                return warp
+        for index in range(rr):
+            warp = warps[index]
+            if warp.status == READY and warp.ready_at <= cycle:
+                self._rr = index + 1 if index + 1 < count else 0
                 return warp
         return None
 
     def _issue(self, warp: Warp, cycle: int) -> None:
-        result = execute(warp, self.machine)
+        # Inlined executor.execute (keep the two in sync): dispatch to the
+        # compiled per-PC plan without an extra call frame.
+        machine = self.machine
+        top = warp.stack.entries[-1]
+        pc = top.pc
+        plans = machine.plans
+        if not 0 <= pc < len(plans):
+            raise ExecutionError("PC outside program", pc=pc)
+        if warp.status == FINISHED or top.count == 0:
+            raise ExecutionError("issued a warp with no active lanes", pc=pc)
+        warp.issued_instructions += 1
+        mask = top.mask
+        if mask is warp._commit_mask:
+            warp._commit_count += 1
+        else:
+            warp.flush_commits()
+            warp._commit_mask = mask
+            warp._commit_count = 1
+        plan = plans[pc]
+        if plan is None:
+            plan = machine.plan_for(pc)
+        result = plan(warp, top)
         stats = self.stats
         stats.issued_instructions += 1
-        stats.committed_thread_instructions += result.active
-        self.divergence.record_issue(cycle, result.active)
+        active = result.active
+        stats.committed_thread_instructions += active
+        # Inlined DivergenceSampler.record_issue (keep in sync).
+        div = self.divergence
+        bucket = (active - 1) // div._per_bucket
+        if bucket >= NUM_W_BUCKETS:
+            bucket = NUM_W_BUCKETS - 1
+        issues = div.issues
+        index = cycle // div.window
+        if index >= len(issues):
+            div._bucket_for(cycle)
+        issues[index][bucket] += 1
         config = self.config
+        if result.simple:
+            # Cached ALU/CONTROL outcome: latency is its only effect.
+            warp.ready_at = cycle + config.alu_latency
+            return
         if result.kind in (ALU, CONTROL):
             warp.ready_at = cycle + config.alu_latency
         elif result.kind == ONCHIP:
@@ -289,6 +427,7 @@ class SM:
             request = result.spawn
             penalty = self.spawn_unit.spawn(request.kernel_name,
                                             request.pointers)
+            self._admission_dirty = True  # pool/FIFO state changed
             stats.spawn_instructions += 1
             stats.threads_spawned += int(request.pointers.size)
             stats.onchip_write_words += int(request.pointers.size)
@@ -303,6 +442,7 @@ class SM:
             stats.threads_exited += result.exited_lanes
         if result.freed_data_addresses.size and self.spawn_unit is not None:
             self.spawn_unit.free_data_addresses(result.freed_data_addresses)
+            self._admission_dirty = True  # data slots returned
         if result.warp_finished:
             self._retire_warp(warp, cycle)
 
@@ -312,10 +452,10 @@ class SM:
         Only launch-time threads (non-negative tids) are recorded; they
         drive the MIMD-theoretical model of the original scalar algorithm.
         """
-        for tid, count in zip(warp.tids.tolist(),
-                              warp.lane_commits.tolist()):
-            if tid >= 0 and count:
-                self.thread_commits[tid] = self.thread_commits.get(tid, 0) + count
+        recorded = (warp.tids >= 0) & (warp.lane_commits > 0)
+        for tid, count in zip(warp.tids[recorded].tolist(),
+                              warp.lane_commits[recorded].tolist()):
+            self.thread_commits[tid] = self.thread_commits.get(tid, 0) + count
 
     def _arrive_at_barrier(self, warp: Warp, cycle: int) -> None:
         """Block-wide barrier: stall until every live warp of the block
@@ -367,6 +507,7 @@ class SM:
         return True
 
     def _retire_warp(self, warp: Warp, cycle: int) -> None:
+        self._admission_dirty = True  # slot, block and region state change
         self.record_thread_commits(warp)
         if warp.formation_region >= 0 and self.spawn_unit is not None:
             self.spawn_unit.release_region(warp.formation_region)

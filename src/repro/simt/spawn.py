@@ -156,21 +156,31 @@ class SpawnUnit:
         if entry is None:
             raise SchedulingError(f"spawn to unknown µ-kernel {kernel_name!r}")
         pointers = np.asarray(pointers, dtype=np.int64)
-        store_addresses = []
-        for pointer in pointers:
-            address = entry.current_addr + entry.count
-            entry.pointers.append(int(pointer))
-            entry.addresses.append(address)
-            store_addresses.append(address)
-            entry.count += 1
-            self.threads_spawned += 1
+        total = int(pointers.size)
+        if total == 0:
+            return 0
+        # Threads land at sequential formation addresses; process them one
+        # partial-warp chunk at a time so a completed warp rolls the LUT
+        # entry over to its overflow region exactly as per-thread insertion
+        # would.
+        store_addresses = np.empty(total, dtype=np.int64)
+        position = 0
+        while position < total:
+            take = min(self.warp_size - entry.count, total - position)
+            first = entry.current_addr + entry.count
+            chunk = np.arange(first, first + take, dtype=np.int64)
+            store_addresses[position:position + take] = chunk
+            entry.addresses.extend(chunk.tolist())
+            entry.pointers.extend(
+                pointers[position:position + take].tolist())
+            entry.count += take
+            position += take
+            self.threads_spawned += take
             if entry.count == self.warp_size:
                 self._complete_warp(entry)
-        if not store_addresses:
-            return 0
-        addresses = np.array(store_addresses, dtype=np.int64)
-        local = addresses - 0  # formation addresses are spawn-memory absolute
-        return self.spawn_mem.write(local, pointers.astype(np.float64))
+        # Formation addresses are spawn-memory absolute.
+        return self.spawn_mem.write(store_addresses,
+                                    pointers.astype(np.float64))
 
     def _complete_warp(self, entry: _LUTEntry) -> None:
         warp = FormedWarp(

@@ -6,6 +6,10 @@ is set to the branch's immediate post-dominator (keeping the pre-divergence
 mask) and one entry per outgoing path is pushed. Execution always proceeds
 from the top entry; when its PC reaches its reconvergence PC the entry pops
 and the lanes merge back into the entry below.
+
+Each entry caches its active-lane count so the issue path never needs a
+numpy reduction to know whether a path is live — the count is maintained at
+the only two mutation points (entry creation and :meth:`retire_lanes`).
 """
 
 from __future__ import annotations
@@ -25,6 +29,12 @@ class StackEntry:
     pc: int
     mask: np.ndarray
     reconv_pc: int = RECONV_AT_EXIT
+    count: int = field(default=-1)
+    """Cached ``mask.sum()``; kept in sync by the stack's mutators."""
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            self.count = int(self.mask.sum())
 
 
 @dataclass
@@ -49,21 +59,28 @@ class ReconvergenceStack:
 
     @property
     def empty(self) -> bool:
-        return not self.entries or not bool(self.top.mask.any())
+        return not self.entries or self.entries[-1].count == 0
 
     def active_mask(self) -> np.ndarray:
         return self.top.mask
 
+    def active_count(self) -> int:
+        return self.top.count
+
     def advance(self, next_pc: int) -> None:
         """Move the top entry to ``next_pc`` and pop on reconvergence."""
-        self.top.pc = next_pc
-        self._pop_reconverged()
+        entries = self.entries
+        top = entries[-1]
+        top.pc = next_pc
+        if len(entries) > 1 and (next_pc == top.reconv_pc or top.count == 0):
+            self._pop_reconverged()
 
     def _pop_reconverged(self) -> None:
-        while (len(self.entries) > 1
-               and (self.top.pc == self.top.reconv_pc
-                    or not bool(self.top.mask.any()))):
-            self.entries.pop()
+        entries = self.entries
+        while (len(entries) > 1
+               and (entries[-1].pc == entries[-1].reconv_pc
+                    or entries[-1].count == 0)):
+            entries.pop()
 
     def diverge(self, taken_mask: np.ndarray, not_taken_mask: np.ndarray,
                 target_pc: int, fallthrough_pc: int, reconv_pc: int) -> None:
@@ -92,9 +109,13 @@ class ReconvergenceStack:
 
     def retire_lanes(self, exit_mask: np.ndarray) -> None:
         """Remove exiting lanes from every entry and drop empty entries."""
+        survivors = []
         for entry in self.entries:
             entry.mask = entry.mask & ~exit_mask
-        self.entries = [entry for entry in self.entries if entry.mask.any()]
+            entry.count = int(entry.mask.sum())
+            if entry.count:
+                survivors.append(entry)
+        self.entries = survivors
 
     def max_depth_reached(self) -> int:
         return len(self.entries)

@@ -17,19 +17,46 @@ import numpy as np
 NUM_W_BUCKETS = 8
 
 
+def _lanes_per_bucket(warp_size: int) -> int:
+    """Lanes covered by one W bucket (ceiling so no counts collapse).
+
+    Flooring ``warp_size // NUM_W_BUCKETS`` is wrong for warp sizes that
+    are not a multiple of ``NUM_W_BUCKETS``: e.g. warp_size=12 would map
+    active counts 8..12 all into the top bucket while the labels claim it
+    holds only W8:8. The ceiling keeps every bucket at most
+    ``_lanes_per_bucket`` wide and the top bucket exactly ends at
+    ``warp_size``; for the paper's power-of-two sizes (4, 8, 16, 32) the
+    result is unchanged.
+    """
+    if warp_size <= 0:
+        raise ValueError("warp_size must be positive")
+    return max(1, -(-warp_size // NUM_W_BUCKETS))
+
+
 def w_bucket(active: int, warp_size: int = 32) -> int:
     """Bucket index 0..7 for ``active`` lanes of a ``warp_size`` warp."""
     if active <= 0:
         raise ValueError("an issued warp must have at least one active lane")
-    per_bucket = max(1, warp_size // NUM_W_BUCKETS)
+    if active > warp_size:
+        raise ValueError(f"{active} active lanes exceed warp size {warp_size}")
+    per_bucket = _lanes_per_bucket(warp_size)
     return min(NUM_W_BUCKETS - 1, (active - 1) // per_bucket)
 
 
 def w_labels(warp_size: int = 32) -> list[str]:
-    """Bucket labels, e.g. ['W1:4', ..., 'W29:32']."""
-    per_bucket = max(1, warp_size // NUM_W_BUCKETS)
-    return [f"W{b * per_bucket + 1}:{(b + 1) * per_bucket}"
-            for b in range(NUM_W_BUCKETS)]
+    """Bucket labels, e.g. ['W1:4', ..., 'W29:32'].
+
+    Always ``NUM_W_BUCKETS`` labels (histogram arrays have fixed width);
+    ranges are clamped to ``warp_size``, so buckets beyond the warp size
+    (which can never receive a count) show an empty-by-construction range.
+    """
+    per_bucket = _lanes_per_bucket(warp_size)
+    labels = []
+    for b in range(NUM_W_BUCKETS):
+        lo = b * per_bucket + 1
+        hi = max(lo, min((b + 1) * per_bucket, warp_size))
+        labels.append(f"W{lo}:{hi}")
+    return labels
 
 
 W_CATEGORIES = w_labels()
@@ -46,20 +73,35 @@ class DivergenceSampler:
 
     warp_size: int = 32
     window: int = 1000
-    issues: list[np.ndarray] = field(default_factory=list)
+    #: One plain-int row of ``NUM_W_BUCKETS`` counters per time window.
+    #: Plain lists, not numpy arrays: the hot path increments a single
+    #: element per issued instruction, which is ~10x cheaper on a list.
+    issues: list[list[int]] = field(default_factory=list)
     idle: list[int] = field(default_factory=list)
     stall: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._per_bucket = _lanes_per_bucket(self.warp_size)
 
     def _bucket_for(self, cycle: int) -> int:
         index = cycle // self.window
         while len(self.issues) <= index:
-            self.issues.append(np.zeros(NUM_W_BUCKETS, dtype=np.int64))
+            self.issues.append([0] * NUM_W_BUCKETS)
             self.idle.append(0)
             self.stall.append(0)
         return index
 
     def record_issue(self, cycle: int, active: int) -> None:
-        self.issues[self._bucket_for(cycle)][w_bucket(active, self.warp_size)] += 1
+        # Inlined w_bucket and window lookup (hot path): the executor
+        # guarantees 1 <= active <= warp_size for every issued instruction.
+        bucket = (active - 1) // self._per_bucket
+        if bucket >= NUM_W_BUCKETS:
+            bucket = NUM_W_BUCKETS - 1
+        issues = self.issues
+        index = cycle // self.window
+        if index >= len(issues):
+            self._bucket_for(cycle)
+        issues[index][bucket] += 1
 
     def record_idle(self, cycle: int) -> None:
         self.idle[self._bucket_for(cycle)] += 1
@@ -67,11 +109,41 @@ class DivergenceSampler:
     def record_stall(self, cycle: int) -> None:
         self.stall[self._bucket_for(cycle)] += 1
 
+    def _record_span(self, counters: list[int], start: int, stop: int) -> None:
+        """Add one count per cycle of [start, stop) to ``counters``,
+        split across time windows — equivalent to calling the per-cycle
+        recorder once for every skipped cycle, without the loop."""
+        if stop <= start:
+            return
+        self._bucket_for(stop - 1)  # extend lists once
+        window = self.window
+        index = start // window
+        if (stop - 1) // window == index:  # common case: one window
+            counters[index] += stop - start
+            return
+        cycle = start
+        while cycle < stop:
+            window_end = (index + 1) * window
+            count = min(stop, window_end) - cycle
+            counters[index] += count
+            cycle += count
+            index += 1
+
+    def record_idle_span(self, start: int, stop: int) -> None:
+        """Credit every cycle of [start, stop) as idle (fast-forward)."""
+        self._record_span(self.idle, start, stop)
+
+    def record_stall_span(self, start: int, stop: int) -> None:
+        """Credit every cycle of [start, stop) as stalled (fast-forward)."""
+        self._record_span(self.stall, start, stop)
+
     def merge(self, other: "DivergenceSampler") -> None:
         """Accumulate another sampler (e.g. from a different SM)."""
         for index in range(len(other.issues)):
             self._bucket_for(index * self.window)
-            self.issues[index] += other.issues[index]
+            mine = self.issues[index]
+            for bucket, count in enumerate(other.issues[index]):
+                mine[bucket] += count
             self.idle[index] += other.idle[index]
             self.stall[index] += other.stall[index]
 
@@ -79,7 +151,7 @@ class DivergenceSampler:
         """Whole-run issue counts per W bucket."""
         if not self.issues:
             return np.zeros(NUM_W_BUCKETS, dtype=np.int64)
-        return np.sum(np.stack(self.issues), axis=0)
+        return np.sum(np.asarray(self.issues, dtype=np.int64), axis=0)
 
     def fractions_over_time(self) -> np.ndarray:
         """(num_windows, NUM_W_BUCKETS+2) rows: [W buckets..., idle, stall].
@@ -89,10 +161,9 @@ class DivergenceSampler:
         """
         rows = []
         for index in range(len(self.issues)):
-            counts = np.concatenate([
-                self.issues[index].astype(np.float64),
-                [float(self.idle[index]), float(self.stall[index])],
-            ])
+            counts = np.asarray(
+                self.issues[index] + [self.idle[index], self.stall[index]],
+                dtype=np.float64)
             total = counts.sum()
             rows.append(counts / total if total else counts)
         if not rows:
@@ -104,9 +175,12 @@ class DivergenceSampler:
         totals = self.totals()
         if totals.sum() == 0:
             return 0.0
-        per_bucket = max(1, self.warp_size // NUM_W_BUCKETS)
-        midpoints = np.array([b * per_bucket + (per_bucket + 1) / 2.0
-                              for b in range(NUM_W_BUCKETS)])
+        per_bucket = _lanes_per_bucket(self.warp_size)
+        midpoints = np.array([
+            (b * per_bucket + 1
+             + max(b * per_bucket + 1,
+                   min((b + 1) * per_bucket, self.warp_size))) / 2.0
+            for b in range(NUM_W_BUCKETS)])
         return float((totals * midpoints).sum() / totals.sum())
 
 

@@ -36,10 +36,18 @@ class Warp:
     active_at_launch: np.ndarray
     regs: np.ndarray = field(init=False)
     preds: np.ndarray = field(init=False)
+    reg_rows: list = field(init=False, repr=False)
+    """Cached per-register row views of ``regs``; the executor indexes
+    these instead of slicing the 2D array on every operand fetch. Valid
+    because ``regs`` is only ever written in place, never rebound."""
+    pred_rows: list = field(init=False, repr=False)
     spawn_addr: np.ndarray = field(init=False)
     spawned_flag: np.ndarray = field(init=False)
     data_slot_addr: np.ndarray = field(init=False)
-    lane_commits: np.ndarray = field(init=False)
+    _lane_commits: np.ndarray = field(init=False, repr=False)
+    _commit_mask: np.ndarray | None = field(init=False, default=None,
+                                            repr=False)
+    _commit_count: int = field(init=False, default=0, repr=False)
     stack: ReconvergenceStack = field(init=False)
     status: str = READY
     ready_at: int = 0
@@ -57,10 +65,12 @@ class Warp:
             raise ValueError("tids must have warp_size entries")
         self.regs = np.zeros((self.num_regs, self.warp_size), dtype=np.float64)
         self.preds = np.zeros((NUM_PREDICATES, self.warp_size), dtype=bool)
+        self.reg_rows = list(self.regs)
+        self.pred_rows = list(self.preds)
         self.spawn_addr = np.zeros(self.warp_size, dtype=np.int64)
         self.spawned_flag = np.zeros(self.warp_size, dtype=bool)
         self.data_slot_addr = np.full(self.warp_size, -1, dtype=np.int64)
-        self.lane_commits = np.zeros(self.warp_size, dtype=np.int64)
+        self._lane_commits = np.zeros(self.warp_size, dtype=np.int64)
         self.stack = ReconvergenceStack.initial(0, self.active_at_launch)
 
     @staticmethod
@@ -78,6 +88,25 @@ class Warp:
     def pc(self) -> int:
         return self.stack.top.pc
 
+    @property
+    def lane_commits(self) -> np.ndarray:
+        """Per-lane committed-instruction counts.
+
+        The issue path batches commits per stack-entry mask (mask arrays
+        are never mutated in place — divergence and lane retirement always
+        install fresh arrays — so consecutive issues under the identical
+        mask object can be folded into one count). Reading this property
+        flushes the pending batch, so observers always see exact totals.
+        """
+        self.flush_commits()
+        return self._lane_commits
+
+    def flush_commits(self) -> None:
+        """Fold the pending (mask, count) batch into ``_lane_commits``."""
+        if self._commit_count:
+            self._lane_commits[self._commit_mask] += self._commit_count
+            self._commit_count = 0
+
     def active_mask(self) -> np.ndarray:
         if self.status == FINISHED or self.stack.empty:
             return np.zeros(self.warp_size, dtype=bool)
@@ -85,7 +114,9 @@ class Warp:
 
     @property
     def active_count(self) -> int:
-        return int(self.active_mask().sum())
+        if self.status == FINISHED or self.stack.empty:
+            return 0
+        return self.stack.active_count()
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,85 @@
+"""Golden-stats regression tests: exact JSON snapshots of simulator output.
+
+Two tiny scenes are simulated (traditional PDOM and µ-kernel spawn) and
+the full :class:`DivergenceSampler` output plus the headline SM counters
+are compared **exactly** against checked-in JSON snapshots under
+``tests/analysis/golden/``. Any change to scheduling, reconvergence,
+spawn formation, memory timing, or the fast-forward clock that perturbs a
+single counter shows up as a diff here.
+
+To bless intentional changes, regenerate the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/analysis/test_golden_stats.py \
+        --update-golden
+
+and commit the result — the diff of the JSON files *is* the review
+artifact for a stats-affecting change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload, run_mode
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Bounded so the goldens stay small and the runs stay fast; both scenes
+#: still cross DRAM waits, divergence, and (for spawn) warp formation.
+MAX_CYCLES = 60_000
+
+CASES = (
+    ("conference", "pdom_block"),
+    ("fairyforest", "spawn"),
+)
+
+
+def golden_snapshot(scene: str, mode: str) -> dict:
+    workload = prepare_workload(scene, get_preset("tiny"))
+    result = run_mode(mode, workload, max_cycles=MAX_CYCLES)
+    stats = result.stats
+    divergence = stats.divergence
+    sm = stats.sm_stats
+    return {
+        "scene": scene,
+        "mode": mode,
+        "max_cycles": MAX_CYCLES,
+        "cycles": stats.cycles,
+        "rays_completed": stats.rays_completed,
+        "issued_instructions": sm.issued_instructions,
+        "committed_thread_instructions": sm.committed_thread_instructions,
+        "idle_cycles": sm.idle_cycles,
+        "stall_cycles": sm.stall_cycles,
+        "threads_spawned": sm.threads_spawned,
+        "full_warps_formed": sm.full_warps_formed,
+        "partial_warps_flushed": sm.partial_warps_flushed,
+        "bank_conflict_cycles": sm.bank_conflict_cycles,
+        "dram_transactions": stats.dram_transactions,
+        "divergence": {
+            "window": divergence.window,
+            "totals": divergence.totals().tolist(),
+            "issues": [list(row) for row in divergence.issues],
+            "idle": list(divergence.idle),
+            "stall": list(divergence.stall),
+        },
+    }
+
+
+@pytest.mark.parametrize("scene,mode", CASES,
+                         ids=[f"{s}-{m}" for s, m in CASES])
+def test_golden_stats(scene, mode, update_golden):
+    path = GOLDEN_DIR / f"{scene}_{mode}.json"
+    snapshot = golden_snapshot(scene, mode)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate it with "
+        "pytest --update-golden")
+    golden = json.loads(path.read_text())
+    assert snapshot == golden

@@ -5,6 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden-stats JSON snapshots "
+             "(tests/analysis/golden/) instead of asserting against them")
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
 from repro.rt import Camera, build_kdtree, make_scene
 from repro.rt.geometry import Triangle
 

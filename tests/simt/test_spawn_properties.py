@@ -103,6 +103,46 @@ class TestThreadConservation:
             unit.free_data_addresses(addresses)
         assert unit.free_slot_count == 512
 
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["ka", "kb", "kc"]),
+                              st.integers(1, 3 * WARP)),
+                    min_size=1, max_size=40))
+    def test_partial_pool_never_reaches_warp_size(self, batches):
+        """A LUT entry accumulates partial threads strictly below
+        warp_size: the moment a group fills, it moves to the full-warp
+        FIFO, so no per-kernel pool ever holds a formable warp."""
+        unit = make_unit(regions=512, slots=4096)
+        for kernel, count in batches:
+            unit.spawn(kernel, np.arange(count))
+            for entry in unit.lut.values():
+                assert 0 <= entry.count < WARP
+            assert unit.partial_thread_count < WARP * len(unit.lut)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["ka", "kb", "kc"]),
+                              st.integers(1, WARP - 1)),
+                    min_size=1, max_size=12))
+    def test_flush_order_lowest_pc_first(self, batches):
+        """§IV-D: when partial warps are forced out, the pool with the
+        lowest µ-kernel entry PC flushes first."""
+        unit = make_unit(regions=512, slots=4096)
+        pointer = 0
+        for kernel, count in batches:
+            unit.spawn(kernel, np.arange(pointer, pointer + count))
+            pointer += count
+        while unit.has_full_warps:  # only partials remain
+            unit.pop_full_warp()
+        flushed_pcs = []
+        while True:
+            formed = unit.flush_partial_warp()
+            if formed is None:
+                break
+            assert formed.is_partial
+            assert 1 <= formed.num_threads < WARP
+            flushed_pcs.append(formed.entry_pc)
+        assert flushed_pcs == sorted(flushed_pcs)
+        assert unit.partial_thread_count == 0
+
     @settings(max_examples=30, deadline=None)
     @given(st.integers(1, 200))
     def test_metadata_round_trip(self, count):

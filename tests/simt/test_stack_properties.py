@@ -1,0 +1,175 @@
+"""Property tests: PDOM reconvergence-stack invariants under random walks.
+
+The executor trusts the stack blindly on the hot path (cached counts, no
+defensive copies), so the structural invariants are pinned down here:
+
+- **Masks are nested**: with properly nested control flow (every inner
+  branch reconverges strictly before its enclosing one — what the
+  compiler's post-dominator analysis guarantees), the sibling paths of a
+  branch are pairwise disjoint and their union is a subset of the parent
+  entry below them.
+- **Reconvergence PCs are monotone**: reading the stack bottom-up, the
+  reconvergence PC never increases (``RECONV_AT_EXIT`` acts as +inf).
+- **Counts match masks**: the cached ``count`` always equals
+  ``mask.sum()`` — the fast path issues on the cache alone.
+- **No dormant reconverged entries**: only the bottom entry may sit at
+  its reconvergence PC; anything above would mean a missed pop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.cfg import RECONV_AT_EXIT
+from repro.simt.stack import ReconvergenceStack
+
+WARP = 8
+
+#: Forward-branch PC space; RECONV_AT_EXIT (-1) sorts as +inf.
+MAX_PC = 10_000
+
+
+def _reconv_key(pc: int) -> float:
+    return float("inf") if pc == RECONV_AT_EXIT else pc
+
+
+def check_invariants(stack: ReconvergenceStack) -> None:
+    entries = stack.entries
+    for entry in entries:
+        assert entry.count == int(entry.mask.sum())
+        assert entry.mask.dtype == bool and entry.mask.shape == (WARP,)
+    # Reconvergence PCs monotone non-increasing bottom-up: an inner branch
+    # never reconverges beyond its enclosing one.
+    for below, above in zip(entries, entries[1:]):
+        assert _reconv_key(above.reconv_pc) <= _reconv_key(below.reconv_pc)
+    # Contiguous entries sharing a reconvergence PC are sibling paths of
+    # one branch: pairwise disjoint, and their union is nested inside the
+    # parent entry directly below the group (which holds the union mask
+    # and waits at the reconvergence point).
+    index = 1
+    while index < len(entries):
+        start = index
+        key = _reconv_key(entries[index].reconv_pc)
+        group = entries[index].mask.copy()
+        while (index + 1 < len(entries)
+               and _reconv_key(entries[index + 1].reconv_pc) == key):
+            index += 1
+            assert not (entries[index].mask & group).any()  # disjoint
+            group |= entries[index].mask
+        parent = entries[start - 1]
+        assert not (group & ~parent.mask).any()  # nested
+        index += 1
+    for entry in entries[1:]:
+        assert entry.pc != entry.reconv_pc
+        assert entry.count > 0
+
+
+class StackWalk:
+    """Drive a stack the way the executor does, with random control flow."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self.stack = ReconvergenceStack.initial(0, np.ones(WARP, dtype=bool))
+
+    @property
+    def live(self) -> bool:
+        return not self.stack.empty
+
+    def step(self, op: str) -> None:
+        stack = self.stack
+        top = stack.top
+        if op == "advance":
+            stack.advance(top.pc + 1)
+        elif op == "reconverge" and top.reconv_pc != RECONV_AT_EXIT:
+            stack.advance(top.reconv_pc)
+        elif op == "diverge":
+            active = top.mask
+            lanes = np.nonzero(active)[0]
+            picks = self.rng.random(lanes.size) < 0.5
+            taken = np.zeros(WARP, dtype=bool)
+            taken[lanes[picks]] = True
+            not_taken = active & ~taken
+            # Proper nesting: the inner reconvergence point must lie
+            # strictly before the enclosing one (the compiler's immediate
+            # post-dominator of an inner branch precedes the outer's).
+            outer = (MAX_PC if top.reconv_pc == RECONV_AT_EXIT
+                     else top.reconv_pc)
+            lo = top.pc + 1
+            if lo >= outer:
+                return  # no room for a forward branch inside this region
+            reconv = int(self.rng.integers(lo, outer))
+            target = int(self.rng.integers(lo, reconv + 1))
+            fallthrough = top.pc + 1
+            stack.diverge(taken, not_taken, target, fallthrough, reconv)
+        elif op == "retire":
+            active = top.mask
+            lanes = np.nonzero(active)[0]
+            picks = self.rng.random(lanes.size) < 0.3
+            exiting = np.zeros(WARP, dtype=bool)
+            exiting[lanes[picks]] = True
+            if exiting.any():
+                stack.retire_lanes(exiting)
+
+
+OPS = st.lists(
+    st.sampled_from(["advance", "diverge", "reconverge", "retire"]),
+    min_size=1, max_size=120)
+
+
+class TestStackProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=OPS, seed=st.integers(0, 2**32 - 1))
+    def test_invariants_hold_under_random_walk(self, ops, seed):
+        walk = StackWalk(np.random.default_rng(seed))
+        check_invariants(walk.stack)
+        for op in ops:
+            if not walk.live:
+                break
+            walk.step(op)
+            check_invariants(walk.stack)
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=OPS, seed=st.integers(0, 2**32 - 1))
+    def test_all_lanes_accounted_until_retired(self, ops, seed):
+        """The top mask never contains a lane that already exited."""
+        walk = StackWalk(np.random.default_rng(seed))
+        retired = np.zeros(WARP, dtype=bool)
+        for op in ops:
+            if not walk.live:
+                break
+            before = walk.stack.top.mask.copy() if op == "retire" else None
+            walk.step(op)
+            if op == "retire" and walk.stack.entries:
+                now_active = walk.stack.active_mask()
+                newly_retired = before & ~now_active
+                retired |= newly_retired
+            for entry in walk.stack.entries:
+                assert not (entry.mask & retired).any()
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(1, 6))
+    def test_nested_divergence_reconverges_to_initial_mask(self, seed, depth):
+        """Diverge ``depth`` times, then run every path to its
+        reconvergence point: the stack must collapse back to one entry
+        holding the original full mask."""
+        rng = np.random.default_rng(seed)
+        stack = ReconvergenceStack.initial(0, np.ones(WARP, dtype=bool))
+        reconv = 100 * (depth + 1)
+        for _ in range(depth):
+            top = stack.top
+            active = top.mask
+            lanes = np.nonzero(active)[0]
+            if lanes.size < 2:
+                break
+            taken = np.zeros(WARP, dtype=bool)
+            taken[lanes[: lanes.size // 2]] = True
+            stack.diverge(taken, active & ~taken, top.pc + 10, top.pc + 1,
+                          reconv)
+            reconv -= 100
+        # Drain: repeatedly advance the top path straight to its
+        # reconvergence PC until only the bottom entry remains.
+        while stack.depth > 1:
+            stack.advance(stack.top.reconv_pc)
+        assert stack.top.mask.all()
+        assert stack.top.count == WARP

@@ -45,6 +45,62 @@ class TestWBuckets:
     def test_bucket_monotone(self, active):
         assert w_bucket(active) <= w_bucket(active + 1)
 
+    @pytest.mark.parametrize("warp_size", [4, 8, 16, 32])
+    def test_full_warp_lands_in_top_nonempty_bucket(self, warp_size):
+        """A fully-occupied warp always reports as the densest bucket its
+        warp size can reach, and every active count maps to a bucket whose
+        label range actually contains it."""
+        per_bucket = max(1, -(-warp_size // NUM_W_BUCKETS))
+        top = min(NUM_W_BUCKETS - 1, (warp_size - 1) // per_bucket)
+        assert w_bucket(warp_size, warp_size) == top
+        labels = w_labels(warp_size)
+        for active in range(1, warp_size + 1):
+            bucket = w_bucket(active, warp_size)
+            lo, hi = labels[bucket][1:].split(":")
+            assert int(lo) <= active <= int(hi), (
+                f"warp_size={warp_size}: {active} active lanes landed in "
+                f"{labels[bucket]}")
+
+    @pytest.mark.parametrize("warp_size", [4, 8, 16, 32])
+    def test_small_warps_use_one_lane_per_bucket(self, warp_size):
+        """For warp sizes <= NUM_W_BUCKETS each active count has its own
+        bucket (warp_size=4 must not collapse into bucket 0)."""
+        if warp_size <= NUM_W_BUCKETS:
+            buckets = [w_bucket(a, warp_size)
+                       for a in range(1, warp_size + 1)]
+            assert buckets == list(range(warp_size))
+
+    @pytest.mark.parametrize("warp_size", [3, 5, 6, 7, 12, 20, 24])
+    def test_non_multiple_warp_sizes_cover_all_counts(self, warp_size):
+        """Non-multiple-of-8 sizes: buckets partition 1..warp_size with no
+        count spilling past the labelled top range (the old floor-based
+        per-bucket width collapsed the tail into a mislabelled bucket)."""
+        labels = w_labels(warp_size)
+        seen = set()
+        for active in range(1, warp_size + 1):
+            bucket = w_bucket(active, warp_size)
+            assert 0 <= bucket < NUM_W_BUCKETS
+            lo, hi = labels[bucket][1:].split(":")
+            assert int(lo) <= active <= int(hi)
+            seen.add(bucket)
+        assert sorted(seen) == list(range(len(seen)))  # contiguous from 0
+
+    @pytest.mark.parametrize("warp_size", [4, 8, 16, 32])
+    def test_over_warp_size_rejected(self, warp_size):
+        with pytest.raises(ValueError):
+            w_bucket(warp_size + 1, warp_size)
+
+    @pytest.mark.parametrize("warp_size", [4, 8, 16, 32])
+    def test_sampler_agrees_with_w_bucket(self, warp_size):
+        """The sampler's inlined hot-path bucketing must match the public
+        w_bucket function for every possible active count."""
+        for active in range(1, warp_size + 1):
+            sampler = DivergenceSampler(warp_size=warp_size, window=10)
+            sampler.record_issue(0, active)
+            totals = sampler.totals()
+            assert totals[w_bucket(active, warp_size)] == 1
+            assert totals.sum() == 1
+
 
 class TestDivergenceSampler:
     def test_issue_recording(self):
