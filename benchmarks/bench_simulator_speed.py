@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.analysis.report import format_table
 from repro.harness.runner import run_mode
 
@@ -62,3 +64,52 @@ def bench_simulator_speed(benchmark, workloads, report):
         assert row["fast_cyc_per_s"] > 0
         # Fast-forward only skips work; allow generous timing noise.
         assert row["fast_vs_exact"] > 0.7, row
+
+
+def _sweep_once(jobs, cache):
+    """One full sweep; returns (runs/minute, workload builds it needed)."""
+    from repro.harness.sweep import run_sweep
+
+    builds_before = cache.stats.builds
+    start = time.perf_counter()
+    results = run_sweep(jobs, jobs_n=1)
+    elapsed = time.perf_counter() - start
+    assert all(result.verified for result in results)
+    return (len(results) * 60.0 / elapsed,
+            cache.stats.builds - builds_before)
+
+
+def _run_sweep_phases(preset, cache_dir):
+    from repro.harness.cache import default_cache
+    from repro.harness.sweep import SweepJob
+
+    jobs = [SweepJob(scene=SCENE, mode=mode, preset=preset.name)
+            for mode in MODES]
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        patch.delenv("REPRO_CACHE", raising=False)
+        cache = default_cache()
+        cache.clear()
+        cold_rate, cold_builds = _sweep_once(jobs, cache)
+        warm_rate, warm_builds = _sweep_once(jobs, cache)
+    return [
+        {"cache": "cold", "runs_per_min": round(cold_rate, 1),
+         "workload_builds": cold_builds},
+        {"cache": "warm", "runs_per_min": round(warm_rate, 1),
+         "workload_builds": warm_builds},
+    ]
+
+
+def bench_sweep_throughput(benchmark, preset, report, tmp_path_factory):
+    """Sweep runs/minute, cold vs warm workload cache.
+
+    The warm pass must do zero workload builds — every kd-tree and
+    reference trace comes from the cache populated by the cold pass.
+    """
+    cache_dir = tmp_path_factory.mktemp("sweep-cache")
+    rows = benchmark.pedantic(_run_sweep_phases, args=(preset, cache_dir),
+                              rounds=1, iterations=1)
+    report(format_table(
+        rows, title="Sweep throughput — simulation runs per minute"))
+    warm = rows[1]
+    assert warm["workload_builds"] == 0, rows

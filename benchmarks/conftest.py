@@ -26,14 +26,16 @@ def preset():
 
 @pytest.fixture(scope="session")
 def workloads(preset):
-    """Prepared workloads per scene, shared across benches."""
-    cache: dict[str, object] = {}
+    """Prepared workloads per scene, shared across benches.
+
+    Backed by the persistent workload cache (:mod:`repro.harness.cache`):
+    the in-process LRU makes repeated requests within a bench session
+    cheap, and a second bench run loads kd-trees and reference traces
+    from ``~/.cache/repro`` instead of rebuilding them.
+    """
 
     def get(scene: str, ray_kind: str = "primary"):
-        key = f"{scene}:{ray_kind}"
-        if key not in cache:
-            cache[key] = prepare_workload(scene, preset, ray_kind=ray_kind)
-        return cache[key]
+        return prepare_workload(scene, preset, ray_kind=ray_kind)
 
     return get
 

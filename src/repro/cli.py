@@ -2,20 +2,25 @@
 
 Commands:
 
-- ``experiments [--preset P] [--only table1,fig8,...]`` — regenerate the
-  paper's tables and figures,
+- ``experiments [--preset P] [--only table1,fig8,...] [--jobs N]`` —
+  regenerate the paper's tables and figures; ``--jobs`` fans the
+  simulations over worker processes (default ``os.cpu_count()``,
+  ``REPRO_JOBS`` override; results are bit-identical to ``--jobs 1``),
 - ``run --scene S --mode M [--preset P] [--rays shadow] [--fast|--exact]``
   — one simulation with full metrics (``--fast``, the default, uses the
   event-driven clock; ``--exact`` ticks every cycle),
 - ``render --scene S [--width W --height H] [--out f.ppm]`` — reference
   render of a benchmark scene,
 - ``disasm {traditional|microkernels}`` — print a benchmark kernel's
-  assembly.
+  assembly,
+- ``cache {info,clear}`` — inspect or empty the persistent workload cache
+  (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
@@ -24,37 +29,43 @@ from repro.harness.presets import PRESETS, get_preset
 from repro.harness.runner import MODES, prepare_workload, run_mode
 from repro.rt import BENCHMARK_SCENES
 
-_EXPERIMENTS = {
-    "table1": lambda preset: experiments.table1(),
-    "table2": lambda preset: experiments.table2(),
-    "table3": experiments.table3,
-    "table4": experiments.table4,
-    "fig3": experiments.fig3,
-    "fig7": experiments.fig7,
-    "fig8": experiments.fig8,
-    "fig9": experiments.fig9,
-    "fig10": experiments.fig10,
-    "ablation_dwf": experiments.ablation_dwf,
-    "ablation_persistent": experiments.ablation_persistent,
-}
-
 
 def _cmd_experiments(args) -> int:
+    from repro.harness.sweep import resolve_jobs, stderr_progress
+
     preset = get_preset(args.preset)
+    jobs = resolve_jobs(args.jobs)  # default: REPRO_JOBS, else all cores
     if args.csv_dir:
-        for path in experiments.export_all_csv(preset, args.csv_dir):
+        for path in experiments.export_all_csv(preset, args.csv_dir,
+                                               jobs=jobs):
             print(f"wrote {path}")
         return 0
-    names = (args.only.split(",") if args.only
-             else list(_EXPERIMENTS))
-    for name in names:
-        runner = _EXPERIMENTS.get(name.strip())
-        if runner is None:
-            print(f"unknown experiment {name!r}; choose from "
-                  f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
-            return 2
-        print(runner(preset)["render"])
+    names = ([name.strip() for name in args.only.split(",")] if args.only
+             else list(experiments.EXPERIMENTS))
+    unknown = [name for name in names
+               if name not in experiments.EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; choose from "
+              f"{', '.join(experiments.EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for _, data in experiments.run_selected(names, preset, jobs=jobs,
+                                            progress=stderr_progress):
+        print(data["render"])
         print()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.harness.cache import default_cache
+
+    cache = default_cache()
+    if args.verb == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.cache_dir}")
+        return 0
+    info = cache.info()
+    del info["files"]  # keep `repro cache info` one screen tall
+    print(json.dumps(info, indent=2, sort_keys=True))
     return 0
 
 
@@ -123,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--csv-dir", default="",
                        help="write figure/table data as CSV files here "
                             "instead of printing")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the simulation sweep "
+                            "(default: REPRO_JOBS or all cores; 1 = serial; "
+                            "results are bit-identical either way)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_run = sub.add_parser("run", help="simulate one workload/mode pair")
@@ -155,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dis = sub.add_parser("disasm", help="print a benchmark kernel")
     p_dis.add_argument("kernel", choices=("traditional", "microkernels"))
     p_dis.set_defaults(func=_cmd_disasm)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the workload cache")
+    p_cache.add_argument("verb", choices=("info", "clear"))
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -4,6 +4,14 @@ Each ``table*``/``fig*`` function runs the relevant simulations and returns
 a dict with structured data plus a ``render`` string that prints the same
 rows/series the paper reports. ``python -m repro.harness.experiments``
 regenerates everything at the chosen preset.
+
+Every simulation-backed figure accepts an optional ``results``
+(:class:`~repro.harness.sweep.SweepResults`): when given, the figure reads
+precomputed stats instead of simulating. :func:`run_selected` enumerates
+the union of jobs the requested figures need (deduplicated — the PDOM
+baseline shared by Figures 3/7/8/9/10 runs once, not five times), executes
+them through the sweep engine with ``jobs`` workers, and feeds every figure
+from the shared results.
 """
 
 from __future__ import annotations
@@ -20,6 +28,13 @@ from repro.harness.runner import (
     prepare_workload,
     run_mode,
 )
+from repro.harness.sweep import (
+    SweepJob,
+    SweepResults,
+    resolve_jobs,
+    run_sweep,
+    warm_workloads,
+)
 from repro.kernels.microkernels import (
     PAPER_REGISTERS as MICRO_REGS,
     microkernel_program,
@@ -33,8 +48,25 @@ from repro.kernels.traditional import (
     PAPER_REGISTERS as TRAD_REGS,
     traditional_program,
 )
-from repro.rt import BENCHMARK_SCENES, build_kdtree, make_scene
+from repro.rt import BENCHMARK_SCENES
 from repro.rt.scenes import PAPER_TRIANGLE_COUNTS
+
+
+def _sim(results: SweepResults | None, scene: str, mode: str,
+         preset: SimPreset):
+    """One simulation: served from sweep results when available.
+
+    Returns either a :class:`~repro.harness.sweep.JobResult` or a
+    :class:`~repro.harness.runner.RunResult`; both expose ``stats``,
+    ``ipc``, ``simt_efficiency``, ``rays_per_second``,
+    ``completed_fraction``, and ``verify()``.
+    """
+    if results is not None:
+        try:
+            return results.get(scene, mode)
+        except KeyError:
+            pass
+    return run_mode(mode, prepare_workload(scene, preset))
 
 
 def table1() -> dict:
@@ -67,16 +99,18 @@ def table2(config=None) -> dict:
 
 
 def table3(preset: SimPreset) -> dict:
-    """Table III: benchmark scenes and tree parameters."""
+    """Table III: benchmark scenes and tree parameters.
+
+    Reads the trees through the workload cache (the primary workload's
+    tree is built with exactly these parameters), so a warm cache serves
+    the whole table without a single kd-tree build.
+    """
     rows = []
     for name in BENCHMARK_SCENES:
-        scene = make_scene(name, detail=preset.scene_detail)
-        tree = build_kdtree(scene.triangles, max_depth=preset.kd_max_depth,
-                            leaf_size=preset.kd_leaf_size)
-        stats = tree.stats()
+        stats = prepare_workload(name, preset).tree.stats()
         rows.append({
             "scene": name,
-            "triangles": scene.num_triangles,
+            "triangles": stats.num_triangles,
             "paper_triangles": PAPER_TRIANGLE_COUNTS[name],
             "tree_nodes": stats.num_nodes,
             "tree_leaves": stats.num_leaves,
@@ -88,8 +122,10 @@ def table3(preset: SimPreset) -> dict:
             "render": format_table(rows, title="Table III — scenes")}
 
 
-def table4(preset: SimPreset) -> dict:
+def table4(preset: SimPreset, jobs: int | None = None) -> dict:
     """Table IV: per-frame bandwidth, traditional vs dynamic."""
+    if jobs is not None and resolve_jobs(jobs) > 1:
+        warm_workloads(BENCHMARK_SCENES, preset.name, jobs_n=jobs)
     per_scene = {}
     for name in BENCHMARK_SCENES:
         workload = prepare_workload(name, preset)
@@ -110,9 +146,9 @@ def table4(preset: SimPreset) -> dict:
 
 
 def _divergence_figure(mode: str, preset: SimPreset, scene: str,
-                       title: str) -> dict:
-    workload = prepare_workload(scene, preset)
-    result = run_mode(mode, workload)
+                       title: str,
+                       results: SweepResults | None = None) -> dict:
+    result = _sim(results, scene, mode, preset)
     breakdown = breakdown_from_stats(result.stats)
     return {
         "mode": mode,
@@ -129,18 +165,21 @@ def _divergence_figure(mode: str, preset: SimPreset, scene: str,
     }
 
 
-def fig3(preset: SimPreset, scene: str = "conference") -> dict:
+def fig3(preset: SimPreset, scene: str = "conference",
+         results: SweepResults | None = None) -> dict:
     """Figure 3: divergence breakdown, traditional SIMT branching."""
     return _divergence_figure("pdom_block", preset, scene,
-                              "Figure 3 — divergence, PDOM")
+                              "Figure 3 — divergence, PDOM", results)
 
 
-def fig7(preset: SimPreset, scene: str = "conference") -> dict:
+def fig7(preset: SimPreset, scene: str = "conference",
+         results: SweepResults | None = None) -> dict:
     """Figure 7: divergence breakdown with dynamic µ-kernels (no bank
     conflicts); paper reports IPC 615 vs 326 (1.9x) on its machine."""
     data = _divergence_figure("spawn", preset, scene,
-                              "Figure 7 — divergence, µ-kernels")
-    baseline = _divergence_figure("pdom_block", preset, scene, "baseline")
+                              "Figure 7 — divergence, µ-kernels", results)
+    baseline = _divergence_figure("pdom_block", preset, scene, "baseline",
+                                  results)
     ratio = data["ipc"] / baseline["ipc"] if baseline["ipc"] else 0.0
     data["baseline_ipc"] = baseline["ipc"]
     data["ipc_ratio"] = ratio
@@ -150,12 +189,15 @@ def fig7(preset: SimPreset, scene: str = "conference") -> dict:
     return data
 
 
-def fig9(preset: SimPreset, scene: str = "conference") -> dict:
+def fig9(preset: SimPreset, scene: str = "conference",
+         results: SweepResults | None = None) -> dict:
     """Figure 9: µ-kernel divergence with spawn-memory bank conflicts;
     paper reports IPC 429 (1.3x over PDOM)."""
     data = _divergence_figure("spawn_conflicts", preset, scene,
-                              "Figure 9 — divergence, µ-kernels + conflicts")
-    baseline = _divergence_figure("pdom_block", preset, scene, "baseline")
+                              "Figure 9 — divergence, µ-kernels + conflicts",
+                              results)
+    baseline = _divergence_figure("pdom_block", preset, scene, "baseline",
+                                  results)
     ratio = data["ipc"] / baseline["ipc"] if baseline["ipc"] else 0.0
     data["baseline_ipc"] = baseline["ipc"]
     data["ipc_ratio"] = ratio
@@ -165,14 +207,24 @@ def fig9(preset: SimPreset, scene: str = "conference") -> dict:
     return data
 
 
-def fig8(preset: SimPreset, modes=("pdom_block", "pdom_warp", "spawn")
-         ) -> dict:
-    """Figure 8: rays/second per scene and branching/scheduling method."""
+def fig8(preset: SimPreset, modes=("pdom_block", "pdom_warp", "spawn"),
+         results: SweepResults | None = None,
+         jobs: int | None = None) -> dict:
+    """Figure 8: rays/second per scene and branching/scheduling method.
+
+    The full scene x mode grid is one parallel sweep when ``jobs`` asks
+    for workers (or when precomputed ``results`` are passed in).
+    """
+    if results is None and jobs is not None and resolve_jobs(jobs) > 1:
+        warm_workloads(BENCHMARK_SCENES, preset.name, jobs_n=jobs)
+        results = run_sweep([SweepJob(scene=scene, mode=mode,
+                                      preset=preset.name)
+                             for scene in BENCHMARK_SCENES
+                             for mode in modes], jobs_n=jobs)
     rows = []
     for scene in BENCHMARK_SCENES:
-        workload = prepare_workload(scene, preset)
         for mode in modes:
-            result = run_mode(mode, workload)
+            result = _sim(results, scene, mode, preset)
             rows.append({
                 "scene": scene,
                 "mode": mode,
@@ -201,20 +253,27 @@ def fig8(preset: SimPreset, modes=("pdom_block", "pdom_warp", "spawn")
     return {"rows": rows, "summary": summary, "render": render}
 
 
-def fig10(preset: SimPreset, scene: str = "conference") -> dict:
+def fig10(preset: SimPreset, scene: str = "conference",
+          results: SweepResults | None = None,
+          jobs: int | None = None) -> dict:
     """Figure 10: branching performance vs the MIMD theoretical ideal.
 
     The paper's shape: PDOM gains nothing from an ideal memory system
     (branch-bound); µ-kernels reach ~45% of MIMD with real memory and ~60%
     with ideal memory.
     """
+    modes = ("pdom_block", "pdom_ideal", "spawn", "spawn_ideal")
+    if results is None and jobs is not None and resolve_jobs(jobs) > 1:
+        results = run_sweep([SweepJob(scene=scene, mode=mode,
+                                      preset=preset.name)
+                             for mode in modes], jobs_n=jobs)
     workload = prepare_workload(scene, preset)
     mimd = mimd_rays_per_second(workload)
     bars = []
-    results = {}
-    for mode in ("pdom_block", "pdom_ideal", "spawn", "spawn_ideal"):
-        result = run_mode(mode, workload)
-        results[mode] = result
+    mode_results = {}
+    for mode in modes:
+        result = _sim(results, scene, mode, preset)
+        mode_results[mode] = result
         bars.append((mode, result.rays_per_second))
     bars.append(("mimd_theoretical", mimd))
     fractions = {mode: (value / mimd if mimd else 0.0)
@@ -225,11 +284,12 @@ def fig10(preset: SimPreset, scene: str = "conference") -> dict:
     render = format_table(rows, title=f"Figure 10 — vs MIMD ({scene})")
     render += ("\n\npaper shape: PDOM flat under ideal memory; µ-kernels "
                ">=45% of MIMD, up to ~60% ideal")
-    return {"rows": rows, "fractions": fractions, "results": results,
+    return {"rows": rows, "fractions": fractions, "results": mode_results,
             "mimd_rays_per_second": mimd, "render": render}
 
 
-def ablation_dwf(preset: SimPreset, workload=None) -> dict:
+def ablation_dwf(preset: SimPreset, workload=None,
+                 results: SweepResults | None = None) -> dict:
     """Regrouping mechanisms: PDOM vs idealized DWF vs dynamic µ-kernels."""
     import numpy as np
 
@@ -250,8 +310,8 @@ def ablation_dwf(preset: SimPreset, workload=None) -> dict:
     done = ~np.isnan(t)
     verified = bool(np.array_equal(tri[done],
                                    workload.reference.triangle[done]))
-    pdom = run_mode("pdom_warp", workload)
-    spawn = run_mode("spawn", workload)
+    pdom = _sim(results, workload.scene_name, "pdom_warp", preset)
+    spawn = _sim(results, workload.scene_name, "spawn", preset)
     rows = [
         {"mechanism": "PDOM (stack)", "ipc": round(pdom.ipc, 1),
          "efficiency": round(pdom.simt_efficiency, 3),
@@ -268,7 +328,8 @@ def ablation_dwf(preset: SimPreset, workload=None) -> dict:
                                                 "mechanisms (conference)")}
 
 
-def ablation_persistent(preset: SimPreset, workload=None) -> dict:
+def ablation_persistent(preset: SimPreset, workload=None,
+                        results: SweepResults | None = None) -> dict:
     """Work scheduling: grid launch vs persistent threads vs µ-kernels."""
     import numpy as np
 
@@ -292,8 +353,8 @@ def ablation_persistent(preset: SimPreset, workload=None) -> dict:
     done = ~np.isnan(t)
     verified = bool(np.array_equal(tri[done],
                                    workload.reference.triangle[done]))
-    grid = run_mode("pdom_warp", workload)
-    spawn = run_mode("spawn", workload)
+    grid = _sim(results, workload.scene_name, "pdom_warp", preset)
+    spawn = _sim(results, workload.scene_name, "spawn", preset)
     rows = [
         {"approach": "grid launch (PDOM)", "ipc": round(grid.ipc, 1),
          "efficiency": round(grid.simt_efficiency, 3),
@@ -310,47 +371,126 @@ def ablation_persistent(preset: SimPreset, workload=None) -> dict:
                                                 "scheduling (conference)")}
 
 
-def export_all_csv(preset: SimPreset, out_dir: str) -> list[str]:
+def _pairs(preset: SimPreset, pairs) -> list[SweepJob]:
+    return [SweepJob(scene=scene, mode=mode, preset=preset.name)
+            for scene, mode in pairs]
+
+
+#: Simulations each figure needs, as declarative job specs. The union over
+#: requested figures is deduplicated before the sweep runs, so shared
+#: baselines (conference pdom_block appears in five figures) run once.
+FIGURE_JOBS = {
+    "fig3": lambda preset: _pairs(preset, [("conference", "pdom_block")]),
+    "fig7": lambda preset: _pairs(preset, [("conference", "spawn"),
+                                           ("conference", "pdom_block")]),
+    "fig8": lambda preset: _pairs(preset, [
+        (scene, mode) for scene in BENCHMARK_SCENES
+        for mode in ("pdom_block", "pdom_warp", "spawn")]),
+    "fig9": lambda preset: _pairs(preset, [("conference", "spawn_conflicts"),
+                                           ("conference", "pdom_block")]),
+    "fig10": lambda preset: _pairs(preset, [
+        ("conference", mode) for mode in ("pdom_block", "pdom_ideal",
+                                          "spawn", "spawn_ideal")]),
+    "ablation_dwf": lambda preset: _pairs(preset, [
+        ("conference", "pdom_warp"), ("conference", "spawn")]),
+    "ablation_persistent": lambda preset: _pairs(preset, [
+        ("conference", "pdom_warp"), ("conference", "spawn")]),
+}
+
+#: Uniform call surface for the CLI and :func:`run_selected`.
+EXPERIMENTS = {
+    "table1": lambda preset, results=None: table1(),
+    "table2": lambda preset, results=None: table2(),
+    "table3": lambda preset, results=None: table3(preset),
+    "table4": lambda preset, results=None: table4(preset),
+    "fig3": lambda preset, results=None: fig3(preset, results=results),
+    "fig7": lambda preset, results=None: fig7(preset, results=results),
+    "fig8": lambda preset, results=None: fig8(preset, results=results),
+    "fig9": lambda preset, results=None: fig9(preset, results=results),
+    "fig10": lambda preset, results=None: fig10(preset, results=results),
+    "ablation_dwf": lambda preset, results=None: ablation_dwf(
+        preset, results=results),
+    "ablation_persistent": lambda preset, results=None: ablation_persistent(
+        preset, results=results),
+}
+
+
+def sweep_jobs_for(names, preset: SimPreset) -> list[SweepJob]:
+    """Deduplicated union of the jobs the named experiments need."""
+    jobs: list[SweepJob] = []
+    seen: set = set()
+    for name in names:
+        for job in FIGURE_JOBS.get(name, lambda preset: [])(preset):
+            if job not in seen:
+                seen.add(job)
+                jobs.append(job)
+    return jobs
+
+
+def run_selected(names, preset: SimPreset, jobs: int | None = None,
+                 progress=None):
+    """Yield ``(name, data)`` for each experiment, sharing one sweep.
+
+    All simulations the requested figures need run first — as a single
+    deduplicated sweep over ``jobs`` workers (workloads are pre-warmed
+    into the cache so pool workers never race on a scene build) — then
+    each figure renders from the shared results.
+    """
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; choose from "
+                       f"{', '.join(EXPERIMENTS)}")
+    sim_jobs = sweep_jobs_for(names, preset)
+    # jobs=None means serial here (the safe library default); the CLI
+    # resolves its own default to REPRO_JOBS / os.cpu_count() first.
+    workers = 1 if jobs is None else resolve_jobs(jobs)
+    results = None
+    if sim_jobs:
+        if workers > 1:
+            warm_workloads(sorted({job.scene for job in sim_jobs}),
+                           preset.name, jobs_n=workers)
+        results = run_sweep(sim_jobs, jobs_n=workers, progress=progress)
+    for name in names:
+        yield name, EXPERIMENTS[name](preset, results=results)
+
+
+def export_all_csv(preset: SimPreset, out_dir: str,
+                   jobs: int | None = None) -> list[str]:
     """Regenerate the figure data and write CSVs under ``out_dir``."""
     from repro.analysis.export import write_breakdown_csv, write_rows_csv
 
+    names = ("table2", "table3", "table4", "fig3", "fig7", "fig8", "fig9",
+             "fig10")
+    data = dict(run_selected(names, preset, jobs=jobs))
     written = []
-    for name, data in (("table2", table2()), ("table3", table3(preset)),
-                       ("table4", table4(preset)), ("fig8", fig8(preset))):
+    for name in ("table2", "table3", "table4", "fig8", "fig10"):
         written.append(str(write_rows_csv(f"{out_dir}/{name}.csv",
-                                          data["rows"])))
-    for name, fig in (("fig3", fig3(preset)), ("fig7", fig7(preset)),
-                      ("fig9", fig9(preset))):
+                                          data[name]["rows"])))
+    for name in ("fig3", "fig7", "fig9"):
         written.append(str(write_breakdown_csv(f"{out_dir}/{name}.csv",
-                                               fig["breakdown"])))
-    written.append(str(write_rows_csv(f"{out_dir}/fig10.csv",
-                                      fig10(preset)["rows"])))
+                                               data[name]["breakdown"])))
     return written
 
 
-def run_all(preset_name: str = "fast") -> str:
-    """Regenerate every table and figure; returns the combined report."""
+def run_all(preset_name: str = "fast", jobs: int | None = None,
+            progress=None) -> str:
+    """Regenerate every table and figure; returns the combined report.
+
+    ``jobs`` fans the underlying simulations over that many worker
+    processes (``None`` keeps the serial reference path).
+    """
     preset = get_preset(preset_name)
-    sections = [
-        table1()["render"],
-        table2()["render"],
-        table3(preset)["render"],
-        table4(preset)["render"],
-        fig3(preset)["render"],
-        fig7(preset)["render"],
-        fig8(preset)["render"],
-        fig9(preset)["render"],
-        fig10(preset)["render"],
-        ablation_dwf(preset)["render"],
-        ablation_persistent(preset)["render"],
-    ]
+    sections = [data["render"] for _, data in
+                run_selected(list(EXPERIMENTS), preset, jobs=jobs,
+                             progress=progress)]
     return "\n\n".join(sections)
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     preset = argv[0] if argv else "fast"
-    print(run_all(preset))
+    jobs = int(argv[1]) if len(argv) > 1 else None
+    print(run_all(preset, jobs=jobs))
     return 0
 
 

@@ -52,7 +52,12 @@ MODES = ("pdom_block", "pdom_warp", "spawn", "spawn_conflicts",
 
 @dataclass
 class Workload:
-    """A prepared scene + ray batch + reference solution."""
+    """A prepared scene + ray batch + reference solution.
+
+    ``light`` is the scene's point light; it is carried on the workload so
+    secondary-ray batches (shadow rays need the light) can be derived from a
+    cached primary workload without regenerating the scene.
+    """
 
     scene_name: str
     ray_kind: str
@@ -62,6 +67,7 @@ class Workload:
     t_max: np.ndarray
     reference: TraceResult
     preset: SimPreset
+    light: np.ndarray | None = None
 
     @property
     def num_rays(self) -> int:
@@ -107,9 +113,8 @@ class RunResult:
         return tri_ok and np.array_equal(mine, theirs)
 
 
-def prepare_workload(scene_name: str, preset: SimPreset,
-                     ray_kind: str = "primary", seed: int = 0) -> Workload:
-    """Build a scene, its kd-tree, and the requested ray batch."""
+def build_primary_workload(scene_name: str, preset: SimPreset) -> Workload:
+    """Build scene, kd-tree, camera rays, and the primary reference trace."""
     scene = make_scene(scene_name, detail=preset.scene_detail)
     tree = build_kdtree(scene.triangles, max_depth=preset.kd_max_depth,
                         leaf_size=preset.kd_leaf_size)
@@ -117,24 +122,73 @@ def prepare_workload(scene_name: str, preset: SimPreset,
     origins, directions = camera.primary_rays(preset.image_width,
                                               preset.image_height)
     t_max = np.full(origins.shape[0], np.inf)
-    if ray_kind != "primary":
-        primary = trace_rays(tree, origins, directions)
-        if ray_kind == "shadow":
-            batch = shadow_rays(scene.triangles, primary.triangle, primary.t,
-                                origins, directions, scene.light)
-        elif ray_kind == "reflection":
-            batch = reflection_rays(scene.triangles, primary.triangle,
-                                    primary.t, origins, directions)
-        elif ray_kind == "gi":
-            batch = gi_rays(scene.triangles, primary.triangle, primary.t,
-                            origins, directions, seed=seed)
-        else:
-            raise ConfigError(f"unknown ray kind {ray_kind!r}")
-        origins, directions, t_max = batch.origins, batch.directions, batch.t_max
     reference = trace_rays(tree, origins, directions, t_max)
-    return Workload(scene_name=scene_name, ray_kind=ray_kind, tree=tree,
+    return Workload(scene_name=scene_name, ray_kind="primary", tree=tree,
                     origins=origins, directions=directions, t_max=t_max,
-                    reference=reference, preset=preset)
+                    reference=reference, preset=preset, light=scene.light)
+
+
+def derive_secondary_workload(primary: Workload, ray_kind: str,
+                              seed: int = 0) -> Workload:
+    """Derive a secondary-ray workload from a primary one.
+
+    The primary workload's reference trace *is* the hit batch that seeds
+    shadow/reflection/gi rays, so deriving from it shares one scene, one
+    kd-tree, and one primary trace across every ray kind.
+    """
+    triangles = primary.tree.triangles
+    hit = primary.reference
+    if ray_kind == "shadow":
+        if primary.light is None:
+            raise ConfigError("primary workload carries no light position")
+        batch = shadow_rays(triangles, hit.triangle, hit.t,
+                            primary.origins, primary.directions,
+                            primary.light)
+    elif ray_kind == "reflection":
+        batch = reflection_rays(triangles, hit.triangle, hit.t,
+                                primary.origins, primary.directions)
+    elif ray_kind == "gi":
+        batch = gi_rays(triangles, hit.triangle, hit.t,
+                        primary.origins, primary.directions, seed=seed)
+    else:
+        raise ConfigError(f"unknown ray kind {ray_kind!r}")
+    reference = trace_rays(primary.tree, batch.origins, batch.directions,
+                           batch.t_max)
+    return Workload(scene_name=primary.scene_name, ray_kind=ray_kind,
+                    tree=primary.tree, origins=batch.origins,
+                    directions=batch.directions, t_max=batch.t_max,
+                    reference=reference, preset=primary.preset,
+                    light=primary.light)
+
+
+def build_workload(scene_name: str, preset: SimPreset,
+                   ray_kind: str = "primary", seed: int = 0) -> Workload:
+    """Uncached workload build (one scene + tree + trace, reused per kind)."""
+    primary = build_primary_workload(scene_name, preset)
+    if ray_kind == "primary":
+        return primary
+    return derive_secondary_workload(primary, ray_kind, seed=seed)
+
+
+def prepare_workload(scene_name: str, preset: SimPreset,
+                     ray_kind: str = "primary", seed: int = 0,
+                     cache=None) -> Workload:
+    """Build (or load) a scene, its kd-tree, and the requested ray batch.
+
+    Goes through the persistent workload cache (see
+    :mod:`repro.harness.cache`) unless caching is disabled via
+    ``REPRO_CACHE=0`` or ``cache=False``. Pass a
+    :class:`~repro.harness.cache.WorkloadCache` to use a specific cache
+    instance. Cached and freshly built workloads are bit-identical.
+    """
+    if cache is False:
+        return build_workload(scene_name, preset, ray_kind, seed)
+    from repro.harness.cache import WorkloadCache, cache_enabled, default_cache
+    if isinstance(cache, WorkloadCache):
+        return cache.workload(scene_name, preset, ray_kind, seed)
+    if not cache_enabled():
+        return build_workload(scene_name, preset, ray_kind, seed)
+    return default_cache().workload(scene_name, preset, ray_kind, seed)
 
 
 def config_for_mode(mode: str, preset: SimPreset,

@@ -1,0 +1,246 @@
+"""Parallel sweep engine: fan independent simulations over worker processes.
+
+Every paper artifact is a sweep of independent ``(scene, ray_kind, mode)``
+simulations. This module enumerates them as declarative, pickle-cheap
+:class:`SweepJob` specs and executes them either serially in-process
+(``jobs=1`` — the determinism reference path) or over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Worker protocol: only the job spec crosses the process boundary on the way
+in (the preset travels by *name*), and only the :class:`JobResult` — stats
+plus a handful of scalars — on the way out. Workers never receive or
+return ``GPU``/``Workload`` objects; they hydrate workloads themselves
+through the persistent cache (:mod:`repro.harness.cache`), so a sweep's
+second run skips every scene build, kd-tree build, and reference trace.
+
+The simulator is deterministic, so ``--jobs N``, ``--jobs 1``, and a
+direct :func:`~repro.harness.runner.run_mode` call produce bit-identical
+:class:`~repro.simt.gpu.RunStats` (locked down by
+``tests/harness/test_sweep.py`` against golden digests).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import PAPER_SMS, prepare_workload, run_mode
+from repro.simt.gpu import RunStats
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulation: everything a worker needs, by value."""
+
+    scene: str
+    mode: str
+    preset: str                      # preset *name*; workers re-resolve it
+    ray_kind: str = "primary"
+    seed: int = 0
+    max_cycles: int | None = None
+    fast_forward: bool | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.scene, self.mode, self.ray_kind, self.seed)
+
+    def describe(self) -> str:
+        tail = "" if self.ray_kind == "primary" else f"/{self.ray_kind}"
+        return f"{self.scene}{tail}:{self.mode}"
+
+
+@dataclass
+class JobResult:
+    """What comes back from a worker: stats plus derived scalars.
+
+    Exposes the same metric surface as
+    :class:`~repro.harness.runner.RunResult` so figure code can consume
+    either interchangeably.
+    """
+
+    job: SweepJob
+    stats: RunStats
+    num_rays: int
+    verified: bool
+    wall_seconds: float
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def simt_efficiency(self) -> float:
+        return self.stats.simt_efficiency
+
+    @property
+    def rays_per_second(self) -> float:
+        return self.stats.rays_per_second(scale_to_sms=PAPER_SMS)
+
+    @property
+    def completed_fraction(self) -> float:
+        return self.stats.rays_completed / self.num_rays
+
+    def verify(self) -> bool:
+        return self.verified
+
+
+class SweepResults:
+    """Ordered job results with lookup by (scene, mode, ray_kind, seed)."""
+
+    def __init__(self, results: Iterable[JobResult]):
+        self.results = list(results)
+        self._by_key = {result.job.key: result for result in self.results}
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def get(self, scene: str, mode: str, ray_kind: str = "primary",
+            seed: int = 0) -> JobResult:
+        key = (scene, mode, ray_kind, seed)
+        if key not in self._by_key:
+            raise KeyError(f"no sweep result for {key}; have "
+                           f"{sorted(self._by_key)}")
+        return self._by_key[key]
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(result.wall_seconds for result in self.results)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit value > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def execute_job(job: SweepJob) -> JobResult:
+    """Run one job (in a worker or inline); workloads come via the cache."""
+    preset = get_preset(job.preset)
+    start = time.perf_counter()
+    workload = prepare_workload(job.scene, preset, ray_kind=job.ray_kind,
+                                seed=job.seed)
+    result = run_mode(job.mode, workload, max_cycles=job.max_cycles,
+                      fast_forward=job.fast_forward)
+    wall = time.perf_counter() - start
+    return JobResult(job=job, stats=result.stats, num_rays=workload.num_rays,
+                     verified=result.verify(), wall_seconds=wall)
+
+
+def stderr_progress(line: str) -> None:
+    """Default progress sink for CLI sweeps."""
+    print(line, file=sys.stderr, flush=True)
+
+
+def _progress_line(done: int, total: int, result: JobResult) -> str:
+    flag = "" if result.verified else "  UNVERIFIED"
+    return (f"[{done}/{total}] {result.job.describe()}  "
+            f"{result.stats.cycles} cycles  "
+            f"{result.wall_seconds:.2f}s{flag}")
+
+
+def run_sweep(jobs: Iterable[SweepJob], jobs_n: int | None = None,
+              progress: Callable[[str], None] | None = None) -> SweepResults:
+    """Execute all jobs; results keep the input order.
+
+    ``jobs_n=1`` (or a single job) runs serially in-process — the exact
+    same :func:`execute_job` code path the pool workers run, so the two can
+    be diffed bit-for-bit. Larger values fan out over a process pool.
+    """
+    job_list = list(jobs)
+    workers = min(resolve_jobs(jobs_n), max(1, len(job_list)))
+    emit = progress if progress is not None else (lambda line: None)
+    results: list[JobResult | None] = [None] * len(job_list)
+    if workers <= 1:
+        for index, job in enumerate(job_list):
+            results[index] = execute_job(job)
+            emit(_progress_line(index + 1, len(job_list), results[index]))
+        return SweepResults(results)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(execute_job, job): index
+                   for index, job in enumerate(job_list)}
+        done = 0
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            done += 1
+            emit(_progress_line(done, len(job_list), results[index]))
+    return SweepResults(results)
+
+
+def _warm_one(spec: tuple[str, str, str, int]) -> int:
+    scene, preset_name, ray_kind, seed = spec
+    preset = get_preset(preset_name)
+    workload = prepare_workload(scene, preset, ray_kind=ray_kind, seed=seed)
+    return workload.num_rays
+
+
+def warm_workloads(scenes: Iterable[str], preset_name: str,
+                   ray_kinds: Iterable[str] = ("primary",),
+                   jobs_n: int | None = None, seed: int = 0) -> int:
+    """Pre-populate the persistent cache, one worker per workload.
+
+    Run before a sweep so pool workers racing on the same scene all find a
+    finished entry instead of each rebuilding it. A no-op when the cache is
+    disabled (nothing would be retained across processes).
+    """
+    from repro.harness.cache import cache_enabled
+
+    if not cache_enabled():
+        return 0
+    specs = [(scene, preset_name, kind, seed)
+             for scene in scenes for kind in ray_kinds]
+    workers = min(resolve_jobs(jobs_n), max(1, len(specs)))
+    if workers <= 1 or len(specs) <= 1:
+        for spec in specs:
+            _warm_one(spec)
+        return len(specs)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(_warm_one, specs))
+    return len(specs)
+
+
+def run_stats_digest(stats: RunStats) -> dict:
+    """JSON-able fingerprint of a run's full counter state.
+
+    Covers every headline counter plus the complete divergence histogram
+    and per-thread commit counts — two runs with equal digests executed
+    identically for all reporting purposes. Used by the sweep determinism
+    tests to compare ``--jobs N`` / ``--jobs 1`` / direct execution.
+    """
+    sm = stats.sm_stats
+    divergence = stats.divergence
+    return {
+        "cycles": stats.cycles,
+        "rays_completed": stats.rays_completed,
+        "issued_instructions": sm.issued_instructions,
+        "committed_thread_instructions": sm.committed_thread_instructions,
+        "idle_cycles": sm.idle_cycles,
+        "stall_cycles": sm.stall_cycles,
+        "threads_spawned": sm.threads_spawned,
+        "full_warps_formed": sm.full_warps_formed,
+        "partial_warps_flushed": sm.partial_warps_flushed,
+        "bank_conflict_cycles": sm.bank_conflict_cycles,
+        "dram_read_bytes": stats.dram_read_bytes,
+        "dram_write_bytes": stats.dram_write_bytes,
+        "dram_transactions": stats.dram_transactions,
+        "thread_commits": [[int(thread), int(count)] for thread, count
+                           in sorted(stats.thread_commits.items())],
+        "divergence": {
+            "window": divergence.window,
+            "issues": [list(row) for row in divergence.issues],
+            "idle": list(divergence.idle),
+            "stall": list(divergence.stall),
+        },
+    }

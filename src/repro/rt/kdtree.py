@@ -67,19 +67,31 @@ class KDTreeStats:
 
 @dataclass
 class KDTree:
-    """A built kd-tree plus its flattened arrays."""
+    """A built kd-tree plus its flattened arrays.
 
-    root: KDNode
+    ``root`` is None for trees rehydrated from the workload cache: only the
+    flattened arrays are persisted, which is all that traversal and memory
+    layout need. Such trees carry ``precomputed_stats`` from build time so
+    :meth:`stats` keeps working without the node objects.
+    """
+
+    root: KDNode | None
     bounds: AABB
     triangles: list[Triangle]
     nodes: np.ndarray        # (num_nodes, NODE_WORDS) float64
     leaf_indices: np.ndarray  # flat triangle-index list referenced by leaves
+    precomputed_stats: KDTreeStats | None = None
 
     @property
     def num_nodes(self) -> int:
         return self.nodes.shape[0]
 
     def stats(self) -> KDTreeStats:
+        if self.root is None:
+            if self.precomputed_stats is None:
+                raise SceneError(
+                    "tree has neither build-time nodes nor precomputed stats")
+            return self.precomputed_stats
         leaves = 0
         max_depth = 0
         depth_sum = 0

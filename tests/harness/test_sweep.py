@@ -1,0 +1,145 @@
+"""Sweep engine determinism: ``--jobs N`` == ``--jobs 1`` == direct.
+
+Two scenes x three machine modes are swept serially, through a 4-worker
+process pool, and via direct :func:`run_mode` calls; all three paths must
+produce bit-identical :func:`run_stats_digest` fingerprints, pinned
+against a golden JSON snapshot (regenerate with ``pytest
+--update-golden``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.cache import default_cache
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload, run_mode
+from repro.harness.sweep import (
+    SweepJob,
+    resolve_jobs,
+    run_stats_digest,
+    run_sweep,
+    warm_workloads,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "sweep_digests.json"
+
+SCENES = ("conference", "fairyforest")
+MODES = ("pdom_block", "pdom_warp", "spawn")
+#: Bounded so the suite stays fast; every mode still crosses DRAM waits,
+#: divergence, and (for spawn) warp formation at this budget.
+MAX_CYCLES = 30_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_cache(tmp_path_factory):
+    """Hermetic workload cache for the whole module (shared across tests)."""
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_CACHE_DIR",
+                 str(tmp_path_factory.mktemp("sweep-cache")))
+    patch.delenv("REPRO_CACHE", raising=False)
+    patch.delenv("REPRO_JOBS", raising=False)
+    yield
+    patch.undo()
+
+
+def sweep_jobs():
+    return [SweepJob(scene=scene, mode=mode, preset="tiny",
+                     max_cycles=MAX_CYCLES)
+            for scene in SCENES for mode in MODES]
+
+
+def digest_map(results):
+    return {f"{result.job.scene}:{result.job.mode}":
+            run_stats_digest(result.stats) for result in results}
+
+
+@pytest.fixture(scope="module")
+def serial_results(isolated_cache):
+    return run_sweep(sweep_jobs(), jobs_n=1)
+
+
+class TestDeterminism:
+    def test_all_jobs_verify(self, serial_results):
+        assert len(serial_results) == len(SCENES) * len(MODES)
+        assert all(result.verified for result in serial_results)
+
+    def test_pool_matches_serial(self, serial_results):
+        warm_workloads(SCENES, "tiny", jobs_n=4)
+        parallel = run_sweep(sweep_jobs(), jobs_n=4)
+        assert digest_map(parallel) == digest_map(serial_results)
+
+    def test_direct_run_matches_sweep(self, serial_results):
+        preset = get_preset("tiny")
+        for scene in SCENES:
+            workload = prepare_workload(scene, preset)
+            direct = run_mode("spawn", workload, max_cycles=MAX_CYCLES)
+            via_sweep = serial_results.get(scene, "spawn")
+            assert (run_stats_digest(direct.stats)
+                    == run_stats_digest(via_sweep.stats))
+
+    def test_golden_digests(self, serial_results, update_golden):
+        snapshot = digest_map(serial_results)
+        if update_golden:
+            GOLDEN.parent.mkdir(exist_ok=True)
+            GOLDEN.write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+            return
+        assert GOLDEN.exists(), (
+            "missing golden sweep digests; generate with "
+            "pytest --update-golden")
+        assert snapshot == json.loads(GOLDEN.read_text())
+
+    def test_second_sweep_skips_all_builds(self, serial_results):
+        """Warm cache: rerunning the sweep must do zero kd-tree builds."""
+        cache = default_cache()
+        builds_before = cache.stats.builds
+        hits_before = cache.stats.memory_hits + cache.stats.disk_hits
+        rerun = run_sweep(sweep_jobs(), jobs_n=1)
+        assert cache.stats.builds == builds_before
+        assert (cache.stats.memory_hits + cache.stats.disk_hits
+                > hits_before)
+        assert digest_map(rerun) == digest_map(serial_results)
+
+
+class TestSweepResults:
+    def test_lookup_by_key(self, serial_results):
+        result = serial_results.get("conference", "pdom_warp")
+        assert result.job.scene == "conference"
+        assert result.num_rays == get_preset("tiny").num_rays
+        assert 0.0 < result.simt_efficiency <= 1.0
+        assert result.wall_seconds > 0
+
+    def test_missing_key_raises(self, serial_results):
+        with pytest.raises(KeyError, match="no sweep result"):
+            serial_results.get("conference", "spawn_ideal")
+
+    def test_progress_lines(self):
+        lines = []
+        run_sweep([SweepJob(scene="conference", mode="pdom_block",
+                            preset="tiny", max_cycles=5_000)],
+                  jobs_n=1, progress=lines.append)
+        assert len(lines) == 1
+        assert lines[0].startswith("[1/1] conference:pdom_block")
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        import os
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1

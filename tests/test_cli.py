@@ -23,6 +23,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["render", "--scene", "cornell"])
 
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["experiments", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["experiments"]).jobs is None
+
+    def test_cache_verbs(self):
+        assert build_parser().parse_args(["cache", "info"]).verb == "info"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "purge"])
+
 
 class TestCommands:
     def test_disasm_traditional(self, capsys):
@@ -44,6 +54,26 @@ class TestCommands:
 
     def test_experiments_unknown_name(self, capsys):
         assert main(["experiments", "--only", "fig99"]) == 2
+
+    def test_experiments_with_jobs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["experiments", "--preset", "tiny",
+                     "--only", "fig3", "--jobs", "2"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.npz"))  # sweep populated the cache
+
+    def test_cache_info_and_clear(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["dir"] == str(tmp_path)
+        assert info["entries"] == 0
+        (tmp_path / "bogus-primary-0000.npz").write_bytes(b"x")
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.npz"))
 
     def test_run_command(self, capsys):
         code = main(["run", "--preset", "tiny", "--mode", "pdom_warp",
