@@ -11,7 +11,7 @@ rays.
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.harness.runner import config_for_mode, launch_for_mode
+from repro.api import config_for_mode, launch_for_mode
 from repro.kernels.layout import build_memory_image
 from repro.rt.ordering import apply_order, morton_order, shuffled_order
 from repro.simt import GPU

@@ -9,7 +9,7 @@ physically based.
 """
 
 from repro.analysis.report import format_table
-from repro.harness.runner import run_mode
+from repro.api import simulate
 
 RAY_KINDS = ("primary", "shadow", "reflection", "gi")
 
@@ -20,7 +20,7 @@ def _sweep(workloads):
     for kind in RAY_KINDS:
         workload = workloads("conference", kind)
         for mode in ("pdom_warp", "spawn"):
-            result = run_mode(mode, workload)
+            result = simulate(workload, mode)
             efficiency[(kind, mode)] = result.simt_efficiency
             rows.append({
                 "rays": kind, "mode": mode,

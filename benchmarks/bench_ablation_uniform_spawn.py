@@ -10,7 +10,7 @@ traffic, with and without bank conflicts.
 
 from repro.analysis.report import format_table
 from repro.config import scaled_config
-from repro.harness.runner import launch_for_mode
+from repro.api import launch_for_mode
 from repro.kernels.layout import build_memory_image
 from repro.simt import GPU
 

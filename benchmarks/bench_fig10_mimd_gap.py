@@ -7,13 +7,14 @@ dynamic µ-kernels reach ~45% of MIMD with real memory and could reach
 """
 
 from repro.analysis.report import format_bars
-from repro.harness.runner import mimd_rays_per_second, run_mode
+from repro.api import simulate
+from repro.harness.runner import mimd_rays_per_second
 
 MODES = ("pdom_warp", "pdom_ideal", "spawn", "spawn_ideal")
 
 
 def _run_all(workload):
-    results = {mode: run_mode(mode, workload) for mode in MODES}
+    results = {mode: simulate(workload, mode) for mode in MODES}
     return results
 
 

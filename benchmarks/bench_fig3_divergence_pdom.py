@@ -6,12 +6,12 @@ phase ends.
 """
 
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
-from repro.harness.runner import run_mode
+from repro.api import simulate
 
 
 def bench_fig3(benchmark, workloads, report):
     workload = workloads("conference")
-    result = benchmark.pedantic(run_mode, args=("pdom_block", workload),
+    result = benchmark.pedantic(simulate, args=(workload, "pdom_block"),
                                 rounds=1, iterations=1)
     breakdown = breakdown_from_stats(result.stats)
     report("Figure 3 — divergence, PDOM (conference)\n"

@@ -5,14 +5,14 @@ Paper: µ-kernels keep far more lanes active; IPC rises from 326 to 615
 """
 
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
-from repro.harness.runner import run_mode
+from repro.api import simulate
 
 
 def bench_fig7(benchmark, workloads, report):
     workload = workloads("conference")
-    spawn = benchmark.pedantic(run_mode, args=("spawn", workload),
+    spawn = benchmark.pedantic(simulate, args=(workload, "spawn"),
                                rounds=1, iterations=1)
-    pdom = run_mode("pdom_block", workload)
+    pdom = simulate(workload, "pdom_block")
     spawn_breakdown = breakdown_from_stats(spawn.stats)
     pdom_breakdown = breakdown_from_stats(pdom.stats)
     ratio = spawn.ipc / pdom.ipc

@@ -7,7 +7,7 @@ scaled-down scenes; see EXPERIMENTS.md).
 """
 
 from repro.analysis.report import format_table
-from repro.harness.runner import run_mode
+from repro.api import simulate
 from repro.rt import BENCHMARK_SCENES
 
 MODES = ("pdom_block", "pdom_warp", "spawn")
@@ -18,7 +18,7 @@ def _run_all(workloads):
     for scene in BENCHMARK_SCENES:
         workload = workloads(scene)
         for mode in MODES:
-            result = run_mode(mode, workload)
+            result = simulate(workload, mode)
             rows.append({
                 "scene": scene, "mode": mode,
                 "mrays_per_s": round(result.rays_per_second / 1e6, 1),

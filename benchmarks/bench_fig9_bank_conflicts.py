@@ -5,16 +5,16 @@ stalls; IPC drops from 615 to 429 but stays 1.3x above traditional PDOM.
 """
 
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
-from repro.harness.runner import run_mode
+from repro.api import simulate
 
 
 def bench_fig9(benchmark, workloads, report):
     workload = workloads("conference")
-    conflicted = benchmark.pedantic(run_mode,
-                                    args=("spawn_conflicts", workload),
+    conflicted = benchmark.pedantic(simulate,
+                                    args=(workload, "spawn_conflicts"),
                                     rounds=1, iterations=1)
-    clean = run_mode("spawn", workload)
-    pdom = run_mode("pdom_block", workload)
+    clean = simulate(workload, "spawn")
+    pdom = simulate(workload, "pdom_block")
     breakdown = breakdown_from_stats(conflicted.stats)
     ratio = conflicted.ipc / pdom.ipc
     report("Figure 9 — divergence, µ-kernels with bank conflicts "

@@ -23,7 +23,7 @@ import time
 import pytest
 
 from repro.analysis.report import format_table
-from repro.harness.runner import run_mode
+from repro.api import simulate
 
 #: The Figure 8 modes (traditional block/warp scheduling + dynamic
 #: µ-kernels) on the conference scene — the paper's headline workload.
@@ -33,7 +33,7 @@ SCENE = "conference"
 
 def _time_mode(mode: str, workload, fast_forward: bool):
     start = time.perf_counter()
-    result = run_mode(mode, workload, fast_forward=fast_forward)
+    result = simulate(workload, mode, fast_forward=fast_forward)
     elapsed = time.perf_counter() - start
     return result.stats.cycles / elapsed, result
 

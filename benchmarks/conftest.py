@@ -13,8 +13,8 @@ import pathlib
 
 import pytest
 
+from repro.api import prepare_workload
 from repro.harness.presets import get_preset
-from repro.harness.runner import prepare_workload
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
 

@@ -13,8 +13,8 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
+from repro.api import prepare_workload, simulate
 from repro.harness.presets import SimPreset
-from repro.harness.runner import prepare_workload, run_mode
 
 PRESET = SimPreset(name="study", num_sms=1, image_width=32, image_height=32,
                    scene_detail=0.4, kd_max_depth=12, kd_leaf_size=8,
@@ -33,7 +33,7 @@ def main() -> None:
             ("Figure 7 — dynamic µ-kernels (conflict-free)", "spawn"),
             ("Figure 9 — dynamic µ-kernels (bank conflicts)",
              "spawn_conflicts")):
-        result = run_mode(mode, workload)
+        result = simulate(workload, mode)
         breakdown = breakdown_from_stats(result.stats)
         sections.append((title, result, breakdown))
         print(title)

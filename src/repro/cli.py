@@ -11,6 +11,9 @@ Commands:
   event-driven clock; ``--exact`` ticks every cycle),
 - ``render --scene S [--width W --height H] [--out f.ppm]`` — reference
   render of a benchmark scene,
+- ``trace <scene> [--mode M] [--interval N] [--out trace.json]`` — run one
+  simulation with cycle-attribution probes attached and export a Chrome
+  ``trace_event`` file plus a stacked per-interval breakdown,
 - ``disasm {traditional|microkernels}`` — print a benchmark kernel's
   assembly,
 - ``cache {info,clear}`` — inspect or empty the persistent workload cache
@@ -23,10 +26,11 @@ import argparse
 import json
 import sys
 
+from repro import api
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
 from repro.harness import experiments
 from repro.harness.presets import PRESETS, get_preset
-from repro.harness.runner import MODES, prepare_workload, run_mode
+from repro.harness.runner import MODES
 from repro.rt import BENCHMARK_SCENES
 
 
@@ -71,8 +75,10 @@ def _cmd_cache(args) -> int:
 
 def _cmd_run(args) -> int:
     preset = get_preset(args.preset)
-    workload = prepare_workload(args.scene, preset, ray_kind=args.rays)
-    result = run_mode(args.mode, workload, fast_forward=args.fast_forward)
+    result = api.simulate(args.scene, args.mode, preset=preset,
+                          ray_kind=args.rays,
+                          fast_forward=args.fast_forward)
+    workload = result.workload
     clock = "fast" if args.fast_forward else "exact"
     print(f"scene={args.scene} rays={args.rays} mode={args.mode} "
           f"preset={preset.name} clock={clock}")
@@ -107,6 +113,41 @@ def _cmd_render(args) -> int:
     hits = int(result.hit_mask.sum())
     print(f"{args.scene}: {scene.num_triangles} triangles, "
           f"{hits}/{origins.shape[0]} rays hit, wrote {args.out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        render_interval_plot,
+        write_chrome_trace,
+        write_intervals_csv,
+        write_intervals_json,
+    )
+
+    result = api.simulate(args.scene, args.mode, preset=args.preset,
+                          ray_kind=args.rays,
+                          fast_forward=args.fast_forward,
+                          probes=args.interval)
+    session = result.trace
+    path = write_chrome_trace(args.out, session)
+    print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.csv:
+        print(f"wrote {write_intervals_csv(args.csv, session)}")
+    if args.json:
+        print(f"wrote {write_intervals_json(args.json, session, result.stats)}")
+    summary = session.summary()
+    print(f"scene={args.scene} rays={args.rays} mode={args.mode} "
+          f"preset={args.preset} interval={session.interval}")
+    print(f"  cycles             {summary['cycles']}")
+    print(f"  intervals          {summary['intervals']}")
+    print(f"  events             {summary['events']}"
+          + (f" (+{summary['dropped_events']} dropped)"
+             if summary["dropped_events"] else ""))
+    print(f"  IPC                {result.ipc:.2f}")
+    attribution = session.stall_attribution()
+    print(f"  idle cycles        {attribution['idle_cycles']}")
+    print(f"  stall cycles       {attribution['stall_cycles']}")
+    print(render_interval_plot(session))
     return 0
 
 
@@ -156,6 +197,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tick every cycle (reference mode; statistics "
                             "are identical to --fast)")
     p_run.set_defaults(func=_cmd_run, fast_forward=True)
+
+    p_trace = sub.add_parser("trace",
+                             help="simulate with probes; export a trace")
+    p_trace.add_argument("scene", choices=BENCHMARK_SCENES)
+    p_trace.add_argument("--mode", default="spawn", choices=MODES)
+    p_trace.add_argument("--preset", default="fast", choices=sorted(PRESETS))
+    p_trace.add_argument("--rays", default="primary",
+                         choices=("primary", "shadow", "reflection", "gi"))
+    p_trace.add_argument("--interval", type=int, default=512, metavar="N",
+                         help="cycles per metrics interval (default 512)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event output path")
+    p_trace.add_argument("--csv", default="",
+                         help="also write the interval table as CSV here")
+    p_trace.add_argument("--json", default="",
+                         help="also write intervals + stats as JSON here")
+    t_clock = p_trace.add_mutually_exclusive_group()
+    t_clock.add_argument("--fast", dest="fast_forward", action="store_true",
+                         help="event-driven clock (default; interval "
+                              "metrics are identical to --exact)")
+    t_clock.add_argument("--exact", dest="fast_forward",
+                         action="store_false", help="tick every cycle")
+    p_trace.set_defaults(func=_cmd_trace, fast_forward=True)
 
     p_render = sub.add_parser("render", help="reference-render a scene")
     p_render.add_argument("--scene", default="conference",

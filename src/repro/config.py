@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, did_you_mean
 
 #: Bytes per simulated memory word. Ray data is 32-bit floats/ints on the
 #: paper's hardware, so one word of our functional memory models 4 bytes.
@@ -171,23 +171,60 @@ class GPUConfig:
         """Return a copy with ``changes`` applied (nested fields included).
 
         ``memory_<field>`` and ``spawn_<field>`` shorthand keys update the
-        nested configs, e.g. ``cfg.replace(memory_ideal=True)``.
+        nested configs, e.g. ``cfg.replace(memory_ideal=True)``. Unknown
+        keys raise :class:`ConfigError` with a close-match suggestion, and
+        a whole nested config (``memory=...``) cannot be combined with its
+        shorthand keys (``memory_*``) in one call — the merge order would
+        be ambiguous.
         """
+        own = {f.name for f in dataclasses.fields(self)}
+        memory_fields = {f.name for f in dataclasses.fields(self.memory)}
+        spawn_fields = {f.name for f in dataclasses.fields(self.spawn)}
         memory_changes = {}
         spawn_changes = {}
         plain = {}
         for key, value in changes.items():
-            if key.startswith("memory_"):
+            if key in own:
+                plain[key] = value
+            elif (key.startswith("memory_")
+                    and key[len("memory_"):] in memory_fields):
                 memory_changes[key[len("memory_"):]] = value
-            elif key.startswith("spawn_"):
+            elif (key.startswith("spawn_")
+                    and key[len("spawn_"):] in spawn_fields):
                 spawn_changes[key[len("spawn_"):]] = value
             else:
-                plain[key] = value
+                valid = (own
+                         | {f"memory_{name}" for name in memory_fields}
+                         | {f"spawn_{name}" for name in spawn_fields})
+                raise ConfigError(f"unknown GPUConfig option {key!r}."
+                                  f"{did_you_mean(key, valid)}")
         if memory_changes:
+            if "memory" in plain:
+                raise ConfigError("pass either memory=... or memory_* "
+                                  "shorthand overrides, not both")
             plain["memory"] = dataclasses.replace(self.memory, **memory_changes)
         if spawn_changes:
+            if "spawn" in plain:
+                raise ConfigError("pass either spawn=... or spawn_* "
+                                  "shorthand overrides, not both")
             plain["spawn"] = dataclasses.replace(self.spawn, **spawn_changes)
         return dataclasses.replace(self, **plain)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible mapping of every field, nested configs inline.
+
+        The inverse is :meth:`from_dict`; :meth:`repro.simt.gpu.RunStats.
+        to_dict` embeds this document so serialized results carry their
+        full machine configuration.
+        """
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "GPUConfig":
+        data = dict(data)
+        memory = MemoryConfig(**data.pop("memory"))
+        spawn = SpawnConfig(**data.pop("spawn"))
+        return GPUConfig(memory=memory, spawn=spawn, **data)
 
     def table1_rows(self) -> list[tuple[str, str]]:
         """Rows of paper Table I for this configuration."""

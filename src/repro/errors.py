@@ -7,6 +7,20 @@ distinguishing the assembler, simulator, and rendering layers.
 
 from __future__ import annotations
 
+import difflib
+
+
+def did_you_mean(name: str, options) -> str:
+    """`` Did you mean 'x'?`` suffix for an unknown-name error, or ``""``.
+
+    Append to the message of a :class:`ConfigError` (or similar) raised for
+    an unrecognized keyword so typos get an actionable fix instead of a
+    bare rejection.
+    """
+    matches = difflib.get_close_matches(str(name), [str(o) for o in options],
+                                        n=1)
+    return f" Did you mean {matches[0]!r}?" if matches else ""
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""

@@ -23,11 +23,7 @@ from repro.analysis.divergence import breakdown_from_stats, render_breakdown
 from repro.analysis.report import format_bars, format_table
 from repro.config import paper_config
 from repro.harness.presets import SimPreset, get_preset
-from repro.harness.runner import (
-    mimd_rays_per_second,
-    prepare_workload,
-    run_mode,
-)
+from repro.harness.runner import mimd_rays_per_second, prepare_workload
 from repro.harness.sweep import (
     SweepJob,
     SweepResults,
@@ -66,7 +62,10 @@ def _sim(results: SweepResults | None, scene: str, mode: str,
             return results.get(scene, mode)
         except KeyError:
             pass
-    return run_mode(mode, prepare_workload(scene, preset))
+    # Imported lazily: repro.api imports this package, so a module-level
+    # import here would be circular.
+    from repro.api import simulate
+    return simulate(scene, mode, preset=preset)
 
 
 def table1() -> dict:
@@ -293,7 +292,7 @@ def ablation_dwf(preset: SimPreset, workload=None,
     """Regrouping mechanisms: PDOM vs idealized DWF vs dynamic µ-kernels."""
     import numpy as np
 
-    from repro.harness.runner import config_for_mode
+    from repro.api import config_for_mode
     from repro.kernels.layout import build_memory_image
     from repro.kernels.traditional import traditional_program
     from repro.simt.dwf import run_dwf
@@ -333,7 +332,7 @@ def ablation_persistent(preset: SimPreset, workload=None,
     """Work scheduling: grid launch vs persistent threads vs µ-kernels."""
     import numpy as np
 
-    from repro.harness.runner import config_for_mode
+    from repro.api import config_for_mode
     from repro.kernels.layout import build_memory_image
     from repro.kernels.persistent import (
         persistent_launch_spec,

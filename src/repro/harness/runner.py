@@ -22,6 +22,7 @@ spawn_ideal        spawn with the ideal memory system (Fig 10)
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,27 +75,44 @@ class Workload:
         return self.origins.shape[0]
 
 
-@dataclass
-class RunResult:
-    """Metrics from one simulated run."""
+class StatsView:
+    """Shared metric properties for results that wrap a :class:`RunStats`.
 
-    mode: str
-    workload: Workload
+    The canonical metric implementations live on ``RunStats`` itself; every
+    result type (``RunResult``, the sweep engine's ``JobResult``, ...) mixes
+    this in so they all report identical numbers by construction instead of
+    each re-deriving IPC/efficiency/rays-per-second.
+    """
+
     stats: RunStats
-    image: MemoryImage
 
     @property
     def ipc(self) -> float:
+        """Machine-wide committed thread-instructions per cycle."""
         return self.stats.ipc
 
     @property
     def simt_efficiency(self) -> float:
+        """Mean fraction of lanes active per issued warp instruction."""
         return self.stats.simt_efficiency
 
     @property
     def rays_per_second(self) -> float:
         """Rays/s scaled to the paper's 30-SM machine."""
         return self.stats.rays_per_second(scale_to_sms=PAPER_SMS)
+
+
+@dataclass
+class RunResult(StatsView):
+    """Metrics from one simulated run."""
+
+    mode: str
+    workload: Workload
+    stats: RunStats
+    image: MemoryImage
+    trace: object | None = None
+    """The :class:`repro.obs.TraceSession` that observed the run, when one
+    was requested (``repro.api.simulate(..., probes=...)``)."""
 
     @property
     def completed_fraction(self) -> float:
@@ -161,8 +179,8 @@ def derive_secondary_workload(primary: Workload, ray_kind: str,
                     light=primary.light)
 
 
-def build_workload(scene_name: str, preset: SimPreset,
-                   ray_kind: str = "primary", seed: int = 0) -> Workload:
+def _build_workload(scene_name: str, preset: SimPreset,
+                    ray_kind: str = "primary", seed: int = 0) -> Workload:
     """Uncached workload build (one scene + tree + trace, reused per kind)."""
     primary = build_primary_workload(scene_name, preset)
     if ray_kind == "primary":
@@ -182,17 +200,17 @@ def prepare_workload(scene_name: str, preset: SimPreset,
     instance. Cached and freshly built workloads are bit-identical.
     """
     if cache is False:
-        return build_workload(scene_name, preset, ray_kind, seed)
+        return _build_workload(scene_name, preset, ray_kind, seed)
     from repro.harness.cache import WorkloadCache, cache_enabled, default_cache
     if isinstance(cache, WorkloadCache):
         return cache.workload(scene_name, preset, ray_kind, seed)
     if not cache_enabled():
-        return build_workload(scene_name, preset, ray_kind, seed)
+        return _build_workload(scene_name, preset, ray_kind, seed)
     return default_cache().workload(scene_name, preset, ray_kind, seed)
 
 
-def config_for_mode(mode: str, preset: SimPreset,
-                    fast_forward: bool | None = None) -> GPUConfig:
+def _config_for_mode(mode: str, preset: SimPreset,
+                     fast_forward: bool | None = None) -> GPUConfig:
     """The machine configuration for one mode at one preset scale.
 
     ``fast_forward`` overrides the event-driven clock toggle; None keeps
@@ -215,25 +233,59 @@ def config_for_mode(mode: str, preset: SimPreset,
     return scaled_config(preset.num_sms, **overrides)
 
 
-def launch_for_mode(mode: str, num_rays: int):
+def _launch_for_mode(mode: str, num_rays: int):
     if mode.startswith("spawn"):
         return microkernel_launch_spec(num_rays)
     return traditional_launch_spec(num_rays)
 
 
-def run_mode(mode: str, workload: Workload,
-             max_cycles: int | None = None,
-             fast_forward: bool | None = None) -> RunResult:
-    """Simulate one mode on a prepared workload."""
+def _run_mode(mode: str, workload: Workload,
+              max_cycles: int | None = None,
+              fast_forward: bool | None = None,
+              trace=None) -> RunResult:
+    """Simulate one mode on a prepared workload.
+
+    ``trace`` attaches a :class:`repro.obs.TraceSession` to the machine;
+    the returned result carries it (finalized) as ``result.trace``.
+    """
     preset = workload.preset
-    config = config_for_mode(mode, preset, fast_forward=fast_forward)
+    config = _config_for_mode(mode, preset, fast_forward=fast_forward)
     image = build_memory_image(workload.tree, workload.origins,
                                workload.directions, workload.t_max)
-    launch = launch_for_mode(mode, workload.num_rays)
+    launch = _launch_for_mode(mode, workload.num_rays)
     gpu = GPU(config, launch, image.global_mem, image.const_mem,
-              divergence_window=preset.divergence_window)
+              divergence_window=preset.divergence_window, trace=trace)
     stats = gpu.run(max_cycles=max_cycles)
-    return RunResult(mode=mode, workload=workload, stats=stats, image=image)
+    return RunResult(mode=mode, workload=workload, stats=stats, image=image,
+                     trace=trace)
+
+
+def _deprecated_alias(name: str, replacement: str, func):
+    """A module-level shim that warns once per call site, then delegates.
+
+    The old harness entry points keep working for one release cycle;
+    :mod:`repro.api` is the supported surface.
+    """
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"repro.harness.runner.{name} is deprecated; use {replacement}",
+            DeprecationWarning, stacklevel=2)
+        return func(*args, **kwargs)
+    shim.__name__ = name
+    shim.__qualname__ = name
+    shim.__doc__ = (f"Deprecated alias of ``{replacement}`` "
+                    f"(emits :class:`DeprecationWarning`).")
+    return shim
+
+
+build_workload = _deprecated_alias(
+    "build_workload", "repro.api.build_workload", _build_workload)
+config_for_mode = _deprecated_alias(
+    "config_for_mode", "repro.api.config_for_mode", _config_for_mode)
+launch_for_mode = _deprecated_alias(
+    "launch_for_mode", "repro.api.launch_for_mode", _launch_for_mode)
+run_mode = _deprecated_alias(
+    "run_mode", "repro.api.simulate", _run_mode)
 
 
 def mimd_for_workload(workload: Workload) -> MIMDResult:
@@ -250,12 +302,12 @@ def mimd_for_workload(workload: Workload) -> MIMDResult:
               + counters.leaf_visits * (model["leaf_visit"] + model["pop"])
               + counters.triangle_tests * model["triangle_test"]
               + model["write"])
-    config = config_for_mode("pdom_ideal", workload.preset)
+    config = _config_for_mode("pdom_ideal", workload.preset)
     return mimd_theoretical(counts, config)
 
 
 def mimd_rays_per_second(workload: Workload) -> float:
     """MIMD-theoretical rays/s scaled to the 30-SM machine."""
     result = mimd_for_workload(workload)
-    config = config_for_mode("pdom_ideal", workload.preset)
+    config = _config_for_mode("pdom_ideal", workload.preset)
     return result.rays_per_second(config, scale_to_sms=PAPER_SMS)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.harness.presets import get_preset
-from repro.harness.runner import PAPER_SMS, prepare_workload, run_mode
+from repro.harness.runner import StatsView, _run_mode, prepare_workload
 from repro.simt.gpu import RunStats
 
 
@@ -55,11 +55,12 @@ class SweepJob:
 
 
 @dataclass
-class JobResult:
+class JobResult(StatsView):
     """What comes back from a worker: stats plus derived scalars.
 
     Exposes the same metric surface as
-    :class:`~repro.harness.runner.RunResult` so figure code can consume
+    :class:`~repro.harness.runner.RunResult` (both mix in
+    :class:`~repro.harness.runner.StatsView`), so figure code can consume
     either interchangeably.
     """
 
@@ -68,18 +69,6 @@ class JobResult:
     num_rays: int
     verified: bool
     wall_seconds: float
-
-    @property
-    def ipc(self) -> float:
-        return self.stats.ipc
-
-    @property
-    def simt_efficiency(self) -> float:
-        return self.stats.simt_efficiency
-
-    @property
-    def rays_per_second(self) -> float:
-        return self.stats.rays_per_second(scale_to_sms=PAPER_SMS)
 
     @property
     def completed_fraction(self) -> float:
@@ -131,8 +120,8 @@ def execute_job(job: SweepJob) -> JobResult:
     start = time.perf_counter()
     workload = prepare_workload(job.scene, preset, ray_kind=job.ray_kind,
                                 seed=job.seed)
-    result = run_mode(job.mode, workload, max_cycles=job.max_cycles,
-                      fast_forward=job.fast_forward)
+    result = _run_mode(job.mode, workload, max_cycles=job.max_cycles,
+                       fast_forward=job.fast_forward)
     wall = time.perf_counter() - start
     return JobResult(job=job, stats=result.stats, num_rays=workload.num_rays,
                      verified=result.verify(), wall_seconds=wall)
@@ -218,29 +207,34 @@ def run_stats_digest(stats: RunStats) -> dict:
     and per-thread commit counts — two runs with equal digests executed
     identically for all reporting purposes. Used by the sweep determinism
     tests to compare ``--jobs N`` / ``--jobs 1`` / direct execution.
+
+    Derived from the versioned :meth:`RunStats.to_dict` document so the
+    digest and the serialization schema cannot drift apart; the key set
+    and value layout are frozen by the golden files under
+    ``tests/harness/golden/``.
     """
-    sm = stats.sm_stats
-    divergence = stats.divergence
+    document = stats.to_dict()
+    sm = document["sm"]
+    divergence = document["divergence"]
     return {
-        "cycles": stats.cycles,
-        "rays_completed": stats.rays_completed,
-        "issued_instructions": sm.issued_instructions,
-        "committed_thread_instructions": sm.committed_thread_instructions,
-        "idle_cycles": sm.idle_cycles,
-        "stall_cycles": sm.stall_cycles,
-        "threads_spawned": sm.threads_spawned,
-        "full_warps_formed": sm.full_warps_formed,
-        "partial_warps_flushed": sm.partial_warps_flushed,
-        "bank_conflict_cycles": sm.bank_conflict_cycles,
-        "dram_read_bytes": stats.dram_read_bytes,
-        "dram_write_bytes": stats.dram_write_bytes,
-        "dram_transactions": stats.dram_transactions,
-        "thread_commits": [[int(thread), int(count)] for thread, count
-                           in sorted(stats.thread_commits.items())],
+        "cycles": document["cycles"],
+        "rays_completed": document["rays_completed"],
+        "issued_instructions": sm["issued_instructions"],
+        "committed_thread_instructions": sm["committed_thread_instructions"],
+        "idle_cycles": sm["idle_cycles"],
+        "stall_cycles": sm["stall_cycles"],
+        "threads_spawned": sm["threads_spawned"],
+        "full_warps_formed": sm["full_warps_formed"],
+        "partial_warps_flushed": sm["partial_warps_flushed"],
+        "bank_conflict_cycles": sm["bank_conflict_cycles"],
+        "dram_read_bytes": document["dram_read_bytes"],
+        "dram_write_bytes": document["dram_write_bytes"],
+        "dram_transactions": document["dram_transactions"],
+        "thread_commits": document["thread_commits"],
         "divergence": {
-            "window": divergence.window,
-            "issues": [list(row) for row in divergence.issues],
-            "idle": list(divergence.idle),
-            "stall": list(divergence.stall),
+            "window": divergence["window"],
+            "issues": divergence["issues"],
+            "idle": divergence["idle"],
+            "stall": divergence["stall"],
         },
     }

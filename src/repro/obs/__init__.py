@@ -1,0 +1,44 @@
+"""Observability: probes, interval metrics, and trace exporters.
+
+Attach a :class:`TraceSession` to a run (``repro.api.simulate(...,
+probes=...)`` or ``GPU(..., trace=session)``) to collect per-interval
+W-bucket histograms, occupancy, spawn-pool depth, DRAM segment counts,
+cause-split idle/stall attribution, and a bounded structured-event stream
+— with zero overhead when no session is attached. See
+:mod:`repro.obs.probe` for the contracts and :mod:`repro.obs.export` for
+the Chrome-trace/CSV/JSON/ASCII exporters.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_interval_plot,
+    write_chrome_trace,
+    write_intervals_csv,
+    write_intervals_json,
+)
+from repro.obs.interval import IntervalBuffer
+from repro.obs.probe import (
+    DEFAULT_INTERVAL,
+    IDLE_CAUSES,
+    INTERVAL_COLUMNS,
+    STALL_CAUSES,
+    Probe,
+    SMProbe,
+    TraceSession,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "IDLE_CAUSES",
+    "INTERVAL_COLUMNS",
+    "IntervalBuffer",
+    "Probe",
+    "SMProbe",
+    "STALL_CAUSES",
+    "TraceSession",
+    "chrome_trace",
+    "render_interval_plot",
+    "write_chrome_trace",
+    "write_intervals_csv",
+    "write_intervals_json",
+]

@@ -1,0 +1,29 @@
+"""Leaf constants shared by the simulator hot path and the probe layer.
+
+The SM imports these (``repro.simt.sm``) while the probe machinery
+(:mod:`repro.obs.probe`) imports simulator modules; keeping the shared
+names in a module with no simulator imports breaks that cycle. Import the
+public names from :mod:`repro.obs` (or ``repro.obs.probe``) in user code.
+"""
+
+from __future__ import annotations
+
+#: What a warp is waiting for between issues (``Warp.wait_kind``).
+WAIT_PIPE = "pipe"
+WAIT_DRAM = "dram"
+
+#: Stall causes (issue port blocked by serialization).
+STALL_BANK_CONFLICT = "bank_conflict"
+STALL_SPAWN_CONFLICT = "spawn_conflict"
+STALL_CAUSES = (STALL_BANK_CONFLICT, STALL_SPAWN_CONFLICT)
+
+#: Idle causes (no warp ready to issue), highest priority first.
+IDLE_DRAM_PENDING = "dram_pending"
+IDLE_ISSUE_PORT = "issue_port"
+IDLE_BARRIER = "barrier"
+IDLE_DRAINED = "drained"
+IDLE_CAUSES = (IDLE_DRAM_PENDING, IDLE_ISSUE_PORT, IDLE_BARRIER,
+               IDLE_DRAINED)
+
+#: Default interval width in cycles.
+DEFAULT_INTERVAL = 512

@@ -34,6 +34,9 @@ SPAWN = "spawn"
 CONTROL = "control"
 BARRIER = "barrier"
 
+#: Every kind, in instruction-mix reporting order (see repro.obs).
+ISSUE_KINDS = (ALU, CONTROL, ONCHIP, OFFCHIP, SPAWN, BARRIER)
+
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
 _EMPTY_I64.setflags(write=False)
 

@@ -9,13 +9,14 @@ first 300k cycles only).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import BYTES_PER_WORD, GPUConfig
-from repro.errors import ConfigError, SchedulingError
+from repro.errors import ConfigError, SchedulingError, did_you_mean
 from repro.isa.cfg import reconvergence_table
 from repro.isa.program import KernelInfo, Program
 from repro.simt.banked import BankedMemory
@@ -27,6 +28,9 @@ from repro.simt.stats import DivergenceSampler, SMStats
 
 #: Abort threshold: cycles without any issue across the whole machine.
 DEADLOCK_HORIZON = 100_000
+
+#: Schema version of :meth:`RunStats.to_dict` documents.
+STATS_VERSION = 1
 
 
 @dataclass
@@ -50,6 +54,21 @@ class LaunchSpec:
             raise ConfigError("registers_per_thread must be positive")
         if self.block_size <= 0:
             raise ConfigError("block_size must be positive")
+        if self.state_words < 0:
+            raise ConfigError("state_words must be non-negative")
+        if self.shared_bytes_per_thread < 0:
+            raise ConfigError("shared_bytes_per_thread must be non-negative")
+
+    def replace(self, **changes) -> "LaunchSpec":
+        """Validated copy: unknown field names raise :class:`ConfigError`
+        with a close-match suggestion (``__post_init__`` re-runs, so the
+        copy is checked like a fresh spec)."""
+        valid = {f.name for f in dataclasses.fields(self)}
+        for key in changes:
+            if key not in valid:
+                raise ConfigError(f"unknown LaunchSpec field {key!r}."
+                                  f"{did_you_mean(key, valid)}")
+        return dataclasses.replace(self, **changes)
 
     @property
     def entry_pc(self) -> int:
@@ -102,13 +121,61 @@ class RunStats:
             rays *= scale_to_sms / self.config.num_sms
         return rays
 
+    def to_dict(self) -> dict:
+        """Versioned, JSON-compatible snapshot of the whole result.
+
+        The inverse is :meth:`from_dict`. Pickling round-trips through the
+        same path (``__reduce__``), so sweep workers, the result cache and
+        the exporters all exercise one serialization schema — a field
+        dropped here shows up as a golden-digest mismatch, not as silent
+        data loss.
+        """
+        return {
+            "version": STATS_VERSION,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "sm": self.sm_stats.to_dict(),
+            "per_sm": [stats.to_dict() for stats in self.per_sm],
+            "divergence": self.divergence.to_dict(),
+            "rays_completed": self.rays_completed,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "dram_transactions": self.dram_transactions,
+            "thread_commits": sorted(
+                [int(tid), int(count)]
+                for tid, count in self.thread_commits.items()),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunStats":
+        version = data.get("version")
+        if version != STATS_VERSION:
+            raise ConfigError(f"unsupported RunStats document version "
+                              f"{version!r} (this build reads version "
+                              f"{STATS_VERSION})")
+        return RunStats(
+            config=GPUConfig.from_dict(data["config"]),
+            cycles=data["cycles"],
+            sm_stats=SMStats.from_dict(data["sm"]),
+            divergence=DivergenceSampler.from_dict(data["divergence"]),
+            rays_completed=data["rays_completed"],
+            dram_read_bytes=data["dram_read_bytes"],
+            dram_write_bytes=data["dram_write_bytes"],
+            dram_transactions=data["dram_transactions"],
+            per_sm=[SMStats.from_dict(stats) for stats in data["per_sm"]],
+            thread_commits={int(tid): int(count)
+                            for tid, count in data["thread_commits"]})
+
+    def __reduce__(self):
+        return (RunStats.from_dict, (self.to_dict(),))
+
 
 class GPU:
     """The simulated machine."""
 
     def __init__(self, config: GPUConfig, launch: LaunchSpec,
                  global_mem: GlobalMemory, const_mem: np.ndarray | None = None,
-                 divergence_window: int | None = None):
+                 divergence_window: int | None = None, trace=None):
         config.validate()
         self.config = config
         self.launch = launch
@@ -116,6 +183,13 @@ class GPU:
         self.const_mem = (np.zeros(1) if const_mem is None
                           else np.asarray(const_mem, dtype=np.float64))
         self.dram = DRAM(config.memory)
+        #: Optional :class:`repro.obs.TraceSession`; probes fan out to the
+        #: SMs, spawn units and DRAM below. None means zero instrumentation
+        #: overhead (every hook sits behind an ``is not None`` check).
+        self.trace = trace
+        if trace is not None:
+            trace.configure(config)
+            self.dram.probe = trace
         self.program = launch.program
         self._reconv = reconvergence_table(self.program)
         window = divergence_window or max(1, config.max_cycles // 100)
@@ -212,11 +286,12 @@ class GPU:
             spawn_mem=spawn_mem, reconv_table=self._reconv)
         num_regs = max(self.program.max_register_index() + 1,
                        launch.registers_per_thread)
+        probe = None if self.trace is None else self.trace.sm_probe(sm_id)
         return SM(sm_id, config, machine, self.dram,
                   entry_pc=launch.entry_pc, num_regs=num_regs,
                   max_warps=max_warps, warps_per_block=warps_per_block,
                   max_blocks=max_blocks, spawn_unit=spawn_unit,
-                  divergence_window=divergence_window)
+                  divergence_window=divergence_window, probe=probe)
 
     def _distribute_blocks(self) -> None:
         """Round-robin launch blocks (contiguous thread ids) over SMs."""
@@ -321,6 +396,8 @@ class GPU:
             self.cycle = target
 
     def collect_stats(self) -> RunStats:
+        if self.trace is not None:
+            self.trace.finalize(self.cycle)  # idempotent
         total = SMStats()
         divergence = DivergenceSampler(
             warp_size=self.config.warp_size,

@@ -119,6 +119,9 @@ class DRAM:
         self.read_bytes = 0
         self.write_bytes = 0
         self.transactions = 0
+        #: Optional observability probe (see repro.obs); attached by the
+        #: GPU when tracing is enabled, never consulted otherwise.
+        self.probe = None
 
     def coalesce(self, addresses: np.ndarray) -> np.ndarray:
         """Distinct segment indices touched by the given word addresses."""
@@ -147,6 +150,8 @@ class DRAM:
         else:
             self.read_bytes += bytes_moved
         self.transactions += num_segments
+        if self.probe is not None:
+            self.probe.on_dram_access(cycle, num_segments, is_store)
         if self.config.ideal:
             return cycle + 1
         module_free = self.module_free

@@ -28,6 +28,16 @@ import numpy as np
 
 from repro.config import GPUConfig, SchedulingModel
 from repro.errors import ExecutionError, SchedulingError
+from repro.obs.constants import (
+    IDLE_BARRIER,
+    IDLE_DRAINED,
+    IDLE_DRAM_PENDING,
+    IDLE_ISSUE_PORT,
+    STALL_BANK_CONFLICT,
+    STALL_SPAWN_CONFLICT,
+    WAIT_DRAM,
+    WAIT_PIPE,
+)
 from repro.simt.executor import (
     ALU,
     BARRIER,
@@ -69,7 +79,7 @@ class SM:
                  dram, *, entry_pc: int, num_regs: int, max_warps: int,
                  warps_per_block: int, max_blocks: int,
                  spawn_unit: SpawnUnit | None,
-                 divergence_window: int = 1000):
+                 divergence_window: int = 1000, probe=None):
         if max_warps <= 0:
             raise SchedulingError("SM has zero warp slots; kernel resources "
                                   "exceed the machine configuration")
@@ -89,6 +99,15 @@ class SM:
         self.divergence = DivergenceSampler(warp_size=config.warp_size,
                                             window=divergence_window)
         self.stall_until = 0
+        self.probe = probe
+        """Attached :class:`repro.obs.probe.SMProbe` or None. Every hook
+        call below is guarded by ``if probe is not None`` so the untraced
+        hot path is unchanged (the zero-overhead-when-off contract)."""
+        self._stall_cause = STALL_BANK_CONFLICT
+        """Why ``stall_until`` is set (probe attribution only; updated on
+        each stall-extending penalty while a probe is attached)."""
+        if probe is not None and spawn_unit is not None:
+            spawn_unit.probe = probe
         self._rr = 0
         self._admission_dirty = True
         """False while try_schedule is known to be unable to admit
@@ -142,6 +161,8 @@ class SM:
         self.stats.warps_launched += 1
         self.stats.threads_launched += (count if count >= 0
                                         else int(active.sum()))
+        if self.probe is not None:
+            self.probe.on_warp_launch(cycle, warp)
         return warp
 
     def _admit_dynamic(self, cycle: int) -> None:
@@ -251,9 +272,18 @@ class SM:
             return False
         stats = self.stats
         stats.cycles += 1
+        probe = self.probe
+        if probe is not None:
+            spawn_unit = self.spawn_unit
+            probe.on_cycle(
+                cycle, len(self.warps),
+                0 if spawn_unit is None else spawn_unit.partial_thread_count,
+                0 if spawn_unit is None else len(spawn_unit.fifo))
         if self.stall_until > cycle:
             stats.stall_cycles += 1
             self.divergence.record_stall(cycle)
+            if probe is not None:
+                probe.on_stall(cycle, self._stall_cause)
             return False
         if self._admission_dirty and len(self.warps) < self.max_warps:
             self.try_schedule(cycle)
@@ -278,6 +308,8 @@ class SM:
         if warp is None:
             stats.idle_cycles += 1
             self.divergence.record_idle(cycle)
+            if probe is not None:
+                probe.on_idle(cycle, self._idle_cause())
             return False
         self._issue(warp, cycle)
         self.last_progress_cycle = cycle
@@ -328,12 +360,49 @@ class SM:
             return
         self.stats.cycles += stop - start
         stall_end = min(stop, max(start, self.stall_until))
+        probe = self.probe
+        if probe is not None:
+            # No SM issues inside a skipped span, so the warp set, wait
+            # kinds, pool/FIFO depths, and the stall cause are constant:
+            # one span credit equals per-cycle sampling (exact == fast).
+            spawn_unit = self.spawn_unit
+            probe.on_cycle_span(
+                start, stop, len(self.warps),
+                0 if spawn_unit is None else spawn_unit.partial_thread_count,
+                0 if spawn_unit is None else len(spawn_unit.fifo))
         if stall_end > start:
             self.stats.stall_cycles += stall_end - start
             self.divergence.record_stall_span(start, stall_end)
+            if probe is not None:
+                probe.on_stall_span(start, stall_end, self._stall_cause)
         if stop > stall_end:
             self.stats.idle_cycles += stop - stall_end
             self.divergence.record_idle_span(stall_end, stop)
+            if probe is not None:
+                probe.on_idle_span(stall_end, stop, self._idle_cause())
+
+    def _idle_cause(self) -> str:
+        """Attribute an idle (no warp ready) cycle to its dominant cause.
+
+        Probe path only. Priority: a warp awaiting DRAM explains the wait
+        best (memory-bound), else pipeline latency holds the issue port,
+        else every resident warp is blocked at a barrier; with no resident
+        warps the SM is drained (admission-starved or finished).
+        """
+        has_pipe = False
+        has_barrier = False
+        for warp in self.warps:
+            if warp.status == BLOCKED:
+                has_barrier = True
+            elif warp.wait_kind == WAIT_DRAM:
+                return IDLE_DRAM_PENDING
+            else:
+                has_pipe = True
+        if has_pipe:
+            return IDLE_ISSUE_PORT
+        if has_barrier:
+            return IDLE_BARRIER
+        return IDLE_DRAINED
 
     def _select_warp(self, cycle: int) -> Warp | None:
         """Round-robin pick starting at ``self._rr`` (two-range scan)."""
@@ -391,19 +460,30 @@ class SM:
         if index >= len(issues):
             div._bucket_for(cycle)
         issues[index][bucket] += 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_issue(cycle, active, result.kind)
         config = self.config
         if result.simple:
             # Cached ALU/CONTROL outcome: latency is its only effect.
             warp.ready_at = cycle + config.alu_latency
+            if probe is not None:
+                warp.wait_kind = WAIT_PIPE
             return
         if result.kind in (ALU, CONTROL):
             warp.ready_at = cycle + config.alu_latency
+            if probe is not None:
+                warp.wait_kind = WAIT_PIPE
         elif result.kind == ONCHIP:
             penalty = result.conflict_penalty
             warp.ready_at = cycle + config.onchip_latency + penalty
+            if probe is not None:
+                warp.wait_kind = WAIT_PIPE
             if penalty:
                 self.stall_until = max(self.stall_until, cycle + 1 + penalty)
                 stats.bank_conflict_cycles += penalty
+                if probe is not None:
+                    self._stall_cause = STALL_BANK_CONFLICT
             if result.is_store:
                 stats.onchip_write_words += result.onchip_words
             else:
@@ -411,13 +491,19 @@ class SM:
         elif result.kind == OFFCHIP:
             if result.addresses is None or result.addresses.size == 0:
                 warp.ready_at = cycle + config.alu_latency
+                if probe is not None:
+                    warp.wait_kind = WAIT_PIPE
             else:
                 done = self.dram.access(cycle, result.addresses,
                                         result.is_store)
                 # Atomics serialize lanes touching the same data.
                 warp.ready_at = done + result.conflict_penalty
+                if probe is not None:
+                    warp.wait_kind = WAIT_DRAM
         elif result.kind == SPAWN:
             warp.ready_at = cycle + config.alu_latency
+            if probe is not None:
+                warp.wait_kind = WAIT_PIPE
             if self.spawn_unit is None:
                 raise SchedulingError(
                     "spawn instruction executed without spawn hardware "
@@ -431,9 +517,14 @@ class SM:
             stats.spawn_instructions += 1
             stats.threads_spawned += int(request.pointers.size)
             stats.onchip_write_words += int(request.pointers.size)
+            if probe is not None:
+                probe.on_spawn(cycle, request.kernel_name,
+                               int(request.pointers.size))
             if penalty:
                 self.stall_until = max(self.stall_until, cycle + 1 + penalty)
                 stats.bank_conflict_cycles += penalty
+                if probe is not None:
+                    self._stall_cause = STALL_SPAWN_CONFLICT
             stats.full_warps_formed = self.spawn_unit.full_warps_formed
         elif result.kind == BARRIER:
             self._arrive_at_barrier(warp, cycle)
@@ -473,6 +564,7 @@ class SM:
             for blocked in waiting:
                 blocked.status = READY
                 blocked.ready_at = cycle + 1
+                blocked.wait_kind = WAIT_PIPE
             del self._barriers[block_id]
 
     def _convert_uniform_spawn_to_branch(self, warp: Warp, result) -> bool:
@@ -508,6 +600,8 @@ class SM:
 
     def _retire_warp(self, warp: Warp, cycle: int) -> None:
         self._admission_dirty = True  # slot, block and region state change
+        if self.probe is not None:
+            self.probe.on_warp_retire(cycle, warp)
         self.record_thread_commits(warp)
         if warp.formation_region >= 0 and self.spawn_unit is not None:
             self.spawn_unit.release_region(warp.formation_region)
@@ -526,5 +620,6 @@ class SM:
                     for blocked in waiting:
                         blocked.status = READY
                         blocked.ready_at = cycle + 1
+                        blocked.wait_kind = WAIT_PIPE
                     del self._barriers[block_id]
         self.try_schedule(cycle)

@@ -92,6 +92,9 @@ class SpawnUnit:
         self.threads_spawned = 0
         self.full_warps_formed = 0
         self.partial_warps_flushed = 0
+        #: Optional observability probe (see repro.obs); attached by the
+        #: owning SM when tracing is enabled, never consulted otherwise.
+        self.probe = None
 
     # -- thread-data slots --------------------------------------------------
 
@@ -192,6 +195,8 @@ class SpawnUnit:
         )
         self.fifo.append(warp)
         self.full_warps_formed += 1
+        if self.probe is not None:
+            self.probe.on_warp_formed(entry.kernel_name, self.warp_size)
         entry.pointers = []
         entry.addresses = []
         entry.count = 0
@@ -231,6 +236,9 @@ class SpawnUnit:
                 entry.current_addr = entry.overflow_addr
                 entry.overflow_addr = self._allocate_formation()
                 self.partial_warps_flushed += 1
+                if self.probe is not None:
+                    self.probe.on_partial_flush(warp.kernel_name,
+                                                warp.num_threads)
                 return warp
         return None
 

@@ -9,7 +9,7 @@ serialization) cycles this gives the paper's 10 categories.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -137,6 +137,23 @@ class DivergenceSampler:
         """Credit every cycle of [start, stop) as stalled (fast-forward)."""
         self._record_span(self.stall, start, stop)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "warp_size": self.warp_size,
+            "window": self.window,
+            "issues": [list(row) for row in self.issues],
+            "idle": list(self.idle),
+            "stall": list(self.stall),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "DivergenceSampler":
+        return DivergenceSampler(
+            warp_size=data["warp_size"], window=data["window"],
+            issues=[list(row) for row in data["issues"]],
+            idle=list(data["idle"]), stall=list(data["stall"]))
+
     def merge(self, other: "DivergenceSampler") -> None:
         """Accumulate another sampler (e.g. from a different SM)."""
         for index in range(len(other.issues)):
@@ -214,6 +231,14 @@ class SMStats:
         """Committed thread-instructions per cycle for this SM."""
         return (self.committed_thread_instructions / self.cycles
                 if self.cycles else 0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SMStats":
+        return SMStats(**data)
 
     def merge(self, other: "SMStats") -> None:
         self.cycles = max(self.cycles, other.cycles)

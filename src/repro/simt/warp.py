@@ -51,6 +51,11 @@ class Warp:
     stack: ReconvergenceStack = field(init=False)
     status: str = READY
     ready_at: int = 0
+    wait_kind: str = "pipe"
+    """What the warp is waiting for until ``ready_at`` ("pipe" for
+    ALU/on-chip pipeline latency, "dram" for an off-chip access). Only
+    maintained while a probe is attached (see :mod:`repro.obs`); the
+    scheduler never reads it."""
     is_dynamic: bool = False
     kernel_name: str = ""
     issued_instructions: int = 0

@@ -1,0 +1,139 @@
+"""Exporter schema tests: Chrome trace, interval CSV/JSON, ASCII plot."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import _build_workload, _run_mode
+from repro.obs import (
+    INTERVAL_COLUMNS,
+    TraceSession,
+    chrome_trace,
+    render_interval_plot,
+    write_chrome_trace,
+    write_intervals_csv,
+    write_intervals_json,
+)
+
+MAX_CYCLES = 40_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    workload = _build_workload("conference", get_preset("tiny"))
+    return _run_mode("spawn", workload, max_cycles=MAX_CYCLES,
+                     trace=TraceSession(interval=512))
+
+
+@pytest.fixture(scope="module")
+def document(result):
+    return chrome_trace(result.trace)
+
+
+def test_chrome_trace_top_level(document, result):
+    assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+    other = document["otherData"]
+    assert other["ts_unit"] == "cycle"
+    assert other["interval"] == 512
+    assert other["cycles"] == result.stats.cycles
+    assert other["dropped_events"] == 0
+    assert json.loads(json.dumps(document)) == document
+
+
+def test_chrome_trace_phases(document, result):
+    by_phase: dict[str, list] = {}
+    for event in document["traceEvents"]:
+        by_phase.setdefault(event["ph"], []).append(event)
+    assert set(by_phase) <= {"M", "X", "i", "C"}
+    # One process-name record per SM plus one for the machine track.
+    assert len(by_phase["M"]) == result.trace.num_sms + 1
+    assert by_phase["X"], "expected warp lifetime events"
+    assert by_phase["i"], "expected spawn/formation instants"
+    assert by_phase["C"], "expected counter samples"
+
+
+def test_chrome_trace_complete_events(document, result):
+    cycles = result.stats.cycles
+    for event in document["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        assert set(event) == {"ph", "pid", "tid", "ts", "dur", "cat",
+                              "name", "args"}
+        assert event["cat"] in ("dynamic", "launch")
+        assert event["dur"] >= 1
+        assert 0 <= event["ts"] <= cycles
+        assert event["ts"] + event["dur"] <= cycles + 1
+        assert event["args"]["threads"] >= 1
+        assert event["name"].endswith(f"#{event['args']['warp_id']}")
+
+
+def test_chrome_trace_counters(document, result):
+    machine_pid = result.trace.num_sms
+    names = {event["name"] for event in document["traceEvents"]
+             if event["ph"] == "C"}
+    assert names == {"occupancy_warp_cycles", "pool_thread_cycles",
+                     "issued", "idle", "stall", "dram_segments"}
+    for event in document["traceEvents"]:
+        if event["ph"] == "C":
+            assert event["pid"] == machine_pid
+            assert event["ts"] % 512 == 0
+
+
+def test_write_chrome_trace(tmp_path, result):
+    path = write_chrome_trace(tmp_path / "trace.json", result.trace)
+    loaded = json.loads(path.read_text())
+    assert loaded == chrome_trace(result.trace)
+
+
+def test_write_intervals_csv(tmp_path, result):
+    path = write_intervals_csv(tmp_path / "iv.csv", result.trace)
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == len(result.trace.interval_rows())
+    expected = {"interval", "start_cycle", "dram_read_segments",
+                "dram_write_segments", *INTERVAL_COLUMNS}
+    assert set(rows[0]) == expected
+    issued = sum(int(row["issued"]) for row in rows)
+    assert issued == result.stats.sm_stats.issued_instructions
+
+
+def test_write_intervals_json(tmp_path, result):
+    path = write_intervals_json(tmp_path / "iv.json", result.trace,
+                                stats=result.stats)
+    document = json.loads(path.read_text())
+    assert document["schema"] == "repro-intervals/1"
+    assert document["summary"] == result.trace.summary()
+    assert document["attribution"] == result.trace.stall_attribution()
+    assert document["intervals"] == result.trace.interval_rows()
+    assert document["stats"]["version"] == 1
+    assert document["stats"] == result.stats.to_dict()
+
+
+def test_write_intervals_json_without_stats(tmp_path, result):
+    path = write_intervals_json(tmp_path / "iv.json", result.trace)
+    assert "stats" not in json.loads(path.read_text())
+
+
+def test_render_interval_plot(result):
+    plot = render_interval_plot(result.trace)
+    lines = plot.splitlines()
+    for label in result.trace.w_labels() + ["idle", "stall"]:
+        assert any(line.lstrip().startswith(label) for line in lines)
+    assert "idle by cause" in plot
+    assert "stall by cause" in plot
+
+
+def test_render_interval_plot_caps_width(result):
+    plot = render_interval_plot(result.trace, max_intervals=10)
+    first = plot.splitlines()[0]
+    # "<label> |<glyphs>|" — the glyph run is bounded by max_intervals.
+    assert len(first.split("|")[1]) <= 10
+
+
+def test_render_interval_plot_empty():
+    session = TraceSession(interval=512)
+    assert render_interval_plot(session) == "(no intervals recorded)"

@@ -1,0 +1,88 @@
+"""Unit tests for the growable interval accumulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.interval import IntervalBuffer, summed
+
+
+def test_rejects_bad_layouts():
+    with pytest.raises(ValueError):
+        IntervalBuffer(0, ("a",))
+    with pytest.raises(ValueError):
+        IntervalBuffer(16, ())
+    with pytest.raises(ValueError):
+        IntervalBuffer(16, ("a", "a"))
+
+
+def test_add_lands_in_the_right_row():
+    buffer = IntervalBuffer(100, ("x", "y"))
+    buffer.add(0, 0)
+    buffer.add(99, 0)
+    buffer.add(100, 1, amount=5)
+    assert buffer.used == 2
+    assert buffer.column("x").tolist() == [2, 0]
+    assert buffer.column("y").tolist() == [0, 5]
+    assert buffer.total("y") == 5
+    assert buffer.totals() == {"x": 2, "y": 5}
+
+
+def test_add_survives_reallocation():
+    """Growth rebinding ``data`` mid-``add`` must not write a stale array."""
+    buffer = IntervalBuffer(10, ("x",), initial_rows=1)
+    for cycle in range(0, 10_000, 7):
+        buffer.add(cycle, 0)
+    assert buffer.total("x") == len(range(0, 10_000, 7))
+
+
+@pytest.mark.parametrize("start,stop", [
+    (0, 1), (0, 256), (255, 256), (250, 260), (3, 2_000), (511, 513),
+    (1_000, 50_000),
+])
+def test_add_span_equals_per_cycle_adds(start, stop):
+    interval = 256
+    spanned = IntervalBuffer(interval, ("x",))
+    looped = IntervalBuffer(interval, ("x",))
+    spanned.add_span(start, stop, 0, weight=3)
+    for cycle in range(start, stop):
+        looped.add(cycle, 0, amount=3)
+    assert spanned.used == looped.used
+    assert (spanned.trimmed() == looped.trimmed()).all()
+
+
+def test_add_span_empty_is_noop():
+    buffer = IntervalBuffer(16, ("x",))
+    buffer.add_span(5, 5, 0)
+    buffer.add_span(9, 4, 0)
+    assert buffer.used == 0
+
+
+def test_summed_pads_to_longest():
+    a = IntervalBuffer(16, ("x", "y"))
+    b = IntervalBuffer(16, ("x", "y"))
+    a.add(0, 0)
+    b.add(40, 1, amount=2)
+    total = summed([a, b], ("x", "y"), 16)
+    assert total.shape == (3, 2)
+    assert total[0].tolist() == [1, 0]
+    assert total[2].tolist() == [0, 2]
+
+
+def test_summed_rejects_layout_mismatch():
+    a = IntervalBuffer(16, ("x",))
+    with pytest.raises(ValueError):
+        summed([a], ("x", "y"), 16)
+    with pytest.raises(ValueError):
+        summed([a], ("x",), 32)
+
+
+def test_summed_empty():
+    assert summed([], ("x",), 16).shape == (0, 1)
+
+
+def test_trimmed_is_int64():
+    buffer = IntervalBuffer(8, ("x",))
+    buffer.add(0, 0)
+    assert buffer.trimmed().dtype == np.int64

@@ -60,7 +60,11 @@ def _interp_unary(op: str, a: float) -> float:
     if op == "abs":
         return abs(a)
     if op == "floor":
-        return math.floor(a)
+        # math.floor raises on nan/inf; the executor's np.floor follows
+        # IEEE-754 and propagates them unchanged.
+        if math.isnan(a) or math.isinf(a):
+            return a
+        return float(math.floor(a))
     raise AssertionError(op)
 
 

@@ -45,12 +45,23 @@ class TestDocsPresent:
 class TestPublicAPI:
     def test_readme_quickstart_snippet_is_valid(self):
         """The programmatic example in README must actually run."""
-        from repro.harness.presets import get_preset
-        from repro.harness.runner import prepare_workload, run_mode
-        workload = prepare_workload("conference", get_preset("tiny"))
-        pdom = run_mode("pdom_block", workload, max_cycles=5_000)
-        spawn = run_mode("spawn", workload, max_cycles=5_000)
+        from repro import api
+        workload = api.build_workload(
+            "conference", api.get_preset("tiny"))
+        pdom = api.simulate(workload, "pdom_block", max_cycles=5_000)
+        spawn = api.simulate(workload, "spawn", max_cycles=5_000)
         assert spawn.verify() and pdom.verify()
+
+    def test_readme_probe_snippet_is_valid(self):
+        """The probe example in README must actually run."""
+        from repro import api
+        from repro.obs import render_interval_plot
+        workload = api.build_workload(
+            "conference", api.get_preset("tiny"))
+        result = api.simulate(workload, "spawn", max_cycles=5_000,
+                              probes=True)
+        assert "idle" in render_interval_plot(result.trace)
+        assert "dram_pending" in result.trace.stall_attribution()
 
     def test_all_subpackage_exports_importable(self):
         import repro
