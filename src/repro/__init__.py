@@ -21,6 +21,7 @@ __version__ = "1.0.0"
 #: Façade names resolved lazily (PEP 562) so ``import repro`` stays cheap
 #: and free of the harness's heavier imports until they are needed.
 _API_EXPORTS = ("simulate", "sweep", "RunResult", "SweepJob", "SweepResults",
+                "RetryPolicy", "FailedJob", "SweepCheckpoint",
                 "TraceSession", "MODES")
 
 
@@ -36,10 +37,13 @@ def __dir__():
 
 
 __all__ = [
+    "FailedJob",
     "GPUConfig",
     "MODES",
     "ReproError",
+    "RetryPolicy",
     "RunResult",
+    "SweepCheckpoint",
     "SweepJob",
     "SweepResults",
     "TraceSession",

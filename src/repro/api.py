@@ -35,7 +35,11 @@ from repro.harness.runner import (
     prepare_workload,
 )
 from repro.harness.sweep import (
+    FailedJob,
+    FaultInjector,
     JobResult,
+    RetryPolicy,
+    SweepCheckpoint,
     SweepJob,
     SweepResults,
     run_stats_digest,
@@ -103,7 +107,9 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
 
 
 def sweep(jobs: Iterable, jobs_n: int | None = None,
-          progress: Callable[[str], None] | None = None) -> SweepResults:
+          progress: Callable[[str], None] | None = None, *,
+          strict: bool = True, retry: RetryPolicy | None = None,
+          checkpoint=None, resume: bool = False) -> SweepResults:
     """Execute many independent simulations, optionally in parallel.
 
     ``jobs`` may mix :class:`SweepJob` specs, mappings of ``SweepJob``
@@ -111,6 +117,15 @@ def sweep(jobs: Iterable, jobs_n: int | None = None,
     seed])``. ``jobs_n`` picks the worker count (default: ``REPRO_JOBS``
     or the CPU count); results keep the input order and are bit-identical
     across worker counts.
+
+    Fault tolerance: failing jobs retry per ``retry`` (a
+    :class:`RetryPolicy` — attempts, exponential backoff, per-job
+    timeout); worker crashes respawn the pool and quarantine the culprit.
+    ``strict=True`` (default) raises :class:`repro.errors.SweepError` if
+    any job permanently failed; ``strict=False`` returns partial results
+    with the ``failures`` records attached. ``checkpoint`` streams
+    completed jobs into a JSONL manifest and ``resume=True`` serves
+    already-checkpointed jobs bit-identically instead of re-running them.
     """
     job_list = []
     for job in jobs:
@@ -120,16 +135,22 @@ def sweep(jobs: Iterable, jobs_n: int | None = None,
             job_list.append(SweepJob(**job))
         else:
             job_list.append(SweepJob(*job))
-    return run_sweep(job_list, jobs_n=jobs_n, progress=progress)
+    return run_sweep(job_list, jobs_n=jobs_n, progress=progress,
+                     strict=strict, retry=retry, checkpoint=checkpoint,
+                     resume=resume)
 
 
 __all__ = [
     "MODES",
     "PAPER_SMS",
     "PRESETS",
+    "FailedJob",
+    "FaultInjector",
     "JobResult",
+    "RetryPolicy",
     "RunResult",
     "SimPreset",
+    "SweepCheckpoint",
     "SweepJob",
     "SweepResults",
     "TraceSession",

@@ -2,10 +2,15 @@
 
 Commands:
 
-- ``experiments [--preset P] [--only table1,fig8,...] [--jobs N]`` —
+- ``experiments [--preset P] [--only table1,fig8,...] [--jobs N]
+  [--checkpoint PATH] [--resume] [--retries N] [--job-timeout S]`` —
   regenerate the paper's tables and figures; ``--jobs`` fans the
   simulations over worker processes (default ``os.cpu_count()``,
-  ``REPRO_JOBS`` override; results are bit-identical to ``--jobs 1``),
+  ``REPRO_JOBS`` override; results are bit-identical to ``--jobs 1``).
+  Failed jobs retry with backoff and are quarantined, completed jobs
+  stream into the checkpoint manifest, and ``--resume`` skips everything
+  already checkpointed; the command exits non-zero (with a summary) when
+  any job permanently fails or comes back unverified,
 - ``run --scene S --mode M [--preset P] [--rays shadow] [--fast|--exact]``
   — one simulation with full metrics (``--fast``, the default, uses the
   event-driven clock; ``--exact`` ticks every cycle),
@@ -35,10 +40,23 @@ from repro.rt import BENCHMARK_SCENES
 
 
 def _cmd_experiments(args) -> int:
-    from repro.harness.sweep import resolve_jobs, stderr_progress
+    from repro.harness.sweep import (
+        RetryPolicy,
+        default_checkpoint_path,
+        resolve_jobs,
+        stderr_progress,
+    )
+    from repro.obs import render_sweep_summary
 
     preset = get_preset(args.preset)
     jobs = resolve_jobs(args.jobs)  # default: REPRO_JOBS, else all cores
+    checkpoint = args.checkpoint or None
+    if args.resume and checkpoint is None:
+        # A stable per-preset default so plain `--resume` just works.
+        checkpoint = str(default_checkpoint_path(
+            f"experiments-{preset.name}"))
+    retry = RetryPolicy(max_attempts=args.retries,
+                        timeout_seconds=args.job_timeout)
     if args.csv_dir:
         for path in experiments.export_all_csv(preset, args.csv_dir,
                                                jobs=jobs):
@@ -52,10 +70,20 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiment {unknown[0]!r}; choose from "
               f"{', '.join(experiments.EXPERIMENTS)}", file=sys.stderr)
         return 2
+    swept: list = []
     for _, data in experiments.run_selected(names, preset, jobs=jobs,
-                                            progress=stderr_progress):
+                                            progress=stderr_progress,
+                                            strict=False, retry=retry,
+                                            checkpoint=checkpoint,
+                                            resume=args.resume,
+                                            results_out=swept):
         print(data["render"])
         print()
+    # Exit non-zero when any sweep job permanently failed or came back
+    # unverified — a green exit code must mean every simulation is good.
+    if swept and (swept[0].failures or swept[0].unverified):
+        print(render_sweep_summary(swept[0]), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -179,6 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the simulation sweep "
                             "(default: REPRO_JOBS or all cores; 1 = serial; "
                             "results are bit-identical either way)")
+    p_exp.add_argument("--checkpoint", default="", metavar="PATH",
+                       help="stream completed sweep jobs into this JSONL "
+                            "manifest (enables crash-safe restarts)")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="skip jobs already recorded in the checkpoint "
+                            "manifest (default manifest: "
+                            "<cache-dir>/checkpoints/experiments-<preset>"
+                            ".jsonl); resumed results are bit-identical")
+    p_exp.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="executions per job before it is quarantined "
+                            "(default 3; failures exit non-zero)")
+    p_exp.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget; hung jobs are "
+                            "killed and retried (default: no timeout)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_run = sub.add_parser("run", help="simulate one workload/mode pair")

@@ -62,5 +62,28 @@ class SchedulingError(ReproError):
     """The SM scheduler reached an inconsistent state (e.g. deadlock)."""
 
 
+class SweepError(ReproError):
+    """One or more sweep jobs permanently failed in ``strict`` mode.
+
+    Carries the :class:`repro.harness.sweep.FailedJob` records as
+    ``failures`` so callers that want the partial results anyway can
+    re-run with ``strict=False`` instead of parsing the message.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class FaultInjectionError(ReproError):
+    """An error raised deliberately by the test fault injector.
+
+    Never raised in production runs — only when ``REPRO_FAULT_SPEC`` (or an
+    explicit :class:`repro.harness.sweep.FaultInjector`) asks a sweep job
+    to fail, so the retry/quarantine/resume machinery can be exercised
+    deterministically in CI.
+    """
+
+
 class SceneError(ReproError):
     """Invalid scene or acceleration-structure construction parameters."""

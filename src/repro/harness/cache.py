@@ -57,6 +57,31 @@ _REQUIRED_KEYS = (
 )
 
 
+def atomic_write(path: pathlib.Path, writer) -> None:
+    """Publish a file atomically: write a temp sibling, then ``os.replace``.
+
+    ``writer`` receives a binary file handle. Concurrent writers (pool
+    workers racing on one cache entry, a sweep checkpointing while another
+    reads it) each write their own per-PID temp file, so a race is wasted
+    work, never a torn file; readers see either the old content or the new,
+    complete content.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}{path.suffix}")
+    try:
+        with open(tmp, "wb") as handle:
+            writer(handle)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    atomic_write(path, lambda handle: handle.write(text.encode("utf-8")))
+
+
 def cache_enabled() -> bool:
     """Whether the persistent cache is on (``REPRO_CACHE=0`` turns it off)."""
     return os.environ.get("REPRO_CACHE", "1").lower() not in (
@@ -250,15 +275,8 @@ class WorkloadCache:
             "ctr_stack_pushes": counters.stack_pushes,
             "light": light,
         }
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent pool workers may race on one entry.
-        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}.npz")
-        try:
-            with open(tmp, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        atomic_write(path, lambda handle: np.savez(handle, **arrays))
         self.stats.stores += 1
 
     def _load(self, path: pathlib.Path, scene_name: str, ray_kind: str,

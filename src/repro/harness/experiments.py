@@ -396,6 +396,11 @@ FIGURE_JOBS = {
         ("conference", "pdom_warp"), ("conference", "spawn")]),
 }
 
+def _no_jobs(preset: SimPreset) -> list:
+    """Job source for experiments that need no simulations (the tables)."""
+    return []
+
+
 #: Uniform call surface for the CLI and :func:`run_selected`.
 EXPERIMENTS = {
     "table1": lambda preset, results=None: table1(),
@@ -427,13 +432,21 @@ def sweep_jobs_for(names, preset: SimPreset) -> list[SweepJob]:
 
 
 def run_selected(names, preset: SimPreset, jobs: int | None = None,
-                 progress=None):
+                 progress=None, *, strict: bool = True, retry=None,
+                 checkpoint=None, resume: bool = False, results_out=None):
     """Yield ``(name, data)`` for each experiment, sharing one sweep.
 
     All simulations the requested figures need run first — as a single
     deduplicated sweep over ``jobs`` workers (workloads are pre-warmed
     into the cache so pool workers never race on a scene build) — then
     each figure renders from the shared results.
+
+    ``strict``/``retry``/``checkpoint``/``resume`` forward to
+    :func:`~repro.harness.sweep.run_sweep` (retry policy, raise-vs-partial
+    contract, and the resumable checkpoint manifest). ``results_out``, when
+    given a list, receives the shared :class:`SweepResults` so callers
+    (the CLI exit-code path) can inspect failures and verification flags
+    after the figures render.
     """
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
@@ -448,8 +461,24 @@ def run_selected(names, preset: SimPreset, jobs: int | None = None,
         if workers > 1:
             warm_workloads(sorted({job.scene for job in sim_jobs}),
                            preset.name, jobs_n=workers)
-        results = run_sweep(sim_jobs, jobs_n=workers, progress=progress)
+        results = run_sweep(sim_jobs, jobs_n=workers, progress=progress,
+                            strict=strict, retry=retry,
+                            checkpoint=checkpoint, resume=resume)
+        if results_out is not None:
+            results_out.append(results)
+    failed_keys = {failure.job.key for failure in results.failures} \
+        if results is not None else set()
     for name in names:
+        # A partial (strict=False) sweep may be missing simulations a
+        # figure needs; render a skip notice instead of crashing so the
+        # surviving figures still come out.
+        missing = [job for job in FIGURE_JOBS.get(name, _no_jobs)(preset)
+                   if job.key in failed_keys] if failed_keys else []
+        if missing:
+            yield name, {"render": (
+                f"{name}: skipped — required simulation(s) failed: "
+                + ", ".join(job.describe() for job in missing))}
+            continue
         yield name, EXPERIMENTS[name](preset, results=results)
 
 
@@ -472,16 +501,19 @@ def export_all_csv(preset: SimPreset, out_dir: str,
 
 
 def run_all(preset_name: str = "fast", jobs: int | None = None,
-            progress=None) -> str:
+            progress=None, *, strict: bool = True, checkpoint=None,
+            resume: bool = False) -> str:
     """Regenerate every table and figure; returns the combined report.
 
     ``jobs`` fans the underlying simulations over that many worker
-    processes (``None`` keeps the serial reference path).
+    processes (``None`` keeps the serial reference path);
+    ``checkpoint``/``resume`` make the shared sweep resumable.
     """
     preset = get_preset(preset_name)
     sections = [data["render"] for _, data in
                 run_selected(list(EXPERIMENTS), preset, jobs=jobs,
-                             progress=progress)]
+                             progress=progress, strict=strict,
+                             checkpoint=checkpoint, resume=resume)]
     return "\n\n".join(sections)
 
 

@@ -116,6 +116,9 @@ class RunResult(StatsView):
 
     @property
     def completed_fraction(self) -> float:
+        # An empty/truncated workload completes nothing, not a div-zero.
+        if self.workload.num_rays == 0:
+            return 0.0
         return self.stats.rays_completed / self.workload.num_rays
 
     def verify(self) -> bool:

@@ -17,20 +17,61 @@ The simulator is deterministic, so ``--jobs N``, ``--jobs 1``, and a
 direct :func:`~repro.harness.runner.run_mode` call produce bit-identical
 :class:`~repro.simt.gpu.RunStats` (locked down by
 ``tests/harness/test_sweep.py`` against golden digests).
+
+Fault tolerance (see ``docs/architecture.md`` for the failure model):
+
+- each job gets a retry budget with exponential backoff and an optional
+  per-job wall-clock timeout (:class:`RetryPolicy`);
+- a worker crash (``BrokenProcessPool``) respawns the pool, requeues the
+  surviving jobs without penalty, and quarantines the offending job as a
+  :class:`FailedJob` once its attempts are spent — the rest of the sweep
+  keeps running;
+- ``strict=True`` (the default) raises :class:`~repro.errors.SweepError`
+  if anything permanently failed; ``strict=False`` returns partial
+  :class:`SweepResults` carrying the failure records;
+- completed jobs stream into an on-disk JSONL checkpoint manifest
+  (:class:`SweepCheckpoint`) keyed by job key + preset + config digest;
+  ``resume=True`` serves matching records bit-identically instead of
+  re-simulating them;
+- :class:`FaultInjector` (``REPRO_FAULT_SPEC``) deterministically injects
+  crash/hang/exception faults into :func:`execute_job` so every recovery
+  path is testable in CI without flakes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import pathlib
+import signal
 import sys
+import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.errors import (
+    ConfigError,
+    FaultInjectionError,
+    SchedulingError,
+    SweepError,
+)
+from repro.harness.cache import atomic_write_text, resolve_cache_dir
 from repro.harness.presets import get_preset
 from repro.harness.runner import StatsView, _run_mode, prepare_workload
 from repro.simt.gpu import RunStats
+
+#: Schema tag written into every checkpoint-manifest line.
+CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/1"
+
+#: How often the pool loop polls futures for completion and watchdog
+#: expiry — see ``_run_pool``.
+_POLL_SECONDS = 0.1
 
 
 @dataclass(frozen=True)
@@ -53,6 +94,21 @@ class SweepJob:
         tail = "" if self.ray_kind == "primary" else f"/{self.ray_kind}"
         return f"{self.scene}{tail}:{self.mode}"
 
+    def config_digest(self) -> str:
+        """Hash of every field that determines the job's result.
+
+        Checkpoint records are keyed by :attr:`key` *and* this digest, so
+        a resumed sweep never serves a result that was computed under a
+        different preset, cycle budget, or clock.
+        """
+        text = "|".join((
+            "sweep-job-v1", self.scene, self.mode, self.preset,
+            self.ray_kind, f"seed={self.seed}",
+            f"max_cycles={self.max_cycles}",
+            f"fast_forward={self.fast_forward}",
+        ))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
 
 @dataclass
 class JobResult(StatsView):
@@ -72,18 +128,73 @@ class JobResult(StatsView):
 
     @property
     def completed_fraction(self) -> float:
+        # An empty/truncated workload completes nothing, not a div-zero.
+        if self.num_rays == 0:
+            return 0.0
         return self.stats.rays_completed / self.num_rays
 
     def verify(self) -> bool:
         return self.verified
 
 
-class SweepResults:
-    """Ordered job results with lookup by (scene, mode, ray_kind, seed)."""
+@dataclass
+class FailedJob:
+    """A job the sweep gave up on after exhausting its retry budget."""
 
-    def __init__(self, results: Iterable[JobResult]):
+    job: SweepJob
+    attempts: int
+    kind: str        # "exception" | "crash" | "timeout"
+    error: str
+
+    def describe(self) -> str:
+        return (f"{self.job.describe()}  FAILED ({self.kind}) after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job fault-tolerance policy for :func:`run_sweep`.
+
+    ``max_attempts`` bounds how many times one job may execute (first try
+    included) before it is quarantined as a :class:`FailedJob`.
+    ``backoff_seconds`` is the base delay before a retry; it doubles on
+    every further attempt. ``timeout_seconds`` is a per-job wall-clock
+    budget: a ``SIGALRM`` timer inside the worker turns hangs in Python
+    code into retryable ``TimeoutError``s, and a driver-side watchdog
+    kills and respawns the pool for hard hangs the signal cannot reach.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.25
+    timeout_seconds: float | None = None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Delay before retrying after ``attempt`` failed executions."""
+        if self.backoff_seconds <= 0:
+            return 0.0
+        return self.backoff_seconds * (2.0 ** max(0, attempt - 1))
+
+
+class SweepResults:
+    """Ordered job results with lookup by (scene, mode, ray_kind, seed).
+
+    ``failures`` carries the :class:`FailedJob` records of a partial
+    (``strict=False``) sweep; a fully-successful sweep has ``ok == True``.
+    """
+
+    def __init__(self, results: Iterable[JobResult],
+                 failures: Iterable[FailedJob] = ()):
         self.results = list(results)
-        self._by_key = {result.job.key: result for result in self.results}
+        self.failures = list(failures)
+        self._by_key: dict[tuple, JobResult] = {}
+        for result in self.results:
+            key = result.job.key
+            if key in self._by_key:
+                raise SchedulingError(
+                    f"duplicate sweep results for key {key}: jobs "
+                    f"{self._by_key[key].job!r} and {result.job!r} would "
+                    f"clobber each other; deduplicate the job list")
+            self._by_key[key] = result
 
     def __iter__(self):
         return iter(self.results)
@@ -100,22 +211,177 @@ class SweepResults:
         return self._by_key[key]
 
     @property
+    def ok(self) -> bool:
+        """True when no job permanently failed."""
+        return not self.failures
+
+    @property
+    def unverified(self) -> list[JobResult]:
+        """Completed jobs whose results failed reference verification."""
+        return [result for result in self.results if not result.verified]
+
+    @property
     def total_wall_seconds(self) -> float:
         return sum(result.wall_seconds for result in self.results)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit value > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    """Worker count: explicit value > ``REPRO_JOBS`` > ``os.cpu_count()``.
+
+    An unset or empty ``REPRO_JOBS`` falls through to the CPU count; a
+    non-integer value (``REPRO_JOBS=auto``) raises
+    :class:`~repro.errors.ConfigError` naming the offending value.
+    """
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get("REPRO_JOBS")
     if env:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r} "
+                f"(unset it or leave it empty to use all cores)") from None
+        return max(1, value)
     return os.cpu_count() or 1
 
 
-def execute_job(job: SweepJob) -> JobResult:
-    """Run one job (in a worker or inline); workloads come via the cache."""
+# -- fault injection ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One injected fault: fire ``kind`` on ``count`` executions of a job."""
+
+    kind: str        # "crash" | "hang" | "exception"
+    scene: str
+    mode: str
+    count: int = 1
+
+    @property
+    def ident(self) -> str:
+        return f"{self.kind}-{self.scene}-{self.mode}"
+
+
+class FaultInjector:
+    """Deterministic fault injection for the sweep recovery paths.
+
+    Spec grammar (``REPRO_FAULT_SPEC``): comma-separated clauses of the
+    form ``kind@scene:mode`` with an optional ``*count`` suffix, e.g.
+    ``crash@conference:spawn,hang@fairyforest:pdom_block*2``. Kinds:
+
+    - ``exception`` — raise :class:`~repro.errors.FaultInjectionError`;
+    - ``hang`` — sleep far past any sane job budget (exercises the
+      timeout/watchdog path; only use with a ``timeout_seconds`` policy);
+    - ``crash`` — ``os._exit`` the process. Only meaningful under a
+      process pool, where it becomes a ``BrokenProcessPool``; in a serial
+      sweep it would kill the driver, exactly like a real crash would.
+
+    Each clause fires on the first ``count`` executions of the matching
+    job and never again — the firing count is claimed through exclusive
+    token files in ``REPRO_FAULT_DIR`` (default: a per-spec directory
+    under the system temp dir), so the count holds across retries, pool
+    respawns, and worker processes.
+    """
+
+    KINDS = ("crash", "hang", "exception")
+
+    def __init__(self, clauses: Iterable[FaultClause],
+                 state_dir: str | pathlib.Path | None = None,
+                 hang_seconds: float = 3600.0):
+        self.clauses = list(clauses)
+        self.state_dir = pathlib.Path(state_dir) if state_dir is not None \
+            else None
+        self.hang_seconds = hang_seconds
+
+    @classmethod
+    def parse(cls, spec: str,
+              state_dir: str | pathlib.Path | None = None) -> "FaultInjector":
+        clauses = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            count = 1
+            if "*" in chunk:
+                chunk, _, count_text = chunk.rpartition("*")
+                try:
+                    count = int(count_text)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad fault count {count_text!r} in spec chunk "
+                        f"{chunk!r}") from None
+            kind, sep, target = chunk.partition("@")
+            scene, sep2, mode = target.partition(":")
+            if kind not in cls.KINDS or not sep or not sep2 \
+                    or not scene or not mode:
+                raise ConfigError(
+                    f"bad fault clause {chunk!r}; expected "
+                    f"kind@scene:mode[*count] with kind in {cls.KINDS}")
+            clauses.append(FaultClause(kind=kind, scene=scene, mode=mode,
+                                       count=count))
+        if state_dir is None:
+            state_dir = os.environ.get("REPRO_FAULT_DIR")
+        if state_dir is None:
+            digest = hashlib.sha256(spec.encode()).hexdigest()[:16]
+            state_dir = pathlib.Path(tempfile.gettempdir()) \
+                / f"repro-faults-{digest}"
+        return cls(clauses, state_dir=state_dir)
+
+    @classmethod
+    def from_env(cls) -> "FaultInjector | None":
+        spec = os.environ.get("REPRO_FAULT_SPEC")
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    def _claim(self, clause: FaultClause) -> bool:
+        """Atomically claim one of the clause's firing tokens."""
+        if self.state_dir is None:
+            return True
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for n in range(1, clause.count + 1):
+            token = self.state_dir / f"{clause.ident}.{n}"
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def fire(self, job: SweepJob) -> None:
+        """Inject the configured fault for ``job``, if any remain."""
+        for clause in self.clauses:
+            if clause.scene != job.scene or clause.mode != job.mode:
+                continue
+            if not self._claim(clause):
+                continue
+            if clause.kind == "exception":
+                raise FaultInjectionError(
+                    f"injected exception in {job.describe()}")
+            if clause.kind == "hang":
+                time.sleep(self.hang_seconds)
+                raise FaultInjectionError(
+                    f"injected hang in {job.describe()} was not interrupted")
+            # "crash": die the way a segfaulting worker would — no cleanup,
+            # no exception, just a dead process.
+            os._exit(66)
+
+
+# -- job execution -----------------------------------------------------------
+
+
+def execute_job(job: SweepJob, injector: FaultInjector | None = None) -> JobResult:
+    """Run one job (in a worker or inline); workloads come via the cache.
+
+    ``injector`` overrides the ``REPRO_FAULT_SPEC``-derived fault injector
+    (tests pass one explicitly; production runs have neither).
+    """
+    if injector is None:
+        injector = FaultInjector.from_env()
+    if injector is not None:
+        injector.fire(job)
     preset = get_preset(job.preset)
     start = time.perf_counter()
     workload = prepare_workload(job.scene, preset, ray_kind=job.ray_kind,
@@ -125,6 +391,137 @@ def execute_job(job: SweepJob) -> JobResult:
     wall = time.perf_counter() - start
     return JobResult(job=job, stats=result.stats, num_rays=workload.num_rays,
                      verified=result.verify(), wall_seconds=wall)
+
+
+def _execute_with_deadline(job: SweepJob,
+                           timeout_seconds: float | None,
+                           start_log: str | None = None,
+                           token: str | None = None) -> JobResult:
+    """Run one job under a ``SIGALRM`` wall-clock budget.
+
+    This is the pool-worker entry point (and the serial path when a
+    timeout is set): a hang inside Python code becomes an ordinary
+    ``TimeoutError`` the driver can retry. The driver's deadline watchdog
+    (pool kill + respawn) remains the backstop for hard hangs the signal
+    cannot interrupt. Platforms without ``SIGALRM``, and non-main threads,
+    fall back to an unguarded run.
+
+    ``start_log``/``token``: before anything else runs, the worker appends
+    ``token=pid`` to the driver's breadcrumb file (O_APPEND — atomic for
+    lines this short). The breadcrumb survives worker death, so when the
+    pool breaks the driver knows which worker process each in-flight
+    attempt was running in and can pin the blame on the job whose worker
+    actually died abnormally (see ``_run_pool``).
+    """
+    if start_log is not None and token is not None:
+        with open(start_log, "a") as handle:
+            handle.write(f"{token}={os.getpid()}\n")
+    if (timeout_seconds is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return execute_job(job)
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"{job.describe()} exceeded its {timeout_seconds:.1f}s "
+            f"wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+    try:
+        return execute_job(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- checkpoint manifest -----------------------------------------------------
+
+
+def default_checkpoint_path(tag: str) -> pathlib.Path:
+    """Where ``repro experiments --resume`` keeps its manifest by default."""
+    return resolve_cache_dir() / "checkpoints" / f"{tag}.jsonl"
+
+
+class SweepCheckpoint:
+    """On-disk JSONL manifest of completed sweep jobs.
+
+    One JSON document per line, each embedding the versioned
+    ``RunStats.to_dict`` payload plus the job key, preset name, and the
+    job's :meth:`SweepJob.config_digest`. Lookup requires key *and* digest
+    to match, so a resumed sweep never serves a result computed under
+    different settings, and :meth:`lookup` reconstructs the
+    :class:`JobResult` through ``RunStats.from_dict`` — bit-identical for
+    every reported counter. The file is replaced atomically on every
+    append (:func:`repro.harness.cache.atomic_write_text`), and corrupt or
+    foreign lines are skipped on load, never fatal.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self._records: dict[tuple, dict] = {}
+        self._lines: list[str] = []
+
+    @staticmethod
+    def _record_key(record: dict) -> tuple:
+        return (tuple(record["key"]), record["digest"])
+
+    def load(self) -> int:
+        """(Re-)read the manifest; returns the number of usable records."""
+        self._records.clear()
+        self._lines = []
+        if not self.path.exists():
+            return 0
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from an interrupted writer
+            if not isinstance(record, dict) \
+                    or record.get("schema") != CHECKPOINT_SCHEMA:
+                continue
+            try:
+                key = self._record_key(record)
+            except (KeyError, TypeError):
+                continue
+            self._records[key] = record
+            self._lines.append(json.dumps(record, sort_keys=True))
+        return len(self._records)
+
+    def lookup(self, job: SweepJob) -> JobResult | None:
+        """The checkpointed result for ``job``, or None if absent/stale."""
+        record = self._records.get((job.key, job.config_digest()))
+        if record is None:
+            return None
+        try:
+            stats = RunStats.from_dict(record["stats"])
+            return JobResult(job=job, stats=stats,
+                             num_rays=int(record["num_rays"]),
+                             verified=bool(record["verified"]),
+                             wall_seconds=float(record["wall_seconds"]))
+        except (ConfigError, KeyError, TypeError, ValueError):
+            return None  # schema drift: re-simulate rather than fail
+
+    def record(self, result: JobResult) -> None:
+        """Append one completed job and atomically republish the file."""
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            "key": list(result.job.key),
+            "preset": result.job.preset,
+            "digest": result.job.config_digest(),
+            "num_rays": result.num_rays,
+            "verified": result.verified,
+            "wall_seconds": result.wall_seconds,
+            "stats": result.stats.to_dict(),
+        }
+        self._records[self._record_key(record)] = record
+        self._lines.append(json.dumps(record, sort_keys=True))
+        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+
+
+# -- sweep driver ------------------------------------------------------------
 
 
 def stderr_progress(line: str) -> None:
@@ -139,33 +536,313 @@ def _progress_line(done: int, total: int, result: JobResult) -> str:
             f"{result.wall_seconds:.2f}s{flag}")
 
 
+def _check_duplicate_jobs(job_list: list[SweepJob]) -> None:
+    seen: dict[tuple, SweepJob] = {}
+    for job in job_list:
+        if job.key in seen:
+            raise SchedulingError(
+                f"duplicate sweep jobs for key {job.key}: {seen[job.key]!r} "
+                f"and {job!r}; results are keyed by (scene, mode, ray_kind, "
+                f"seed), so one of them would be silently lost — "
+                f"deduplicate the job list")
+        seen[job.key] = job
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down hard, terminating workers so hung or crashed jobs
+    can never block driver exit. Uses the executor's private process table
+    (there is no public kill API); terminating an idle worker is harmless."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        if process.is_alive():
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_sweep(jobs: Iterable[SweepJob], jobs_n: int | None = None,
-              progress: Callable[[str], None] | None = None) -> SweepResults:
+              progress: Callable[[str], None] | None = None, *,
+              retry: RetryPolicy | None = None, strict: bool = True,
+              checkpoint: str | pathlib.Path | SweepCheckpoint | None = None,
+              resume: bool = False) -> SweepResults:
     """Execute all jobs; results keep the input order.
 
     ``jobs_n=1`` (or a single job) runs serially in-process — the exact
     same :func:`execute_job` code path the pool workers run, so the two can
     be diffed bit-for-bit. Larger values fan out over a process pool.
+
+    Fault tolerance: every job gets ``retry.max_attempts`` executions with
+    exponential backoff (and a per-job wall-clock timeout when
+    ``retry.timeout_seconds`` is set); a worker crash respawns the pool and
+    requeues the innocent jobs without penalty. With ``strict=True`` (the
+    default) any permanently-failed job raises
+    :class:`~repro.errors.SweepError` once the rest of the sweep has
+    finished; ``strict=False`` returns partial :class:`SweepResults` whose
+    ``failures`` list the quarantined jobs.
+
+    ``checkpoint`` (a path or :class:`SweepCheckpoint`) streams every
+    completed job into a JSONL manifest; ``resume=True`` additionally
+    serves jobs already present in the manifest — matched by job key *and*
+    config digest — without re-simulating them, bit-identically.
     """
     job_list = list(jobs)
-    workers = min(resolve_jobs(jobs_n), max(1, len(job_list)))
+    _check_duplicate_jobs(job_list)
+    retry = RetryPolicy() if retry is None else retry
+    if resume and checkpoint is None:
+        raise ConfigError("resume=True requires a checkpoint manifest path")
+    manifest: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        manifest = checkpoint if isinstance(checkpoint, SweepCheckpoint) \
+            else SweepCheckpoint(checkpoint)
+        manifest.load()
     emit = progress if progress is not None else (lambda line: None)
-    results: list[JobResult | None] = [None] * len(job_list)
-    if workers <= 1:
-        for index, job in enumerate(job_list):
-            results[index] = execute_job(job)
-            emit(_progress_line(index + 1, len(job_list), results[index]))
-        return SweepResults(results)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(execute_job, job): index
-                   for index, job in enumerate(job_list)}
-        done = 0
-        for future in as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
+    total = len(job_list)
+    results: list[JobResult | None] = [None] * total
+    failures: list[FailedJob] = []
+    done = 0
+
+    def finish(index: int, result: JobResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if manifest is not None:
+            manifest.record(result)
+        emit(_progress_line(done, total, result))
+
+    def quarantine(failure: FailedJob) -> None:
+        nonlocal done
+        failures.append(failure)
+        done += 1
+        emit(f"[{done}/{total}] {failure.describe()}")
+
+    remaining: list[int] = []
+    for index, job in enumerate(job_list):
+        cached = manifest.lookup(job) if (manifest is not None
+                                          and resume) else None
+        if cached is not None:
+            results[index] = cached
             done += 1
-            emit(_progress_line(done, len(job_list), results[index]))
-    return SweepResults(results)
+            emit(f"[{done}/{total}] {job.describe()}  "
+                 f"resumed from checkpoint")
+        else:
+            remaining.append(index)
+
+    if remaining:
+        workers = min(resolve_jobs(jobs_n), len(remaining))
+        if workers <= 1:
+            _run_serial(job_list, remaining, retry, finish, quarantine, emit)
+        else:
+            _run_pool(job_list, remaining, workers, retry, finish,
+                      quarantine, emit)
+
+    swept = SweepResults([r for r in results if r is not None],
+                         failures=failures)
+    if strict and failures:
+        names = ", ".join(failure.job.describe() for failure in failures)
+        error = SweepError(
+            f"{len(failures)} of {total} sweep jobs permanently failed: "
+            f"{names} (pass strict=False for partial results)", failures)
+        error.results = swept
+        raise error
+    return swept
+
+
+def _run_serial(job_list, remaining, retry, finish, quarantine, emit) -> None:
+    """In-process execution with the same retry/backoff policy as the pool.
+
+    There is no crash isolation here — a worker-killing fault takes the
+    driver with it, exactly as any in-process crash would — but exceptions
+    and (via ``SIGALRM``) hangs retry and quarantine identically.
+    """
+    for index in remaining:
+        job = job_list[index]
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                finish(index, _execute_with_deadline(job,
+                                                     retry.timeout_seconds))
+                break
+            except Exception as exc:  # quarantine, don't kill the sweep
+                kind = "timeout" if isinstance(exc, TimeoutError) \
+                    else "exception"
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt >= retry.max_attempts:
+                    quarantine(FailedJob(job=job, attempts=attempt,
+                                         kind=kind, error=error))
+                    break
+                emit(f"[retry] {job.describe()}  attempt "
+                     f"{attempt + 1}/{retry.max_attempts} after {error}")
+                delay = retry.backoff_for(attempt)
+                if delay:
+                    time.sleep(delay)
+
+
+def _run_pool(job_list, remaining, workers, retry, finish, quarantine,
+              emit) -> None:
+    """Pool execution with crash recovery and a hang watchdog.
+
+    Crash attribution: every worker appends ``token=pid`` to a breadcrumb
+    file the moment it picks a job up (see :func:`_execute_with_deadline`).
+    When the pool breaks, the culprit's worker has died with its own
+    abnormal exit code, while the executor tears the *other* workers down
+    with SIGTERM — so only the broken future whose breadcrumb pid exited
+    abnormally is penalized; co-running jobs whose workers were merely
+    torn down requeue without burning an attempt. If no broken future can
+    be pinned that way (no breadcrumb, or exit codes unavailable), every
+    broken future is penalized so progress is guaranteed; the respawn
+    budget below backstops a pathologically crashy environment.
+    """
+    pending = deque(remaining)
+    attempts = dict.fromkeys(remaining, 0)
+    not_before = dict.fromkeys(remaining, 0.0)
+    log_fd, start_log = tempfile.mkstemp(prefix="repro-sweep-started-")
+    os.close(log_fd)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    running: dict = {}      # future -> job index
+    tokens: dict = {}       # future -> breadcrumb token of this attempt
+    deadline: dict = {}     # future -> driver-side watchdog deadline
+    respawns = 0
+    max_respawns = workers + retry.max_attempts * len(remaining) + 4
+    # The in-worker SIGALRM should fire first; the driver watchdog only
+    # steps in for hard hangs, so give the signal a generous head start.
+    watchdog_budget = None if retry.timeout_seconds is None \
+        else retry.timeout_seconds * 2.0 + 1.0
+
+    def breadcrumb_pids() -> dict:
+        """token -> worker pid, parsed from the breadcrumb file."""
+        mapping: dict = {}
+        try:
+            lines = pathlib.Path(start_log).read_text().split()
+        except OSError:
+            return mapping
+        for line in lines:
+            token, sep, pid = line.partition("=")
+            if sep and pid.isdigit():
+                mapping[token] = int(pid)
+        return mapping
+
+    def guilty_worker_pids() -> set:
+        """Pids of pool workers that died abnormally.
+
+        The executor tears surviving workers down with SIGTERM when the
+        pool breaks, so ``-SIGTERM`` (and a clean 0) mark innocents; any
+        other exit code is the crash culprit. Waits briefly for the
+        executor's teardown to settle so exit codes are readable.
+        """
+        procs = dict(getattr(pool, "_processes", None) or {})
+        settle = time.monotonic() + 1.0
+        while time.monotonic() < settle \
+                and any(p.exitcode is None for p in procs.values()):
+            time.sleep(0.01)
+        teardown = -int(getattr(signal, "SIGTERM", 15))
+        return {pid for pid, proc in procs.items()
+                if proc.exitcode not in (None, 0, teardown)}
+
+    def requeue(index: int, kind: str, error: str,
+                penalized: bool = True) -> None:
+        if not penalized:
+            attempts[index] -= 1
+            pending.appendleft(index)
+            return
+        if attempts[index] >= retry.max_attempts:
+            quarantine(FailedJob(job=job_list[index], attempts=attempts[index],
+                                 kind=kind, error=error))
+            return
+        emit(f"[retry] {job_list[index].describe()}  attempt "
+             f"{attempts[index] + 1}/{retry.max_attempts} after {kind}: "
+             f"{error}")
+        not_before[index] = time.monotonic() \
+            + retry.backoff_for(attempts[index])
+        pending.append(index)
+
+    clean = False
+    try:
+        while pending or running:
+            # (1) fill free slots with jobs whose backoff has elapsed
+            now = time.monotonic()
+            deferred = []
+            while pending and len(running) < workers:
+                index = pending.popleft()
+                if not_before[index] > now:
+                    deferred.append(index)
+                    continue
+                attempts[index] += 1
+                token = f"{index}:{attempts[index]}"
+                future = pool.submit(_execute_with_deadline, job_list[index],
+                                     retry.timeout_seconds, start_log, token)
+                running[future] = index
+                tokens[future] = token
+                if watchdog_budget is not None:
+                    deadline[future] = now + watchdog_budget
+            for index in reversed(deferred):
+                pending.appendleft(index)
+            if not running:
+                wake = min(not_before[index] for index in pending)
+                time.sleep(min(max(wake - time.monotonic(), 0.01), 0.5))
+                continue
+            # (2) collect completions
+            finished, _ = wait(list(running), timeout=_POLL_SECONDS,
+                               return_when=FIRST_COMPLETED)
+            broken: list = []
+            pool_broken = False
+            for future in finished:
+                index = running.pop(future)
+                deadline.pop(future, None)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    broken.append((index, tokens.get(future)))
+                except TimeoutError as exc:
+                    requeue(index, "timeout", str(exc))
+                except Exception as exc:
+                    requeue(index, "exception",
+                            f"{type(exc).__name__}: {exc}")
+                else:
+                    finish(index, result)
+                tokens.pop(future, None)
+            if broken:
+                guilty_pids = guilty_worker_pids()
+                crumbs = breadcrumb_pids()
+                suspect = [crumbs.get(token) in guilty_pids
+                           for _, token in broken]
+                blame_all = not any(suspect)
+                for (index, token), guilty in zip(broken, suspect):
+                    requeue(index, "crash",
+                            "worker process died (BrokenProcessPool)",
+                            penalized=blame_all or guilty)
+            # (3) watchdog: hard hangs the in-worker SIGALRM never reached
+            now = time.monotonic()
+            expired = [future for future, limit in deadline.items()
+                       if now > limit]
+            for future in expired:
+                index = running.pop(future)
+                deadline.pop(future, None)
+                tokens.pop(future, None)
+                pool_broken = True
+                requeue(index, "timeout",
+                        f"exceeded the {watchdog_budget:.1f}s driver "
+                        f"watchdog; worker killed")
+            # (4) respawn a broken/poisoned pool; survivors requeue freely
+            if pool_broken:
+                for future, index in running.items():
+                    requeue(index, "crash", "pool respawned",
+                            penalized=False)
+                running.clear()
+                tokens.clear()
+                deadline.clear()
+                respawns += 1
+                if respawns > max_respawns:
+                    raise SweepError(
+                        f"worker pool died {respawns} times; giving up "
+                        f"(is the environment killing workers?)")
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+        clean = True
+    finally:
+        pathlib.Path(start_log).unlink(missing_ok=True)
+        if clean:
+            pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            _kill_pool(pool)
 
 
 def _warm_one(spec: tuple[str, str, str, int]) -> int:

@@ -12,6 +12,7 @@ the Chrome-trace/CSV/JSON/ASCII exporters.
 from repro.obs.export import (
     chrome_trace,
     render_interval_plot,
+    render_sweep_summary,
     write_chrome_trace,
     write_intervals_csv,
     write_intervals_json,
@@ -38,6 +39,7 @@ __all__ = [
     "TraceSession",
     "chrome_trace",
     "render_interval_plot",
+    "render_sweep_summary",
     "write_chrome_trace",
     "write_intervals_csv",
     "write_intervals_json",

@@ -124,6 +124,30 @@ def write_intervals_json(path, session: TraceSession,
     return path
 
 
+def render_sweep_summary(results) -> str:
+    """Completion/failure summary for a finished sweep.
+
+    Duck-typed over :class:`repro.harness.sweep.SweepResults` (iterating
+    the completed :class:`~repro.harness.sweep.JobResult` rows and reading
+    ``failures``) so this module needs no harness import. One headline
+    line, then one line per quarantined or unverified job — the CLI prints
+    it to stderr whenever a sweep finishes degraded.
+    """
+    completed = list(results)
+    failures = list(getattr(results, "failures", ()))
+    unverified = [result for result in completed if not result.verified]
+    total = len(completed) + len(failures)
+    lines = [f"sweep summary: {len(completed)}/{total} jobs completed, "
+             f"{len(failures)} failed, {len(unverified)} unverified, "
+             f"{sum(r.wall_seconds for r in completed):.2f}s total job time"]
+    for failure in failures:
+        lines.append(f"  {failure.describe()}")
+    for result in unverified:
+        lines.append(f"  {result.job.describe()}  UNVERIFIED "
+                     f"(results do not match the reference trace)")
+    return "\n".join(lines)
+
+
 def render_interval_plot(session: TraceSession, *,
                          max_intervals: int = 60) -> str:
     """Stacked per-interval cycle breakdown: W buckets, idle, stall.

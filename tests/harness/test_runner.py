@@ -103,6 +103,15 @@ class TestRunMode:
         assert result.stats.cycles <= 200
         assert result.verify()  # partial results still match
 
+    def test_zero_ray_workload_completed_fraction(self, tiny_workload):
+        import dataclasses
+        import types
+
+        result = run_mode("pdom_warp", tiny_workload, max_cycles=200)
+        empty = dataclasses.replace(
+            result, workload=types.SimpleNamespace(num_rays=0))
+        assert empty.completed_fraction == 0.0
+
 
 class TestMIMD:
     def test_mimd_result(self, tiny_workload):

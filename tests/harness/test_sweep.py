@@ -10,15 +10,22 @@ against a golden JSON snapshot (regenerate with ``pytest
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro.errors import ConfigError, SchedulingError
 from repro.harness.cache import default_cache
 from repro.harness.presets import get_preset
 from repro.harness.runner import prepare_workload, run_mode
+from repro.harness import sweep as sweep_module
 from repro.harness.sweep import (
+    JobResult,
+    RetryPolicy,
+    SweepCheckpoint,
     SweepJob,
+    SweepResults,
     resolve_jobs,
     run_stats_digest,
     run_sweep,
@@ -125,6 +132,92 @@ class TestSweepResults:
         assert len(lines) == 1
         assert lines[0].startswith("[1/1] conference:pdom_block")
 
+    def test_duplicate_keys_rejected(self, serial_results):
+        first = serial_results.results[0]
+        with pytest.raises(SchedulingError, match="duplicate"):
+            SweepResults([first, first])
+
+    def test_duplicate_jobs_rejected_before_execution(self):
+        job = SweepJob(scene="conference", mode="pdom_block", preset="tiny")
+        with pytest.raises(SchedulingError, match="conference"):
+            run_sweep([job, job], jobs_n=1)
+
+    def test_zero_ray_completed_fraction(self, serial_results):
+        sample = serial_results.results[0]
+        empty = JobResult(job=sample.job, stats=sample.stats, num_rays=0,
+                          verified=True, wall_seconds=0.0)
+        assert empty.completed_fraction == 0.0
+
+
+class TestCheckpointResume:
+    def test_resume_serves_without_reexecution(self, serial_results,
+                                               tmp_path, monkeypatch):
+        manifest = tmp_path / "sweep.jsonl"
+        run_sweep(sweep_jobs(), jobs_n=1, checkpoint=manifest)
+        assert manifest.exists()
+
+        def explode(job, injector=None):
+            raise AssertionError(f"{job.describe()} was re-executed")
+
+        monkeypatch.setattr(sweep_module, "execute_job", explode)
+        resumed = run_sweep(sweep_jobs(), jobs_n=1, checkpoint=manifest,
+                            resume=True)
+        assert digest_map(resumed) == digest_map(serial_results)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ConfigError, match="checkpoint"):
+            run_sweep(sweep_jobs(), jobs_n=1, resume=True)
+
+    def test_stale_config_digest_reruns(self, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        job = SweepJob(scene="conference", mode="pdom_block", preset="tiny",
+                       max_cycles=5_000)
+        run_sweep([job], jobs_n=1, checkpoint=manifest)
+        checkpoint = SweepCheckpoint(manifest)
+        assert checkpoint.load() == 1
+        assert checkpoint.lookup(job) is not None
+        changed = SweepJob(scene="conference", mode="pdom_block",
+                           preset="tiny", max_cycles=6_000)
+        assert checkpoint.lookup(changed) is None
+
+    def test_corrupt_lines_tolerated(self, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        job = SweepJob(scene="conference", mode="pdom_block", preset="tiny",
+                       max_cycles=5_000)
+        run_sweep([job], jobs_n=1, checkpoint=manifest)
+        with manifest.open("a") as handle:
+            handle.write("{\"torn\": \n")
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"schema": "other/1"}) + "\n")
+        checkpoint = SweepCheckpoint(manifest)
+        assert checkpoint.load() == 1
+        assert checkpoint.lookup(job) is not None
+
+    def test_crash_then_resume_matches_golden(self, serial_results,
+                                              tmp_path, monkeypatch):
+        """The acceptance path: a sweep loses one job to a crashing
+        worker, returns partial results, and ``resume`` completes the rest
+        bit-identically to the uninterrupted serial run."""
+        manifest = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "crash@fairyforest:spawn*3")
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path / "faults"))
+        partial = run_sweep(
+            sweep_jobs(), jobs_n=2, strict=False, checkpoint=manifest,
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0))
+        assert len(partial) == len(SCENES) * len(MODES) - 1
+        assert len(partial.failures) == 1
+        assert partial.failures[0].job.describe() == "fairyforest:spawn"
+        assert not partial.ok
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC")
+        lines = []
+        resumed = run_sweep(sweep_jobs(), jobs_n=1, checkpoint=manifest,
+                            resume=True, progress=lines.append)
+        assert resumed.ok
+        assert digest_map(resumed) == digest_map(serial_results)
+        assert sum("resumed from checkpoint" in line for line in lines) \
+            == len(SCENES) * len(MODES) - 1
+
 
 class TestResolveJobs:
     def test_explicit_wins(self, monkeypatch):
@@ -137,9 +230,17 @@ class TestResolveJobs:
 
     def test_default_is_cpu_count(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
-        import os
         assert resolve_jobs() == (os.cpu_count() or 1)
 
     def test_floor_of_one(self):
         assert resolve_jobs(0) == 1
         assert resolve_jobs(-4) == 1
+
+    def test_non_integer_env_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        with pytest.raises(ConfigError, match="'auto'"):
+            resolve_jobs()
+
+    def test_empty_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert resolve_jobs() == (os.cpu_count() or 1)

@@ -33,6 +33,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "purge"])
 
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "--checkpoint", "manifest.jsonl", "--resume",
+             "--retries", "5", "--job-timeout", "2.5"])
+        assert args.checkpoint == "manifest.jsonl"
+        assert args.resume is True
+        assert args.retries == 5
+        assert args.job_timeout == 2.5
+
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.checkpoint == ""
+        assert args.resume is False
+        assert args.retries == 3
+        assert args.job_timeout is None
+
 
 class TestCommands:
     def test_disasm_traditional(self, capsys):
@@ -74,6 +90,55 @@ class TestCommands:
         assert main(["cache", "clear"]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert not list(tmp_path.glob("*.npz"))
+
+    def test_experiments_permanent_failure_exits_nonzero(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_FAULT_SPEC",
+                           "exception@conference:pdom_block*5")
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path / "faults"))
+        code = main(["experiments", "--preset", "tiny", "--only", "fig3",
+                     "--jobs", "1", "--retries", "2"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "fig3: skipped" in captured.out
+        assert "FAILED (exception)" in captured.err
+        assert "1 failed" in captured.err
+
+    def test_experiments_unverified_exits_nonzero(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.harness import sweep as sweep_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        real_execute = sweep_module.execute_job
+
+        def tainted(job, injector=None):
+            result = real_execute(job, injector)
+            result.verified = False
+            return result
+
+        monkeypatch.setattr(sweep_module, "execute_job", tainted)
+        code = main(["experiments", "--preset", "tiny", "--only", "fig3",
+                     "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 unverified" in captured.err
+
+    def test_experiments_checkpoint_resume(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        manifest = tmp_path / "manifest.jsonl"
+        assert main(["experiments", "--preset", "tiny", "--only", "fig3",
+                     "--jobs", "1", "--checkpoint", str(manifest)]) == 0
+        assert manifest.exists()
+        first = capsys.readouterr()
+        assert "resumed from checkpoint" not in first.err
+        assert main(["experiments", "--preset", "tiny", "--only", "fig3",
+                     "--jobs", "1", "--checkpoint", str(manifest),
+                     "--resume"]) == 0
+        second = capsys.readouterr()
+        assert "resumed from checkpoint" in second.err
+        assert first.out == second.out
 
     def test_run_command(self, capsys):
         code = main(["run", "--preset", "tiny", "--mode", "pdom_warp",
