@@ -22,6 +22,14 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.errors import ConfigError
+from repro.fuzz import (
+    FuzzReport,
+    load_case,
+    run_case,
+    run_fuzz,
+    save_case,
+    shrink_case,
+)
 from repro.harness.presets import PRESETS, SimPreset, get_preset
 from repro.harness.runner import (
     MODES,
@@ -146,6 +154,7 @@ __all__ = [
     "PRESETS",
     "FailedJob",
     "FaultInjector",
+    "FuzzReport",
     "JobResult",
     "RetryPolicy",
     "RunResult",
@@ -159,8 +168,13 @@ __all__ = [
     "config_for_mode",
     "get_preset",
     "launch_for_mode",
+    "load_case",
     "prepare_workload",
+    "run_case",
+    "run_fuzz",
     "run_stats_digest",
+    "save_case",
+    "shrink_case",
     "simulate",
     "sweep",
 ]

@@ -19,6 +19,13 @@ Commands:
 - ``trace <scene> [--mode M] [--interval N] [--out trace.json]`` — run one
   simulation with cycle-attribution probes attached and export a Chrome
   ``trace_event`` file plus a stacked per-interval breakdown,
+- ``fuzz [--cases N] [--seed S] [--models m1,m2] [--kinds k1,k2]
+  [--replay PATH] [--out DIR]`` — generative differential conformance:
+  run randomly generated µ-kernel programs on every applicable SIMT
+  model and compare against the MIMD reference (functional equivalence,
+  metamorphic variants, structural counter identities). Divergences are
+  auto-shrunk and written as JSON repro files to ``--out``; ``--replay``
+  re-runs a corpus file or directory instead of generating,
 - ``disasm {traditional|microkernels}`` — print a benchmark kernel's
   assembly,
 - ``cache {info,clear}`` — inspect or empty the persistent workload cache
@@ -179,6 +186,88 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import (
+        FUZZ_MODELS,
+        load_case,
+        load_corpus,
+        run_case,
+        run_fuzz,
+        save_case,
+        shrink_case,
+    )
+    from repro.fuzz.generator import CASE_KINDS
+
+    models = None
+    if args.models:
+        models = tuple(name.strip() for name in args.models.split(","))
+        unknown = [name for name in models if name not in FUZZ_MODELS]
+        if unknown:
+            print(f"unknown model {unknown[0]!r}; choose from "
+                  f"{', '.join(FUZZ_MODELS)}", file=sys.stderr)
+            return 2
+    kinds = None
+    if args.kinds:
+        kinds = tuple(name.strip() for name in args.kinds.split(","))
+        unknown = [name for name in kinds if name not in CASE_KINDS]
+        if unknown:
+            print(f"unknown kind {unknown[0]!r}; choose from "
+                  f"{', '.join(CASE_KINDS)}", file=sys.stderr)
+            return 2
+
+    if args.replay:
+        if os.path.isdir(args.replay):
+            entries = load_corpus(args.replay)
+        else:
+            entries = [(args.replay, load_case(args.replay))]
+        if not entries:
+            print(f"no corpus files under {args.replay}", file=sys.stderr)
+            return 2
+        failed = 0
+        for path, case in entries:
+            result = run_case(case, models=models)
+            status = ("skip" if result.skipped
+                      else "ok" if result.ok else "FAIL")
+            print(f"{status:5s} {path} ({case.describe()})")
+            for failure in result.failures:
+                print(f"      {failure}")
+            failed += bool(result.failures)
+        print(f"replayed {len(entries)} case(s), {failed} failure(s)")
+        return 1 if failed else 0
+
+    def progress(index, result):
+        if not args.quiet:
+            mark = "s" if result.skipped else "." if result.ok else "F"
+            print(mark, end="", flush=True)
+            if (index + 1) % 50 == 0:
+                print(f" {index + 1}/{args.cases}")
+
+    report = run_fuzz(args.cases, args.seed, models=models, kinds=kinds,
+                      on_case=progress)
+    if not args.quiet:
+        print()
+    print(f"ran {report.cases_run} case(s), {report.skipped} skipped, "
+          f"{len(report.failures)} with divergences")
+    if report.ok:
+        return 0
+    os.makedirs(args.out, exist_ok=True)
+    for result in report.failures:
+        case = result.case
+        for failure in result.failures[:4]:
+            print(f"  seed={case.seed}: {failure}")
+        if args.shrink:
+            def still_fails(candidate):
+                return bool(run_case(candidate, models=models).failures)
+            case = shrink_case(case, still_fails,
+                               max_evals=args.max_shrink_evals)
+        path = os.path.join(args.out, f"case-{case.seed}.json")
+        save_case(case, path)
+        print(f"  wrote {path} ({len(case.program)} instructions)")
+    return 1
+
+
 def _cmd_disasm(args) -> int:
     from repro.isa import disassemble
     from repro.kernels.microkernels import microkernel_program
@@ -273,6 +362,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--depth", type=int, default=13)
     p_render.add_argument("--out", default="render.ppm")
     p_render.set_defaults(func=_cmd_render)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential conformance fuzzing of the SIMT models")
+    p_fuzz.add_argument("--cases", type=int, default=100, metavar="N",
+                        help="number of generated cases (default 100)")
+    p_fuzz.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="campaign seed; same (cases, seed) replays the "
+                             "identical campaign (default 0)")
+    p_fuzz.add_argument("--models", default="", metavar="M1,M2",
+                        help="comma-separated model subset "
+                             "(default: all applicable per case)")
+    p_fuzz.add_argument("--kinds", default="", metavar="K1,K2",
+                        help="restrict generated program kinds "
+                             "(plain,spawn,barrier)")
+    p_fuzz.add_argument("--replay", default="", metavar="PATH",
+                        help="replay a corpus JSON file or directory "
+                             "instead of generating cases")
+    p_fuzz.add_argument("--out", default="fuzz-failures", metavar="DIR",
+                        help="directory for shrunk failing-case JSON files "
+                             "(default fuzz-failures)")
+    p_fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="write failing cases without shrinking them")
+    p_fuzz.add_argument("--max-shrink-evals", type=int, default=300,
+                        metavar="N", help="shrinker evaluation budget per "
+                                          "case (default 300)")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress marks")
+    p_fuzz.set_defaults(func=_cmd_fuzz, shrink=True)
 
     p_dis = sub.add_parser("disasm", help="print a benchmark kernel")
     p_dis.add_argument("kernel", choices=("traditional", "microkernels"))

@@ -1,0 +1,176 @@
+"""JSON regression corpus for fuzzer cases.
+
+A corpus file is a complete, self-contained case: seed, kind, workload
+layout, input/constant data, and the full serialized program (see
+:mod:`repro.isa.serialize`). Serialization is canonical — re-encoding a
+loaded case yields byte-identical text — and loading validates every
+field, raising :class:`~repro.errors.ProgramError` naming the offending
+path. The test suite replays every file under ``tests/fuzz/corpus``
+through the full oracle battery, so a shrunk failure committed there
+becomes a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.errors import ProgramError
+from repro.fuzz.generator import CASE_KINDS, Case
+from repro.isa.serialize import program_from_dict, program_to_dict
+
+#: Document schema identifier embedded in every corpus file.
+CASE_SCHEMA = "repro-fuzz-case/1"
+
+_INT_FIELDS = ("seed", "num_threads", "block_size", "registers",
+               "state_words")
+_LAYOUT_FIELDS = ("input_base", "num_inputs", "out_base", "out_stride",
+                  "shared_cells", "global_words")
+
+
+def case_to_dict(case: Case) -> dict:
+    """Canonical JSON-compatible encoding of a case."""
+    return {
+        "schema": CASE_SCHEMA,
+        "seed": case.seed,
+        "kind": case.kind,
+        "entry": case.entry,
+        "num_threads": case.num_threads,
+        "block_size": case.block_size,
+        "registers": case.registers,
+        "state_words": case.state_words,
+        "layout": {name: getattr(case, name) for name in _LAYOUT_FIELDS},
+        "inputs": [int(value) for value in case.inputs],
+        "const": [_encode_float(value) for value in case.const],
+        "program": program_to_dict(case.program),
+    }
+
+
+def _encode_float(value: float):
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return float(value)
+
+
+def _decode_float(value, path: str) -> float:
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise ProgramError(f"{path}: number or 'nan'/'inf'/'-inf' expected, "
+                       f"got {value!r}")
+
+
+def _expect_int(doc: dict, key: str, path: str) -> int:
+    value = doc.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProgramError(f"{path}.{key}: integer expected, "
+                           f"got {type(value).__name__}")
+    return value
+
+
+def case_from_dict(doc) -> Case:
+    """Rebuild a case; raises :class:`ProgramError` naming bad fields."""
+    if not isinstance(doc, dict):
+        raise ProgramError("case: object expected, "
+                           f"got {type(doc).__name__}")
+    known = {"schema", "seed", "kind", "entry", "num_threads", "block_size",
+             "registers", "state_words", "layout", "inputs", "const",
+             "program"}
+    for key in doc:
+        if key not in known:
+            raise ProgramError(f"case.{key}: unknown case field")
+    if doc.get("schema") != CASE_SCHEMA:
+        raise ProgramError(f"case.schema: expected {CASE_SCHEMA!r}, "
+                           f"got {doc.get('schema')!r}")
+    kind = doc.get("kind")
+    if kind not in CASE_KINDS:
+        raise ProgramError(f"case.kind: one of {CASE_KINDS} expected, "
+                           f"got {kind!r}")
+    entry = doc.get("entry")
+    if not isinstance(entry, str):
+        raise ProgramError("case.entry: kernel name string expected, "
+                           f"got {type(entry).__name__}")
+    ints = {name: _expect_int(doc, name, "case") for name in _INT_FIELDS}
+    if ints["num_threads"] <= 0:
+        raise ProgramError("case.num_threads: must be positive")
+    if ints["block_size"] <= 0:
+        raise ProgramError("case.block_size: must be positive")
+    layout_doc = doc.get("layout")
+    if not isinstance(layout_doc, dict):
+        raise ProgramError("case.layout: object expected, "
+                           f"got {type(layout_doc).__name__}")
+    for key in layout_doc:
+        if key not in _LAYOUT_FIELDS:
+            raise ProgramError(f"case.layout.{key}: unknown layout field")
+    layout = {name: _expect_int(layout_doc, name, "case.layout")
+              for name in _LAYOUT_FIELDS}
+    if layout["global_words"] <= 0:
+        raise ProgramError("case.layout.global_words: must be positive")
+    inputs_doc = doc.get("inputs")
+    if not isinstance(inputs_doc, list):
+        raise ProgramError("case.inputs: integer list expected, "
+                           f"got {type(inputs_doc).__name__}")
+    inputs = []
+    for index, value in enumerate(inputs_doc):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ProgramError(f"case.inputs[{index}]: integer expected, "
+                               f"got {type(value).__name__}")
+        inputs.append(int(value))
+    const_doc = doc.get("const")
+    if not isinstance(const_doc, list):
+        raise ProgramError("case.const: number list expected, "
+                           f"got {type(const_doc).__name__}")
+    const = [_decode_float(value, f"case.const[{index}]")
+             for index, value in enumerate(const_doc)]
+    program = program_from_dict(doc.get("program"))
+    if entry not in program.kernels:
+        raise ProgramError(f"case.entry: kernel {entry!r} not declared in "
+                           f"case.program")
+    return Case(seed=ints["seed"], kind=kind,
+                num_threads=ints["num_threads"],
+                block_size=ints["block_size"], registers=ints["registers"],
+                state_words=ints["state_words"], entry=entry,
+                inputs=inputs, const=const, program=program, **layout)
+
+
+def case_to_json(case: Case) -> str:
+    """Canonical JSON text (sorted keys, two-space indent)."""
+    return json.dumps(case_to_dict(case), sort_keys=True, indent=2) + "\n"
+
+
+def case_from_json(text: str) -> Case:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProgramError(f"case: invalid JSON: {error}") from error
+    return case_from_dict(doc)
+
+
+def save_case(case: Case, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(case_to_json(case))
+
+
+def load_case(path: str) -> Case:
+    with open(path, encoding="utf-8") as handle:
+        return case_from_json(handle.read())
+
+
+def load_corpus(directory: str) -> list[tuple[str, Case]]:
+    """Load every ``*.json`` corpus file under ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            path = os.path.join(directory, name)
+            entries.append((path, load_case(path)))
+    return entries

@@ -1,0 +1,422 @@
+"""Seeded random µ-kernel program generator.
+
+Programs are built with :class:`repro.isa.builder.KernelBuilder` under a
+discipline that makes them *deterministic across execution models and
+schedules*, so the differential oracle can demand exact equality:
+
+- Registers are partitioned into an **integer class** (thread ids, small
+  immediates, input-table loads; ops restricted to add/sub/min/max and
+  bitwise and/or/xor, wrapped with ``rem`` immediately before use as an
+  address index or loop bound) and a **float class** (arbitrary values
+  including NaN/inf; no bitwise/shift/``rem``/``cvt`` ops, whose
+  float→int64 casts are undefined for non-finite values).
+- Global memory is a read-only input table plus a private per-thread
+  scratch/output strip (``out_base + tid*out_stride + k``); shared memory
+  is private per-thread cells, except in barrier programs where
+  cross-thread reads only happen *after* a ``bar`` within one block.
+- Spawn programs follow the state-passing protocol of
+  :mod:`repro.kernels.microkernels`: the parent stores a hop counter, its
+  ray id, and data words through ``SREG.spawnMemAddr``, then spawns;
+  children load the state, compute, write their output at the *ray id's*
+  strip (never at a pointer-derived address — spawn-memory addresses are
+  model-specific), decrement the counter, and conditionally re-spawn.
+- Only ``SREG.tid`` / ``SREG.spawnMemAddr`` are read (``SREG.ntid``
+  would break warp-size metamorphism); no atomics.
+
+All randomness flows from one :class:`numpy.random.Generator` derived
+from the case seed, so a case is reproducible from ``(seed, kind)``
+alone; the serialized corpus nevertheless stores the full program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+
+#: Program shapes the generator emits.
+CASE_KINDS = ("plain", "spawn", "barrier")
+
+# Fixed register map (class discipline, see module docstring).
+_R_TID = "r0"
+_INT_REGS = ("r1", "r2", "r3")
+_FLOAT_REGS = ("r4", "r5", "r6", "r7")
+_R_ADDR = "r8"   # address scratch (always freshly computed before use)
+_R_T0 = "r9"     # barrier neighbour / selector scratch
+_R_T1 = "r10"    # loop counter / selector scratch
+_R_COUNT = "r11"  # spawn hop counter
+_R_PTR = "r12"   # spawn state pointer
+_R_TMP = "r13"   # SREG.spawnMemAddr landing register
+_NUM_REGISTERS = 16
+_PREDS = ("p1", "p2", "p3")
+
+_INT_OPS = ("add", "sub", "min", "max", "and", "or", "xor")
+_FLOAT_BINOPS = ("add", "sub", "mul", "div", "min", "max")
+_FLOAT_UNOPS = ("neg", "abs", "sqrt", "rsqrt", "rcp", "floor")
+_CMPS = ("lt", "le", "gt", "ge", "eq", "ne")
+_SPECIAL_FLOATS = (0.0, -0.0, 1.0, float("nan"), float("inf"), float("-inf"))
+
+
+@dataclass
+class Case:
+    """One generated conformance-test case (program + workload layout)."""
+
+    seed: int
+    kind: str
+    num_threads: int
+    block_size: int
+    registers: int
+    state_words: int
+    entry: str
+    input_base: int
+    num_inputs: int
+    out_base: int
+    out_stride: int
+    shared_cells: int
+    global_words: int
+    inputs: list[int]
+    const: list[float]
+    program: Program
+
+    def describe(self) -> str:
+        return (f"case(seed={self.seed}, kind={self.kind}, "
+                f"threads={self.num_threads}, block={self.block_size}, "
+                f"instructions={len(self.program)})")
+
+
+class _Gen:
+    """Emission state for one case (builder + rng + layout)."""
+
+    def __init__(self, rng: np.random.Generator, builder: KernelBuilder,
+                 num_inputs: int, out_base: int, out_stride: int,
+                 shared_cells: int):
+        self.rng = rng
+        self.b = builder
+        self.num_inputs = num_inputs
+        self.out_base = out_base
+        self.out_stride = out_stride
+        self.shared_cells = shared_cells
+        self._labels = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def label(self) -> str:
+        self._labels += 1
+        return f"L{self._labels}"
+
+    def pick(self, options):
+        return options[int(self.rng.integers(len(options)))]
+
+    def ri(self) -> str:
+        return self.pick(_INT_REGS)
+
+    def rf(self) -> str:
+        return self.pick(_FLOAT_REGS)
+
+    def pred(self) -> str:
+        return self.pick(_PREDS)
+
+    def float_imm(self) -> float:
+        if self.rng.random() < 0.12:
+            return self.pick(_SPECIAL_FLOATS)
+        return float(np.round(self.rng.uniform(-8.0, 8.0), 3))
+
+    # -- reusable fragments ------------------------------------------------
+
+    def load_input(self, dst: str, index_src: str) -> None:
+        """``dst = inputs[index_src mod num_inputs]`` (data-dependent)."""
+        self.b.rem(_R_ADDR, index_src, float(self.num_inputs))
+        self.b.ld("global", dst, _R_ADDR)
+
+    def init_registers(self, *, tid_reg: str = _R_TID,
+                       with_tid_mov: bool = True,
+                       ints_only: bool = False) -> None:
+        if with_tid_mov:
+            self.b.mov(tid_reg, "SREG.tid")
+        for reg in _INT_REGS:
+            choice = self.rng.random()
+            if choice < 0.4:
+                self.b.add(reg, tid_reg, float(int(self.rng.integers(0, 8))))
+            elif choice < 0.7:
+                self.b.mov(reg, float(int(self.rng.integers(0, 16))))
+            else:
+                self.load_input(reg, tid_reg)
+        if ints_only:
+            return
+        for reg in _FLOAT_REGS:
+            choice = self.rng.random()
+            if choice < 0.35:
+                # The executor's memory path needs a register address, so
+                # data-dependent constant reads go through r8.
+                self.b.rem(_R_ADDR, self.pick(_INT_REGS), 8.0)
+                self.b.ld("const", reg, _R_ADDR)
+            elif choice < 0.7:
+                self.b.mov(reg, self.float_imm())
+            else:
+                self.b.mul(reg, self.pick(_INT_REGS), self.float_imm())
+
+    def own_output_address(self, tid_reg: str, slot: int) -> None:
+        """``r8 = out_base + tid_reg*out_stride + slot``."""
+        self.b.mad(_R_ADDR, tid_reg, float(self.out_stride),
+                   float(self.out_base + slot))
+
+    def epilogue(self, tid_reg: str = _R_TID) -> None:
+        values = _FLOAT_REGS + _INT_REGS
+        for slot in range(self.out_stride):
+            self.own_output_address(tid_reg, slot)
+            self.b.st("global", _R_ADDR, self.pick(values))
+        self.b.exit()
+
+    # -- straight-line / structured segments -------------------------------
+
+    def segment(self, depth: int, *, in_loop: bool,
+                allow_exit: bool) -> None:
+        roll = self.rng.random()
+        if roll < 0.16:
+            op = self.pick(_INT_OPS)
+            rhs = (self.ri() if self.rng.random() < 0.7
+                   else float(int(self.rng.integers(0, 32))))
+            getattr(self.b, op)(self.ri(), self.ri(), rhs)
+        elif roll < 0.38:
+            self.float_op()
+        elif roll < 0.50:
+            lhs, rhs = ((self.ri(), self.ri())
+                        if self.rng.random() < 0.5
+                        else (self.rf(), self.float_imm()))
+            self.b.setp(self.pick(_CMPS), self.pred(), lhs, rhs)
+        elif roll < 0.58:
+            self.load_input(self.ri(), self.ri())
+        elif roll < 0.68 and self.shared_cells:
+            cell = int(self.rng.integers(self.shared_cells))
+            self.b.mad(_R_ADDR, _R_TID, float(self.shared_cells),
+                       float(cell))
+            if self.rng.random() < 0.5:
+                self.b.st("shared", _R_ADDR, self.rf())
+            else:
+                self.b.ld("shared", self.rf(), _R_ADDR)
+        elif roll < 0.76:
+            slot = int(self.rng.integers(self.out_stride))
+            self.own_output_address(_R_TID, slot)
+            if self.rng.random() < 0.5:
+                self.b.st("global", _R_ADDR, self.pick(_FLOAT_REGS))
+            else:
+                self.b.ld("global", self.rf(), _R_ADDR)
+        elif roll < 0.88 and depth < 2:
+            self.diamond(depth, in_loop=in_loop, allow_exit=allow_exit)
+        elif roll < 0.95 and depth == 0 and not in_loop:
+            self.loop(depth)
+        elif allow_exit and depth == 0 and self.rng.random() < 0.3:
+            self.b.setp(self.pick(_CMPS), "p2", self.ri(),
+                        float(int(self.rng.integers(1, 48))))
+            self.b.exit(pred="p2")
+        else:
+            self.float_op()
+
+    def float_op(self) -> None:
+        guard = None
+        if self.rng.random() < 0.25:
+            guard = self.pred()
+            if self.rng.random() < 0.5:
+                guard = "!" + guard
+        roll = self.rng.random()
+        if roll < 0.45:
+            rhs = self.rf() if self.rng.random() < 0.7 else self.float_imm()
+            getattr(self.b, self.pick(_FLOAT_BINOPS))(self.rf(), self.rf(),
+                                                      rhs, pred=guard)
+        elif roll < 0.7:
+            getattr(self.b, self.pick(_FLOAT_UNOPS))(self.rf(), self.rf(),
+                                                     pred=guard)
+        elif roll < 0.85:
+            self.b.mad(self.rf(), self.rf(), self.rf(), self.rf(),
+                       pred=guard)
+        else:
+            self.b.selp(self.rf(), self.rf(), self.float_imm(), self.pred(),
+                        pred=guard)
+
+    def diamond(self, depth: int, *, in_loop: bool, allow_exit: bool) -> None:
+        """A structured if/else that reconverges before continuing."""
+        else_label, end_label = self.label(), self.label()
+        pred = self.pred()
+        lhs, rhs = ((self.ri(), float(int(self.rng.integers(0, 24))))
+                    if self.rng.random() < 0.6
+                    else (self.rf(), self.float_imm()))
+        self.b.setp(self.pick(_CMPS), pred, lhs, rhs)
+        self.b.bra(else_label, pred="!" + pred)
+        for _ in range(int(self.rng.integers(1, 3))):
+            self.segment(depth + 1, in_loop=in_loop, allow_exit=False)
+        self.b.bra(end_label)
+        self.b.label(else_label)
+        for _ in range(int(self.rng.integers(0, 3))):
+            self.segment(depth + 1, in_loop=in_loop, allow_exit=False)
+        self.b.label(end_label)
+
+    def loop(self, depth: int) -> None:
+        """A data-dependent loop: 1..bound iterations from an int reg."""
+        bound = int(self.rng.integers(2, 5))
+        top = self.label()
+        self.b.rem(_R_T1, self.ri(), float(bound))
+        self.b.add(_R_T1, _R_T1, 1.0)
+        self.b.label(top)
+        for _ in range(int(self.rng.integers(1, 3))):
+            self.segment(depth + 1, in_loop=True, allow_exit=False)
+        self.b.sub(_R_T1, _R_T1, 1.0)
+        self.b.setp("gt", "p3", _R_T1, 0.0)
+        self.b.bra(top, pred="p3")
+
+
+def _emit_plain(gen: _Gen) -> None:
+    gen.b.kernel("main", registers=_NUM_REGISTERS)
+    gen.init_registers()
+    for _ in range(int(gen.rng.integers(3, 9))):
+        gen.segment(0, in_loop=False, allow_exit=True)
+    gen.epilogue()
+
+
+def _emit_barrier(gen: _Gen, block_size: int, padded_threads: int) -> None:
+    gen.b.kernel("main", registers=_NUM_REGISTERS)
+    gen.init_registers()
+    for _ in range(int(gen.rng.integers(0, 3))):
+        gen.segment(0, in_loop=False, allow_exit=False)
+    phases = int(gen.rng.integers(2, 4))
+    for phase in range(phases):
+        base = phase * padded_threads
+        # Publish: write this thread's fresh cell for the phase ...
+        gen.b.st("shared", _R_TID, gen.pick(_FLOAT_REGS), offset=base)
+        gen.b.bar()
+        # ... and only after the barrier read a neighbour's cell from the
+        # same block: nbr = block_base + (lane_offset + step) mod block.
+        step = int(gen.rng.integers(1, block_size)) if block_size > 1 else 0
+        gen.b.rem(_R_T0, _R_TID, float(block_size))
+        gen.b.sub(_R_ADDR, _R_TID, _R_T0)
+        gen.b.add(_R_T1, _R_T0, float(step))
+        gen.b.rem(_R_T1, _R_T1, float(block_size))
+        gen.b.add(_R_T1, _R_T1, _R_ADDR)
+        gen.b.ld("shared", gen.rf(), _R_T1, offset=base)
+        for _ in range(int(gen.rng.integers(1, 3))):
+            gen.segment(0, in_loop=False, allow_exit=False)
+    gen.epilogue()
+
+
+def _emit_spawn(gen: _Gen, state_words: int, max_chain: int,
+                children: list[str]) -> None:
+    data_words = state_words - 2
+    data_regs = _FLOAT_REGS[:data_words]
+    b = gen.b
+    b.kernel("main", registers=_NUM_REGISTERS, state_words=state_words)
+    gen.init_registers()
+    for _ in range(int(gen.rng.integers(0, 3))):
+        gen.segment(0, in_loop=False, allow_exit=False)
+    b.mov(_R_PTR, "SREG.spawnMemAddr")
+    b.rem(_R_COUNT, gen.ri(), float(max_chain))
+    b.add(_R_COUNT, _R_COUNT, 1.0)
+    b.st("spawn", _R_PTR, _R_COUNT, offset=0)
+    b.st("spawn", _R_PTR, _R_TID, offset=1)
+    for word in range(data_words):
+        b.st("spawn", _R_PTR, data_regs[word], offset=2 + word)
+    if len(children) == 2:
+        b.setp(gen.pick(_CMPS), "p1", gen.ri(),
+               float(int(gen.rng.integers(0, 24))))
+        b.spawn(children[0], _R_PTR, pred="p1")
+        b.spawn(children[1], _R_PTR, pred="!p1")
+    else:
+        b.spawn(children[0], _R_PTR)
+    b.exit()
+
+    for index, child in enumerate(children):
+        b.kernel(child, registers=_NUM_REGISTERS, state_words=state_words)
+        b.mov(_R_TMP, "SREG.spawnMemAddr")
+        b.ld("spawn", _R_PTR, _R_TMP, offset=0)
+        b.ld("spawn", _R_COUNT, _R_PTR, offset=0)
+        b.ld("spawn", _R_TID, _R_PTR, offset=1)  # ray id, not SREG.tid
+        for word in range(data_words):
+            b.ld("spawn", data_regs[word], _R_PTR, offset=2 + word)
+        gen.init_registers(with_tid_mov=False, ints_only=True)
+        for _ in range(int(gen.rng.integers(1, 4))):
+            gen.segment(1, in_loop=False, allow_exit=False)
+        gen.own_output_address(_R_TID, 1 + index)
+        b.st("global", _R_ADDR, gen.pick(data_regs))
+        b.sub(_R_COUNT, _R_COUNT, 1.0)
+        b.st("spawn", _R_PTR, _R_COUNT, offset=0)
+        for word in range(data_words):
+            b.st("spawn", _R_PTR, data_regs[word], offset=2 + word)
+        b.setp("gt", "p1", _R_COUNT, 0.0)
+        if len(children) == 2 and gen.rng.random() < 0.6:
+            # Two-target continuation without divergence: fold the
+            # continue flag (p1) and the selector (p2) into disjoint
+            # predicates arithmetically so the spawn pair stays at stack
+            # depth 1 (keeps the uniform-spawn conversion reachable).
+            b.setp(gen.pick(_CMPS), "p2", gen.pick(data_regs),
+                   gen.float_imm())
+            b.selp(_R_T0, 1.0, 0.0, "p1")
+            b.selp(_R_T1, 1.0, 0.0, "p2")
+            b.mul(_R_T1, _R_T1, _R_T0)
+            b.sub(_R_T0, _R_T0, _R_T1)
+            b.setp("gt", "p2", _R_T1, 0.0)
+            b.setp("gt", "p3", _R_T0, 0.0)
+            b.spawn(children[0], _R_PTR, pred="p2")
+            b.spawn(children[1], _R_PTR, pred="p3")
+        else:
+            target = children[int(gen.rng.integers(len(children)))]
+            b.spawn(target, _R_PTR, pred="p1")
+        b.exit()
+
+
+def make_case(seed: int, kind: str | None = None) -> Case:
+    """Generate one case; all randomness derives from ``seed``."""
+    rng = np.random.default_rng(np.random.SeedSequence(int(seed)))
+    if kind is None:
+        kind = rng.choice(CASE_KINDS, p=(0.5, 0.28, 0.22))
+    kind = str(kind)
+    if kind not in CASE_KINDS:
+        raise ValueError(f"unknown case kind {kind!r}")
+
+    num_inputs = int(rng.integers(4, 17))
+    out_stride = int(rng.integers(3, 7))
+    state_words = 0
+    shared_cells = 0
+    if kind == "plain":
+        num_threads = int(rng.choice((8, 16, 24, 32, 48)))
+        block_size = int(rng.choice((16, 32, 64)))
+        shared_cells = int(rng.integers(0, 3))
+    elif kind == "barrier":
+        block_size = int(rng.choice((8, 16, 32)))
+        blocks = int(rng.integers(1, 3))
+        num_threads = block_size * blocks - int(
+            rng.integers(0, max(1, block_size // 2)))
+    else:
+        num_threads = int(rng.choice((8, 16, 32)))
+        block_size = 32
+        state_words = 2 + int(rng.integers(2, 5))
+
+    builder = KernelBuilder()
+    gen = _Gen(rng, builder, num_inputs=num_inputs,
+               out_base=num_inputs, out_stride=out_stride,
+               shared_cells=shared_cells)
+    if kind == "plain":
+        _emit_plain(gen)
+    elif kind == "barrier":
+        padded = -(-num_threads // block_size) * block_size
+        _emit_barrier(gen, block_size, padded)
+    else:
+        children = [f"child{i}" for i in range(int(rng.integers(1, 3)))]
+        _emit_spawn(gen, state_words, max_chain=int(rng.integers(2, 5)),
+                    children=children)
+    program = builder.build()
+
+    inputs = [int(v) for v in rng.integers(0, 32, size=num_inputs)]
+    const = [float(np.round(rng.uniform(-6.0, 6.0), 3)) for _ in range(8)]
+    for slot in range(8):
+        if rng.random() < 0.08:
+            const[slot] = float(rng.choice((0.0, float("inf"),
+                                            float("nan"))))
+    return Case(
+        seed=int(seed), kind=kind, num_threads=num_threads,
+        block_size=block_size, registers=_NUM_REGISTERS,
+        state_words=state_words, entry="main",
+        input_base=0, num_inputs=num_inputs, out_base=num_inputs,
+        out_stride=out_stride, shared_cells=shared_cells,
+        global_words=num_inputs + num_threads * out_stride + 8,
+        inputs=inputs, const=const, program=program)

@@ -1,0 +1,289 @@
+"""Scalar MIMD reference interpreter for generated programs.
+
+Each thread runs to completion one instruction at a time with **no**
+lockstep constraint — this is the semantics every SIMT model must agree
+with. Arithmetic reuses the executor's own op tables
+(:data:`repro.simt.executor._BINARY_OPS` etc.) applied to ``np.float64``
+scalars, so results are bit-identical to the lane-vectorized path
+(including NaN propagation and the int64 casts of the bitwise ops).
+
+Spawns are executed as a FIFO work queue: a ``spawn`` enqueues
+``(kernel, formation_cell)`` where the freshly allocated formation cell
+holds the state pointer, exactly mirroring the hardware spawn unit's
+data-passing protocol (the *addresses* differ from any SIMT model's —
+which is why the oracle never compares pointer-carrying state).
+Barriers are executed per block: every non-exited thread of a block runs
+until it passes a ``bar`` (or exits), then the block proceeds.
+
+Runaway programs (possible only for shrinker-mutated candidates — the
+generator bounds all loops and spawn chains) hit a step cap and raise
+:class:`ReferenceLimitError`, which callers treat as "case invalid",
+never as a divergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ExecutionError, MemoryError_, ReproError
+from repro.simt.executor import _BINARY_OPS, _COMPARES, _UNARY_OPS
+from repro.simt.warp import NUM_PREDICATES
+
+#: Shared/on-chip words, matching ``onchip_memory_bytes // 4`` of the
+#: Table I machine every oracle run uses.
+ONCHIP_WORDS = 65536 // 4
+
+MAX_STEPS_PER_THREAD = 20_000
+MAX_TOTAL_STEPS = 2_000_000
+
+
+class ReferenceLimitError(ReproError):
+    """The reference interpreter hit a step cap (case is invalid)."""
+
+
+@dataclass
+class ReferenceResult:
+    """Final architectural state of the reference execution."""
+
+    global_mem: np.ndarray
+    shared_mem: np.ndarray
+    exit_state: dict[int, tuple[np.ndarray, np.ndarray]]
+    threads_spawned: int
+    total_steps: int
+
+
+class _Thread:
+    __slots__ = ("tid", "pc", "regs", "preds", "spawn_addr", "steps")
+
+    def __init__(self, tid: int, pc: int, num_regs: int, spawn_addr: int):
+        self.tid = tid
+        self.pc = pc
+        self.regs = np.zeros(num_regs, dtype=np.float64)
+        self.preds = np.zeros(NUM_PREDICATES, dtype=bool)
+        self.spawn_addr = spawn_addr
+        self.steps = 0
+
+
+class _Interpreter:
+    def __init__(self, case):
+        self.program = case.program
+        self.num_regs = case.program.max_register_index() + 1
+        self.global_mem = np.zeros(case.global_words, dtype=np.float64)
+        inputs = np.asarray(case.inputs, dtype=np.float64)
+        self.global_mem[case.input_base:case.input_base + inputs.size] = inputs
+        self.const_mem = np.asarray(case.const, dtype=np.float64)
+        self.shared_mem = np.zeros(ONCHIP_WORDS, dtype=np.float64)
+        self.spawn_mem = np.zeros(
+            max(64, case.num_threads * max(case.state_words, 1) + 64),
+            dtype=np.float64)
+        self.state_words = case.state_words
+        self.queue: deque[tuple[str, int]] = deque()
+        self.next_formation = case.num_threads * case.state_words
+        self.threads_spawned = 0
+        self.total_steps = 0
+
+    # -- memory ------------------------------------------------------------
+
+    def _spawn_slot(self, address: int) -> int:
+        if address < 0:
+            raise MemoryError_(f"negative spawn-memory address {address}")
+        if address >= self.spawn_mem.size:
+            grown = np.zeros(max(self.spawn_mem.size * 2, address + 64),
+                             dtype=np.float64)
+            grown[:self.spawn_mem.size] = self.spawn_mem
+            self.spawn_mem = grown
+        return address
+
+    def _space_array(self, space: str, address: int) -> np.ndarray:
+        if space in ("global", "local"):
+            array = self.global_mem
+        elif space == "const":
+            array = self.const_mem
+        elif space == "shared":
+            array = self.shared_mem
+        elif space == "spawn":
+            return self.spawn_mem[self._spawn_slot(address):]
+        else:
+            raise ExecutionError(f"unknown memory space {space!r}")
+        if not 0 <= address < array.size:
+            raise MemoryError_(
+                f"reference: {space} address {address} outside "
+                f"[0, {array.size})")
+        return array[address:]
+
+    # -- execution ---------------------------------------------------------
+
+    def _fetch(self, thread: _Thread, operand) -> np.float64:
+        kind = operand.kind
+        if kind == "r":
+            return thread.regs[operand.value]
+        if kind == "imm":
+            return np.float64(operand.value)
+        if kind == "p":
+            return np.float64(thread.preds[operand.value])
+        name = operand.value
+        if name == "tid":
+            return np.float64(thread.tid)
+        if name == "spawnMemAddr":
+            return np.float64(thread.spawn_addr)
+        raise ExecutionError(
+            f"reference does not model SREG.{name} (its value is "
+            f"model-dependent)")
+
+    def _store_result(self, thread: _Thread, dst, value) -> None:
+        if dst.kind == "p":
+            thread.preds[dst.value] = bool(value != 0.0)
+        else:
+            thread.regs[dst.value] = np.float64(value)
+
+    def step(self, thread: _Thread) -> str:
+        """Execute one instruction; returns 'run', 'bar', or 'exit'."""
+        thread.steps += 1
+        self.total_steps += 1
+        if (thread.steps > MAX_STEPS_PER_THREAD
+                or self.total_steps > MAX_TOTAL_STEPS):
+            raise ReferenceLimitError(
+                f"reference step cap exceeded at pc={thread.pc} "
+                f"(tid={thread.tid})")
+        inst = self.program[thread.pc]
+        op = inst.op
+        guarded = True
+        if inst.pred is not None:
+            value = bool(thread.preds[inst.pred.value])
+            guarded = (not value) if inst.pred_neg else value
+        if op == "bra":
+            thread.pc = inst.target if guarded else thread.pc + 1
+            return "run"
+        if op == "exit":
+            if guarded:
+                return "exit"
+            thread.pc += 1
+            return "run"
+        if op == "bar":
+            thread.pc += 1
+            return "bar"
+        if op == "nop" or not guarded:
+            thread.pc += 1
+            return "run"
+        if op == "spawn":
+            pointer = int(np.int64(thread.regs[inst.srcs[0].value]))
+            cell = self._spawn_slot(self.next_formation)
+            self.next_formation += 1
+            self.spawn_mem[cell] = float(pointer)
+            self.queue.append((inst.label, cell))
+            self.threads_spawned += 1
+            thread.pc += 1
+            return "run"
+        if op in ("ld", "st"):
+            self._memory(thread, inst)
+            thread.pc += 1
+            return "run"
+        if op == "setp":
+            a = self._fetch(thread, inst.srcs[0])
+            b = self._fetch(thread, inst.srcs[1])
+            thread.preds[inst.dst.value] = bool(_COMPARES[inst.cmp](a, b))
+        elif op == "selp":
+            chooser = bool(thread.preds[inst.srcs[2].value])
+            picked = inst.srcs[0] if chooser else inst.srcs[1]
+            self._store_result(thread, inst.dst,
+                               self._fetch(thread, picked))
+        elif op == "mad":
+            a = self._fetch(thread, inst.srcs[0])
+            b = self._fetch(thread, inst.srcs[1])
+            c = self._fetch(thread, inst.srcs[2])
+            self._store_result(thread, inst.dst, a * b + c)
+        elif len(inst.srcs) == 2:
+            fn = _BINARY_OPS.get(op)
+            if fn is None:
+                raise ExecutionError(f"reference: unhandled binary {op!r}")
+            self._store_result(
+                thread, inst.dst, fn(self._fetch(thread, inst.srcs[0]),
+                                     self._fetch(thread, inst.srcs[1])))
+        else:
+            fn = _UNARY_OPS.get(op)
+            if fn is None:
+                raise ExecutionError(f"reference: unhandled op {op!r}")
+            self._store_result(
+                thread, inst.dst, fn(self._fetch(thread, inst.srcs[0])))
+        thread.pc += 1
+        return "run"
+
+    def _memory(self, thread: _Thread, inst) -> None:
+        base = int(np.int64(thread.regs[inst.srcs[0].value])
+                   if inst.srcs[0].kind != "imm"
+                   else np.int64(np.float64(inst.srcs[0].value)))
+        address = base + inst.offset
+        if inst.op == "st":
+            if inst.space == "const":
+                raise ExecutionError("constant memory is read-only")
+            src = inst.srcs[1]
+            for word in range(inst.width):
+                value = (np.float64(src.value) if src.kind == "imm"
+                         else thread.regs[src.value + word])
+                window = self._space_array(inst.space, address + word)
+                window[0] = value
+        else:
+            for word in range(inst.width):
+                window = self._space_array(inst.space, address + word)
+                thread.regs[inst.dst.value + word] = window[0]
+
+    def run_until_break(self, thread: _Thread) -> str:
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            while True:
+                status = self.step(thread)
+                if status != "run":
+                    return status
+
+
+def run_reference(case) -> ReferenceResult:
+    """Run ``case`` on the scalar reference machine.
+
+    Raises :class:`ReferenceLimitError` when a step cap trips and
+    :class:`~repro.errors.MemoryError_` on out-of-range accesses — both
+    mean the *case* is unusable, not that a model diverged.
+    """
+    if case.num_threads <= 0:
+        raise ConfigError("reference run needs at least one thread; "
+                          f"got num_threads={case.num_threads}")
+    if case.block_size <= 0:
+        raise ConfigError("reference run needs a positive block_size; "
+                          f"got {case.block_size}")
+    interp = _Interpreter(case)
+    entry_pc = case.program.kernels[case.entry].entry_pc
+    exit_state: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    for block_start in range(0, case.num_threads, case.block_size):
+        block_end = min(block_start + case.block_size, case.num_threads)
+        alive = []
+        for tid in range(block_start, block_end):
+            slot = tid * case.state_words if case.state_words else -1
+            alive.append(_Thread(tid, entry_pc, interp.num_regs, slot))
+        while alive:
+            waiting = []
+            for thread in alive:
+                status = interp.run_until_break(thread)
+                if status == "bar":
+                    waiting.append(thread)
+                else:
+                    exit_state[thread.tid] = (thread.regs.copy(),
+                                              thread.preds.copy())
+            alive = waiting  # all at-barrier threads resume together
+
+    dynamic_id = 0
+    while interp.queue:
+        kernel, cell = interp.queue.popleft()
+        dynamic_id += 1
+        thread = _Thread(-dynamic_id,
+                         case.program.kernels[kernel].entry_pc,
+                         interp.num_regs, cell)
+        status = interp.run_until_break(thread)
+        if status != "exit":
+            raise ExecutionError("reference: dynamic thread hit a barrier")
+
+    return ReferenceResult(
+        global_mem=interp.global_mem, shared_mem=interp.shared_mem,
+        exit_state=exit_state, threads_spawned=interp.threads_spawned,
+        total_steps=interp.total_steps)

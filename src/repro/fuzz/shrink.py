@@ -1,0 +1,134 @@
+"""Greedy reduction of failing fuzzer cases.
+
+The shrinker works on the *serialized* form of a case (the corpus dict),
+so every candidate is rebuilt through
+:func:`repro.fuzz.corpus.case_from_dict` — a reduction that orphans a
+label, drops the final ``exit``, or un-declares a spawn target simply
+fails validation and is rejected, with no bespoke consistency code here.
+A candidate must additionally still run on the reference interpreter
+(within its step caps) and still satisfy the caller's failure predicate.
+
+Passes, applied greedily to fixpoint under an evaluation budget:
+
+1. delete a whole basic block,
+2. delete a single instruction,
+3. drop a guard predicate,
+4. replace a source operand with ``0.0`` / ``1.0`` (addresses, spawn
+   pointers, and ``selp`` choosers are left alone),
+5. halve the thread count.
+
+Deleting instructions shifts label PCs: a label at ``p`` maps to ``p``
+below the deleted range ``[a, b)``, to ``a`` inside it, and to
+``p - (b - a)`` above it.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.fuzz.corpus import case_from_dict, case_to_dict
+from repro.fuzz.generator import Case
+from repro.fuzz.reference import run_reference
+from repro.isa.cfg import basic_block_leaders
+
+DEFAULT_MAX_EVALS = 300
+
+
+def _rebuild(doc: dict) -> Case | None:
+    """Doc -> Case if it is a valid, reference-runnable candidate."""
+    try:
+        case = case_from_dict(doc)
+        run_reference(case)
+    except Exception:
+        return None
+    return case
+
+
+def _delete_range(doc: dict, start: int, stop: int) -> dict:
+    candidate = copy.deepcopy(doc)
+    removed = stop - start
+    candidate["program"]["instructions"] = (
+        doc["program"]["instructions"][:start]
+        + copy.deepcopy(doc["program"]["instructions"][stop:]))
+    labels = {}
+    for name, pc in doc["program"]["labels"].items():
+        if pc < start:
+            labels[name] = pc
+        elif pc < stop:
+            labels[name] = start
+        else:
+            labels[name] = pc - removed
+    candidate["program"]["labels"] = labels
+    return candidate
+
+
+def _block_ranges(case: Case) -> list[tuple[int, int]]:
+    leaders = sorted(basic_block_leaders(case.program))
+    ends = leaders[1:] + [len(case.program)]
+    return list(zip(leaders, ends))
+
+
+def _candidate_docs(case: Case, doc: dict):
+    """Yield reduction candidates, coarsest first."""
+    instructions = doc["program"]["instructions"]
+    for start, stop in _block_ranges(case):
+        if stop - start < len(instructions):
+            yield _delete_range(doc, start, stop)
+    for index in range(len(instructions)):
+        yield _delete_range(doc, index, index + 1)
+    for index, inst in enumerate(instructions):
+        if "guard" in inst:
+            candidate = copy.deepcopy(doc)
+            del candidate["program"]["instructions"][index]["guard"]
+            yield candidate
+        srcs = inst.get("srcs", [])
+        protect_first = inst.get("op") in ("ld", "st", "atom", "spawn")
+        for slot, value in enumerate(srcs):
+            if slot == 0 and protect_first:
+                continue
+            if inst.get("op") == "selp" and slot == 2:
+                continue
+            for replacement in (0.0, 1.0):
+                if value == replacement:
+                    continue
+                candidate = copy.deepcopy(doc)
+                candidate["program"]["instructions"][index]["srcs"][slot] = \
+                    replacement
+                yield candidate
+    if doc["num_threads"] > 1:
+        candidate = copy.deepcopy(doc)
+        candidate["num_threads"] = max(1, doc["num_threads"] // 2)
+        candidate["layout"] = dict(doc["layout"])
+        yield candidate
+
+
+def shrink_case(case: Case, still_fails, *,
+                max_evals: int = DEFAULT_MAX_EVALS) -> Case:
+    """Reduce ``case`` while ``still_fails(candidate)`` stays true.
+
+    ``still_fails`` re-runs whatever oracle observed the original
+    failure. Returns the smallest case found (possibly the input).
+    """
+    best_case = case
+    best_doc = case_to_dict(case)
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate_doc in _candidate_docs(best_case, best_doc):
+            if evals >= max_evals:
+                break
+            candidate = _rebuild(candidate_doc)
+            if candidate is None:
+                continue
+            evals += 1
+            try:
+                if not still_fails(candidate):
+                    continue
+            except Exception:
+                continue
+            best_case = candidate
+            best_doc = case_to_dict(candidate)
+            improved = True
+            break  # restart scanning from the reduced program
+    return best_case

@@ -27,6 +27,12 @@ from repro.isa.instructions import (
     sreg,
 )
 from repro.isa.program import KernelInfo, Program
+from repro.isa.serialize import (
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
 
 __all__ = [
     "ARITH_OPS",
@@ -43,6 +49,10 @@ __all__ = [
     "imm",
     "immediate_post_dominators",
     "preg",
+    "program_from_dict",
+    "program_from_json",
+    "program_to_dict",
+    "program_to_json",
     "reconvergence_table",
     "reg",
     "sreg",

@@ -189,6 +189,9 @@ class KernelBuilder:
     def nop(self) -> "KernelBuilder":
         return self._emit(Instruction("nop"))
 
+    def bar(self) -> "KernelBuilder":
+        return self._emit(Instruction("bar"))
+
 
 def _install_op_methods() -> None:
     """Generate one builder method per simple arithmetic opcode."""

@@ -1,0 +1,243 @@
+"""JSON serialization for assembled programs.
+
+The conformance fuzzer (:mod:`repro.fuzz`) persists failing generated
+programs to a JSON regression corpus; this module defines that encoding.
+Design goals:
+
+- **Canonical**: :func:`program_to_dict` is deterministic (instructions in
+  PC order, kernels sorted by entry PC, defaults omitted), so
+  ``json.dumps(..., sort_keys=True)`` of a round-tripped program is
+  byte-identical to the original dump.
+- **Self-validating**: :func:`program_from_dict` rejects malformed
+  documents with a :class:`~repro.errors.ProgramError` naming the exact
+  offending field (``instructions[3].srcs[1]``), so a corrupted corpus
+  file points at its own defect.
+
+Operands are encoded as ``"r4"`` / ``"p2"`` / ``"SREG.tid"`` strings or
+bare numbers for immediates; non-finite immediates use the strings
+``"nan"``, ``"inf"``, and ``"-inf"`` (standard JSON has no literals for
+them). Guards are ``"p0"`` / ``"!p0"``. Branch/spawn targets stay
+symbolic (labels); PCs are recomputed by ``Program.finalize``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Instruction, Operand, imm, preg, reg, sreg
+from repro.isa.program import Program
+
+#: Document schema identifier embedded in every serialized program.
+PROGRAM_SCHEMA = "repro-program/1"
+
+_KERNEL_FIELDS = ("registers", "state_words", "shared_bytes", "local_bytes",
+                  "const_bytes")
+
+
+def _operand_to_json(operand: Operand):
+    if operand.kind == "r":
+        return f"r{operand.value}"
+    if operand.kind == "p":
+        return f"p{operand.value}"
+    if operand.kind == "sreg":
+        return f"SREG.{operand.value}"
+    value = float(operand.value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _operand_from_json(value, path: str) -> Operand:
+    if isinstance(value, bool):
+        raise ProgramError(f"{path}: operand must be a register string or "
+                           f"a number, got {value!r}")
+    if isinstance(value, (int, float)):
+        return imm(float(value))
+    if isinstance(value, str):
+        if value == "nan":
+            return imm(float("nan"))
+        if value == "inf":
+            return imm(float("inf"))
+        if value == "-inf":
+            return imm(float("-inf"))
+        if value.startswith("SREG."):
+            try:
+                return sreg(value[len("SREG."):])
+            except ValueError as error:
+                raise ProgramError(f"{path}: {error}") from error
+        if len(value) > 1 and value[0] == "r" and value[1:].isdigit():
+            return reg(int(value[1:]))
+        if len(value) > 1 and value[0] == "p" and value[1:].isdigit():
+            return preg(int(value[1:]))
+    raise ProgramError(f"{path}: cannot parse operand {value!r}; expected "
+                       f"'r<i>', 'p<i>', 'SREG.<name>', a number, or "
+                       f"'nan'/'inf'/'-inf'")
+
+
+def _instruction_to_dict(inst: Instruction) -> dict:
+    doc: dict = {"op": inst.op}
+    if inst.dst is not None:
+        doc["dst"] = _operand_to_json(inst.dst)
+    if inst.srcs:
+        doc["srcs"] = [_operand_to_json(op) for op in inst.srcs]
+    if inst.pred is not None:
+        doc["guard"] = f"{'!' if inst.pred_neg else ''}p{inst.pred.value}"
+    if inst.space is not None:
+        doc["space"] = inst.space
+    if inst.width != 1:
+        doc["width"] = inst.width
+    if inst.cmp is not None:
+        doc["cmp"] = inst.cmp
+    if inst.label is not None:
+        doc["label"] = inst.label
+    if inst.offset:
+        doc["offset"] = inst.offset
+    return doc
+
+
+def _expect_type(value, types, path: str, what: str):
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ProgramError(f"{path}: {what} expected, "
+                           f"got {type(value).__name__}")
+    return value
+
+
+def _instruction_from_dict(doc, path: str) -> Instruction:
+    _expect_type(doc, dict, path, "instruction object")
+    known = {"op", "dst", "srcs", "guard", "space", "width", "cmp", "label",
+             "offset"}
+    for key in doc:
+        if key not in known:
+            raise ProgramError(f"{path}.{key}: unknown instruction field")
+    op = _expect_type(doc.get("op"), str, f"{path}.op", "opcode string")
+    dst = (None if "dst" not in doc
+           else _operand_from_json(doc["dst"], f"{path}.dst"))
+    srcs_doc = doc.get("srcs", [])
+    _expect_type(srcs_doc, list, f"{path}.srcs", "operand list")
+    srcs = tuple(_operand_from_json(value, f"{path}.srcs[{index}]")
+                 for index, value in enumerate(srcs_doc))
+    pred = None
+    pred_neg = False
+    if "guard" in doc:
+        guard = _expect_type(doc["guard"], str, f"{path}.guard",
+                             "guard string")
+        pred_neg = guard.startswith("!")
+        operand = _operand_from_json(guard.lstrip("!"), f"{path}.guard")
+        if operand.kind != "p":
+            raise ProgramError(f"{path}.guard: guard must be a predicate "
+                               f"register, got {guard!r}")
+        pred = operand
+    space = (None if "space" not in doc
+             else _expect_type(doc["space"], str, f"{path}.space",
+                               "memory-space string"))
+    width = doc.get("width", 1)
+    _expect_type(width, int, f"{path}.width", "integer width")
+    cmp = (None if "cmp" not in doc
+           else _expect_type(doc["cmp"], str, f"{path}.cmp",
+                             "comparison string"))
+    label = (None if "label" not in doc
+             else _expect_type(doc["label"], str, f"{path}.label",
+                               "label string"))
+    offset = doc.get("offset", 0)
+    _expect_type(offset, int, f"{path}.offset", "integer offset")
+    try:
+        return Instruction(op, dst=dst, srcs=srcs, pred=pred,
+                           pred_neg=pred_neg, space=space, width=width,
+                           cmp=cmp, label=label, offset=offset)
+    except ValueError as error:
+        raise ProgramError(f"{path}: {error}") from error
+
+
+def program_to_dict(program: Program) -> dict:
+    """Canonical JSON-compatible encoding of a finalized program."""
+    kernels = sorted(program.kernels.values(),
+                     key=lambda info: (info.entry_pc, info.name))
+    return {
+        "schema": PROGRAM_SCHEMA,
+        "instructions": [_instruction_to_dict(inst)
+                         for inst in program.instructions],
+        "labels": {name: pc for name, pc in sorted(program.labels.items())},
+        "kernels": [
+            {"name": info.name,
+             **{field: getattr(info, field) for field in _KERNEL_FIELDS
+                if getattr(info, field)}}
+            for info in kernels],
+    }
+
+
+def program_from_dict(doc) -> Program:
+    """Rebuild and finalize a program; raises :class:`ProgramError` with
+    the offending field's path on any malformed content."""
+    _expect_type(doc, dict, "program", "program object")
+    for key in doc:
+        if key not in {"schema", "instructions", "labels", "kernels"}:
+            raise ProgramError(f"program.{key}: unknown program field")
+    schema = doc.get("schema")
+    if schema != PROGRAM_SCHEMA:
+        raise ProgramError(f"program.schema: expected {PROGRAM_SCHEMA!r}, "
+                           f"got {schema!r}")
+    instructions = _expect_type(doc.get("instructions"), list,
+                                "program.instructions", "instruction list")
+    program = Program()
+    labels = _expect_type(doc.get("labels", {}), dict, "program.labels",
+                          "label mapping")
+    # Labels are attached by position so Program.add_label keeps its
+    # "next instruction" semantics during reconstruction.
+    by_pc: dict[int, list[str]] = {}
+    for name, pc in labels.items():
+        _expect_type(name, str, "program.labels", "label name string")
+        _expect_type(pc, int, f"program.labels[{name!r}]", "integer PC")
+        if not 0 <= pc <= len(instructions):
+            raise ProgramError(f"program.labels[{name!r}]: PC {pc} outside "
+                               f"program of {len(instructions)} instructions")
+        by_pc.setdefault(pc, []).append(name)
+    for pc, inst_doc in enumerate(instructions):
+        for name in sorted(by_pc.get(pc, [])):
+            program.add_label(name)
+        program.add(_instruction_from_dict(inst_doc,
+                                           f"program.instructions[{pc}]"))
+    for name in sorted(by_pc.get(len(instructions), [])):
+        program.add_label(name)
+    kernels = doc.get("kernels", [])
+    _expect_type(kernels, list, "program.kernels", "kernel list")
+    for index, kernel_doc in enumerate(kernels):
+        path = f"program.kernels[{index}]"
+        _expect_type(kernel_doc, dict, path, "kernel object")
+        for key in kernel_doc:
+            if key != "name" and key not in _KERNEL_FIELDS:
+                raise ProgramError(f"{path}.{key}: unknown kernel field")
+        name = _expect_type(kernel_doc.get("name"), str, f"{path}.name",
+                            "kernel name string")
+        params = {}
+        for field in _KERNEL_FIELDS:
+            if field in kernel_doc:
+                params[field] = _expect_type(kernel_doc[field], int,
+                                             f"{path}.{field}",
+                                             "integer value")
+        if "registers" not in params:
+            raise ProgramError(f"{path}.registers: required field missing")
+        try:
+            program.add_kernel(name, **params)
+        except ProgramError as error:
+            raise ProgramError(f"{path}: {error}") from error
+    try:
+        return program.finalize()
+    except ProgramError as error:
+        raise ProgramError(f"program: {error}") from error
+
+
+def program_to_json(program: Program) -> str:
+    """Canonical JSON text (sorted keys, two-space indent)."""
+    return json.dumps(program_to_dict(program), sort_keys=True, indent=2)
+
+
+def program_from_json(text: str) -> Program:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProgramError(f"program: invalid JSON: {error}") from error
+    return program_from_dict(doc)

@@ -18,6 +18,12 @@ from repro.obs.export import (
     write_intervals_json,
 )
 from repro.obs.interval import IntervalBuffer
+from repro.obs.invariants import (
+    check_cycle_partition,
+    check_run,
+    check_stall_attribution,
+    check_thread_conservation,
+)
 from repro.obs.probe import (
     DEFAULT_INTERVAL,
     IDLE_CAUSES,
@@ -37,6 +43,10 @@ __all__ = [
     "SMProbe",
     "STALL_CAUSES",
     "TraceSession",
+    "check_cycle_partition",
+    "check_run",
+    "check_stall_attribution",
+    "check_thread_conservation",
     "chrome_trace",
     "render_interval_plot",
     "render_sweep_summary",

@@ -1,0 +1,119 @@
+"""Structural invariants over run statistics and probe attributions.
+
+The simulator's counters are not independent measurements: the SM issue
+loop makes every cycle exactly one of issue/stall/idle, thread counts are
+conserved across spawning, and the cycle-attribution probes are defined to
+partition the idle/stall totals. This module states those identities as
+checkable predicates. They hold for *every* program on *every* model, so
+the conformance fuzzer (:mod:`repro.fuzz`) asserts them on each run — a
+violated identity is a simulator bug even when the functional outputs
+happen to agree.
+
+Each checker returns a list of human-readable violation strings (empty
+means the invariant holds) so callers can aggregate across checks without
+try/except scaffolding.
+"""
+
+from __future__ import annotations
+
+from repro.obs.constants import IDLE_CAUSES, STALL_CAUSES
+
+
+def check_cycle_partition(per_sm) -> list[str]:
+    """Per SM: every cycle is exactly one issue, stall, or idle cycle."""
+    problems = []
+    for sm_id, stats in enumerate(per_sm):
+        accounted = (stats.issued_instructions + stats.idle_cycles
+                     + stats.stall_cycles)
+        if stats.cycles != accounted:
+            problems.append(
+                f"sm{sm_id}: cycles={stats.cycles} but issued+idle+stall="
+                f"{stats.issued_instructions}+{stats.idle_cycles}+"
+                f"{stats.stall_cycles}={accounted}")
+    return problems
+
+
+def check_thread_conservation(stats, recorder=None,
+                              grid_threads=None) -> list[str]:
+    """Every launched thread exits exactly once, and spawns are conserved.
+
+    ``threads_launched`` counts dynamically admitted warps too (the SM
+    launches them through the same path as grid warps), so the identities
+    are ``exited == launched`` and — when the grid size is known —
+    ``launched == grid_threads + spawned``. ``stats`` is an aggregate
+    :class:`~repro.simt.stats.SMStats`; ``recorder`` is an optional
+    :class:`~repro.simt.snapshot.SnapshotRecorder` whose independently
+    counted exits and per-warp stack balances are cross-checked.
+    """
+    problems = []
+    if stats.threads_exited != stats.threads_launched:
+        problems.append(
+            f"thread conservation: exited={stats.threads_exited} but "
+            f"launched={stats.threads_launched}")
+    if grid_threads is not None:
+        expected = grid_threads + stats.threads_spawned
+        if stats.threads_launched != expected:
+            problems.append(
+                f"spawn conservation: launched={stats.threads_launched} "
+                f"but grid+spawned={grid_threads}+{stats.threads_spawned}"
+                f"={expected}")
+    if recorder is not None:
+        if recorder.exit_count != stats.threads_exited:
+            problems.append(
+                f"snapshot exits={recorder.exit_count} disagree with "
+                f"stats.threads_exited={stats.threads_exited}")
+        for pushes, pops, left in recorder.unbalanced_warps():
+            problems.append(
+                f"reconvergence stack unbalanced on finished warp: "
+                f"pushes={pushes} pops={pops} entries_left={left}")
+    return problems
+
+
+def check_stall_attribution(session, per_sm) -> list[str]:
+    """The probe layer's per-cause cycles partition the stat totals.
+
+    ``session`` is a finalized :class:`~repro.obs.probe.TraceSession`;
+    ``per_sm`` the per-SM stats of the same run.
+    """
+    problems = []
+    attribution = session.stall_attribution()
+    stall_total = sum(int(stats.stall_cycles) for stats in per_sm)
+    idle_total = sum(int(stats.idle_cycles) for stats in per_sm)
+    stall_sum = sum(int(attribution[cause]) for cause in STALL_CAUSES)
+    idle_sum = sum(int(attribution[cause]) for cause in IDLE_CAUSES)
+    if int(attribution["stall_cycles"]) != stall_total:
+        problems.append(
+            f"attribution stall_cycles={attribution['stall_cycles']} but "
+            f"stats record {stall_total}")
+    if int(attribution["idle_cycles"]) != idle_total:
+        problems.append(
+            f"attribution idle_cycles={attribution['idle_cycles']} but "
+            f"stats record {idle_total}")
+    if stall_sum != int(attribution["stall_cycles"]):
+        problems.append(
+            f"stall causes sum to {stall_sum}, not "
+            f"stall_cycles={attribution['stall_cycles']}")
+    if idle_sum != int(attribution["idle_cycles"]):
+        problems.append(
+            f"idle causes sum to {idle_sum}, not "
+            f"idle_cycles={attribution['idle_cycles']}")
+    return problems
+
+
+def check_run(stats, recorder=None, session=None,
+              grid_threads=None) -> list[str]:
+    """All structural invariants for one finished simulation.
+
+    ``stats`` may be a :class:`~repro.simt.gpu.RunStats` (its ``per_sm``
+    and aggregate ``sm_stats`` are used) or a bare
+    :class:`~repro.simt.stats.SMStats` from a single-core model like DWF.
+    """
+    per_sm = getattr(stats, "per_sm", None)
+    aggregate = getattr(stats, "sm_stats", stats)
+    if per_sm is None:
+        per_sm = [aggregate]
+    problems = check_cycle_partition(per_sm)
+    problems += check_thread_conservation(aggregate, recorder, grid_threads)
+    if session is not None:
+        problems += check_stall_attribution(session, per_sm)
+    return problems

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GPUConfig
-from repro.errors import SchedulingError
+from repro.errors import ConfigError, SchedulingError
 from repro.simt.banked import BankedMemory
 from repro.simt.executor import ALU, CONTROL, OFFCHIP, ONCHIP, MachineState, execute
 from repro.simt.memory import DRAM, GlobalMemory
@@ -73,7 +73,7 @@ class DWFCore:
                  dram: DRAM, *, entry_pc: int, num_regs: int,
                  num_threads: int, divergence_window: int = 1000):
         if num_threads <= 0:
-            raise SchedulingError("DWF core needs at least one thread")
+            raise ConfigError("DWF core needs at least one thread")
         self.config = config
         self.machine = machine
         self.dram = dram
@@ -181,22 +181,29 @@ class DWFCore:
 def run_dwf(config: GPUConfig, program, entry_kernel: str,
             global_mem: GlobalMemory, const_mem: np.ndarray,
             num_threads: int, *, max_cycles: int | None = None,
-            divergence_window: int = 1000) -> DWFResult:
+            divergence_window: int = 1000,
+            shared_mem: BankedMemory | None = None,
+            snapshot=None) -> DWFResult:
     """Simulate ``num_threads`` threads on one DWF-enabled SM.
 
     Thread count should match what one SM of the baseline machine would
     hold (occupancy x warp slots); it is a parameter so ablations can vary
-    residency independently.
+    residency independently. ``shared_mem`` substitutes the internally
+    built on-chip memory and ``snapshot`` attaches a
+    :class:`repro.simt.snapshot.SnapshotRecorder` — both exist so the
+    conformance fuzzer can compare DWF's shared-memory image and exit
+    register files against the other models.
     """
     from repro.isa.cfg import reconvergence_table
 
-    shared = BankedMemory(config.onchip_memory_bytes // 4,
-                          model_conflicts=False)
+    shared = shared_mem if shared_mem is not None else BankedMemory(
+        config.onchip_memory_bytes // 4, model_conflicts=False)
     machine = MachineState(
         program=program, global_mem=global_mem,
         const_mem=np.asarray(const_mem, dtype=np.float64),
         shared_mem=shared, spawn_mem=shared,
         reconv_table=reconvergence_table(program))
+    machine.snapshot = snapshot
     dram = DRAM(config.memory)
     entry_pc = program.kernels[entry_kernel].entry_pc
     num_regs = program.max_register_index() + 1

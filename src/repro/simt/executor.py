@@ -90,6 +90,12 @@ class MachineState:
         self.spawn_mem = spawn_mem
         self.reconv_table = reconv_table
         self.plans: list = [None] * len(program)
+        self.snapshot = None
+        """Optional architectural-state snapshot hook (see
+        :class:`repro.simt.snapshot.SnapshotRecorder`). When attached, the
+        exit plan reports each retiring lane's final register file and the
+        finished warp's stack counters; None (the default) keeps the hot
+        path branch-predictable and allocation-free."""
 
     def plan_for(self, pc: int):
         plan = _compile(self.program[pc], self)
@@ -321,7 +327,7 @@ def _compile(inst: Instruction, machine: MachineState):
     if op == "bra":
         return _compile_branch(inst, machine)
     if op == "exit":
-        return _compile_exit(inst)
+        return _compile_exit(inst, machine)
     if op in ("ld", "st"):
         return _compile_memory(inst, machine)
     if op == "atom":
@@ -577,7 +583,7 @@ def _compile_branch(inst: Instruction, machine: MachineState):
     return plan
 
 
-def _compile_exit(inst: Instruction):
+def _compile_exit(inst: Instruction, machine: MachineState):
     pc = inst.pc
     next_pc = pc + 1
     guard = _compile_guard(inst)
@@ -594,11 +600,16 @@ def _compile_exit(inst: Instruction):
             warp.stack.advance(next_pc)
             return _CONTROL_RESULTS[active_count]
         executing_entry = top
+        snapshot = machine.snapshot
+        if snapshot is not None:
+            snapshot.on_exit(warp, mask)
         ends_chain = mask & ~warp.spawned_flag & (warp.data_slot_addr >= 0)
         freed = warp.data_slot_addr[ends_chain]
         warp.data_slot_addr[mask] = -1
         warp.stack.retire_lanes(mask)
         finished = warp.finish_if_empty()
+        if snapshot is not None and finished:
+            snapshot.on_warp_finished(warp)
         entries = warp.stack.entries
         if not finished and entries and entries[-1] is executing_entry:
             warp.stack.advance(next_pc)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GPUConfig
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -56,8 +57,8 @@ def mimd_theoretical(thread_instructions: np.ndarray,
     """Theoretical MIMD makespan for per-thread instruction counts."""
     counts = np.asarray(thread_instructions, dtype=np.int64)
     if counts.size == 0 or np.any(counts < 0):
-        raise ValueError("thread_instructions must be non-empty and "
-                         "non-negative")
+        raise ConfigError("thread_instructions must be non-empty and "
+                          "non-negative")
     lanes = config.num_sms * config.warp_size
     total = int(counts.sum())
     longest = int(counts.max())

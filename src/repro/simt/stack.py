@@ -42,10 +42,16 @@ class ReconvergenceStack:
     """The per-warp SIMT stack."""
 
     entries: list[StackEntry] = field(default_factory=list)
+    pushes: int = 0
+    pops: int = 0
+    """Lifetime entry-creation/removal counts. A warp that has fully
+    retired must satisfy ``pushes == pops`` — the conformance fuzzer
+    checks this structural invariant on every finished warp."""
 
     @staticmethod
     def initial(pc: int, mask: np.ndarray) -> "ReconvergenceStack":
-        return ReconvergenceStack([StackEntry(pc, mask.copy(), RECONV_AT_EXIT)])
+        return ReconvergenceStack(
+            [StackEntry(pc, mask.copy(), RECONV_AT_EXIT)], pushes=1)
 
     @property
     def top(self) -> StackEntry:
@@ -81,6 +87,7 @@ class ReconvergenceStack:
                and (entries[-1].pc == entries[-1].reconv_pc
                     or entries[-1].count == 0)):
             entries.pop()
+            self.pops += 1
 
     def diverge(self, taken_mask: np.ndarray, not_taken_mask: np.ndarray,
                 target_pc: int, fallthrough_pc: int, reconv_pc: int) -> None:
@@ -95,12 +102,15 @@ class ReconvergenceStack:
         if reconv_pc == RECONV_AT_EXIT:
             # Paths only meet at exit: replace top with the two paths.
             self.entries.pop()
+            self.pops += 1
         if not_taken_mask.any():
             self.entries.append(
                 StackEntry(fallthrough_pc, not_taken_mask.copy(), reconv_pc))
+            self.pushes += 1
         if taken_mask.any():
             self.entries.append(
                 StackEntry(target_pc, taken_mask.copy(), reconv_pc))
+            self.pushes += 1
         if not self.entries:
             raise ExecutionError("divergence produced an empty stack")
         # A path that starts at the reconvergence point has not really
@@ -115,6 +125,7 @@ class ReconvergenceStack:
             entry.count = int(entry.mask.sum())
             if entry.count:
                 survivors.append(entry)
+        self.pops += len(self.entries) - len(survivors)
         self.entries = survivors
 
     def max_depth_reached(self) -> int:

@@ -1,0 +1,45 @@
+"""Replay the committed regression corpus through the full oracle.
+
+Every shrunk failure that ever lands in ``tests/fuzz/corpus`` becomes a
+permanent conformance test: the simulators must agree with the reference
+on it forever after the underlying bug is fixed.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.fuzz import case_from_json, case_to_json, load_corpus, run_case
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = load_corpus(str(CORPUS_DIR))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus files under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path,case", CORPUS,
+                         ids=[pathlib.Path(p).stem for p, _ in CORPUS])
+def test_corpus_case_conforms(path, case):
+    result = run_case(case)
+    assert not result.skipped, f"{path} no longer runs on the reference"
+    assert not result.failures, f"{path}: {result.failures}"
+
+
+@pytest.mark.parametrize("path,case", CORPUS,
+                         ids=[pathlib.Path(p).stem for p, _ in CORPUS])
+def test_corpus_file_is_canonical(path, case):
+    # Re-encoding the loaded case must reproduce the file byte for byte.
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    assert case_to_json(case) == text
+
+
+def test_malformed_corpus_rejected_with_field_path():
+    text = case_to_json(CORPUS[0][1])
+    with pytest.raises(ProgramError, match="case.kind"):
+        case_from_json(text.replace('"kind": "barrier"',
+                                    '"kind": "warped"'))
+    with pytest.raises(ProgramError, match="invalid JSON"):
+        case_from_json(text[:-30])

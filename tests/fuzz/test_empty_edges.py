@@ -1,0 +1,92 @@
+"""Degenerate specs fail with typed errors on every execution model.
+
+Zero threads, non-positive block sizes, and empty programs must raise
+:class:`~repro.errors.ConfigError` / :class:`~repro.errors.ProgramError`
+— never an ``IndexError`` or ``ZeroDivisionError`` from deep inside a
+model — on all five executors: the MIMD reference, pdom_block,
+pdom_warp, spawn, and DWF.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SchedulingModel, scaled_config
+from repro.errors import ConfigError, ProgramError
+from repro.fuzz import make_case, run_reference
+from repro.isa.builder import KernelBuilder
+from repro.simt.dwf import run_dwf
+from repro.simt.gpu import GPU, LaunchSpec
+from repro.simt.memory import GlobalMemory
+from repro.simt.mimd import mimd_theoretical
+
+
+def _trivial_program():
+    builder = KernelBuilder()
+    builder.kernel("main", registers=4)
+    builder.exit()
+    return builder.build()
+
+
+def _gpu_overrides(model):
+    overrides = {"scheduling": (SchedulingModel.WARP
+                                if model in ("pdom_warp", "spawn")
+                                else SchedulingModel.BLOCK)}
+    if model == "spawn":
+        overrides["spawn_enabled"] = True
+    return overrides
+
+
+@pytest.mark.parametrize("model", ["pdom_block", "pdom_warp", "spawn"])
+@pytest.mark.parametrize("num_threads", [0, -4])
+def test_gpu_models_reject_zero_threads(model, num_threads):
+    program = _trivial_program()
+    with pytest.raises(ConfigError):
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=num_threads,
+                            registers_per_thread=4, block_size=32)
+        GPU(scaled_config(1, **_gpu_overrides(model)), launch,
+            GlobalMemory(16), np.zeros(4)).run()
+
+
+@pytest.mark.parametrize("model", ["pdom_block", "pdom_warp", "spawn"])
+def test_gpu_models_reject_zero_block(model):
+    program = _trivial_program()
+    with pytest.raises(ConfigError):
+        launch = LaunchSpec(program=program, entry_kernel="main",
+                            num_threads=8, registers_per_thread=4,
+                            block_size=0)
+        GPU(scaled_config(1, **_gpu_overrides(model)), launch,
+            GlobalMemory(16), np.zeros(4)).run()
+
+
+@pytest.mark.parametrize("num_threads", [0, -1])
+def test_dwf_rejects_zero_threads(num_threads):
+    with pytest.raises(ConfigError):
+        run_dwf(scaled_config(1), _trivial_program(), "main",
+                GlobalMemory(16), np.zeros(4), num_threads)
+
+
+def test_mimd_rejects_empty_workload():
+    with pytest.raises(ConfigError):
+        mimd_theoretical(np.zeros(0, dtype=np.int64), scaled_config(1))
+
+
+@pytest.mark.parametrize("num_threads", [0, -2])
+def test_reference_rejects_zero_threads(num_threads):
+    case = dataclasses.replace(make_case(0, "plain"),
+                               num_threads=num_threads)
+    with pytest.raises(ConfigError):
+        run_reference(case)
+
+
+def test_reference_rejects_zero_block():
+    case = dataclasses.replace(make_case(0, "plain"), block_size=0)
+    with pytest.raises(ConfigError):
+        run_reference(case)
+
+
+def test_empty_program_rejected_at_build():
+    with pytest.raises(ProgramError):
+        KernelBuilder().build()

@@ -1,0 +1,78 @@
+"""End-to-end fault injection: the fuzzer must catch a seeded bug.
+
+The mutation weakens ``ReconvergenceStack._pop_reconverged`` from a loop
+to a single conditional pop, so nested reconvergence (a data-dependent
+loop's stacked per-iteration entries) leaves stale entries behind. The
+corpus holds a 10-instruction shrunk repro; this test re-injects the bug
+and asserts the oracle still catches it, and that the shrinker can reduce
+a fresh large failing case.
+"""
+
+import contextlib
+import pathlib
+
+import pytest
+
+import repro.simt.stack as stack_mod
+from repro.fuzz import load_case, make_case, run_case, shrink_case
+
+CORPUS_CASE = str(pathlib.Path(__file__).parent / "corpus"
+                  / "stack-pop-balance.json")
+
+
+def _buggy_pop(self):
+    # The injected defect: `while` -> `if` (pops at most one entry).
+    entries = self.entries
+    if (len(entries) > 1
+            and (entries[-1].pc == entries[-1].reconv_pc
+                 or entries[-1].count == 0)):
+        entries.pop()
+        self.pops += 1
+
+
+@contextlib.contextmanager
+def injected_bug():
+    real = stack_mod.ReconvergenceStack._pop_reconverged
+    stack_mod.ReconvergenceStack._pop_reconverged = _buggy_pop
+    try:
+        yield
+    finally:
+        stack_mod.ReconvergenceStack._pop_reconverged = real
+
+
+def test_corpus_repro_is_minimal():
+    case = load_case(CORPUS_CASE)
+    assert len(case.program) <= 10
+
+
+def test_corpus_repro_catches_injected_bug():
+    case = load_case(CORPUS_CASE)
+    assert run_case(case).ok  # clean build passes ...
+    with injected_bug():
+        result = run_case(case)
+    assert result.failures  # ... the mutated build is caught
+    assert any("bar reached with divergent control flow" in failure
+               for failure in result.failures), result.failures
+
+
+def test_shrinker_reduces_fresh_failure():
+    case = make_case(26, "barrier")
+
+    def still_fails(candidate):
+        with injected_bug():
+            return bool(run_case(candidate,
+                                 models=("pdom_block",)).failures)
+
+    assert still_fails(case), "seed 26 no longer triggers the mutation"
+    small = shrink_case(case, still_fails, max_evals=120)
+    assert len(small.program) < len(case.program)
+    assert still_fails(small)
+
+
+def test_shrinker_keeps_unshrinkable_case():
+    case = load_case(CORPUS_CASE)
+
+    def never_fails(candidate):
+        return False
+
+    assert shrink_case(case, never_fails, max_evals=30) is case

@@ -1,0 +1,79 @@
+"""RNG discipline: all randomness flows from named, seeded generators.
+
+Reproducibility is load-bearing for the whole repo (golden statistics,
+resumable sweeps, the fuzzer's replayable campaigns), so no module under
+``src/repro`` may touch process-global random state. This test AST-scans
+the sources: the stdlib ``random`` module is banned outright, and from
+``numpy.random`` only the explicitly seeded constructors
+(``default_rng`` / ``SeedSequence``) and type names are allowed — never
+the legacy global functions like ``np.random.seed`` or
+``np.random.uniform``.
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).parents[2] / "src" / "repro"
+
+#: Attributes of ``numpy.random`` that do not touch global RNG state.
+ALLOWED_NP_RANDOM = {"default_rng", "SeedSequence", "Generator",
+                     "BitGenerator", "PCG64", "Philox"}
+
+
+def _is_numpy_random(node: ast.AST) -> bool:
+    """True for the expression ``np.random`` / ``numpy.random``."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+def _violations_in(path: pathlib.Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    found.append(f"{path.name}:{node.lineno}: "
+                                 f"import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random":
+                found.append(f"{path.name}:{node.lineno}: from random import")
+            if module in ("numpy.random", "np.random"):
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NP_RANDOM:
+                        found.append(f"{path.name}:{node.lineno}: from "
+                                     f"numpy.random import {alias.name}")
+        elif isinstance(node, ast.Attribute) and _is_numpy_random(node.value):
+            if node.attr not in ALLOWED_NP_RANDOM:
+                found.append(f"{path.name}:{node.lineno}: "
+                             f"np.random.{node.attr}")
+    return found
+
+
+def test_scan_finds_planted_violations():
+    # Sanity-check the scanner itself against known-bad snippets.
+    import textwrap
+
+    def scan(code):
+        tree = ast.parse(textwrap.dedent(code))
+        bad = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and \
+                    _is_numpy_random(node.value) and \
+                    node.attr not in ALLOWED_NP_RANDOM:
+                bad.append(node.attr)
+        return bad
+
+    assert scan("np.random.seed(0)") == ["seed"]
+    assert scan("x = np.random.uniform(0, 1)") == ["uniform"]
+    assert scan("rng = np.random.default_rng(7)") == []
+    assert scan("ss = np.random.SeedSequence(7)") == []
+
+
+def test_no_global_rng_use_in_sources():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations += _violations_in(path)
+    assert not violations, "\n".join(violations)

@@ -1,0 +1,127 @@
+"""Program JSON serialization: canonical round-trips and validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import KernelBuilder
+from repro.isa.serialize import (
+    PROGRAM_SCHEMA,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+
+
+def _sample_program():
+    builder = KernelBuilder()
+    builder.kernel("main", registers=8, state_words=3)
+    builder.mov("r0", "SREG.tid")
+    builder.add("r1", "r0", 2.5)
+    builder.setp("gt", "p1", "r1", 0.0)
+    builder.label("skip")
+    builder.st("global", "r0", float("nan"), offset=4, pred="p1")
+    builder.bra("skip", pred="!p1")
+    builder.mov("r2", float("-inf"))
+    builder.exit()
+    builder.kernel("child", registers=4)
+    builder.exit()
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_identical(self):
+        program = _sample_program()
+        text = program_to_json(program)
+        again = program_to_json(program_from_json(text))
+        assert again == text
+
+    def test_round_trip_preserves_semantics(self):
+        program = _sample_program()
+        rebuilt = program_from_json(program_to_json(program))
+        assert len(rebuilt) == len(program)
+        assert rebuilt.labels == program.labels
+        assert set(rebuilt.kernels) == set(program.kernels)
+        for mine, theirs in zip(program.instructions, rebuilt.instructions):
+            assert mine.op == theirs.op
+            assert mine.pc == theirs.pc
+
+    def test_non_finite_immediates_round_trip(self):
+        program = _sample_program()
+        rebuilt = program_from_json(program_to_json(program))
+        stored = rebuilt.instructions[3].srcs[1].value
+        assert np.isnan(stored)
+        assert rebuilt.instructions[5].srcs[0].value == float("-inf")
+
+    def test_dict_form_is_json_clean(self):
+        doc = program_to_dict(_sample_program())
+        assert doc["schema"] == PROGRAM_SCHEMA
+        json.dumps(doc)  # no numpy types / non-JSON values leak through
+
+
+class TestValidation:
+    def _doc(self):
+        return program_to_dict(_sample_program())
+
+    def test_wrong_schema(self):
+        doc = self._doc()
+        doc["schema"] = "repro-program/99"
+        with pytest.raises(ProgramError, match="program.schema"):
+            program_from_dict(doc)
+
+    def test_unknown_program_field(self):
+        doc = self._doc()
+        doc["extra"] = 1
+        with pytest.raises(ProgramError, match="program.extra"):
+            program_from_dict(doc)
+
+    def test_unknown_instruction_field_names_path(self):
+        doc = self._doc()
+        doc["instructions"][3]["weird"] = True
+        with pytest.raises(ProgramError,
+                           match=r"program\.instructions\[3\]\.weird"):
+            program_from_dict(doc)
+
+    def test_bad_operand_names_slot(self):
+        doc = self._doc()
+        doc["instructions"][1]["srcs"][1] = "q7"
+        with pytest.raises(ProgramError,
+                           match=r"program\.instructions\[1\]\.srcs\[1\]"):
+            program_from_dict(doc)
+
+    def test_bad_guard(self):
+        doc = self._doc()
+        doc["instructions"][4]["guard"] = "r3"
+        with pytest.raises(ProgramError,
+                           match=r"program\.instructions\[4\]\.guard"):
+            program_from_dict(doc)
+
+    def test_label_out_of_range(self):
+        doc = self._doc()
+        doc["labels"]["skip"] = 999
+        with pytest.raises(ProgramError, match=r"labels\['skip'\]"):
+            program_from_dict(doc)
+
+    def test_missing_kernel_registers(self):
+        doc = self._doc()
+        del doc["kernels"][0]["registers"]
+        with pytest.raises(ProgramError,
+                           match=r"program\.kernels\[0\]\.registers"):
+            program_from_dict(doc)
+
+    def test_undefined_branch_target_rejected_at_finalize(self):
+        doc = self._doc()
+        del doc["labels"]["skip"]
+        with pytest.raises(ProgramError):
+            program_from_dict(doc)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ProgramError, match="invalid JSON"):
+            program_from_json("{not json")
+
+    def test_non_dict_document(self):
+        with pytest.raises(ProgramError, match="program object"):
+            program_from_dict([1, 2, 3])

@@ -1,0 +1,127 @@
+"""Property tests for banked-memory conflict accounting.
+
+The conflict model must satisfy, for every access pattern: a broadcast
+(single distinct address) is free; N distinct addresses on one bank cost
+N-1 replays; inactive lanes (addresses absent from the masked gather)
+never contribute; and duplicates/permutations of an access pattern never
+change its cost. The accounting is then cross-checked end to end against
+the probe layer: the cycles the ``bank_conflict``/``spawn_conflict``
+stall causes attribute must track ``SMStats.bank_conflict_cycles``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SchedulingModel, scaled_config
+from repro.fuzz import make_case
+from repro.obs.probe import TraceSession
+from repro.simt.banked import BankedMemory
+from repro.simt.gpu import GPU, LaunchSpec
+from repro.simt.memory import GlobalMemory
+
+
+class TestConflictProperties:
+    @given(st.integers(2, 32), st.integers(1, 16))
+    def test_all_lanes_same_bank(self, lanes, num_banks):
+        mem = BankedMemory(4096, num_banks=num_banks)
+        addresses = np.arange(lanes) * num_banks  # all map to bank 0
+        assert mem.conflict_penalty(addresses) == lanes - 1
+
+    @given(st.integers(1, 64), st.integers(0, 255), st.integers(1, 16))
+    def test_broadcast_same_address_is_free(self, lanes, address, num_banks):
+        mem = BankedMemory(256, num_banks=num_banks)
+        addresses = np.full(lanes, address, dtype=np.int64)
+        assert mem.conflict_penalty(addresses) == 0
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=32),
+           st.integers(1, 16))
+    def test_inactive_lanes_do_not_contribute(self, active, num_banks):
+        # Masking off lanes can never *increase* the penalty: the cost of
+        # the active subset is at most the cost of any superset.
+        mem = BankedMemory(1024, num_banks=num_banks)
+        addresses = np.asarray(active, dtype=np.int64)
+        superset = np.concatenate([addresses,
+                                   np.arange(16, dtype=np.int64) * 64])
+        assert (mem.conflict_penalty(addresses)
+                <= mem.conflict_penalty(superset))
+        # And an all-masked access (no active lanes) is free.
+        assert mem.conflict_penalty(np.zeros(0, dtype=np.int64)) == 0
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=32),
+           st.integers(1, 16), st.randoms())
+    def test_duplicates_and_order_are_irrelevant(self, active, num_banks,
+                                                 pyrandom):
+        mem = BankedMemory(1024, num_banks=num_banks)
+        addresses = np.asarray(active, dtype=np.int64)
+        base = mem.conflict_penalty(addresses)
+        shuffled = list(active) + [active[0]]
+        pyrandom.shuffle(shuffled)
+        assert mem.conflict_penalty(
+            np.asarray(shuffled, dtype=np.int64)) == base
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=32),
+           st.integers(1, 16))
+    def test_penalty_matches_worst_bank_occupancy(self, active, num_banks):
+        mem = BankedMemory(1024, num_banks=num_banks)
+        addresses = np.asarray(active, dtype=np.int64)
+        per_bank = np.bincount(np.unique(addresses) % num_banks,
+                               minlength=num_banks)
+        assert mem.conflict_penalty(addresses) == int(per_bank.max()) - 1
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16))
+    def test_read_write_accumulate_penalty(self, active):
+        mem = BankedMemory(256, num_banks=4)
+        addresses = np.asarray(active, dtype=np.int64)
+        expected = mem.conflict_penalty(addresses)
+        _, read_penalty = mem.read(addresses)
+        write_penalty = mem.write(addresses, np.zeros(addresses.size))
+        assert read_penalty == write_penalty == expected
+        assert mem.conflict_cycles == 2 * expected
+
+
+def _run_spawn_with_conflicts(seed: int, num_banks: int):
+    case = make_case(seed, "spawn")
+    config = scaled_config(1, warp_size=32, sps_per_sm=4,
+                           scheduling=SchedulingModel.WARP,
+                           spawn_enabled=True,
+                           spawn_bank_conflicts=True,
+                           spawn_num_banks=num_banks)
+    global_mem = GlobalMemory(case.global_words)
+    global_mem.load_array(case.input_base,
+                          np.asarray(case.inputs, dtype=np.float64))
+    launch = LaunchSpec(program=case.program, entry_kernel=case.entry,
+                        num_threads=case.num_threads,
+                        registers_per_thread=case.registers,
+                        block_size=case.block_size,
+                        state_words=case.state_words)
+    session = TraceSession()
+    gpu = GPU(config, launch, global_mem,
+              np.asarray(case.const, dtype=np.float64), trace=session)
+    stats = gpu.run()
+    return stats.sm_stats, session.stall_attribution()
+
+
+class TestObsCrossCheck:
+    def test_attribution_tracks_conflict_stats(self):
+        saw_conflicts = False
+        for seed in range(6):
+            stats, attribution = _run_spawn_with_conflicts(seed,
+                                                           num_banks=2)
+            attributed = (int(attribution["bank_conflict"])
+                          + int(attribution["spawn_conflict"]))
+            if stats.bank_conflict_cycles:
+                saw_conflicts = True
+                # Overlapping stall windows merge, so the attributed
+                # stall cycles never exceed the summed raw penalties —
+                # but conflicts must show up in the attribution at all.
+                assert attributed > 0
+            assert attributed <= stats.bank_conflict_cycles
+        assert saw_conflicts, "no seed produced a bank conflict"
+
+    def test_no_conflicts_means_no_attribution(self):
+        stats, attribution = _run_spawn_with_conflicts(0, num_banks=1024)
+        if not stats.bank_conflict_cycles:
+            assert int(attribution["bank_conflict"]) == 0
+            assert int(attribution["spawn_conflict"]) == 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import scaled_config
-from repro.errors import SchedulingError
+from repro.errors import ConfigError, SchedulingError
 from repro.isa import assemble
 from repro.kernels.layout import build_memory_image
 from repro.kernels.traditional import traditional_program
@@ -121,7 +121,7 @@ class TestErrors:
     def test_zero_threads_raises(self):
         program = assemble(LOOP_KERNEL)
         config = scaled_config(1)
-        with pytest.raises(SchedulingError):
+        with pytest.raises(ConfigError):
             run_dwf(config, program, "main", GlobalMemory(512),
                     np.zeros(1), 0)
 

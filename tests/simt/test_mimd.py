@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import paper_config, scaled_config
+from repro.errors import ConfigError
 from repro.simt import mimd_theoretical
 
 
@@ -34,11 +35,11 @@ class TestMakespan:
         assert result.ipc <= result.lanes
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             mimd_theoretical(np.array([]), paper_config())
 
     def test_negative_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             mimd_theoretical(np.array([5, -1]), paper_config())
 
     @settings(max_examples=50, deadline=None)
