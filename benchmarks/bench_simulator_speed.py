@@ -1,69 +1,181 @@
 """Simulator throughput — cycles simulated per wall-clock second.
 
-Tracks the event-driven fast-forward + vectorized issue path (see
-docs/architecture.md, "Event-driven fast-forward"): the Figure 8
-rays-per-second workload is run in both clock modes and the bench emits
-cycles/s for each, so regressions in either the exact cycle loop or the
-fast-forward path show up in BENCH output. Correctness of the fast mode
-(bit-identical stats) is enforced separately by
-tests/simt/test_fastforward_differential.py; this bench only checks that
-fast mode is not slower than exact, since jumping idle spans can only
-remove work.
+Tracks two things on the Figure 8 rays-per-second workload:
 
-The headline speedup of the change itself (measured against the
-pre-event-driven simulator on this workload: >= 3x cycles/s across the
-Figure 8 modes) is recorded in CHANGES.md; it cannot be re-measured here
-because the old cycle loop no longer exists in the tree.
+- the event-driven fast-forward path (docs/architecture.md,
+  "Event-driven fast-forward"): each mode runs in both clock modes and
+  the bench emits cycles/s for each, so regressions in either the exact
+  cycle loop or the fast-forward path show up in BENCH output;
+- the executor backends (docs/architecture.md, "Executor backends"):
+  each mode runs under both the reference interpreter and the batched
+  structure-of-arrays backend, asserts their ``RunStats`` digests are
+  byte-identical, and emits the batched/reference speedup ratio.
+
+Results land in ``BENCH_simulator_speed.json`` at the repo root
+(refresh with ``REPRO_UPDATE_BENCH=1``); the committed file records the
+config digest, git revision, and cycles/s per backend at the time it was
+generated. On every later run the bench compares the *speedup ratio* —
+not absolute cycles/s, which vary by machine — against the committed
+entry for the same preset and fails on a >20% regression. Absolute
+timings in the committed file are for provenance only.
+
+Correctness of both axes (bit-identical stats) is enforced exhaustively
+by tests/simt/test_fastforward_differential.py and
+tests/simt/test_backend_differential.py; this bench re-checks only the
+cheap digest identity on the workload it actually times.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
 import time
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.api import simulate
+from repro.api import config_for_mode, simulate
+from repro.harness.sweep import run_stats_digest
 
 #: The Figure 8 modes (traditional block/warp scheduling + dynamic
 #: µ-kernels) on the conference scene — the paper's headline workload.
 MODES = ("pdom_block", "pdom_warp", "spawn")
 SCENE = "conference"
 
+BACKENDS = ("reference", "batched")
 
-def _time_mode(mode: str, workload, fast_forward: bool):
-    start = time.perf_counter()
-    result = simulate(workload, mode, fast_forward=fast_forward)
-    elapsed = time.perf_counter() - start
-    return result.stats.cycles / elapsed, result
+#: Committed benchmark record, at the repo root next to ROADMAP.md.
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_simulator_speed.json"
+
+#: A measured batched/reference ratio below committed * (1 - tolerance)
+#: fails the bench. Ratios are measured back-to-back in one process, so
+#: machine speed cancels; 20% absorbs scheduler jitter.
+REGRESSION_TOLERANCE = 0.20
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_PATH.parent, capture_output=True, text=True,
+            timeout=10, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _config_digest(preset) -> str:
+    """Fingerprint of the benchmark's full GPU configuration, all modes."""
+    document = {mode: config_for_mode(mode, preset).to_dict()
+                for mode in MODES}
+    payload = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _time_mode(mode: str, workload, *, fast_forward: bool = True,
+               executor: str = "reference"):
+    """Best-of-2 cycles/s (absorbs one-off warm-up) plus the result."""
+    best = float("inf")
+    result = None
+    for _ in range(2):
+        start = time.perf_counter()
+        result = simulate(workload, mode, fast_forward=fast_forward,
+                          executor=executor)
+        best = min(best, time.perf_counter() - start)
+    return result.stats.cycles / best, result
 
 
 def _run_all(workloads):
     workload = workloads(SCENE)
     rows = []
     for mode in MODES:
-        fast_rate, fast_result = _time_mode(mode, workload, True)
-        exact_rate, exact_result = _time_mode(mode, workload, False)
-        assert fast_result.stats.cycles == exact_result.stats.cycles
+        rates = {}
+        digests = {}
+        for backend in BACKENDS:
+            rates[backend], result = _time_mode(mode, workload,
+                                                executor=backend)
+            digests[backend] = run_stats_digest(result.stats)
+        exact_rate, exact_result = _time_mode(mode, workload,
+                                              fast_forward=False)
+        assert digests["batched"] == digests["reference"], (
+            f"{mode}: backends are not byte-identical")
+        assert exact_result.stats.cycles == digests["reference"]["cycles"]
         rows.append({
             "mode": mode,
-            "cycles": fast_result.stats.cycles,
-            "fast_cyc_per_s": round(fast_rate),
+            "cycles": digests["reference"]["cycles"],
+            "reference_cyc_per_s": round(rates["reference"]),
+            "batched_cyc_per_s": round(rates["batched"]),
+            "batched_speedup": round(rates["batched"] / rates["reference"],
+                                     3),
             "exact_cyc_per_s": round(exact_rate),
-            "fast_vs_exact": round(fast_rate / exact_rate, 2),
+            "fast_vs_exact": round(rates["reference"] / exact_rate, 2),
         })
     return rows
 
 
-def bench_simulator_speed(benchmark, workloads, report):
+def _load_committed() -> dict:
+    if not BENCH_PATH.exists():
+        return {}
+    return json.loads(BENCH_PATH.read_text())
+
+
+def _bench_document(preset, rows) -> dict:
+    return {
+        "git_rev": _git_rev(),
+        "config_digest": _config_digest(preset),
+        "modes": {
+            row["mode"]: {
+                "cycles": row["cycles"],
+                "reference_cyc_per_s": row["reference_cyc_per_s"],
+                "batched_cyc_per_s": row["batched_cyc_per_s"],
+                "batched_speedup": row["batched_speedup"],
+                "exact_cyc_per_s": row["exact_cyc_per_s"],
+            }
+            for row in rows
+        },
+    }
+
+
+def _check_regression(committed: dict, preset_name: str, rows) -> None:
+    entry = committed.get("presets", {}).get(preset_name)
+    if entry is None:
+        return  # no committed record at this scale — nothing to compare
+    floor = 1.0 - REGRESSION_TOLERANCE
+    for row in rows:
+        want = entry["modes"].get(row["mode"], {}).get("batched_speedup")
+        if want is None:
+            continue
+        assert row["batched_speedup"] >= want * floor, (
+            f"{row['mode']}: batched/reference speedup "
+            f"{row['batched_speedup']} regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%} from committed {want} "
+            f"(preset {preset_name}); if intentional, refresh "
+            f"{BENCH_PATH.name} with REPRO_UPDATE_BENCH=1")
+
+
+def bench_simulator_speed(benchmark, workloads, preset, report):
     rows = benchmark.pedantic(_run_all, args=(workloads,),
                               rounds=1, iterations=1)
     report(format_table(
         rows, title="Simulator speed — cycles simulated per wall second"))
     for row in rows:
-        assert row["fast_cyc_per_s"] > 0
+        assert row["reference_cyc_per_s"] > 0
         # Fast-forward only skips work; allow generous timing noise.
         assert row["fast_vs_exact"] > 0.7, row
+
+    committed = _load_committed()
+    _check_regression(committed, preset.name, rows)
+    if os.environ.get("REPRO_UPDATE_BENCH") == "1":
+        committed.setdefault("schema", "repro-bench-simulator-speed/1")
+        committed["scene"] = SCENE
+        committed.setdefault("presets", {})[preset.name] = \
+            _bench_document(preset, rows)
+        BENCH_PATH.write_text(json.dumps(committed, indent=2,
+                                         sort_keys=True) + "\n")
+        report(f"updated {BENCH_PATH.name} (preset {preset.name})")
 
 
 def _sweep_once(jobs, cache):

@@ -91,8 +91,8 @@ def _resolve_preset(preset) -> SimPreset:
 
 def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
              seed: int = 0, max_cycles: int | None = None,
-             fast_forward: bool | None = None, probes=None,
-             cache=None) -> RunResult:
+             fast_forward: bool | None = None, executor: str | None = None,
+             probes=None, cache=None) -> RunResult:
     """Simulate one machine mode on one workload; returns a ``RunResult``.
 
     ``scene`` is either a scene name (the workload is prepared through the
@@ -104,6 +104,12 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
     :func:`_resolve_probes`); the session comes back finalized as
     ``result.trace``. With ``probes`` unset the simulation runs with zero
     instrumentation overhead and bit-identical statistics.
+
+    ``executor`` selects the instruction-execution backend
+    (:data:`repro.config.EXECUTORS`): ``"reference"`` interprets one warp
+    instruction at a time, ``"batched"`` compiles straight-line runs into
+    structure-of-arrays kernels with bit-identical results. None keeps
+    the :class:`~repro.config.GPUConfig` default (reference).
     """
     if isinstance(scene, Workload):
         workload = scene
@@ -111,7 +117,8 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
         workload = prepare_workload(scene, _resolve_preset(preset),
                                     ray_kind=ray_kind, seed=seed, cache=cache)
     return _run_mode(mode, workload, max_cycles=max_cycles,
-                     fast_forward=fast_forward, trace=_resolve_probes(probes))
+                     fast_forward=fast_forward, executor=executor,
+                     trace=_resolve_probes(probes))
 
 
 def sweep(jobs: Iterable, jobs_n: int | None = None,

@@ -20,7 +20,8 @@ Commands:
   simulation with cycle-attribution probes attached and export a Chrome
   ``trace_event`` file plus a stacked per-interval breakdown,
 - ``fuzz [--cases N] [--seed S] [--models m1,m2] [--kinds k1,k2]
-  [--replay PATH] [--out DIR]`` — generative differential conformance:
+  [--backends b1,b2] [--replay PATH] [--out DIR]`` — generative
+  differential conformance:
   run randomly generated µ-kernel programs on every applicable SIMT
   model and compare against the MIMD reference (functional equivalence,
   metamorphic variants, structural counter identities). Divergences are
@@ -190,6 +191,7 @@ def _cmd_fuzz(args) -> int:
     import os
 
     from repro.fuzz import (
+        FUZZ_BACKENDS,
         FUZZ_MODELS,
         load_case,
         load_corpus,
@@ -216,6 +218,14 @@ def _cmd_fuzz(args) -> int:
             print(f"unknown kind {unknown[0]!r}; choose from "
                   f"{', '.join(CASE_KINDS)}", file=sys.stderr)
             return 2
+    backends = None
+    if args.backends:
+        backends = tuple(name.strip() for name in args.backends.split(","))
+        unknown = [name for name in backends if name not in FUZZ_BACKENDS]
+        if unknown:
+            print(f"unknown backend {unknown[0]!r}; choose from "
+                  f"{', '.join(FUZZ_BACKENDS)}", file=sys.stderr)
+            return 2
 
     if args.replay:
         if os.path.isdir(args.replay):
@@ -227,7 +237,7 @@ def _cmd_fuzz(args) -> int:
             return 2
         failed = 0
         for path, case in entries:
-            result = run_case(case, models=models)
+            result = run_case(case, models=models, backends=backends)
             status = ("skip" if result.skipped
                       else "ok" if result.ok else "FAIL")
             print(f"{status:5s} {path} ({case.describe()})")
@@ -245,7 +255,7 @@ def _cmd_fuzz(args) -> int:
                 print(f" {index + 1}/{args.cases}")
 
     report = run_fuzz(args.cases, args.seed, models=models, kinds=kinds,
-                      on_case=progress)
+                      backends=backends, on_case=progress)
     if not args.quiet:
         print()
     print(f"ran {report.cases_run} case(s), {report.skipped} skipped, "
@@ -259,7 +269,10 @@ def _cmd_fuzz(args) -> int:
             print(f"  seed={case.seed}: {failure}")
         if args.shrink:
             def still_fails(candidate):
-                return bool(run_case(candidate, models=models).failures)
+                # Re-runs the oracle with the same backend pair, so a
+                # backend-only divergence keeps reproducing as it shrinks.
+                return bool(run_case(candidate, models=models,
+                                     backends=backends).failures)
             case = shrink_case(case, still_fails,
                                max_evals=args.max_shrink_evals)
         path = os.path.join(args.out, f"case-{case.seed}.json")
@@ -373,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--models", default="", metavar="M1,M2",
                         help="comma-separated model subset "
                              "(default: all applicable per case)")
+    p_fuzz.add_argument("--backends", default="", metavar="B1,B2",
+                        help="comma-separated executor backends to "
+                             "differentiate, e.g. reference,batched "
+                             "(default: all; first entry is primary)")
     p_fuzz.add_argument("--kinds", default="", metavar="K1,K2",
                         help="restrict generated program kinds "
                              "(plain,spawn,barrier)")

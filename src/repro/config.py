@@ -28,6 +28,14 @@ BYTES_PER_WORD = 4
 #: scattered accesses; adjacent segments still merge via coalescing.
 SEGMENT_BYTES = 32
 
+#: Valid :attr:`GPUConfig.executor` backend names. ``reference`` is the
+#: per-warp interpreter of :mod:`repro.simt.executor`; ``batched`` is the
+#: structure-of-arrays backend of :mod:`repro.simt.batched`, which defers
+#: straight-line ALU runs and executes them across all enqueued warps of
+#: all SMs in one set of numpy array operations. The two backends are
+#: bit-identical for every statistic (see docs/architecture.md).
+EXECUTORS = ("reference", "batched")
+
 
 @dataclass(frozen=True)
 class MemoryConfig:
@@ -124,6 +132,14 @@ class GPUConfig:
     cycle loop would, so all reported statistics are bit-identical to
     ``fast_forward=False`` (the *exact* mode); the differential test suite
     enforces this equivalence for every execution model."""
+    executor: str = "reference"
+    """Instruction-execution backend (see :data:`EXECUTORS`). The default
+    ``reference`` interprets one warp instruction per issue; ``batched``
+    compiles straight-line µ-kernel runs (via :mod:`repro.isa.blocks`)
+    into structure-of-arrays numpy kernels executed across every enqueued
+    warp of every SM at once. Both backends produce bit-identical
+    :class:`~repro.simt.gpu.RunStats` and probe intervals; the batched
+    backend only trades Python dispatch for array width."""
 
     def __post_init__(self) -> None:
         self.validate()
@@ -149,6 +165,10 @@ class GPUConfig:
             raise ConfigError("clock_ghz must be positive")
         if self.max_cycles <= 0:
             raise ConfigError("max_cycles must be positive")
+        if self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor backend {self.executor!r}."
+                f"{did_you_mean(self.executor, EXECUTORS)}")
         self.memory.validate()
         self.spawn.validate()
 

@@ -13,6 +13,15 @@ Model applicability follows the repo's compatibility matrix: plain
 programs run on pdom_block / pdom_warp / dwf, ``bar`` programs need block
 scheduling (pdom_block), and ``spawn`` programs run on the spawn model.
 The MIMD reference runs everything.
+
+The executor backend (:data:`repro.config.EXECUTORS`) is a metamorphic
+axis of its own: each case additionally re-runs under every non-primary
+backend (fast and exact clock) and the resulting
+:func:`~repro.harness.sweep.run_stats_digest` must equal the primary
+backend's digest exactly — the two backends promise bit-identical
+statistics, not merely equal memory images. DWF is exempt: it re-forms a
+transient warp per issue, so ``config.executor`` has no effect there by
+construction (see :func:`repro.simt.dwf.run_dwf`).
 """
 
 from __future__ import annotations
@@ -21,8 +30,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import SchedulingModel, scaled_config
-from repro.errors import MemoryError_
+from repro.config import EXECUTORS, SchedulingModel, scaled_config
+from repro.errors import ConfigError, MemoryError_
 from repro.fuzz.generator import Case, make_case
 from repro.fuzz.reference import (
     ReferenceLimitError,
@@ -39,6 +48,9 @@ from repro.simt.snapshot import SnapshotRecorder
 
 #: SIMT models the fuzzer differentiates against the reference.
 FUZZ_MODELS = ("pdom_block", "pdom_warp", "spawn", "dwf")
+
+#: Executor backends the fuzzer cross-checks (first entry is primary).
+FUZZ_BACKENDS = EXECUTORS
 
 _MAX_CYCLES = 2_000_000
 
@@ -96,8 +108,13 @@ def run_model(case: Case, model: str, *, warp_size: int = 32,
               fast_forward: bool = True, shuffle_seed: int | None = None,
               spawn_when_uniform: bool = True,
               block_size: int | None = None, trace: bool = False,
+              executor: str = "reference",
               variant: str = "base") -> ModelRun:
-    """Execute ``case`` on one SIMT model and capture its final state."""
+    """Execute ``case`` on one SIMT model and capture its final state.
+
+    ``executor`` selects the instruction-execution backend
+    (:data:`repro.config.EXECUTORS`); DWF accepts but ignores it.
+    """
     if model not in FUZZ_MODELS:
         raise ValueError(f"unknown fuzz model {model!r}")
     global_mem = GlobalMemory(case.global_words)
@@ -105,7 +122,8 @@ def run_model(case: Case, model: str, *, warp_size: int = 32,
                           np.asarray(case.inputs, dtype=np.float64))
     const_mem = np.asarray(case.const, dtype=np.float64)
     overrides = dict(warp_size=warp_size, sps_per_sm=4,
-                     fast_forward=fast_forward, max_cycles=_MAX_CYCLES)
+                     fast_forward=fast_forward, max_cycles=_MAX_CYCLES,
+                     executor=executor)
 
     if model == "dwf":
         config = scaled_config(1, **overrides)
@@ -234,8 +252,32 @@ def _variants(case: Case, model: str) -> list[dict]:
     return variants
 
 
-def run_case(case: Case, models=None) -> CaseResult:
-    """Run the full oracle battery for one case."""
+def _resolve_backends(backends) -> tuple[str, ...]:
+    """Normalize and validate the executor-backend axis of a campaign."""
+    if backends is None:
+        return FUZZ_BACKENDS
+    resolved = tuple(backends)
+    if not resolved:
+        raise ConfigError("backends must name at least one executor")
+    for backend in resolved:
+        if backend not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor backend {backend!r}; choose from "
+                f"{', '.join(EXECUTORS)}")
+    return resolved
+
+
+def run_case(case: Case, models=None, backends=None) -> CaseResult:
+    """Run the full oracle battery for one case.
+
+    ``backends`` orders the executor backends to differentiate (default
+    :data:`FUZZ_BACKENDS`): the first runs the whole variant battery, and
+    each further backend re-runs the base parameters on both clocks with
+    a bit-identical ``run_stats_digest`` requirement against the first.
+    """
+    from repro.harness.sweep import run_stats_digest
+
+    backends = _resolve_backends(backends)
     try:
         reference = run_reference(case)
     except (ReferenceLimitError, MemoryError_):
@@ -245,40 +287,70 @@ def run_case(case: Case, models=None) -> CaseResult:
     if not applicable:
         return CaseResult(case, skipped=True)
     result = CaseResult(case)
+    primary = backends[0]
     for model in applicable:
         runs = [dict(variant="base", trace=True)]
         runs += _variants(case, model)
+        digests: dict[str, dict] = {}
         for kwargs in runs:
             variant = kwargs.get("variant", "base")
             try:
-                run = run_model(case, model, **kwargs)
+                run = run_model(case, model, executor=primary, **kwargs)
             except Exception as error:  # a crash is a conformance failure
                 result.failures.append(
                     f"{model}/{variant}: {type(error).__name__}: {error}")
                 continue
+            if model != "dwf" and variant in ("base", "exact"):
+                digests[variant] = run_stats_digest(run.stats)
             result.failures += _compare_to_reference(case, reference, run)
             for problem in check_run(run.stats, run.recorder, run.session,
                                      grid_threads=case.num_threads):
                 result.failures.append(f"{model}/{variant}: {problem}")
+        if model == "dwf":
+            continue  # executor backend is a no-op for DWF
+        for backend in backends[1:]:
+            for base_variant, kwargs in (("base", {}),
+                                         ("exact", dict(fast_forward=False))):
+                variant = f"{base_variant}+{backend}"
+                try:
+                    run = run_model(case, model, executor=backend,
+                                    variant=variant, **kwargs)
+                except Exception as error:
+                    result.failures.append(
+                        f"{model}/{variant}: {type(error).__name__}: {error}")
+                    continue
+                result.failures += _compare_to_reference(case, reference, run)
+                for problem in check_run(run.stats, run.recorder,
+                                         run.session,
+                                         grid_threads=case.num_threads):
+                    result.failures.append(f"{model}/{variant}: {problem}")
+                want = digests.get(base_variant)
+                if want is not None and run_stats_digest(run.stats) != want:
+                    result.failures.append(
+                        f"{model}/{variant}: RunStats diverge from the "
+                        f"{primary} backend (backends must be bit-identical)")
     return result
 
 
 def run_fuzz(num_cases: int, seed: int = 0, *, models=None, kinds=None,
-             on_case=None) -> FuzzReport:
+             backends=None, on_case=None) -> FuzzReport:
     """Run a fuzzing campaign of ``num_cases`` generated cases.
 
     All stochastic choices derive from ``seed`` through one
     :class:`numpy.random.SeedSequence`; the same ``(num_cases, seed)``
-    replays the identical campaign. ``on_case`` is an optional callback
-    ``(index, CaseResult) -> None`` for progress reporting.
+    replays the identical campaign. ``backends`` forwards to
+    :func:`run_case` (default: differentiate every executor backend).
+    ``on_case`` is an optional callback ``(index, CaseResult) -> None``
+    for progress reporting.
     """
     report = FuzzReport()
+    backends = _resolve_backends(backends)
     children = np.random.SeedSequence(seed).spawn(num_cases)
     for index, child in enumerate(children):
         case_seed = int(child.generate_state(1)[0])
         kind = None if not kinds else kinds[index % len(kinds)]
         case = make_case(case_seed, kind)
-        result = run_case(case, models=models)
+        result = run_case(case, models=models, backends=backends)
         report.cases_run += 1
         if result.skipped:
             report.skipped += 1

@@ -213,17 +213,22 @@ def prepare_workload(scene_name: str, preset: SimPreset,
 
 
 def _config_for_mode(mode: str, preset: SimPreset,
-                     fast_forward: bool | None = None) -> GPUConfig:
+                     fast_forward: bool | None = None,
+                     executor: str | None = None) -> GPUConfig:
     """The machine configuration for one mode at one preset scale.
 
     ``fast_forward`` overrides the event-driven clock toggle; None keeps
-    the :class:`GPUConfig` default (fast).
+    the :class:`GPUConfig` default (fast). ``executor`` selects the
+    instruction-execution backend (see :data:`repro.config.EXECUTORS`);
+    None keeps the default (reference).
     """
     if mode not in MODES:
         raise ConfigError(f"unknown mode {mode!r}; expected one of {MODES}")
     overrides: dict = {"max_cycles": preset.max_cycles}
     if fast_forward is not None:
         overrides["fast_forward"] = fast_forward
+    if executor is not None:
+        overrides["executor"] = executor
     if mode == "pdom_block":
         overrides["scheduling"] = SchedulingModel.BLOCK
     else:
@@ -245,6 +250,7 @@ def _launch_for_mode(mode: str, num_rays: int):
 def _run_mode(mode: str, workload: Workload,
               max_cycles: int | None = None,
               fast_forward: bool | None = None,
+              executor: str | None = None,
               trace=None) -> RunResult:
     """Simulate one mode on a prepared workload.
 
@@ -252,7 +258,8 @@ def _run_mode(mode: str, workload: Workload,
     the returned result carries it (finalized) as ``result.trace``.
     """
     preset = workload.preset
-    config = _config_for_mode(mode, preset, fast_forward=fast_forward)
+    config = _config_for_mode(mode, preset, fast_forward=fast_forward,
+                              executor=executor)
     image = build_memory_image(workload.tree, workload.origins,
                                workload.directions, workload.t_max)
     launch = _launch_for_mode(mode, workload.num_rays)

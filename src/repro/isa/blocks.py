@@ -1,0 +1,136 @@
+"""Basic-block and straight-line-run compilation for the batched backend.
+
+The batched executor (:mod:`repro.simt.batched`) wants to know, for every
+PC, how many consecutive instructions starting there can be issued as one
+deferred *run*: a maximal straight line of simple ALU operations that
+
+- touch only warp-private state (registers, predicates, special
+  registers) — no memory, control flow, spawns, or barriers — so their
+  functional effects can be executed lazily, and
+- contains no basic-block leader after its first instruction, so no warp
+  can enter (branch target, kernel entry) or leave (reconvergence pop —
+  reconvergence PCs are always block leaders) the run mid-way.
+
+:func:`compile_blocks` partitions the flat PC space into the program's
+basic blocks (reusing :func:`repro.isa.cfg.basic_block_leaders` and the
+CFG validation of :func:`repro.isa.cfg.build_cfg`) and carves each block
+into its maximal runs. Every instruction belongs to exactly one block,
+blocks preserve program order, and every batchable instruction belongs to
+exactly one maximal run — properties pinned by the hypothesis suite in
+``tests/isa/test_blocks_properties.py``. Malformed programs (branches to
+non-leaders, control falling off the end, empty programs) are rejected
+with a typed :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ProgramError
+from repro.isa.cfg import basic_block_leaders, build_cfg
+from repro.isa.instructions import ARITH_OPS, UNARY_OPS
+from repro.isa.program import Program
+
+#: Opcodes the batched backend may defer into a run. Exactly the set the
+#: reference executor dispatches to its simple-ALU compiler
+#: (:func:`repro.simt.executor._compile_alu`): every arithmetic/unary op
+#: plus mad/setp/selp/nop. All of them read and write only warp-private
+#: state and always fall through to ``pc + 1``.
+BATCHABLE_OPS = frozenset(ARITH_OPS) | frozenset(UNARY_OPS) | frozenset(
+    ("mad", "setp", "selp", "nop"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One maximal straight-line run of batchable instructions."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """PC one past the run's last instruction."""
+        return self.start + self.length
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """One basic block: the half-open PC range [leader, end) plus the
+    maximal batchable runs inside it, in program order."""
+
+    leader: int
+    end: int
+    runs: tuple[RunSpec, ...]
+
+    @property
+    def pcs(self) -> range:
+        return range(self.leader, self.end)
+
+
+@dataclass(frozen=True)
+class BlockTable:
+    """Compiled block/run layout of one program.
+
+    ``run_len[pc]`` is the number of batchable instructions in the run
+    *starting at* ``pc`` (0 when ``pc`` is not batchable). Entering a run
+    mid-way is legal — ``run_len`` is defined for every PC — it simply
+    names a shorter run with its own batch key.
+    """
+
+    blocks: tuple[BlockPlan, ...]
+    run_len: tuple[int, ...]
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.run_len)
+
+
+def compile_blocks(program: Program) -> BlockTable:
+    """Partition ``program`` into basic blocks and their maximal runs.
+
+    Raises :class:`~repro.errors.ConfigError` for malformed inputs: empty
+    programs, branch targets that are not block leaders, or control
+    falling off the end of the program (the same structural conditions
+    :func:`repro.isa.cfg.build_cfg` enforces, converted to the typed
+    configuration error the backend contract promises).
+    """
+    if len(program) == 0:
+        raise ConfigError("cannot compile blocks for an empty program")
+    try:
+        build_cfg(program)
+    except ProgramError as error:
+        raise ConfigError(f"cannot compile basic blocks: {error}") from error
+
+    size = len(program)
+    leaders = basic_block_leaders(program)
+    leader_set = set(leaders)
+
+    # Maximal run length starting at each PC, computed back to front: a
+    # run extends through pc+1 only when pc+1 is not a leader (nobody can
+    # jump or reconverge into the middle) and is itself batchable.
+    run_len = [0] * size
+    for pc in range(size - 1, -1, -1):
+        if program[pc].op not in BATCHABLE_OPS:
+            continue
+        following = pc + 1
+        if (following < size and following not in leader_set
+                and run_len[following]):
+            run_len[pc] = run_len[following] + 1
+        else:
+            run_len[pc] = 1
+
+    blocks = []
+    for index, leader in enumerate(leaders):
+        end = leaders[index + 1] if index + 1 < len(leaders) else size
+        runs = []
+        pc = leader
+        while pc < end:
+            length = run_len[pc]
+            if length:
+                runs.append(RunSpec(start=pc, length=length))
+                pc += length
+            else:
+                pc += 1
+        blocks.append(BlockPlan(leader=leader, end=end, runs=tuple(runs)))
+
+    return BlockTable(blocks=tuple(blocks), run_len=tuple(run_len))

@@ -1,0 +1,496 @@
+"""Batched structure-of-arrays executor backend (``executor="batched"``).
+
+The reference executor (:mod:`repro.simt.executor`) interprets one warp
+instruction per issue: every issue pays a Python closure call plus a
+handful of warp-wide numpy operations. Most issued instructions, however,
+sit inside straight-line runs of simple ALU operations (70–90% of the
+dynamic mix for the paper's ray-tracing kernels), and those touch only
+warp-private state — registers, predicates and special registers.
+
+This backend exploits that in two moves:
+
+1. **Deferred accounting.** When a warp's next PC starts a precompiled
+   run (:func:`repro.isa.blocks.compile_blocks`), the warp is enqueued in
+   a machine-wide batch for that run and its next ``k`` issues take a
+   cheap accounting-only path: the scheduler-visible effects of each
+   issue (issue/commit counters, divergence histogram, probe hooks,
+   ``ready_at``, the stack-top PC and the final reconvergence pop) are
+   replayed exactly as the reference issue path would, with no functional
+   execution and no numpy work at all.
+2. **Structure-of-arrays execution.** The run's functional effects are
+   executed lazily — when a member warp reaches an instruction that needs
+   real register values, or at end of run — as *one* sequence of numpy
+   array operations over the concatenated lanes of every enqueued warp,
+   across all SMs at once. The per-instruction step closures mirror the
+   reference plans' masked-write semantics operation for operation, so
+   every lane's float64 result is bit-identical.
+
+Correctness rests on three structural facts, enforced by the block
+compiler: run interiors contain no basic-block leaders (so no warp can
+enter mid-run and no reconvergence pop can fire before the final issue);
+run instructions read and write only warp-private state (so deferral and
+cross-warp execution order are unobservable); and the stack-top entry of
+a warp inside a run cannot change (every mutation goes through a plan,
+and the warp executes none until the run ends).
+
+Everything that is not a run — memory, control flow, spawn, barriers,
+isolated ALU instructions — goes through the *unchanged* reference plans,
+so the spawn unit, banked memories, DRAM coalescing and snapshot hooks
+behave identically by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.blocks import compile_blocks
+from repro.obs.constants import WAIT_PIPE
+from repro.simt.executor import (
+    ALU,
+    _BINARY_OPS,
+    _COMPARES,
+    _UNARY_OPS,
+    _imm_array,
+    _op_mov,
+)
+from repro.simt.stats import NUM_W_BUCKETS
+
+
+class _RunContext:
+    """Mutable operand environment for one run execution.
+
+    ``regs``/``preds`` map register indices to stacked rows (``n`` warps
+    × ``warp_size`` lanes; for a single-member batch they are the warp's
+    own row views, so steps write architectural state in place).
+    ``mask`` is the stacked active mask, or None when every member warp
+    is fully converged (the reference's unmasked fast path)."""
+
+    __slots__ = ("regs", "preds", "mask", "size", "warp_size", "tids",
+                 "spawn_addr", "warpids")
+
+
+def _compile_run_fetch(operand):
+    """Operand fetch over a :class:`_RunContext` (mirrors
+    :func:`repro.simt.executor._compile_fetch` value for value)."""
+    kind = operand.kind
+    if kind == "r":
+        index = operand.value
+        return lambda ctx: ctx.regs[index]
+    if kind == "imm":
+        value = operand.value
+        return lambda ctx: _imm_array(value, ctx.size)
+    if kind == "p":
+        index = operand.value
+        return lambda ctx: ctx.preds[index].astype(np.float64)
+    if kind == "sreg":
+        name = operand.value
+        if name == "tid":
+            return lambda ctx: ctx.tids
+        if name == "spawnMemAddr":
+            return lambda ctx: ctx.spawn_addr
+        if name == "warpid":
+            return lambda ctx: ctx.warpids
+        if name == "ntid":
+            return lambda ctx: _imm_array(float(ctx.warp_size), ctx.size)
+        if name == "smid":
+            # The reference fetch hardcodes SM id 0 (one program image is
+            # shared across SMs); the stacked fetch must match even when
+            # members come from different SMs.
+            return lambda ctx: _imm_array(0.0, ctx.size)
+    raise ExecutionError(f"cannot fetch operand {operand!r}")
+
+
+def _compile_run_guard(inst):
+    """Guard closure over the stacked context, or None when unguarded.
+
+    Always returns a fresh array so a guard never aliases a predicate
+    row the step is about to write through ``out=``."""
+    if inst.pred is None:
+        return None
+    index = inst.pred.value
+    if inst.pred_neg:
+        def guard(ctx):
+            taken = ~ctx.preds[index]
+            return taken if ctx.mask is None else ctx.mask & taken
+        return guard
+
+    def guard(ctx):
+        pred = ctx.preds[index]
+        return pred.copy() if ctx.mask is None else ctx.mask & pred
+    return guard
+
+
+def _compile_run_step(inst):
+    """One instruction's functional effect on a :class:`_RunContext`.
+
+    Returns None for ``nop``. Write semantics follow the reference ALU
+    plans exactly: active (guarded) lanes receive the computed value,
+    all other lanes keep their previous contents."""
+    op = inst.op
+    guard = _compile_run_guard(inst)
+
+    if op == "nop":
+        return None
+
+    if op == "setp":
+        fetch_a = _compile_run_fetch(inst.srcs[0])
+        fetch_b = _compile_run_fetch(inst.srcs[1])
+        compare = _COMPARES[inst.cmp]
+        dst = inst.dst.value
+
+        def step(ctx):
+            mask = ctx.mask if guard is None else guard(ctx)
+            if mask is None:
+                compare(fetch_a(ctx), fetch_b(ctx), out=ctx.preds[dst])
+            else:
+                compare(fetch_a(ctx), fetch_b(ctx), out=ctx.preds[dst],
+                        where=mask)
+        return step
+
+    pred_dst = inst.dst.kind == "p"
+    dst = inst.dst.value
+
+    if op == "selp":
+        fetch_a = _compile_run_fetch(inst.srcs[0])
+        fetch_b = _compile_run_fetch(inst.srcs[1])
+        chooser = inst.srcs[2].value
+
+        def compute(ctx):
+            return np.where(ctx.preds[chooser], fetch_a(ctx), fetch_b(ctx))
+    elif op == "mad":
+        fetch_a = _compile_run_fetch(inst.srcs[0])
+        fetch_b = _compile_run_fetch(inst.srcs[1])
+        fetch_c = _compile_run_fetch(inst.srcs[2])
+        if not pred_dst:
+            def step(ctx):
+                mask = ctx.mask if guard is None else guard(ctx)
+                if mask is None:
+                    np.add(fetch_a(ctx) * fetch_b(ctx), fetch_c(ctx),
+                           out=ctx.regs[dst])
+                else:
+                    np.add(fetch_a(ctx) * fetch_b(ctx), fetch_c(ctx),
+                           out=ctx.regs[dst], where=mask)
+            return step
+
+        def compute(ctx):
+            return fetch_a(ctx) * fetch_b(ctx) + fetch_c(ctx)
+    elif len(inst.srcs) == 2:
+        fetch_a = _compile_run_fetch(inst.srcs[0])
+        fetch_b = _compile_run_fetch(inst.srcs[1])
+        fn2 = _BINARY_OPS.get(op)
+        if fn2 is None:
+            raise ExecutionError(f"unhandled binary op {op!r}")
+        if not pred_dst and isinstance(fn2, np.ufunc):
+            def step(ctx):
+                mask = ctx.mask if guard is None else guard(ctx)
+                if mask is None:
+                    fn2(fetch_a(ctx), fetch_b(ctx), out=ctx.regs[dst])
+                else:
+                    fn2(fetch_a(ctx), fetch_b(ctx), out=ctx.regs[dst],
+                        where=mask)
+            return step
+
+        def compute(ctx):
+            return fn2(fetch_a(ctx), fetch_b(ctx))
+    else:
+        fetch_a = _compile_run_fetch(inst.srcs[0])
+        fn1 = _UNARY_OPS.get(op)
+        if fn1 is None:
+            raise ExecutionError(f"unhandled unary op {op!r}")
+        if not pred_dst and fn1 is _op_mov:
+            def step(ctx):
+                mask = ctx.mask if guard is None else guard(ctx)
+                if mask is None:
+                    np.copyto(ctx.regs[dst], fetch_a(ctx))
+                else:
+                    np.copyto(ctx.regs[dst], fetch_a(ctx), where=mask)
+            return step
+        if not pred_dst and isinstance(fn1, np.ufunc):
+            def step(ctx):
+                mask = ctx.mask if guard is None else guard(ctx)
+                if mask is None:
+                    fn1(fetch_a(ctx), out=ctx.regs[dst])
+                else:
+                    fn1(fetch_a(ctx), out=ctx.regs[dst], where=mask)
+            return step
+
+        def compute(ctx):
+            return fn1(fetch_a(ctx))
+
+    if pred_dst:
+        def step(ctx):
+            mask = ctx.mask if guard is None else guard(ctx)
+            value = compute(ctx) != 0.0
+            if mask is None:
+                np.copyto(ctx.preds[dst], value)
+            else:
+                np.copyto(ctx.preds[dst], value, where=mask)
+    else:
+        def step(ctx):
+            mask = ctx.mask if guard is None else guard(ctx)
+            value = compute(ctx)
+            if mask is None:
+                np.copyto(ctx.regs[dst], value)
+            else:
+                np.copyto(ctx.regs[dst], value, where=mask)
+    return step
+
+
+class RunKernel:
+    """Compiled structure-of-arrays kernel for one run of instructions."""
+
+    __slots__ = ("start", "length", "steps", "reg_ids", "pred_ids",
+                 "regs_written", "preds_written", "needs_tids",
+                 "needs_spawn_addr", "needs_warpid")
+
+    def __init__(self, program, start: int, length: int):
+        self.start = start
+        self.length = length
+        reg_ids: set[int] = set()
+        pred_ids: set[int] = set()
+        regs_written: set[int] = set()
+        preds_written: set[int] = set()
+        self.needs_tids = False
+        self.needs_spawn_addr = False
+        self.needs_warpid = False
+        steps = []
+        for pc in range(start, start + length):
+            inst = program[pc]
+            operands = list(inst.srcs)
+            if inst.dst is not None:
+                operands.append(inst.dst)
+            if inst.pred is not None:
+                operands.append(inst.pred)
+            for operand in operands:
+                if operand.kind == "r":
+                    reg_ids.add(operand.value)
+                elif operand.kind == "p":
+                    pred_ids.add(operand.value)
+                elif operand.kind == "sreg":
+                    name = operand.value
+                    if name == "tid":
+                        self.needs_tids = True
+                    elif name == "spawnMemAddr":
+                        self.needs_spawn_addr = True
+                    elif name == "warpid":
+                        self.needs_warpid = True
+            if inst.dst is not None:
+                if inst.dst.kind == "r":
+                    regs_written.add(inst.dst.value)
+                elif inst.dst.kind == "p":
+                    preds_written.add(inst.dst.value)
+            step = _compile_run_step(inst)
+            if step is not None:
+                steps.append(step)
+        self.steps = tuple(steps)
+        self.reg_ids = tuple(sorted(reg_ids))
+        self.pred_ids = tuple(sorted(pred_ids))
+        self.regs_written = tuple(sorted(regs_written))
+        self.preds_written = tuple(sorted(preds_written))
+
+
+class RunBatch:
+    """Warps waiting on the deferred execution of one run."""
+
+    __slots__ = ("start", "warps", "masks", "counts")
+
+    def __init__(self, start: int):
+        self.start = start
+        self.warps = []
+        self.masks = []
+        self.counts = []
+
+
+class BatchEngine:
+    """Machine-wide batching state shared by every SM of one GPU."""
+
+    def __init__(self, program, *, warp_size: int):
+        self.program = program
+        self.warp_size = warp_size
+        self.run_len = list(compile_blocks(program).run_len)
+        self._kernels: list[RunKernel | None] = [None] * len(program)
+        self._open: dict[int, RunBatch] = {}
+
+    # -- batching ------------------------------------------------------------
+
+    def kernel_for(self, start: int) -> RunKernel:
+        kernel = self._kernels[start]
+        if kernel is None:
+            kernel = RunKernel(self.program, start, self.run_len[start])
+            self._kernels[start] = kernel
+        return kernel
+
+    def enqueue(self, pc: int, warp, entry) -> None:
+        """Add a warp entering the run at ``pc`` to the pending batch."""
+        batch = self._open.get(pc)
+        if batch is None:
+            batch = RunBatch(pc)
+            self._open[pc] = batch
+        batch.warps.append(warp)
+        batch.masks.append(entry.mask)
+        batch.counts.append(entry.count)
+        warp.run_batch = batch
+
+    def flush_batch(self, batch: RunBatch) -> None:
+        """Execute a run's functional effects for every member warp.
+
+        May fire while some members are still mid-accounting: run
+        instructions never read architectural state between issues, so
+        completing the writes early is unobservable to them."""
+        if self._open.get(batch.start) is batch:
+            del self._open[batch.start]
+        kernel = self.kernel_for(batch.start)
+        warps = batch.warps
+        for warp in warps:
+            warp.run_batch = None
+        warp_size = self.warp_size
+        ctx = _RunContext()
+        ctx.warp_size = warp_size
+
+        if len(warps) == 1:
+            # Single-member batch: execute straight on the warp's own row
+            # views — no gather/scatter, writes land in place.
+            warp = warps[0]
+            ctx.size = warp_size
+            ctx.regs = warp.reg_rows
+            ctx.preds = warp.pred_rows
+            ctx.mask = (None if batch.counts[0] == warp_size
+                        else batch.masks[0])
+            if kernel.needs_tids:
+                ctx.tids = warp.tids.astype(np.float64)
+            if kernel.needs_spawn_addr:
+                ctx.spawn_addr = warp.spawn_addr.astype(np.float64)
+            if kernel.needs_warpid:
+                ctx.warpids = _imm_array(float(warp.warp_id), warp_size)
+            for step in kernel.steps:
+                step(ctx)
+            return
+
+        ctx.size = len(warps) * warp_size
+        full = True
+        for count in batch.counts:
+            if count != warp_size:
+                full = False
+                break
+        ctx.mask = None if full else np.concatenate(batch.masks)
+        regs = {index: np.concatenate([warp.reg_rows[index]
+                                       for warp in warps])
+                for index in kernel.reg_ids}
+        preds = {index: np.concatenate([warp.pred_rows[index]
+                                        for warp in warps])
+                 for index in kernel.pred_ids}
+        ctx.regs = regs
+        ctx.preds = preds
+        if kernel.needs_tids:
+            ctx.tids = np.concatenate(
+                [warp.tids for warp in warps]).astype(np.float64)
+        if kernel.needs_spawn_addr:
+            ctx.spawn_addr = np.concatenate(
+                [warp.spawn_addr for warp in warps]).astype(np.float64)
+        if kernel.needs_warpid:
+            ctx.warpids = np.repeat(
+                np.array([float(warp.warp_id) for warp in warps]), warp_size)
+        for step in kernel.steps:
+            step(ctx)
+        for index in kernel.regs_written:
+            row = regs[index]
+            for position, warp in enumerate(warps):
+                np.copyto(warp.reg_rows[index],
+                          row[position * warp_size:
+                              (position + 1) * warp_size])
+        for index in kernel.preds_written:
+            row = preds[index]
+            for position, warp in enumerate(warps):
+                np.copyto(warp.pred_rows[index],
+                          row[position * warp_size:
+                              (position + 1) * warp_size])
+
+    def flush_all(self) -> None:
+        """Drain every pending batch (end of simulation)."""
+        pending = self._open
+        while pending:
+            _, batch = pending.popitem()
+            self.flush_batch(batch)
+
+    # -- issue path ----------------------------------------------------------
+
+    def attach(self, sm) -> None:
+        """Install the batched issue path on one SM.
+
+        The closure shadows :meth:`repro.simt.sm.SM._issue` via an
+        instance attribute; the reference method stays untouched (and
+        handles every non-run instruction). Captured locals mirror the
+        reference issue path's inlined accounting — keep the two in sync.
+        """
+        engine = self
+        run_len = self.run_len
+        num_pcs = len(run_len)
+        reference_issue = sm._issue  # bound class method, captured first
+        stats = sm.stats
+        divergence = sm.divergence
+        per_bucket = divergence._per_bucket
+        window = divergence.window
+        issues = divergence.issues  # mutated in place, never rebound
+        probe = sm.probe
+        alu_latency = sm.config.alu_latency
+
+        def issue(warp, cycle: int) -> None:
+            left = warp.run_left
+            if left:
+                # Accounting-only issue of one deferred run instruction:
+                # identical scheduler-visible effects to the reference
+                # path executing the same simple-ALU plan.
+                entry = warp.run_entry
+                warp.issued_instructions += 1
+                mask = entry.mask
+                if mask is warp._commit_mask:
+                    warp._commit_count += 1
+                else:
+                    warp.flush_commits()
+                    warp._commit_mask = mask
+                    warp._commit_count = 1
+                count = entry.count
+                stats.issued_instructions += 1
+                stats.committed_thread_instructions += count
+                bucket = (count - 1) // per_bucket
+                if bucket >= NUM_W_BUCKETS:
+                    bucket = NUM_W_BUCKETS - 1
+                index = cycle // window
+                if index >= len(issues):
+                    divergence._bucket_for(cycle)
+                issues[index][bucket] += 1
+                if probe is not None:
+                    probe.on_issue(cycle, count, ALU)
+                    warp.wait_kind = WAIT_PIPE
+                warp.ready_at = cycle + alu_latency
+                warp.run_left = left - 1
+                next_pc = entry.pc + 1
+                entry.pc = next_pc
+                if left == 1:
+                    # Only the run's last instruction can reach a
+                    # reconvergence PC (interior PCs are never leaders).
+                    warp.run_entry = None
+                    if (next_pc == entry.reconv_pc
+                            and len(warp.stack.entries) > 1):
+                        warp.stack._pop_reconverged()
+                return
+            batch = warp.run_batch
+            if batch is not None:
+                # The warp's deferred writes must land before anything
+                # reads its registers — whether the next instruction is
+                # a real issue or a new run chained behind the old one.
+                engine.flush_batch(batch)
+            top = warp.stack.entries[-1]
+            pc = top.pc
+            if 0 <= pc < num_pcs:
+                length = run_len[pc]
+                if length > 1 and top.count:
+                    warp.run_left = length
+                    warp.run_entry = top
+                    engine.enqueue(pc, warp, top)
+                    issue(warp, cycle)  # account the run's first issue
+                    return
+            reference_issue(warp, cycle)
+
+        sm._issue = issue

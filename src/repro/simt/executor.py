@@ -18,6 +18,7 @@ warp widths vary because DWF builds transient issue groups.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -196,11 +197,17 @@ _COMPARES = {
 
 #: Read-only replicated immediates keyed by (type, value, width); typed so
 #: ``np.full(n, 1)`` (int64) and ``np.full(n, 1.0)`` (float64) stay distinct.
+#: Float zeros additionally key on their sign: ``-0.0 == 0.0`` (same hash),
+#: but ``1.0 / -0.0`` is ``-inf`` while ``1.0 / 0.0`` is ``+inf``, so letting
+#: the two zeros share a cache slot would make results depend on which sign
+#: was interned first.
 _IMM_CACHE: dict = {}
 
 
 def _imm_array(value, size: int) -> np.ndarray:
     key = (type(value), value, size)
+    if isinstance(value, float) and value == 0.0:
+        key += (math.copysign(1.0, value),)
     arr = _IMM_CACHE.get(key)
     if arr is None:
         arr = np.full(size, value)
@@ -700,10 +707,13 @@ def _compile_memory(inst: Instruction, machine: MachineState):
         if width == 1:
             row = warp.reg_rows[store_reg]
             return row if lanes is None else row[lanes]
-        columns = [warp.reg_rows[store_reg + j] if lanes is None
-                   else warp.reg_rows[store_reg + j][lanes]
-                   for j in range(width)]
-        return np.stack(columns, axis=1).reshape(-1)
+        # One 2D block read instead of per-word row gathers; the
+        # transpose keeps the same per-lane word adjacency as stacking
+        # the rows column-wise.
+        block = warp.regs[store_reg:store_reg + width]
+        if lanes is not None:
+            block = block[:, lanes]
+        return block.T.reshape(-1)
 
     def load_values(warp: Warp, lanes, n: int, values: np.ndarray) -> None:
         if width == 1:
@@ -713,11 +723,10 @@ def _compile_memory(inst: Instruction, machine: MachineState):
                 warp.reg_rows[load_reg][lanes] = values
             return
         grid = values.reshape(n, width)
-        for j in range(width):
-            if lanes is None:
-                np.copyto(warp.reg_rows[load_reg + j], grid[:, j])
-            else:
-                warp.reg_rows[load_reg + j][lanes] = grid[:, j]
+        if lanes is None:
+            np.copyto(warp.regs[load_reg:load_reg + width], grid.T)
+        else:
+            warp.regs[load_reg:load_reg + width, lanes] = grid.T
 
     if space in ("global", "local"):
         def plan(warp: Warp, top) -> IssueResult:

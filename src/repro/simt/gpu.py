@@ -20,6 +20,7 @@ from repro.errors import ConfigError, SchedulingError, did_you_mean
 from repro.isa.cfg import reconvergence_table
 from repro.isa.program import KernelInfo, Program
 from repro.simt.banked import BankedMemory
+from repro.simt.batched import BatchEngine
 from repro.simt.executor import MachineState
 from repro.simt.memory import DRAM, GlobalMemory
 from repro.simt.sm import SM, LaunchBlock
@@ -192,6 +193,12 @@ class GPU:
             self.dram.probe = trace
         self.program = launch.program
         self._reconv = reconvergence_table(self.program)
+        #: Machine-wide structure-of-arrays batching engine, shared by all
+        #: SMs; None under the reference executor.
+        self.engine = None
+        if config.executor == "batched":
+            self.engine = BatchEngine(self.program,
+                                      warp_size=config.warp_size)
         window = divergence_window or max(1, config.max_cycles // 100)
         self.sms = [self._build_sm(sm_id, window)
                     for sm_id in range(config.num_sms)]
@@ -287,11 +294,14 @@ class GPU:
         num_regs = max(self.program.max_register_index() + 1,
                        launch.registers_per_thread)
         probe = None if self.trace is None else self.trace.sm_probe(sm_id)
-        return SM(sm_id, config, machine, self.dram,
-                  entry_pc=launch.entry_pc, num_regs=num_regs,
-                  max_warps=max_warps, warps_per_block=warps_per_block,
-                  max_blocks=max_blocks, spawn_unit=spawn_unit,
-                  divergence_window=divergence_window, probe=probe)
+        sm = SM(sm_id, config, machine, self.dram,
+                entry_pc=launch.entry_pc, num_regs=num_regs,
+                max_warps=max_warps, warps_per_block=warps_per_block,
+                max_blocks=max_blocks, spawn_unit=spawn_unit,
+                divergence_window=divergence_window, probe=probe)
+        if self.engine is not None:
+            self.engine.attach(sm)
+        return sm
 
     def _distribute_blocks(self) -> None:
         """Round-robin launch blocks (contiguous thread ids) over SMs."""
@@ -325,6 +335,10 @@ class GPU:
         # for the whole run instead of per instruction.
         with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
             self._run_loop(budget, last_progress)
+            if self.engine is not None:
+                # Warps parked mid-run at the cycle budget still owe their
+                # deferred register writes (snapshots read them).
+                self.engine.flush_all()
         return self.collect_stats()
 
     def _run_loop(self, budget: int, last_progress: int) -> None:

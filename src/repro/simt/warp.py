@@ -62,6 +62,15 @@ class Warp:
     formation_region: int = -1
     """Spawn-memory warp-formation region owned by this (dynamic) warp;
     released back to the spawn unit when the warp retires."""
+    run_left: int = field(init=False, default=0, repr=False)
+    """Remaining accounting-only issues of the deferred instruction run
+    this warp is inside (batched backend only; always 0 under the
+    reference executor)."""
+    run_entry: object = field(init=False, default=None, repr=False)
+    """Stack-top entry captured when the current run was entered."""
+    run_batch: object = field(init=False, default=None, repr=False)
+    """Pending :class:`repro.simt.batched.RunBatch` whose deferred
+    functional effects this warp still awaits, if any."""
 
     def __post_init__(self) -> None:
         self.tids = np.asarray(self.tids, dtype=np.int64)

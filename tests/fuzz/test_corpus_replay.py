@@ -38,8 +38,9 @@ def test_corpus_file_is_canonical(path, case):
 
 def test_malformed_corpus_rejected_with_field_path():
     text = case_to_json(CORPUS[0][1])
+    kind = CORPUS[0][1].kind
     with pytest.raises(ProgramError, match="case.kind"):
-        case_from_json(text.replace('"kind": "barrier"',
+        case_from_json(text.replace(f'"kind": "{kind}"',
                                     '"kind": "warped"'))
     with pytest.raises(ProgramError, match="invalid JSON"):
         case_from_json(text[:-30])

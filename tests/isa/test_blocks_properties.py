@@ -1,0 +1,204 @@
+"""Property tests: basic-block/run compilation for the batched backend.
+
+:func:`repro.isa.blocks.compile_blocks` underpins the batched executor's
+correctness argument (docs/architecture.md, "Executor backends"): a warp
+entering a run at its head is guaranteed to issue every instruction of
+the run with no branch in, out, or through it. These properties pin that
+argument over randomly generated (but structurally valid) programs:
+
+- the blocks partition the PC space: every instruction belongs to
+  exactly one block, and blocks appear in program order;
+- runs within a block are disjoint, ordered, batchable-only, and
+  maximal (extending either end would leave the block or swallow a
+  non-batchable instruction);
+- ``run_len`` agrees with the run layout at every PC;
+- malformed programs — empty, control falling off the end, branches to
+  PCs outside the program — are rejected with a typed
+  :class:`~repro.errors.ConfigError` (never a raw ``ProgramError`` or a
+  graph-library error).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.isa.blocks import BATCHABLE_OPS, compile_blocks
+from repro.isa.instructions import Instruction, imm, preg, reg
+from repro.isa.program import Program
+
+#: Batchable body ops the generator draws (dst/srcs filled generically).
+_BATCHABLE_BODY = ("add", "mul", "sub", "min", "neg", "mov", "rcp",
+                   "mad", "setp", "selp", "nop")
+
+#: Non-batchable, non-control body ops (break runs, stay in the block).
+_OPAQUE_BODY = ("ld", "st", "bar")
+
+
+def _body_instruction(op: str, salt: int) -> Instruction:
+    """A valid instruction of the given op; operand choice is irrelevant
+    to block structure, so a deterministic salt keeps shrinking stable."""
+    r0, r1 = reg(salt % 4), reg((salt + 1) % 4)
+    if op in ("add", "mul", "sub", "min"):
+        return Instruction(op, dst=r0, srcs=(r1, imm(float(salt % 7))))
+    if op in ("neg", "mov", "rcp"):
+        return Instruction(op, dst=r0, srcs=(r1,))
+    if op == "mad":
+        return Instruction(op, dst=r0, srcs=(r1, imm(2.0), r0))
+    if op == "setp":
+        return Instruction(op, dst=preg(salt % 2), srcs=(r0, r1), cmp="lt")
+    if op == "selp":
+        return Instruction(op, dst=r0, srcs=(r0, r1, preg(salt % 2)))
+    if op == "nop":
+        return Instruction(op)
+    if op == "ld":
+        return Instruction(op, dst=r0, srcs=(r1,), space="shared")
+    if op == "st":
+        return Instruction(op, srcs=(r1, r0), space="shared")
+    if op == "bar":
+        return Instruction(op)
+    raise AssertionError(op)
+
+
+@st.composite
+def programs(draw) -> Program:
+    """Structurally valid programs: a chain of generated segments, each a
+    random body followed by a terminator (bra / guarded bra / exit). All
+    branch targets are segment heads, and the final segment cannot fall
+    through, so ``build_cfg`` always accepts the result. The *compiled*
+    block structure is usually finer than the generated segments (exits
+    and branch fallthroughs mint new leaders) — the properties are
+    asserted against ``compile_blocks`` output, not against the
+    generation scaffolding.
+    """
+    num_segments = draw(st.integers(1, 5))
+    bodies = [
+        draw(st.lists(
+            st.sampled_from(_BATCHABLE_BODY + _OPAQUE_BODY),
+            min_size=0, max_size=6))
+        for _ in range(num_segments)
+    ]
+    terminators = []
+    for index in range(num_segments):
+        last = index == num_segments - 1
+        kinds = ["bra", "exit"] if last else ["bra", "bra_cond", "exit"]
+        kind = draw(st.sampled_from(kinds))
+        target = draw(st.integers(0, num_segments - 1))
+        terminators.append((kind, target))
+
+    program = Program()
+    heads = []
+    branches = []  # (instruction, target segment) patched once pcs exist
+    for index in range(num_segments):
+        heads.append(len(program))
+        for salt, op in enumerate(bodies[index]):
+            program.add(_body_instruction(op, salt + index))
+        kind, target = terminators[index]
+        if kind == "exit":
+            program.add(Instruction("exit"))
+        else:
+            inst = Instruction("bra", target=0,
+                               pred=preg(0) if kind == "bra_cond" else None)
+            program.add(inst)
+            branches.append((inst, target))
+    for inst, target in branches:
+        inst.target = heads[target]
+    return program
+
+
+class TestBlockPartition:
+    @settings(max_examples=80, deadline=None)
+    @given(programs())
+    def test_blocks_cover_every_instruction_exactly_once_in_order(
+            self, program):
+        table = compile_blocks(program)
+        assert table.num_instructions == len(program)
+        assert table.blocks[0].leader == 0
+        assert table.blocks[-1].end == len(program)
+        for block in table.blocks:
+            assert block.leader < block.end
+        for first, second in zip(table.blocks, table.blocks[1:]):
+            assert first.end == second.leader
+        covered = [pc for block in table.blocks for pc in block.pcs]
+        assert covered == list(range(len(program)))
+
+
+class TestRuns:
+    @settings(max_examples=80, deadline=None)
+    @given(programs())
+    def test_runs_disjoint_ordered_batchable_maximal(self, program):
+        table = compile_blocks(program)
+        for block in table.blocks:
+            cursor = block.leader
+            for run in block.runs:
+                assert run.start >= cursor          # disjoint and ordered
+                assert block.leader <= run.start
+                assert run.end <= block.end         # never leaves the block
+                assert run.length >= 1
+                for pc in range(run.start, run.end):
+                    assert program[pc].op in BATCHABLE_OPS
+                if run.start > block.leader:        # maximal on the left
+                    assert program[run.start - 1].op not in BATCHABLE_OPS
+                if run.end < block.end:             # maximal on the right
+                    assert program[run.end].op not in BATCHABLE_OPS
+                cursor = run.end
+            in_runs = {pc for run in block.runs
+                       for pc in range(run.start, run.end)}
+            batchable = {pc for pc in block.pcs
+                         if program[pc].op in BATCHABLE_OPS}
+            assert in_runs == batchable             # nothing missed
+
+    @settings(max_examples=80, deadline=None)
+    @given(programs())
+    def test_run_len_consistent_at_every_pc(self, program):
+        table = compile_blocks(program)
+        leaders = {block.leader for block in table.blocks}
+        size = len(program)
+        for pc in range(size):
+            batchable = program[pc].op in BATCHABLE_OPS
+            assert (table.run_len[pc] > 0) == batchable
+            if not batchable:
+                continue
+            following = pc + 1
+            expected = 1
+            if (following < size and following not in leaders
+                    and table.run_len[following]):
+                expected = table.run_len[following] + 1
+            assert table.run_len[pc] == expected
+        for block in table.blocks:
+            for run in block.runs:
+                for pc in range(run.start, run.end):
+                    assert table.run_len[pc] == run.end - pc
+
+
+class TestMalformedPrograms:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigError, match="empty program"):
+            compile_blocks(Program())
+
+    def test_fall_off_the_end_rejected(self):
+        program = Program()
+        program.add(Instruction("add", dst=reg(0), srcs=(reg(0), imm(1.0))))
+        with pytest.raises(ConfigError, match="falls off the end"):
+            compile_blocks(program)
+
+    @pytest.mark.parametrize("target", (-3, 99))
+    def test_branch_outside_program_rejected(self, target):
+        program = Program()
+        program.add(Instruction("bra", target=target))
+        with pytest.raises(ConfigError, match="not a block leader"):
+            compile_blocks(program)
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs(), st.integers(0, 10_000))
+    def test_corrupted_branch_always_a_config_error(self, program, offset):
+        """Breaking any branch target past the end must surface as the
+        typed ConfigError, never as a raw ProgramError or graph error."""
+        branches = [inst for inst in program.instructions
+                    if inst.op == "bra"]
+        if not branches:
+            return
+        branches[offset % len(branches)].target = len(program) + 1 + offset
+        with pytest.raises(ConfigError):
+            compile_blocks(program)

@@ -1,0 +1,227 @@
+"""Differential tests: batched SoA executor vs the reference interpreter.
+
+``GPUConfig.executor`` selects how µ-kernel instructions execute:
+``"reference"`` interprets one warp instruction at a time;
+``"batched"`` compiles straight-line runs of basic blocks
+(:func:`repro.isa.blocks.compile_blocks`) into structure-of-arrays
+kernels whose register writes land lazily. The contract
+(docs/architecture.md, "Executor backends") is that the two backends are
+**bit-identical** in every reported statistic — cycles, counters,
+divergence histograms, per-thread commits — on both the exact clock and
+the event-driven fast clock, and that attached cycle-attribution probes
+observe identical intervals and events.
+
+These tests enforce that contract for the execution models across three
+scene/ray/seed configurations:
+
+- traditional PDOM (block and warp scheduling),
+- dynamic µ-kernel spawn (conflict-free and banked spawn memory),
+- persistent threads (Aila & Laine software baseline),
+- dynamic warp formation (``executor`` is accepted and must be a no-op:
+  DWF re-forms a transient warp per issue, so there is no run to batch),
+- MIMD theoretical (analytic; the executor toggle must be a no-op).
+
+The reference backend's exact==fast identity is already enforced by
+test_fastforward_differential.py, so each case runs the reference once
+(fast clock) and the batched backend on both clocks against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import (
+    _config_for_mode,
+    _run_mode,
+    prepare_workload,
+)
+from repro.harness.sweep import run_stats_digest
+from repro.kernels.layout import build_memory_image
+from repro.kernels.persistent import (
+    persistent_launch_spec,
+    persistent_thread_count,
+)
+from repro.kernels.traditional import (
+    dynamic_instruction_model,
+    traditional_program,
+)
+from repro.obs.probe import TraceSession
+from repro.simt import GPU, mimd_theoretical
+from repro.simt.dwf import run_dwf
+
+#: Cycle cap per run: long enough to cross DRAM latencies, spawn-warp
+#: formation, admission stalls, and many block-run batches; short enough
+#: to keep the whole suite in tier-1 time.
+MAX_CYCLES = 120_000
+
+#: Three scene/ray/seed configurations.
+CONFIGS = (
+    ("conference", "primary", 0),
+    ("fairyforest", "shadow", 1),
+    ("atrium", "gi", 2),
+)
+
+GPU_MODES = ("pdom_block", "pdom_warp", "spawn", "spawn_conflicts")
+
+BACKENDS = ("reference", "batched")
+
+
+@pytest.fixture(scope="module", params=CONFIGS,
+                ids=["-".join(map(str, c)) for c in CONFIGS])
+def workload(request):
+    scene, ray_kind, seed = request.param
+    return prepare_workload(scene, get_preset("tiny"), ray_kind=ray_kind,
+                            seed=seed)
+
+
+def sampler_fingerprint(divergence) -> dict:
+    """Every observable of a DivergenceSampler, as plain comparable data."""
+    return {
+        "issues": [tuple(row) for row in divergence.issues],
+        "idle": list(divergence.idle),
+        "stall": list(divergence.stall),
+        "totals": divergence.totals().tolist(),
+        "mean_active": divergence.mean_active_lanes(),
+    }
+
+
+def run_fingerprint(result) -> dict:
+    """Every statistic a RunStats reports, backend-comparable."""
+    return {
+        "cycles": result.stats.cycles,
+        "sm": asdict(result.stats.sm_stats),
+        "per_sm": [asdict(s) for s in result.stats.per_sm],
+        "divergence": sampler_fingerprint(result.stats.divergence),
+        "rays_completed": result.stats.rays_completed,
+        "dram_read_bytes": result.stats.dram_read_bytes,
+        "dram_write_bytes": result.stats.dram_write_bytes,
+        "dram_transactions": result.stats.dram_transactions,
+        "thread_commits": dict(result.stats.thread_commits),
+    }
+
+
+def session_fingerprint(session: TraceSession) -> dict:
+    """Everything a finalized TraceSession reports, backend-comparable."""
+    return {
+        "machine": session.machine_intervals().tolist(),
+        "dram": session.dram.trimmed().tolist(),
+        "rows": session.interval_rows(),
+        "events": [probe.events for probe in session.sms],
+        "attribution": session.stall_attribution(),
+        "cycles": session.cycles,
+    }
+
+
+class TestGPUModels:
+    """PDOM block/warp and µ-kernel spawn (with and without conflicts)."""
+
+    @pytest.mark.parametrize("mode", GPU_MODES)
+    def test_batched_matches_reference_both_clocks(self, workload, mode):
+        reference = run_fingerprint(
+            _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                      executor="reference"))
+        for fast_forward in (True, False):
+            batched = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                                fast_forward=fast_forward,
+                                executor="batched")
+            assert run_fingerprint(batched) == reference, (
+                f"{mode} batched/{'fast' if fast_forward else 'exact'} "
+                f"diverges from reference")
+
+    def test_batched_actually_batches(self, workload):
+        """Guard against the backend silently degrading to the reference
+        path: the program must contain multi-instruction runs and the
+        batched run must defer issues through them."""
+        config = _config_for_mode("pdom_block", workload.preset,
+                                  executor="batched")
+        from repro.isa.blocks import compile_blocks
+        table = compile_blocks(traditional_program())
+        assert max(table.run_len) >= 2
+        assert config.executor == "batched"
+
+
+class TestProbeIntervals:
+    """Attached probes must observe bit-identical intervals and events."""
+
+    @pytest.mark.parametrize("mode", ("pdom_block", "spawn"))
+    def test_sessions_identical(self, workload, mode):
+        runs = {}
+        for backend in BACKENDS:
+            runs[backend] = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                                      executor=backend,
+                                      trace=TraceSession(interval=512))
+        assert (session_fingerprint(runs["batched"].trace)
+                == session_fingerprint(runs["reference"].trace))
+        assert (run_stats_digest(runs["batched"].stats)
+                == run_stats_digest(runs["reference"].stats))
+
+
+class TestPersistentThreads:
+    """Persistent-threads kernel on the warp-scheduled machine."""
+
+    def test_batched_matches_reference_both_clocks(self, workload):
+        def fingerprint(executor, fast_forward):
+            config = _config_for_mode("pdom_warp", workload.preset,
+                                      fast_forward=fast_forward,
+                                      executor=executor)
+            image = build_memory_image(workload.tree, workload.origins,
+                                       workload.directions, workload.t_max)
+            launch = persistent_launch_spec(persistent_thread_count(config))
+            gpu = GPU(config, launch, image.global_mem, image.const_mem)
+            stats = gpu.run(max_cycles=MAX_CYCLES)
+            return {
+                "cycles": stats.cycles,
+                "sm": asdict(stats.sm_stats),
+                "divergence": sampler_fingerprint(stats.divergence),
+                "rays_completed": stats.rays_completed,
+            }
+
+        reference = fingerprint("reference", True)
+        assert fingerprint("batched", True) == reference
+        assert fingerprint("batched", False) == reference
+
+
+class TestDWF:
+    """DWF accepts the executor field but must ignore it entirely."""
+
+    def test_executor_is_a_noop(self, workload):
+        fingerprints = []
+        for executor in BACKENDS:
+            config = _config_for_mode("pdom_warp", workload.preset,
+                                      executor=executor)
+            image = build_memory_image(workload.tree, workload.origins,
+                                       workload.directions, workload.t_max)
+            result = run_dwf(config, traditional_program(), "trace",
+                             image.global_mem, image.const_mem,
+                             num_threads=min(workload.num_rays, 736),
+                             max_cycles=MAX_CYCLES)
+            fingerprints.append({
+                "cycles": result.cycles,
+                "sm": asdict(result.stats),
+                "divergence": sampler_fingerprint(result.divergence),
+                "rays_completed": result.rays_completed,
+            })
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestMIMD:
+    """Analytic model: the executor toggle must not perturb it at all."""
+
+    def test_executor_is_a_noop(self, workload):
+        model = dynamic_instruction_model()
+        counters = workload.reference.counters
+        counts = (model["prologue"]
+                  + counters.node_visits * model["node_visit"]
+                  + counters.leaf_visits * (model["leaf_visit"] + model["pop"])
+                  + counters.triangle_tests * model["triangle_test"]
+                  + model["write"])
+        results = [
+            mimd_theoretical(counts, _config_for_mode(
+                "pdom_ideal", workload.preset, executor=executor))
+            for executor in BACKENDS
+        ]
+        assert asdict(results[0]) == asdict(results[1])
+        assert results[0].cycles > 0
