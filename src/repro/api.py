@@ -92,7 +92,8 @@ def _resolve_preset(preset) -> SimPreset:
 def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
              seed: int = 0, max_cycles: int | None = None,
              fast_forward: bool | None = None, executor: str | None = None,
-             probes=None, cache=None) -> RunResult:
+             scheduler: str | None = None, probes=None,
+             cache=None) -> RunResult:
     """Simulate one machine mode on one workload; returns a ``RunResult``.
 
     ``scene`` is either a scene name (the workload is prepared through the
@@ -110,6 +111,11 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
     instruction at a time, ``"batched"`` compiles straight-line runs into
     structure-of-arrays kernels with bit-identical results. None keeps
     the :class:`~repro.config.GPUConfig` default (reference).
+
+    ``scheduler`` selects the warp-scheduler implementation
+    (:data:`repro.config.SCHEDULERS`): ``"scan"`` is the reference
+    per-cycle round-robin scan, ``"calendar"`` the event-driven wake
+    calendar with bit-identical results. None keeps the default (scan).
     """
     if isinstance(scene, Workload):
         workload = scene
@@ -118,7 +124,7 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
                                     ray_kind=ray_kind, seed=seed, cache=cache)
     return _run_mode(mode, workload, max_cycles=max_cycles,
                      fast_forward=fast_forward, executor=executor,
-                     trace=_resolve_probes(probes))
+                     scheduler=scheduler, trace=_resolve_probes(probes))
 
 
 def sweep(jobs: Iterable, jobs_n: int | None = None,

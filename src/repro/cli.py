@@ -11,17 +11,20 @@ Commands:
   stream into the checkpoint manifest, and ``--resume`` skips everything
   already checkpointed; the command exits non-zero (with a summary) when
   any job permanently fails or comes back unverified,
-- ``run --scene S --mode M [--preset P] [--rays shadow] [--fast|--exact]``
-  — one simulation with full metrics (``--fast``, the default, uses the
-  event-driven clock; ``--exact`` ticks every cycle),
+- ``run --scene S --mode M [--preset P] [--rays shadow] [--fast|--exact]
+  [--executor E] [--scheduler S] [--profile [N]]`` — one simulation with
+  full metrics (``--fast``, the default, uses the event-driven clock;
+  ``--exact`` ticks every cycle; ``--executor``/``--scheduler`` pick the
+  bit-identical execution backend and warp scheduler; ``--profile`` runs
+  under cProfile and prints the top-N cumulative hot spots),
 - ``render --scene S [--width W --height H] [--out f.ppm]`` — reference
   render of a benchmark scene,
 - ``trace <scene> [--mode M] [--interval N] [--out trace.json]`` — run one
   simulation with cycle-attribution probes attached and export a Chrome
   ``trace_event`` file plus a stacked per-interval breakdown,
 - ``fuzz [--cases N] [--seed S] [--models m1,m2] [--kinds k1,k2]
-  [--backends b1,b2] [--replay PATH] [--out DIR]`` — generative
-  differential conformance:
+  [--backends b1,b2] [--schedulers s1,s2] [--replay PATH] [--out DIR]``
+  — generative differential conformance:
   run randomly generated µ-kernel programs on every applicable SIMT
   model and compare against the MIMD reference (functional equivalence,
   metamorphic variants, structural counter identities). Divergences are
@@ -41,6 +44,7 @@ import sys
 
 from repro import api
 from repro.analysis.divergence import breakdown_from_stats, render_breakdown
+from repro.config import EXECUTORS, SCHEDULERS
 from repro.harness import experiments
 from repro.harness.presets import PRESETS, get_preset
 from repro.harness.runner import MODES
@@ -111,13 +115,35 @@ def _cmd_cache(args) -> int:
 
 def _cmd_run(args) -> int:
     preset = get_preset(args.preset)
-    result = api.simulate(args.scene, args.mode, preset=preset,
-                          ray_kind=args.rays,
-                          fast_forward=args.fast_forward)
+    def simulate():
+        return api.simulate(args.scene, args.mode, preset=preset,
+                            ray_kind=args.rays,
+                            fast_forward=args.fast_forward,
+                            executor=args.executor,
+                            scheduler=args.scheduler)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        # Prepare the workload outside the profile so the hot-spot table
+        # shows the simulator loop, not scene construction or cache IO.
+        api.prepare_workload(args.scene, preset, ray_kind=args.rays)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = simulate()
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"wrote {args.profile_out} (load with pstats or snakeviz)")
+    else:
+        result = simulate()
     workload = result.workload
     clock = "fast" if args.fast_forward else "exact"
     print(f"scene={args.scene} rays={args.rays} mode={args.mode} "
-          f"preset={preset.name} clock={clock}")
+          f"preset={preset.name} clock={clock} executor={args.executor} "
+          f"scheduler={args.scheduler}")
     print(f"  cycles             {result.stats.cycles}")
     print(f"  IPC                {result.ipc:.2f}")
     print(f"  SIMT efficiency    {result.simt_efficiency:.3f}")
@@ -193,6 +219,7 @@ def _cmd_fuzz(args) -> int:
     from repro.fuzz import (
         FUZZ_BACKENDS,
         FUZZ_MODELS,
+        FUZZ_SCHEDULERS,
         load_case,
         load_corpus,
         run_case,
@@ -226,6 +253,16 @@ def _cmd_fuzz(args) -> int:
             print(f"unknown backend {unknown[0]!r}; choose from "
                   f"{', '.join(FUZZ_BACKENDS)}", file=sys.stderr)
             return 2
+    schedulers = None
+    if args.schedulers:
+        schedulers = tuple(name.strip()
+                           for name in args.schedulers.split(","))
+        unknown = [name for name in schedulers
+                   if name not in FUZZ_SCHEDULERS]
+        if unknown:
+            print(f"unknown scheduler {unknown[0]!r}; choose from "
+                  f"{', '.join(FUZZ_SCHEDULERS)}", file=sys.stderr)
+            return 2
 
     if args.replay:
         if os.path.isdir(args.replay):
@@ -237,7 +274,8 @@ def _cmd_fuzz(args) -> int:
             return 2
         failed = 0
         for path, case in entries:
-            result = run_case(case, models=models, backends=backends)
+            result = run_case(case, models=models, backends=backends,
+                              schedulers=schedulers)
             status = ("skip" if result.skipped
                       else "ok" if result.ok else "FAIL")
             print(f"{status:5s} {path} ({case.describe()})")
@@ -255,7 +293,8 @@ def _cmd_fuzz(args) -> int:
                 print(f" {index + 1}/{args.cases}")
 
     report = run_fuzz(args.cases, args.seed, models=models, kinds=kinds,
-                      backends=backends, on_case=progress)
+                      backends=backends, schedulers=schedulers,
+                      on_case=progress)
     if not args.quiet:
         print()
     print(f"ran {report.cases_run} case(s), {report.skipped} skipped, "
@@ -269,10 +308,12 @@ def _cmd_fuzz(args) -> int:
             print(f"  seed={case.seed}: {failure}")
         if args.shrink:
             def still_fails(candidate):
-                # Re-runs the oracle with the same backend pair, so a
-                # backend-only divergence keeps reproducing as it shrinks.
+                # Re-runs the oracle with the same backend and scheduler
+                # pairs, so a backend- or scheduler-only divergence keeps
+                # reproducing as it shrinks.
                 return bool(run_case(candidate, models=models,
-                                     backends=backends).failures)
+                                     backends=backends,
+                                     schedulers=schedulers).failures)
             case = shrink_case(case, still_fails,
                                max_evals=args.max_shrink_evals)
         path = os.path.join(args.out, f"case-{case.seed}.json")
@@ -335,6 +376,21 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("primary", "shadow", "reflection", "gi"))
     p_run.add_argument("--divergence", action="store_true",
                        help="print the warp-occupancy breakdown")
+    p_run.add_argument("--executor", default="reference",
+                       choices=EXECUTORS,
+                       help="instruction-execution backend (default "
+                            "reference; batched is bit-identical)")
+    p_run.add_argument("--scheduler", default="scan", choices=SCHEDULERS,
+                       help="warp-scheduler implementation (default scan; "
+                            "calendar is bit-identical and event-driven)")
+    p_run.add_argument("--profile", type=int, nargs="?", const=25, default=0,
+                       metavar="N",
+                       help="run under cProfile and print the top N "
+                            "cumulative hot spots (default 25 with no "
+                            "value); workload preparation is excluded")
+    p_run.add_argument("--profile-out", default="", metavar="PATH",
+                       help="with --profile, also dump the raw pstats "
+                            "data here for later analysis")
     clock = p_run.add_mutually_exclusive_group()
     clock.add_argument("--fast", dest="fast_forward", action="store_true",
                        help="event-driven clock: skip idle cycles (default)")
@@ -389,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--backends", default="", metavar="B1,B2",
                         help="comma-separated executor backends to "
                              "differentiate, e.g. reference,batched "
+                             "(default: all; first entry is primary)")
+    p_fuzz.add_argument("--schedulers", default="", metavar="S1,S2",
+                        help="comma-separated warp schedulers to "
+                             "differentiate, e.g. scan,calendar "
                              "(default: all; first entry is primary)")
     p_fuzz.add_argument("--kinds", default="", metavar="K1,K2",
                         help="restrict generated program kinds "

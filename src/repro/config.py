@@ -36,6 +36,17 @@ SEGMENT_BYTES = 32
 #: bit-identical for every statistic (see docs/architecture.md).
 EXECUTORS = ("reference", "batched")
 
+#: Valid :attr:`GPUConfig.scheduler` implementation names. ``scan`` is
+#: the reference per-cycle scheduler: every cycle each SM linearly scans
+#: its warp list round-robin for the first issue-eligible warp.
+#: ``calendar`` is the event-driven scheduler of the same policy: each SM
+#: keeps an eligibility bitmask plus a ``ready_at`` wake-bucket calendar
+#: maintained incrementally on every status/``ready_at`` transition (O(1)
+#: pick), and the multi-SM run loop keeps a min-heap of per-SM next-wake
+#: cycles so only SMs that can act are stepped. The two schedulers are
+#: bit-identical for every statistic (see docs/architecture.md).
+SCHEDULERS = ("scan", "calendar")
+
 
 @dataclass(frozen=True)
 class MemoryConfig:
@@ -140,6 +151,16 @@ class GPUConfig:
     warp of every SM at once. Both backends produce bit-identical
     :class:`~repro.simt.gpu.RunStats` and probe intervals; the batched
     backend only trades Python dispatch for array width."""
+    scheduler: str = "scan"
+    """Warp-scheduler implementation (see :data:`SCHEDULERS`). The default
+    ``scan`` re-scans the warp list round-robin every cycle (the reference
+    policy); ``calendar`` keeps the identical round-robin pick order in an
+    eligibility bitmask fed by a ``ready_at`` wake calendar, and — with
+    ``fast_forward`` on a multi-SM machine — drives the run loop from a
+    min-heap of per-SM wake cycles so idle SMs are skipped even while
+    other SMs are busy. Both schedulers produce bit-identical
+    :class:`~repro.simt.gpu.RunStats` and probe intervals; the calendar
+    scheduler only removes per-cycle bookkeeping work."""
 
     def __post_init__(self) -> None:
         self.validate()
@@ -169,6 +190,10 @@ class GPUConfig:
             raise ConfigError(
                 f"unknown executor backend {self.executor!r}."
                 f"{did_you_mean(self.executor, EXECUTORS)}")
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {self.scheduler!r}."
+                f"{did_you_mean(self.scheduler, SCHEDULERS)}")
         self.memory.validate()
         self.spawn.validate()
 

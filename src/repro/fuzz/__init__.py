@@ -30,6 +30,7 @@ from repro.fuzz.generator import CASE_KINDS, Case, make_case
 from repro.fuzz.oracle import (
     FUZZ_BACKENDS,
     FUZZ_MODELS,
+    FUZZ_SCHEDULERS,
     CaseResult,
     FuzzReport,
     models_for,
@@ -45,6 +46,7 @@ __all__ = [
     "CASE_SCHEMA",
     "FUZZ_BACKENDS",
     "FUZZ_MODELS",
+    "FUZZ_SCHEDULERS",
     "Case",
     "CaseResult",
     "FuzzReport",

@@ -22,6 +22,15 @@ backend's digest exactly — the two backends promise bit-identical
 statistics, not merely equal memory images. DWF is exempt: it re-forms a
 transient warp per issue, so ``config.executor`` has no effect there by
 construction (see :func:`repro.simt.dwf.run_dwf`).
+
+The warp scheduler (:data:`repro.config.SCHEDULERS`) is the same kind of
+axis: every non-primary scheduler re-runs the base parameters across
+*every* requested backend on both clocks — the scheduler shares state
+with the executor through ``ready_at``, so the cross product is exactly
+where a composition bug would hide — under the same bit-identical digest
+requirement. DWF is exempt for the same reason as above: it never
+constructs an :class:`~repro.simt.sm.SM`, so ``config.scheduler`` has no
+effect there by construction.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import EXECUTORS, SchedulingModel, scaled_config
+from repro.config import EXECUTORS, SCHEDULERS, SchedulingModel, scaled_config
 from repro.errors import ConfigError, MemoryError_
 from repro.fuzz.generator import Case, make_case
 from repro.fuzz.reference import (
@@ -51,6 +60,9 @@ FUZZ_MODELS = ("pdom_block", "pdom_warp", "spawn", "dwf")
 
 #: Executor backends the fuzzer cross-checks (first entry is primary).
 FUZZ_BACKENDS = EXECUTORS
+
+#: Warp schedulers the fuzzer cross-checks (first entry is primary).
+FUZZ_SCHEDULERS = SCHEDULERS
 
 _MAX_CYCLES = 2_000_000
 
@@ -108,12 +120,14 @@ def run_model(case: Case, model: str, *, warp_size: int = 32,
               fast_forward: bool = True, shuffle_seed: int | None = None,
               spawn_when_uniform: bool = True,
               block_size: int | None = None, trace: bool = False,
-              executor: str = "reference",
+              executor: str = "reference", scheduler: str = "scan",
               variant: str = "base") -> ModelRun:
     """Execute ``case`` on one SIMT model and capture its final state.
 
     ``executor`` selects the instruction-execution backend
-    (:data:`repro.config.EXECUTORS`); DWF accepts but ignores it.
+    (:data:`repro.config.EXECUTORS`) and ``scheduler`` the warp-scheduler
+    implementation (:data:`repro.config.SCHEDULERS`); DWF accepts but
+    ignores both.
     """
     if model not in FUZZ_MODELS:
         raise ValueError(f"unknown fuzz model {model!r}")
@@ -123,7 +137,7 @@ def run_model(case: Case, model: str, *, warp_size: int = 32,
     const_mem = np.asarray(case.const, dtype=np.float64)
     overrides = dict(warp_size=warp_size, sps_per_sm=4,
                      fast_forward=fast_forward, max_cycles=_MAX_CYCLES,
-                     executor=executor)
+                     executor=executor, scheduler=scheduler)
 
     if model == "dwf":
         config = scaled_config(1, **overrides)
@@ -267,17 +281,40 @@ def _resolve_backends(backends) -> tuple[str, ...]:
     return resolved
 
 
-def run_case(case: Case, models=None, backends=None) -> CaseResult:
+def _resolve_schedulers(schedulers) -> tuple[str, ...]:
+    """Normalize and validate the warp-scheduler axis of a campaign."""
+    if schedulers is None:
+        return FUZZ_SCHEDULERS
+    resolved = tuple(schedulers)
+    if not resolved:
+        raise ConfigError("schedulers must name at least one scheduler")
+    for scheduler in resolved:
+        if scheduler not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {scheduler!r}; choose from "
+                f"{', '.join(SCHEDULERS)}")
+    return resolved
+
+
+def run_case(case: Case, models=None, backends=None,
+             schedulers=None) -> CaseResult:
     """Run the full oracle battery for one case.
 
     ``backends`` orders the executor backends to differentiate (default
     :data:`FUZZ_BACKENDS`): the first runs the whole variant battery, and
     each further backend re-runs the base parameters on both clocks with
     a bit-identical ``run_stats_digest`` requirement against the first.
+
+    ``schedulers`` orders the warp schedulers the same way (default
+    :data:`FUZZ_SCHEDULERS`): the first underlies every run above, and
+    each further scheduler re-runs the base parameters across every
+    requested backend on both clocks, again digest-identical to the
+    primary.
     """
     from repro.harness.sweep import run_stats_digest
 
     backends = _resolve_backends(backends)
+    schedulers = _resolve_schedulers(schedulers)
     try:
         reference = run_reference(case)
     except (ReferenceLimitError, MemoryError_):
@@ -288,6 +325,7 @@ def run_case(case: Case, models=None, backends=None) -> CaseResult:
         return CaseResult(case, skipped=True)
     result = CaseResult(case)
     primary = backends[0]
+    primary_scheduler = schedulers[0]
     for model in applicable:
         runs = [dict(variant="base", trace=True)]
         runs += _variants(case, model)
@@ -295,7 +333,8 @@ def run_case(case: Case, models=None, backends=None) -> CaseResult:
         for kwargs in runs:
             variant = kwargs.get("variant", "base")
             try:
-                run = run_model(case, model, executor=primary, **kwargs)
+                run = run_model(case, model, executor=primary,
+                                scheduler=primary_scheduler, **kwargs)
             except Exception as error:  # a crash is a conformance failure
                 result.failures.append(
                     f"{model}/{variant}: {type(error).__name__}: {error}")
@@ -307,50 +346,65 @@ def run_case(case: Case, models=None, backends=None) -> CaseResult:
                                      grid_threads=case.num_threads):
                 result.failures.append(f"{model}/{variant}: {problem}")
         if model == "dwf":
-            continue  # executor backend is a no-op for DWF
+            continue  # executor backend and scheduler are no-ops for DWF
+
+        def cross_check(variant, base_variant, **kwargs):
+            try:
+                run = run_model(case, model, variant=variant, **kwargs)
+            except Exception as error:
+                result.failures.append(
+                    f"{model}/{variant}: {type(error).__name__}: {error}")
+                return
+            result.failures += _compare_to_reference(case, reference, run)
+            for problem in check_run(run.stats, run.recorder, run.session,
+                                     grid_threads=case.num_threads):
+                result.failures.append(f"{model}/{variant}: {problem}")
+            want = digests.get(base_variant)
+            if want is not None and run_stats_digest(run.stats) != want:
+                result.failures.append(
+                    f"{model}/{variant}: RunStats diverge from the "
+                    f"{primary_scheduler}/{primary} run (schedulers and "
+                    f"backends must be bit-identical)")
+
+        clocks = (("base", {}), ("exact", dict(fast_forward=False)))
         for backend in backends[1:]:
-            for base_variant, kwargs in (("base", {}),
-                                         ("exact", dict(fast_forward=False))):
-                variant = f"{base_variant}+{backend}"
-                try:
-                    run = run_model(case, model, executor=backend,
-                                    variant=variant, **kwargs)
-                except Exception as error:
-                    result.failures.append(
-                        f"{model}/{variant}: {type(error).__name__}: {error}")
-                    continue
-                result.failures += _compare_to_reference(case, reference, run)
-                for problem in check_run(run.stats, run.recorder,
-                                         run.session,
-                                         grid_threads=case.num_threads):
-                    result.failures.append(f"{model}/{variant}: {problem}")
-                want = digests.get(base_variant)
-                if want is not None and run_stats_digest(run.stats) != want:
-                    result.failures.append(
-                        f"{model}/{variant}: RunStats diverge from the "
-                        f"{primary} backend (backends must be bit-identical)")
+            for base_variant, kwargs in clocks:
+                cross_check(f"{base_variant}+{backend}", base_variant,
+                            executor=backend,
+                            scheduler=primary_scheduler, **kwargs)
+        for scheduler in schedulers[1:]:
+            # The full backend list, not just the primary: the scheduler
+            # and the executor share warp wake state, so their cross
+            # product is where a composition bug would hide.
+            for backend in backends:
+                for base_variant, kwargs in clocks:
+                    cross_check(f"{base_variant}+{scheduler}+{backend}",
+                                base_variant, executor=backend,
+                                scheduler=scheduler, **kwargs)
     return result
 
 
 def run_fuzz(num_cases: int, seed: int = 0, *, models=None, kinds=None,
-             backends=None, on_case=None) -> FuzzReport:
+             backends=None, schedulers=None, on_case=None) -> FuzzReport:
     """Run a fuzzing campaign of ``num_cases`` generated cases.
 
     All stochastic choices derive from ``seed`` through one
     :class:`numpy.random.SeedSequence`; the same ``(num_cases, seed)``
-    replays the identical campaign. ``backends`` forwards to
-    :func:`run_case` (default: differentiate every executor backend).
-    ``on_case`` is an optional callback ``(index, CaseResult) -> None``
-    for progress reporting.
+    replays the identical campaign. ``backends`` and ``schedulers``
+    forward to :func:`run_case` (default: differentiate every executor
+    backend and every warp scheduler). ``on_case`` is an optional
+    callback ``(index, CaseResult) -> None`` for progress reporting.
     """
     report = FuzzReport()
     backends = _resolve_backends(backends)
+    schedulers = _resolve_schedulers(schedulers)
     children = np.random.SeedSequence(seed).spawn(num_cases)
     for index, child in enumerate(children):
         case_seed = int(child.generate_state(1)[0])
         kind = None if not kinds else kinds[index % len(kinds)]
         case = make_case(case_seed, kind)
-        result = run_case(case, models=models, backends=backends)
+        result = run_case(case, models=models, backends=backends,
+                          schedulers=schedulers)
         report.cases_run += 1
         if result.skipped:
             report.skipped += 1

@@ -214,13 +214,16 @@ def prepare_workload(scene_name: str, preset: SimPreset,
 
 def _config_for_mode(mode: str, preset: SimPreset,
                      fast_forward: bool | None = None,
-                     executor: str | None = None) -> GPUConfig:
+                     executor: str | None = None,
+                     scheduler: str | None = None) -> GPUConfig:
     """The machine configuration for one mode at one preset scale.
 
     ``fast_forward`` overrides the event-driven clock toggle; None keeps
     the :class:`GPUConfig` default (fast). ``executor`` selects the
     instruction-execution backend (see :data:`repro.config.EXECUTORS`);
-    None keeps the default (reference).
+    ``scheduler`` the warp-scheduler implementation (see
+    :data:`repro.config.SCHEDULERS`); None keeps the defaults
+    (reference, scan).
     """
     if mode not in MODES:
         raise ConfigError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -229,6 +232,8 @@ def _config_for_mode(mode: str, preset: SimPreset,
         overrides["fast_forward"] = fast_forward
     if executor is not None:
         overrides["executor"] = executor
+    if scheduler is not None:
+        overrides["scheduler"] = scheduler
     if mode == "pdom_block":
         overrides["scheduling"] = SchedulingModel.BLOCK
     else:
@@ -251,6 +256,7 @@ def _run_mode(mode: str, workload: Workload,
               max_cycles: int | None = None,
               fast_forward: bool | None = None,
               executor: str | None = None,
+              scheduler: str | None = None,
               trace=None) -> RunResult:
     """Simulate one mode on a prepared workload.
 
@@ -259,7 +265,7 @@ def _run_mode(mode: str, workload: Workload,
     """
     preset = workload.preset
     config = _config_for_mode(mode, preset, fast_forward=fast_forward,
-                              executor=executor)
+                              executor=executor, scheduler=scheduler)
     image = build_memory_image(workload.tree, workload.origins,
                                workload.directions, workload.t_max)
     launch = _launch_for_mode(mode, workload.num_rays)

@@ -422,6 +422,13 @@ class BatchEngine:
         instance attribute; the reference method stays untouched (and
         handles every non-run instruction). Captured locals mirror the
         reference issue path's inlined accounting — keep the two in sync.
+
+        Composition with the calendar scheduler: ``SM.step`` files the
+        issuing warp's next wake *after* ``_issue`` returns, reading the
+        ``ready_at`` this closure (or the reference path it falls back
+        to) just wrote — so shadowing the method never bypasses the wake
+        calendar and the two axes compose without knowing about each
+        other.
         """
         engine = self
         run_len = self.run_len

@@ -10,6 +10,7 @@ first 300k cycles only).
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import math
 from dataclasses import dataclass, field
 
@@ -343,6 +344,14 @@ class GPU:
 
     def _run_loop(self, budget: int, last_progress: int) -> None:
         fast = self.config.fast_forward
+        if fast and len(self.sms) > 1 and self.config.scheduler == "calendar":
+            # The calendar scheduler generalizes _fast_forward from
+            # "nobody progressed" spans to per-SM skipping: a min-heap of
+            # per-SM wake cycles steps only SMs that can act, even while
+            # other SMs stay busy. On one SM the two coincide, so the
+            # specialized loop below serves both schedulers there.
+            self._run_calendar_loop(budget, last_progress)
+            return
         if len(self.sms) == 1:
             # Specialized single-SM loop: same visible behaviour as the
             # generic loop below, without the per-cycle list iteration,
@@ -408,6 +417,83 @@ class GPU:
             for sm in self.sms:
                 sm.credit_skipped(self.cycle, target)
             self.cycle = target
+
+    def _run_calendar_loop(self, budget: int, last_progress: int) -> None:
+        """Event-driven multi-SM loop (``scheduler="calendar"``).
+
+        A min-heap of ``(wake_cycle, sm_id)`` holds each live SM's next
+        event: the clock jumps straight to the heap minimum and steps only
+        the SMs due there (in ``sm_id`` order, matching the per-cycle
+        loop's iteration order — the shared DRAM model is order
+        sensitive). Per-SM skipped spans are credited lazily through
+        :meth:`~repro.simt.sm.SM.credit_skipped` the moment the SM next
+        steps, so an SM idle for a thousand cycles while a sibling stays
+        busy costs one span credit instead of a thousand no-issue steps.
+        Wake times are sound for the same reason ``next_event_time`` is:
+        nothing outside an SM's own issues can change its schedulable
+        state. Budget exit, final ``self.cycle`` and the deadlock
+        diagnosis (cycle and message) replicate the per-cycle loop
+        exactly.
+        """
+        if self.cycle >= budget:
+            return
+        sms = self.sms
+        heap: list[tuple[int, int]] = []
+        credited: dict[int, int] = {}
+        for sm in sms:
+            if not sm.done:
+                credited[sm.sm_id] = self.cycle
+                heap.append((self.cycle, sm.sm_id))
+        heapq.heapify(heap)
+        while credited:
+            cap = min(budget, last_progress + DEADLOCK_HORIZON + 1)
+            target = min(heap[0][0], cap) if heap else cap
+            if target >= budget:
+                for sm_id, start in credited.items():
+                    sms[sm_id].credit_skipped(start, budget)
+                self.cycle = budget
+                return
+            progressed = False
+            while heap and heap[0][0] <= target:
+                sm_id = heapq.heappop(heap)[1]
+                sm = sms[sm_id]
+                start = credited[sm_id]
+                if start < target:
+                    sm.credit_skipped(start, target)
+                if sm.step(target):
+                    progressed = True
+                    if sm._admission_dirty or sm._ready_mask:
+                        # The issue re-armed admission (freed slots or
+                        # formed warps may admit next cycle) or another
+                        # warp is already eligible: the SM can act at the
+                        # very next cycle.
+                        wake = target + 1
+                    else:
+                        # Nothing eligible and admission provably blocked
+                        # until this SM issues again: sleep until the next
+                        # warp wake instead of burning a no-issue step at
+                        # target + 1 (latency-bound SMs spend most wakes
+                        # here).
+                        wake = sm.next_event_time(target + 1)
+                else:
+                    wake = sm.next_event_time(target + 1)
+                credited[sm_id] = target + 1
+                if sm.done:
+                    del credited[sm_id]
+                elif wake is not None:
+                    heapq.heappush(heap, (wake, sm_id))
+                # A None wake is a quiescent SM: it can never act again,
+                # but keeps accruing idle time until budget or deadlock.
+            if progressed:
+                last_progress = target
+            elif target - last_progress > DEADLOCK_HORIZON:
+                for sm_id, start in credited.items():
+                    sms[sm_id].credit_skipped(start, target + 1)
+                self.cycle = target
+                raise SchedulingError(
+                    f"no instruction issued for {DEADLOCK_HORIZON} cycles "
+                    f"(cycle {self.cycle}); simulation is deadlocked")
+            self.cycle = target + 1
 
     def collect_stats(self) -> RunStats:
         if self.trace is not None:

@@ -59,7 +59,15 @@ class _LUTEntry:
 
 
 class SpawnUnit:
-    """Per-SM dynamic thread creation and warp formation hardware."""
+    """Per-SM dynamic thread creation and warp formation hardware.
+
+    Scheduling note: every state change here that can unblock admission
+    (a spawn filling a formation region, freed data slots, a flushed
+    partial pool) happens inside an owning SM's issue or retirement, and
+    those paths re-arm ``SM._admission_dirty``. The calendar scheduler's
+    run loop relies on that: an SM with a clean admission flag and an
+    empty ready mask can sleep until its next warp wake without polling
+    the spawn unit."""
 
     def __init__(self, spawn_mem: BankedMemory, *, warp_size: int,
                  data_base: int, num_data_slots: int, state_words: int,

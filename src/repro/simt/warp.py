@@ -56,6 +56,12 @@ class Warp:
     ALU/on-chip pipeline latency, "dram" for an off-chip access). Only
     maintained while a probe is attached (see :mod:`repro.obs`); the
     scheduler never reads it."""
+    sched_slot: int = -1
+    """Index of this warp in its SM's ``warps`` list, or -1 when not
+    resident. Maintained by the SM only under the calendar scheduler
+    (``config.scheduler == "calendar"``), where it names the warp's bit in
+    the SM's issue-eligibility mask; the scan scheduler never reads it.
+    Slots above a retired warp shift down with the list."""
     is_dynamic: bool = False
     kernel_name: str = ""
     issued_instructions: int = 0

@@ -1,0 +1,260 @@
+"""Differential tests: calendar warp scheduler vs the reference scan.
+
+``GPUConfig.scheduler`` selects how an SM picks the next warp to issue:
+``"scan"`` is the reference per-cycle round-robin scan over all resident
+warps; ``"calendar"`` keeps an eligibility bitmask fed by a wake
+calendar (timing wheel + far heap) and picks in O(1), letting the GPU
+run loop put whole SMs to sleep between events. The contract
+(docs/architecture.md, "Warp schedulers") is that the two schedulers are
+**bit-identical** in every reported statistic — cycles, counters,
+divergence histograms, per-SM breakdowns, per-thread commits — on both
+the exact clock and the event-driven fast clock, under both executor
+backends, and that attached cycle-attribution probes observe identical
+intervals and events.
+
+These tests enforce that contract for the execution models across three
+scene/ray/seed configurations:
+
+- traditional PDOM (block and warp scheduling),
+- dynamic µ-kernel spawn (conflict-free and banked spawn memory),
+- persistent threads (Aila & Laine software baseline),
+- dynamic warp formation (``scheduler`` is accepted and must be a
+  no-op: DWF re-forms a transient warp per issue from its own thread
+  pool and never constructs an SM),
+- MIMD theoretical (analytic; the scheduler toggle must be a no-op).
+
+The scan scheduler's exact==fast identity is already enforced by
+test_fastforward_differential.py and its reference==batched identity by
+test_backend_differential.py, so each case runs scan/reference/fast once
+and the calendar scheduler on the full clock x executor cross against
+it. A dedicated multi-SM case (num_sms=4) exercises the GPU-level wake
+heap that only engages with several SMs on the fast clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.presets import get_preset
+from repro.harness.runner import (
+    _config_for_mode,
+    _run_mode,
+    prepare_workload,
+)
+from repro.harness.sweep import run_stats_digest
+from repro.kernels.layout import build_memory_image
+from repro.kernels.microkernels import microkernel_launch_spec
+from repro.kernels.persistent import (
+    persistent_launch_spec,
+    persistent_thread_count,
+)
+from repro.kernels.traditional import (
+    dynamic_instruction_model,
+    traditional_launch_spec,
+    traditional_program,
+)
+from repro.obs.probe import TraceSession
+from repro.simt import GPU, mimd_theoretical
+from repro.simt.dwf import run_dwf
+
+#: Cycle cap per run: long enough to cross DRAM latencies, spawn-warp
+#: formation, admission stalls, and many wheel laps (WAKE_WHEEL = 512);
+#: short enough to keep the whole suite in tier-1 time.
+MAX_CYCLES = 120_000
+
+#: Three scene/ray/seed configurations.
+CONFIGS = (
+    ("conference", "primary", 0),
+    ("fairyforest", "shadow", 1),
+    ("atrium", "gi", 2),
+)
+
+GPU_MODES = ("pdom_block", "pdom_warp", "spawn", "spawn_conflicts")
+
+SCHEDULERS = ("scan", "calendar")
+
+
+@pytest.fixture(scope="module", params=CONFIGS,
+                ids=["-".join(map(str, c)) for c in CONFIGS])
+def workload(request):
+    scene, ray_kind, seed = request.param
+    return prepare_workload(scene, get_preset("tiny"), ray_kind=ray_kind,
+                            seed=seed)
+
+
+def sampler_fingerprint(divergence) -> dict:
+    """Every observable of a DivergenceSampler, as plain comparable data."""
+    return {
+        "issues": [tuple(row) for row in divergence.issues],
+        "idle": list(divergence.idle),
+        "stall": list(divergence.stall),
+        "totals": divergence.totals().tolist(),
+        "mean_active": divergence.mean_active_lanes(),
+    }
+
+
+def run_fingerprint(result) -> dict:
+    """Every statistic a RunStats reports, scheduler-comparable."""
+    return {
+        "cycles": result.stats.cycles,
+        "sm": asdict(result.stats.sm_stats),
+        "per_sm": [asdict(s) for s in result.stats.per_sm],
+        "divergence": sampler_fingerprint(result.stats.divergence),
+        "rays_completed": result.stats.rays_completed,
+        "dram_read_bytes": result.stats.dram_read_bytes,
+        "dram_write_bytes": result.stats.dram_write_bytes,
+        "dram_transactions": result.stats.dram_transactions,
+        "thread_commits": dict(result.stats.thread_commits),
+    }
+
+
+def stats_fingerprint(stats) -> dict:
+    """Like :func:`run_fingerprint` for a bare RunStats (direct GPU runs)."""
+    return {
+        "cycles": stats.cycles,
+        "sm": asdict(stats.sm_stats),
+        "per_sm": [asdict(s) for s in stats.per_sm],
+        "divergence": sampler_fingerprint(stats.divergence),
+        "rays_completed": stats.rays_completed,
+    }
+
+
+def session_fingerprint(session: TraceSession) -> dict:
+    """Everything a finalized TraceSession reports, scheduler-comparable."""
+    return {
+        "machine": session.machine_intervals().tolist(),
+        "dram": session.dram.trimmed().tolist(),
+        "rows": session.interval_rows(),
+        "events": [probe.events for probe in session.sms],
+        "attribution": session.stall_attribution(),
+        "cycles": session.cycles,
+    }
+
+
+class TestGPUModels:
+    """PDOM block/warp and µ-kernel spawn (with and without conflicts)."""
+
+    @pytest.mark.parametrize("mode", GPU_MODES)
+    def test_calendar_matches_scan_all_clocks_and_executors(
+            self, workload, mode):
+        reference = run_fingerprint(
+            _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                      scheduler="scan", executor="reference"))
+        for fast_forward in (True, False):
+            for executor in ("reference", "batched"):
+                calendar = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                                     fast_forward=fast_forward,
+                                     executor=executor, scheduler="calendar")
+                assert run_fingerprint(calendar) == reference, (
+                    f"{mode} calendar/{executor}/"
+                    f"{'fast' if fast_forward else 'exact'} "
+                    f"diverges from the scan scheduler")
+
+
+class TestMultiSM:
+    """num_sms >= 4: the GPU-level SM wake heap (fast clock only engages
+    it with several SMs) must preserve per-SM stats bit-exactly."""
+
+    @pytest.mark.parametrize("spawn", (False, True),
+                             ids=("pdom", "spawn"))
+    def test_calendar_matches_scan(self, workload, spawn):
+        num_rays = workload.origins.shape[0]
+        launch = (microkernel_launch_spec(num_rays) if spawn
+                  else traditional_launch_spec(num_rays))
+
+        def fingerprint(scheduler, fast_forward):
+            # Fresh memory image per run: completions count *new* result
+            # writes, so a reused image would hide them on the rerun.
+            image = build_memory_image(workload.tree, workload.origins,
+                                       workload.directions, workload.t_max)
+            config = scaled_config(4, spawn_enabled=spawn,
+                                   scheduler=scheduler,
+                                   fast_forward=fast_forward)
+            gpu = GPU(config, launch, image.global_mem, image.const_mem)
+            return stats_fingerprint(gpu.run(max_cycles=MAX_CYCLES))
+
+        reference = fingerprint("scan", True)
+        assert fingerprint("calendar", True) == reference
+        assert fingerprint("calendar", False) == reference
+
+
+class TestProbeIntervals:
+    """Attached probes must observe bit-identical intervals and events."""
+
+    @pytest.mark.parametrize("mode", ("pdom_block", "spawn"))
+    def test_sessions_identical(self, workload, mode):
+        runs = {}
+        for scheduler in SCHEDULERS:
+            runs[scheduler] = _run_mode(mode, workload,
+                                        max_cycles=MAX_CYCLES,
+                                        scheduler=scheduler,
+                                        trace=TraceSession(interval=512))
+        assert (session_fingerprint(runs["calendar"].trace)
+                == session_fingerprint(runs["scan"].trace))
+        assert (run_stats_digest(runs["calendar"].stats)
+                == run_stats_digest(runs["scan"].stats))
+
+
+class TestPersistentThreads:
+    """Persistent-threads kernel on the warp-scheduled machine."""
+
+    def test_calendar_matches_scan_both_clocks(self, workload):
+        def fingerprint(scheduler, fast_forward):
+            config = _config_for_mode("pdom_warp", workload.preset,
+                                      fast_forward=fast_forward,
+                                      scheduler=scheduler)
+            image = build_memory_image(workload.tree, workload.origins,
+                                       workload.directions, workload.t_max)
+            launch = persistent_launch_spec(persistent_thread_count(config))
+            gpu = GPU(config, launch, image.global_mem, image.const_mem)
+            return stats_fingerprint(gpu.run(max_cycles=MAX_CYCLES))
+
+        reference = fingerprint("scan", True)
+        assert fingerprint("calendar", True) == reference
+        assert fingerprint("calendar", False) == reference
+
+
+class TestDWF:
+    """DWF accepts the scheduler field but must ignore it entirely."""
+
+    def test_scheduler_is_a_noop(self, workload):
+        fingerprints = []
+        for scheduler in SCHEDULERS:
+            config = _config_for_mode("pdom_warp", workload.preset,
+                                      scheduler=scheduler)
+            image = build_memory_image(workload.tree, workload.origins,
+                                       workload.directions, workload.t_max)
+            result = run_dwf(config, traditional_program(), "trace",
+                             image.global_mem, image.const_mem,
+                             num_threads=min(workload.num_rays, 736),
+                             max_cycles=MAX_CYCLES)
+            fingerprints.append({
+                "cycles": result.cycles,
+                "sm": asdict(result.stats),
+                "divergence": sampler_fingerprint(result.divergence),
+                "rays_completed": result.rays_completed,
+            })
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestMIMD:
+    """Analytic model: the scheduler toggle must not perturb it at all."""
+
+    def test_scheduler_is_a_noop(self, workload):
+        model = dynamic_instruction_model()
+        counters = workload.reference.counters
+        counts = (model["prologue"]
+                  + counters.node_visits * model["node_visit"]
+                  + counters.leaf_visits * (model["leaf_visit"] + model["pop"])
+                  + counters.triangle_tests * model["triangle_test"]
+                  + model["write"])
+        results = [
+            mimd_theoretical(counts, _config_for_mode(
+                "pdom_ideal", workload.preset, scheduler=scheduler))
+            for scheduler in SCHEDULERS
+        ]
+        assert asdict(results[0]) == asdict(results[1])
+        assert results[0].cycles > 0

@@ -1,0 +1,225 @@
+"""Property tests: calendar-scheduler structures under random schedules.
+
+The calendar scheduler's per-cycle pick trusts two data structures
+blindly on the hot path (no defensive scans), so their invariants are
+pinned down here against randomly generated wake schedules:
+
+- **Pick equivalence**: :func:`repro.simt.sm.pick_slot` returns exactly
+  the index the scan scheduler's two-range loop would pick from the same
+  eligibility mask, and the round-robin cursor evolves identically
+  across whole pick sequences.
+- **Mask membership**: after draining the calendar to a cycle, bit ``i``
+  of ``_ready_mask`` is set iff warp ``i`` is resident
+  (``sched_slot >= 0``), ``READY``, and due (``ready_at <= cycle``) —
+  exactly the set the scan loop would accept that cycle.
+- **Wheel/heap monotonicity**: the wheel cursor only advances; every
+  wake still filed on the wheel lies within one lap of the cursor and in
+  the slot its cycle hashes to; every far-heap key is strictly in the
+  future and mirrors a bucket.
+- **Inline-drain consistency**: ``_select_warp_calendar`` (which inlines
+  the drain and the pick for speed) leaves the same state as the
+  out-of-line ``_drain_wakes`` + ``pick_slot`` it mirrors.
+
+The harness drives the real (unbound) SM methods over stub warps, so
+these properties hold for the exact code the simulator runs.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simt.sm import SM, WAKE_WHEEL, pick_slot
+from repro.simt.warp import BLOCKED, READY
+
+
+def scan_pick(mask: int, rr: int, count: int) -> int | None:
+    """The scan scheduler's two-range loop, on an eligibility mask."""
+    for index in range(rr, count):
+        if mask >> index & 1:
+            return index
+    for index in range(rr):
+        if mask >> index & 1:
+            return index
+    return None
+
+
+class CalendarHarness:
+    """The calendar state of an SM, driving the real unbound methods."""
+
+    _schedule_wake = SM._schedule_wake
+    _drain_wakes = SM._drain_wakes
+    _select_warp_calendar = SM._select_warp_calendar
+
+    def __init__(self, warps):
+        self.warps = warps
+        self._rr = 0
+        self._ready_mask = 0
+        self._wheel = [[] for _ in range(WAKE_WHEEL)]
+        self._wheel_pos = 0
+        self._wake_buckets = {}
+        self._wake_heap = []
+
+    def check_structures(self, cycle: int) -> None:
+        """Structural invariants that must hold after a drain to ``cycle``."""
+        assert self._wheel_pos == cycle + 1
+        for slot, bucket in enumerate(self._wheel):
+            for warp in bucket:
+                # Undrained wheel entries are strictly in the future,
+                # within one lap of the cursor, in their home slot.
+                assert cycle < warp.ready_at
+                assert warp.ready_at < self._wheel_pos + WAKE_WHEEL
+                assert warp.ready_at & (WAKE_WHEEL - 1) == slot
+        assert sorted(self._wake_heap) == sorted(self._wake_buckets)
+        for when, bucket in self._wake_buckets.items():
+            assert when > cycle
+            for warp in bucket:
+                assert warp.ready_at == when
+
+
+def make_warp(slot: int, ready_at: int, status=READY) -> SimpleNamespace:
+    return SimpleNamespace(sched_slot=slot, status=status, ready_at=ready_at)
+
+
+@given(count=st.integers(1, 48), data=st.data())
+def test_pick_slot_matches_two_range_scan(count, data):
+    mask = data.draw(st.integers(1, (1 << count) - 1))
+    rr = data.draw(st.integers(0, count - 1))
+    assert pick_slot(mask, rr) == scan_pick(mask, rr, count)
+
+
+@given(count=st.integers(1, 48), data=st.data())
+def test_rr_cursor_sequence_matches_scan(count, data):
+    """Whole pick sequences agree: same picks, same cursor evolution,
+    including rounds with an empty mask (no pick, cursor untouched)."""
+    masks = data.draw(st.lists(st.integers(0, (1 << count) - 1),
+                               min_size=1, max_size=32))
+    scan_rr = calendar_rr = 0
+    for mask in masks:
+        expected = scan_pick(mask, scan_rr, count)
+        if expected is not None:
+            scan_rr = expected + 1 if expected + 1 < count else 0
+        if not mask:
+            assert expected is None
+            continue
+        index = pick_slot(mask, calendar_rr)
+        assert index == expected
+        calendar_rr = index + 1 if index + 1 < count else 0
+        assert calendar_rr == scan_rr
+
+
+#: One randomized wake-schedule episode: a warp files its wake (near or
+#: far) and immediately meets its fate — stays READY, blocks (a barrier
+#: arrival leaves a stale calendar entry behind), or retires (slot gone)
+#: — then the calendar drains at a later cycle. Fates only mutate a warp
+#: *before* its wake is drained, mirroring the real SM: a filed warp
+#: cannot change ``ready_at`` without issuing first, and issuing
+#: requires being drained and picked (which clears the mask bit).
+EPISODES = st.lists(
+    st.tuples(
+        st.integers(0, 3 * WAKE_WHEEL),   # wake delay past the cursor
+        st.sampled_from(("ready", "ready", "ready", "blocked", "retired")),
+        st.integers(0, 2 * WAKE_WHEEL),   # drain advance after filing
+    ),
+    min_size=1, max_size=24)
+
+
+@settings(max_examples=200)
+@given(episodes=EPISODES, data=st.data())
+def test_mask_membership_matches_scan_eligibility(episodes, data):
+    """After every drain, the mask gains exactly the resident, READY,
+    due warps — the scan scheduler's acceptance set for that cycle —
+    and bits persist until picked (never dropped, never resurrected
+    from the stale entries of blocked or retired warps)."""
+    harness = CalendarHarness([])
+    warps = []
+    cycle = -1
+    expected = 0
+    for delay, fate, advance in episodes:
+        warp = make_warp(len(warps), harness._wheel_pos + delay)
+        warps.append(warp)
+        harness._schedule_wake(warp, warp.ready_at)
+        if fate == "blocked":
+            warp.status = BLOCKED
+        elif fate == "retired":
+            warp.sched_slot = -1
+        # The barrier-release path: a blocked warp whose stale entry has
+        # already drained away may come back READY with a fresh wake.
+        blocked = [w for w in warps
+                   if w.status == BLOCKED and w.ready_at <= cycle]
+        if blocked and data.draw(st.booleans()):
+            released = blocked[0]
+            released.status = READY
+            released.ready_at = (harness._wheel_pos
+                                 + data.draw(st.integers(0, WAKE_WHEEL)))
+            harness._schedule_wake(released, released.ready_at)
+        cycle = max(cycle, harness._wheel_pos) + advance
+        harness._drain_wakes(cycle)
+        for slot, filed in enumerate(warps):
+            if (not expected >> slot & 1 and filed.sched_slot >= 0
+                    and filed.status == READY and filed.ready_at <= cycle):
+                expected |= 1 << slot
+        assert harness._ready_mask == expected
+        harness.check_structures(cycle)
+
+
+@settings(max_examples=200)
+@given(episodes=EPISODES, rr=st.integers(0, 23))
+def test_inlined_select_matches_drain_plus_pick(episodes, rr):
+    """_select_warp_calendar == _drain_wakes + pick_slot, state and all
+    (the inlined copy must never drift from its out-of-line mirror)."""
+    warps_a, warps_b = [], []
+    inline = CalendarHarness(warps_a)
+    mirror = CalendarHarness(warps_b)
+    cycle = -1
+    for delay, fate, advance in episodes:
+        when = inline._wheel_pos + delay
+        for warps, harness in ((warps_a, inline), (warps_b, mirror)):
+            warp = make_warp(len(warps), when,
+                             BLOCKED if fate == "blocked" else READY)
+            warps.append(warp)
+            harness._schedule_wake(warp, when)
+            if fate == "retired":
+                warp.sched_slot = -1
+        cycle = max(cycle, inline._wheel_pos) + advance
+        inline._rr = mirror._rr = rr % max(len(warps_a), 1)
+
+        picked = inline._select_warp_calendar(cycle)
+
+        mirror._drain_wakes(cycle)
+        mask = mirror._ready_mask
+        if not mask:
+            expected = None
+        else:
+            index = pick_slot(mask, mirror._rr)
+            mirror._ready_mask = mask & ~(1 << index)
+            mirror._rr = (index + 1 if index + 1 < len(warps_b) else 0)
+            expected = warps_b[index]
+
+        if expected is None:
+            assert picked is None
+        else:
+            assert picked is warps_a[expected.sched_slot]
+        assert inline._ready_mask == mirror._ready_mask
+        assert inline._rr == mirror._rr
+        assert inline._wheel_pos == mirror._wheel_pos
+        assert sorted(inline._wake_heap) == sorted(mirror._wake_heap)
+
+
+@given(advances=st.lists(st.integers(0, 2 * WAKE_WHEEL),
+                         min_size=2, max_size=16))
+def test_wheel_cursor_monotone(advances):
+    """The cursor never regresses, even across drains that jump more
+    than a full wheel lap (where the drain visits each slot once)."""
+    harness = CalendarHarness([])
+    warp = make_warp(0, 5)
+    harness._schedule_wake(warp, 5)
+    cycle, last_pos = -1, 0
+    for advance in advances:
+        cycle += advance
+        harness._drain_wakes(cycle)
+        assert harness._wheel_pos >= last_pos
+        assert harness._wheel_pos == max(last_pos, cycle + 1)
+        last_pos = harness._wheel_pos
+    assert harness._ready_mask == (1 if cycle >= 5 else 0)
