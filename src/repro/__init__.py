@@ -10,7 +10,8 @@ Top-level convenience exports; see the subpackages for the full API:
 - :mod:`repro.analysis` — divergence breakdowns, bandwidth model,
 - :mod:`repro.obs` — cycle-attribution probes and trace exporters,
 - :mod:`repro.harness` — presets, runner, per-figure experiments,
-- :mod:`repro.api` — the stable façade (``simulate``/``sweep``).
+- :mod:`repro.api` — the stable façade (``simulate``/``sweep``),
+- :mod:`repro.serve` — the job daemon, wire schema, and sharded sweeps.
 """
 
 from repro.config import GPUConfig, paper_config, scaled_config

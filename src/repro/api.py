@@ -7,10 +7,12 @@ Two calls cover the whole workflow:
 - :func:`sweep` — many independent simulations fanned over worker
   processes.
 
-Everything else (workload building, per-mode configs and launch specs)
-is re-exported here under its stable name. The older entry points on
-:mod:`repro.harness.runner` still work but emit ``DeprecationWarning``;
-new code should import from ``repro.api`` (or ``repro`` directly)::
+Everything else (workload building, per-mode configs and launch specs,
+``run_mode``) is re-exported here under its stable public name. The
+pre-1.0 underscore spellings on :mod:`repro.harness.runner`
+(``_build_workload``, ``_config_for_mode``, ``_launch_for_mode``,
+``_run_mode``) still work but emit ``DeprecationWarning``; new code
+should import from ``repro.api`` (or ``repro`` directly)::
 
     from repro import api
     result = api.simulate("conference", "spawn", preset="fast")
@@ -36,11 +38,11 @@ from repro.harness.runner import (
     PAPER_SMS,
     RunResult,
     Workload,
-    _build_workload,
-    _config_for_mode,
-    _launch_for_mode,
-    _run_mode,
+    build_workload,
+    config_for_mode,
+    launch_for_mode,
     prepare_workload,
+    run_mode,
 )
 from repro.harness.sweep import (
     FailedJob,
@@ -54,13 +56,6 @@ from repro.harness.sweep import (
     run_sweep,
 )
 from repro.obs.probe import TraceSession
-
-#: Stable, warning-free names for the harness building blocks. The
-#: like-named functions on ``repro.harness.runner`` are deprecated shims
-#: that forward here.
-build_workload = _build_workload
-config_for_mode = _config_for_mode
-launch_for_mode = _launch_for_mode
 
 
 def _resolve_probes(probes) -> TraceSession | None:
@@ -122,9 +117,9 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
     else:
         workload = prepare_workload(scene, _resolve_preset(preset),
                                     ray_kind=ray_kind, seed=seed, cache=cache)
-    return _run_mode(mode, workload, max_cycles=max_cycles,
-                     fast_forward=fast_forward, executor=executor,
-                     scheduler=scheduler, trace=_resolve_probes(probes))
+    return run_mode(mode, workload, max_cycles=max_cycles,
+                    fast_forward=fast_forward, executor=executor,
+                    scheduler=scheduler, trace=_resolve_probes(probes))
 
 
 def sweep(jobs: Iterable, jobs_n: int | None = None,
@@ -185,6 +180,7 @@ __all__ = [
     "prepare_workload",
     "run_case",
     "run_fuzz",
+    "run_mode",
     "run_stats_digest",
     "save_case",
     "shrink_case",

@@ -33,7 +33,15 @@ Commands:
 - ``disasm {traditional|microkernels}`` — print a benchmark kernel's
   assembly,
 - ``cache {info,clear}`` — inspect or empty the persistent workload cache
-  (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+  (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``),
+- ``serve [--host H] [--port P] [--checkpoint-dir DIR]`` — run the
+  simulation job daemon (``POST /v1/jobs``, NDJSON event streams,
+  checkpoint-backed instant answers; see :mod:`repro.serve.server`),
+- ``submit --url URL --scene S --mode M [...]`` — submit one simulation
+  to a running daemon and (by default) wait for its result,
+- ``worker --manifest PATH [--once] [--id NAME]`` — claim and execute
+  jobs from a shared shard manifest; point several workers (on any
+  hosts sharing the filesystem) at the same file to split a sweep.
 """
 
 from __future__ import annotations
@@ -333,6 +341,58 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.server import serve_forever
+
+    def ready(url):
+        print(f"repro serve listening on {url} "
+              f"(POST {url}/v1/jobs)", flush=True)
+
+    return serve_forever(host=args.host, port=args.port,
+                         checkpoint_dir=args.checkpoint_dir or None,
+                         verbose=args.verbose, ready=ready)
+
+
+def _cmd_worker(args) -> int:
+    from repro.errors import ConfigError
+    from repro.harness.sweep import RetryPolicy, stderr_progress
+    from repro.serve.worker import run_worker
+
+    try:
+        executed = run_worker(args.manifest, worker=args.id or None,
+                              poll_seconds=args.poll, once=args.once,
+                              retry=RetryPolicy(max_attempts=args.retries),
+                              progress=stderr_progress)
+    except ConfigError as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"executed {executed} job(s) from {args.manifest}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+    from repro.serve.wire import SimulateRequest
+
+    client = ServeClient(args.url, timeout=args.http_timeout)
+    request = SimulateRequest(
+        scene=args.scene, mode=args.mode, preset=args.preset,
+        ray_kind=args.rays, seed=args.seed,
+        executor=args.executor or None, scheduler=args.scheduler or None)
+    try:
+        if args.no_wait:
+            status = client.submit(request)
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        answer = client.run(request, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(answer, indent=2, sort_keys=True))
+    return 0 if answer["state"] == "done" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -476,6 +536,71 @@ def build_parser() -> argparse.ArgumentParser:
                              help="inspect or clear the workload cache")
     p_cache.add_argument("verb", choices=("info", "clear"))
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser("serve", help="run the simulation job daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8732,
+                         help="TCP port (default 8732; 0 picks a free one)")
+    p_serve.add_argument("--checkpoint-dir", default="", metavar="DIR",
+                         help="directory for per-request checkpoint "
+                              "manifests (default: REPRO_CHECKPOINT_DIR or "
+                              "<cache-dir>/checkpoints); resubmitted "
+                              "requests answer from here without "
+                              "re-simulating")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one simulation to a running daemon")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8732",
+                          help="daemon base URL (default "
+                               "http://127.0.0.1:8732)")
+    p_submit.add_argument("--scene", default="conference",
+                          choices=BENCHMARK_SCENES)
+    p_submit.add_argument("--mode", default="spawn", choices=MODES)
+    p_submit.add_argument("--preset", default="fast",
+                          choices=sorted(PRESETS))
+    p_submit.add_argument("--rays", default="primary",
+                          choices=("primary", "shadow", "reflection", "gi"))
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--executor", default="", choices=("",) + EXECUTORS,
+                          help="execution backend override (default: the "
+                               "server-side default, reference)")
+    p_submit.add_argument("--scheduler", default="",
+                          choices=("",) + SCHEDULERS,
+                          help="warp-scheduler override (default: scan)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job status and exit instead of "
+                               "waiting for the result")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="give up waiting after this long "
+                               "(default: wait forever)")
+    p_submit.add_argument("--http-timeout", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="per-request socket timeout (default 30)")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and execute jobs from a shard manifest")
+    p_worker.add_argument("--manifest", required=True, metavar="PATH",
+                          help="shared JSONL shard manifest (see "
+                               "repro.serve.manifest)")
+    p_worker.add_argument("--id", default="", metavar="NAME",
+                          help="claim ident (default: a unique "
+                               "host-pid-time ident)")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit when no open job remains instead of "
+                               "polling for new ones")
+    p_worker.add_argument("--retries", type=int, default=3, metavar="N",
+                          help="executions per claimed job before a "
+                               "failure record is written (default 3)")
+    p_worker.add_argument("--poll", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="manifest poll interval when idle "
+                               "(default 0.5)")
+    p_worker.set_defaults(func=_cmd_worker)
     return parser
 
 

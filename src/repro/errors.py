@@ -75,6 +75,20 @@ class SweepError(ReproError):
         self.failures = list(failures)
 
 
+class ServeError(ReproError):
+    """A job-service failure: a rejected request, a dead daemon, or an
+    HTTP error answer from ``repro serve``.
+
+    Carries the HTTP ``status`` (0 when the daemon was unreachable) so
+    clients can distinguish "bad request" from "service down" without
+    string-matching the message.
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
 class FaultInjectionError(ReproError):
     """An error raised deliberately by the test fault injector.
 

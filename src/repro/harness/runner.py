@@ -182,8 +182,8 @@ def derive_secondary_workload(primary: Workload, ray_kind: str,
                     light=primary.light)
 
 
-def _build_workload(scene_name: str, preset: SimPreset,
-                    ray_kind: str = "primary", seed: int = 0) -> Workload:
+def build_workload(scene_name: str, preset: SimPreset,
+                   ray_kind: str = "primary", seed: int = 0) -> Workload:
     """Uncached workload build (one scene + tree + trace, reused per kind)."""
     primary = build_primary_workload(scene_name, preset)
     if ray_kind == "primary":
@@ -203,19 +203,19 @@ def prepare_workload(scene_name: str, preset: SimPreset,
     instance. Cached and freshly built workloads are bit-identical.
     """
     if cache is False:
-        return _build_workload(scene_name, preset, ray_kind, seed)
+        return build_workload(scene_name, preset, ray_kind, seed)
     from repro.harness.cache import WorkloadCache, cache_enabled, default_cache
     if isinstance(cache, WorkloadCache):
         return cache.workload(scene_name, preset, ray_kind, seed)
     if not cache_enabled():
-        return _build_workload(scene_name, preset, ray_kind, seed)
+        return build_workload(scene_name, preset, ray_kind, seed)
     return default_cache().workload(scene_name, preset, ray_kind, seed)
 
 
-def _config_for_mode(mode: str, preset: SimPreset,
-                     fast_forward: bool | None = None,
-                     executor: str | None = None,
-                     scheduler: str | None = None) -> GPUConfig:
+def config_for_mode(mode: str, preset: SimPreset,
+                    fast_forward: bool | None = None,
+                    executor: str | None = None,
+                    scheduler: str | None = None) -> GPUConfig:
     """The machine configuration for one mode at one preset scale.
 
     ``fast_forward`` overrides the event-driven clock toggle; None keeps
@@ -246,29 +246,29 @@ def _config_for_mode(mode: str, preset: SimPreset,
     return scaled_config(preset.num_sms, **overrides)
 
 
-def _launch_for_mode(mode: str, num_rays: int):
+def launch_for_mode(mode: str, num_rays: int):
     if mode.startswith("spawn"):
         return microkernel_launch_spec(num_rays)
     return traditional_launch_spec(num_rays)
 
 
-def _run_mode(mode: str, workload: Workload,
-              max_cycles: int | None = None,
-              fast_forward: bool | None = None,
-              executor: str | None = None,
-              scheduler: str | None = None,
-              trace=None) -> RunResult:
+def run_mode(mode: str, workload: Workload,
+             max_cycles: int | None = None,
+             fast_forward: bool | None = None,
+             executor: str | None = None,
+             scheduler: str | None = None,
+             trace=None) -> RunResult:
     """Simulate one mode on a prepared workload.
 
     ``trace`` attaches a :class:`repro.obs.TraceSession` to the machine;
     the returned result carries it (finalized) as ``result.trace``.
     """
     preset = workload.preset
-    config = _config_for_mode(mode, preset, fast_forward=fast_forward,
-                              executor=executor, scheduler=scheduler)
+    config = config_for_mode(mode, preset, fast_forward=fast_forward,
+                             executor=executor, scheduler=scheduler)
     image = build_memory_image(workload.tree, workload.origins,
                                workload.directions, workload.t_max)
-    launch = _launch_for_mode(mode, workload.num_rays)
+    launch = launch_for_mode(mode, workload.num_rays)
     gpu = GPU(config, launch, image.global_mem, image.const_mem,
               divergence_window=preset.divergence_window, trace=trace)
     stats = gpu.run(max_cycles=max_cycles)
@@ -279,8 +279,9 @@ def _run_mode(mode: str, workload: Workload,
 def _deprecated_alias(name: str, replacement: str, func):
     """A module-level shim that warns once per call site, then delegates.
 
-    The old harness entry points keep working for one release cycle;
-    :mod:`repro.api` is the supported surface.
+    The old underscore-named entry points keep working for one release
+    cycle; the public names here (re-exported by :mod:`repro.api`) are the
+    supported surface.
     """
     def shim(*args, **kwargs):
         warnings.warn(
@@ -294,14 +295,34 @@ def _deprecated_alias(name: str, replacement: str, func):
     return shim
 
 
-build_workload = _deprecated_alias(
-    "build_workload", "repro.api.build_workload", _build_workload)
-config_for_mode = _deprecated_alias(
-    "config_for_mode", "repro.api.config_for_mode", _config_for_mode)
-launch_for_mode = _deprecated_alias(
-    "launch_for_mode", "repro.api.launch_for_mode", _launch_for_mode)
-run_mode = _deprecated_alias(
-    "run_mode", "repro.api.simulate", _run_mode)
+#: Pre-1.0 these building blocks were underscore-named and re-exported by
+#: ``repro.api`` under the public spellings; the public names now live
+#: here and the old spellings warn.
+_build_workload = _deprecated_alias(
+    "_build_workload", "repro.api.build_workload", build_workload)
+_config_for_mode = _deprecated_alias(
+    "_config_for_mode", "repro.api.config_for_mode", config_for_mode)
+_launch_for_mode = _deprecated_alias(
+    "_launch_for_mode", "repro.api.launch_for_mode", launch_for_mode)
+_run_mode = _deprecated_alias(
+    "_run_mode", "repro.api.run_mode", run_mode)
+
+__all__ = [
+    "MODES",
+    "PAPER_SMS",
+    "RunResult",
+    "StatsView",
+    "Workload",
+    "build_primary_workload",
+    "build_workload",
+    "config_for_mode",
+    "derive_secondary_workload",
+    "launch_for_mode",
+    "mimd_for_workload",
+    "mimd_rays_per_second",
+    "prepare_workload",
+    "run_mode",
+]
 
 
 def mimd_for_workload(workload: Workload) -> MIMDResult:
@@ -318,12 +339,12 @@ def mimd_for_workload(workload: Workload) -> MIMDResult:
               + counters.leaf_visits * (model["leaf_visit"] + model["pop"])
               + counters.triangle_tests * model["triangle_test"]
               + model["write"])
-    config = _config_for_mode("pdom_ideal", workload.preset)
+    config = config_for_mode("pdom_ideal", workload.preset)
     return mimd_theoretical(counts, config)
 
 
 def mimd_rays_per_second(workload: Workload) -> float:
     """MIMD-theoretical rays/s scaled to the 30-SM machine."""
     result = mimd_for_workload(workload)
-    config = _config_for_mode("pdom_ideal", workload.preset)
+    config = config_for_mode("pdom_ideal", workload.preset)
     return result.rays_per_second(config, scale_to_sms=PAPER_SMS)

@@ -41,7 +41,6 @@ Fault tolerance (see ``docs/architecture.md`` for the failure model):
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import pathlib
 import signal
@@ -63,10 +62,11 @@ from repro.errors import (
 )
 from repro.harness.cache import atomic_write_text, resolve_cache_dir
 from repro.harness.presets import get_preset
-from repro.harness.runner import StatsView, _run_mode, prepare_workload
+from repro.harness.runner import StatsView, prepare_workload, run_mode
 from repro.simt.gpu import RunStats
 
-#: Schema tag written into every checkpoint-manifest line.
+#: Legacy schema tag of pre-wire checkpoint manifests; still accepted on
+#: load (new lines are ``repro-wire/1`` — see :mod:`repro.serve.wire`).
 CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/1"
 
 #: How often the pool loop polls futures for completion and watchdog
@@ -85,6 +85,8 @@ class SweepJob:
     seed: int = 0
     max_cycles: int | None = None
     fast_forward: bool | None = None
+    executor: str | None = None
+    scheduler: str | None = None
 
     @property
     def key(self) -> tuple[str, str, str, int]:
@@ -99,15 +101,23 @@ class SweepJob:
 
         Checkpoint records are keyed by :attr:`key` *and* this digest, so
         a resumed sweep never serves a result that was computed under a
-        different preset, cycle budget, or clock.
+        different preset, cycle budget, or clock. ``executor`` and
+        ``scheduler`` join the hash only when set — both backends are
+        bit-identical by contract, and leaving the defaults out keeps
+        digests (and therefore existing checkpoint manifests) stable for
+        every job spec that predates the fields.
         """
-        text = "|".join((
+        parts = [
             "sweep-job-v1", self.scene, self.mode, self.preset,
             self.ray_kind, f"seed={self.seed}",
             f"max_cycles={self.max_cycles}",
             f"fast_forward={self.fast_forward}",
-        ))
-        return hashlib.sha256(text.encode()).hexdigest()[:16]
+        ]
+        if self.executor is not None:
+            parts.append(f"executor={self.executor}")
+        if self.scheduler is not None:
+            parts.append(f"scheduler={self.scheduler}")
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -386,8 +396,9 @@ def execute_job(job: SweepJob, injector: FaultInjector | None = None) -> JobResu
     start = time.perf_counter()
     workload = prepare_workload(job.scene, preset, ray_kind=job.ray_kind,
                                 seed=job.seed)
-    result = _run_mode(job.mode, workload, max_cycles=job.max_cycles,
-                       fast_forward=job.fast_forward)
+    result = run_mode(job.mode, workload, max_cycles=job.max_cycles,
+                      fast_forward=job.fast_forward,
+                      executor=job.executor, scheduler=job.scheduler)
     wall = time.perf_counter() - start
     return JobResult(job=job, stats=result.stats, num_rays=workload.num_rays,
                      verified=result.verify(), wall_seconds=wall)
@@ -438,22 +449,46 @@ def _execute_with_deadline(job: SweepJob,
 
 
 def default_checkpoint_path(tag: str) -> pathlib.Path:
-    """Where ``repro experiments --resume`` keeps its manifest by default."""
+    """Where ``repro experiments --resume`` keeps its manifest by default.
+
+    ``REPRO_CHECKPOINT_DIR`` overrides the directory so multi-host workers
+    can point at a shared filesystem without passing ``--checkpoint``
+    everywhere; the default stays ``<cache-dir>/checkpoints``. An override
+    that cannot be created or written raises
+    :class:`~repro.errors.ConfigError` immediately — a sweep must not run
+    for minutes and then fail on its first checkpoint append.
+    """
+    override = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if override:
+        directory = pathlib.Path(override)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(
+                f"REPRO_CHECKPOINT_DIR={override!r} cannot be created: "
+                f"{exc}") from None
+        if not os.access(directory, os.W_OK):
+            raise ConfigError(
+                f"REPRO_CHECKPOINT_DIR={override!r} is not writable")
+        return directory / f"{tag}.jsonl"
     return resolve_cache_dir() / "checkpoints" / f"{tag}.jsonl"
 
 
 class SweepCheckpoint:
     """On-disk JSONL manifest of completed sweep jobs.
 
-    One JSON document per line, each embedding the versioned
+    One ``repro-wire/1`` ``result`` record per line (see
+    :mod:`repro.serve.wire`), each embedding the versioned
     ``RunStats.to_dict`` payload plus the job key, preset name, and the
     job's :meth:`SweepJob.config_digest`. Lookup requires key *and* digest
     to match, so a resumed sweep never serves a result computed under
     different settings, and :meth:`lookup` reconstructs the
     :class:`JobResult` through ``RunStats.from_dict`` — bit-identical for
     every reported counter. The file is replaced atomically on every
-    append (:func:`repro.harness.cache.atomic_write_text`), and corrupt or
-    foreign lines are skipped on load, never fatal.
+    append (:func:`repro.harness.cache.atomic_write_text`); corrupt or
+    foreign lines are skipped on load, never fatal, and manifests written
+    by the pre-wire ``repro-sweep-checkpoint/1`` schema keep loading (and
+    resuming bit-identically) through the wire module's compat path.
     """
 
     def __init__(self, path: str | pathlib.Path):
@@ -461,63 +496,45 @@ class SweepCheckpoint:
         self._records: dict[tuple, dict] = {}
         self._lines: list[str] = []
 
-    @staticmethod
-    def _record_key(record: dict) -> tuple:
-        return (tuple(record["key"]), record["digest"])
-
     def load(self) -> int:
         """(Re-)read the manifest; returns the number of usable records."""
+        from repro.serve import wire
+
         self._records.clear()
         self._lines = []
         if not self.path.exists():
             return 0
         for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
+            record = wire.parse_line(line)
+            if record is None or record.get("kind") != "result":
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail line from an interrupted writer
-            if not isinstance(record, dict) \
-                    or record.get("schema") != CHECKPOINT_SCHEMA:
-                continue
-            try:
-                key = self._record_key(record)
+                key = wire.record_key(record)
             except (KeyError, TypeError):
                 continue
             self._records[key] = record
-            self._lines.append(json.dumps(record, sort_keys=True))
+            self._lines.append(wire.dump_line(record))
         return len(self._records)
 
     def lookup(self, job: SweepJob) -> JobResult | None:
         """The checkpointed result for ``job``, or None if absent/stale."""
+        from repro.serve import wire
+
         record = self._records.get((job.key, job.config_digest()))
         if record is None:
             return None
         try:
-            stats = RunStats.from_dict(record["stats"])
-            return JobResult(job=job, stats=stats,
-                             num_rays=int(record["num_rays"]),
-                             verified=bool(record["verified"]),
-                             wall_seconds=float(record["wall_seconds"]))
+            return wire.result_from_wire(record, job=job)
         except (ConfigError, KeyError, TypeError, ValueError):
             return None  # schema drift: re-simulate rather than fail
 
     def record(self, result: JobResult) -> None:
         """Append one completed job and atomically republish the file."""
-        record = {
-            "schema": CHECKPOINT_SCHEMA,
-            "key": list(result.job.key),
-            "preset": result.job.preset,
-            "digest": result.job.config_digest(),
-            "num_rays": result.num_rays,
-            "verified": result.verified,
-            "wall_seconds": result.wall_seconds,
-            "stats": result.stats.to_dict(),
-        }
-        self._records[self._record_key(record)] = record
-        self._lines.append(json.dumps(record, sort_keys=True))
+        from repro.serve import wire
+
+        record = wire.result_to_wire(result)
+        self._records[wire.record_key(record)] = record
+        self._lines.append(wire.dump_line(record))
         atomic_write_text(self.path, "\n".join(self._lines) + "\n")
 
 

@@ -33,9 +33,11 @@ from repro.obs.probe import (
     SMProbe,
     TraceSession,
 )
+from repro.obs.progress import EventLog
 
 __all__ = [
     "DEFAULT_INTERVAL",
+    "EventLog",
     "IDLE_CAUSES",
     "INTERVAL_COLUMNS",
     "IntervalBuffer",

@@ -1,0 +1,91 @@
+"""Thread-safe progress event logs for long-running service jobs.
+
+The job server (:mod:`repro.serve.server`) runs each submitted job on a
+worker thread and needs to hand its progress lines to any number of
+concurrent HTTP readers — including readers that connect *while* the job
+is still running and want to stream the tail (``GET
+/v1/jobs/<id>/events``). :class:`EventLog` is the buffer between them:
+writers :meth:`emit` structured events, readers either :meth:`snapshot`
+the history or :meth:`follow` it live until the log is :meth:`close`-d.
+
+Events are plain dicts (``{"seq": N, "message": ...}`` plus whatever
+fields the writer attached) so they serialize straight to NDJSON without
+a schema layer; ordering is the append order and ``seq`` is dense, which
+lets a reconnecting reader resume exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+
+class EventLog:
+    """An append-only, closeable event buffer with live followers.
+
+    All methods are thread-safe. The log never drops events — service
+    jobs emit tens of lines, not millions; anything unbounded (per-cycle
+    telemetry) belongs in :class:`repro.obs.probe.TraceSession`, not here.
+    """
+
+    def __init__(self):
+        self._events: list[dict] = []
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def emit(self, message: str, **fields) -> dict:
+        """Append one event; returns the stored record (with its seq)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("EventLog is closed; no further events "
+                                   "may be emitted")
+            event = {"seq": len(self._events), "message": str(message)}
+            event.update(fields)
+            self._events.append(event)
+            self._cond.notify_all()
+            return event
+
+    def close(self) -> None:
+        """Mark the log complete and wake every follower. Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def snapshot(self, start: int = 0) -> list[dict]:
+        """Copy of the events from ``start`` onward (no blocking)."""
+        with self._cond:
+            return list(self._events[start:])
+
+    def follow(self, start: int = 0,
+               poll_seconds: float = 0.25) -> Iterator[dict]:
+        """Yield events from ``start`` onward until the log closes.
+
+        Blocks between events (waking at least every ``poll_seconds`` so
+        a streaming HTTP handler can notice a dead client) and returns
+        once every event has been yielded *and* the log is closed — a
+        follower never misses a tail event emitted just before close.
+        """
+        position = start
+        while True:
+            with self._cond:
+                while position >= len(self._events) and not self._closed:
+                    self._cond.wait(timeout=poll_seconds)
+                batch = list(self._events[position:])
+                finished = self._closed and \
+                    position + len(batch) >= len(self._events)
+            yield from batch
+            position += len(batch)
+            if finished:
+                return
+
+
+__all__ = ["EventLog"]

@@ -1,0 +1,305 @@
+"""Shared JSONL manifest: shard one sweep across worker processes/hosts.
+
+The manifest is a single append-only JSONL file (``repro-wire/1``
+records, see :mod:`repro.serve.wire`) living on a filesystem every
+participant can reach. The protocol has three record kinds:
+
+- the driver publishes one ``job`` record per sweep job (atomically, so
+  workers never observe a half-written job list);
+- a worker bids for a job by appending a ``claim`` record with
+  ``O_APPEND`` (atomic for lines this short, the same guarantee PR 4's
+  crash breadcrumbs rely on). Ties are resolved by file order: after
+  appending, the worker re-reads the file, and **the first claim line
+  for a (key, digest) owns the job** — every racer sees the same order,
+  so exactly one worker executes each job and the losers move on;
+- the owner appends a ``result`` record (the versioned ``RunStats``
+  payload) on success, or a ``failure`` record when its retry budget is
+  spent.
+
+The driver (:func:`run_sharded_sweep`) merges partials in the original
+job order and *locally re-executes* any job that has no usable result —
+a worker that died after claiming, or a result line torn by a crash,
+costs wasted work, never correctness. The simulator is deterministic, so
+the merged :class:`~repro.harness.sweep.SweepResults` is bit-identical
+to a serial ``jobs_n=1`` run (locked down by
+``tests/serve/test_manifest.py`` and the CI service-smoke job).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ConfigError, SweepError
+from repro.harness.cache import atomic_write_text
+from repro.harness.sweep import (
+    FailedJob,
+    JobResult,
+    RetryPolicy,
+    SweepJob,
+    SweepResults,
+    _check_duplicate_jobs,
+    execute_job,
+    warm_workloads,
+)
+from repro.serve import wire
+
+
+@dataclass
+class ManifestState:
+    """One parsed snapshot of a shard manifest."""
+
+    jobs: list[SweepJob] = field(default_factory=list)
+    claims: dict[tuple, str] = field(default_factory=dict)
+    results: dict[tuple, dict] = field(default_factory=dict)
+    failures: dict[tuple, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def ident(job: SweepJob) -> tuple:
+        return (job.key, job.config_digest())
+
+    def is_open(self, job: SweepJob) -> bool:
+        """True when nobody has claimed or finished ``job`` yet."""
+        ident = self.ident(job)
+        return (ident not in self.claims and ident not in self.results
+                and ident not in self.failures)
+
+    def is_settled(self, job: SweepJob) -> bool:
+        """True when ``job`` has a result or a recorded failure."""
+        ident = self.ident(job)
+        return ident in self.results or ident in self.failures
+
+    @property
+    def settled(self) -> int:
+        return sum(1 for job in self.jobs if self.is_settled(job))
+
+
+class ShardManifest:
+    """Append-only claim/result manifest shared by sweep workers.
+
+    All mutation is line-append (``open(..., "a")`` → ``O_APPEND``);
+    :meth:`load` tolerates torn tail lines and foreign records, so a
+    crashing writer can never corrupt the campaign — at worst its last
+    line is ignored and the job is re-executed by someone else.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+
+    @classmethod
+    def create(cls, path: str | pathlib.Path,
+               jobs: Iterable[SweepJob]) -> "ShardManifest":
+        """Publish a fresh manifest holding one ``job`` record per job.
+
+        The initial file appears atomically (temp sibling + rename), so a
+        worker that races the driver sees either no manifest or the whole
+        job list — never a prefix.
+        """
+        job_list = list(jobs)
+        _check_duplicate_jobs(job_list)
+        if not job_list:
+            raise ConfigError("refusing to create an empty shard manifest")
+        manifest = cls(path)
+        lines = [wire.dump_line(wire.job_to_wire(job)) for job in job_list]
+        atomic_write_text(manifest.path, "\n".join(lines) + "\n")
+        return manifest
+
+    @classmethod
+    def attach(cls, path: str | pathlib.Path,
+               jobs: Iterable[SweepJob]) -> "ShardManifest":
+        """Open an existing manifest, appending any job specs it lacks.
+
+        This is the resume path: completed ``result`` records stay valid
+        (they are matched by key + config digest), new jobs join the
+        campaign, and jobs whose digest changed are simply re-published
+        under their new digest.
+        """
+        manifest = cls(path)
+        if not manifest.path.exists():
+            return cls.create(path, jobs)
+        state = manifest.load()
+        known = {ManifestState.ident(job) for job in state.jobs}
+        for job in jobs:
+            if ManifestState.ident(job) not in known:
+                manifest._append(wire.job_to_wire(job))
+        return manifest
+
+    def _append(self, record: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(wire.dump_line(record) + "\n")
+
+    def load(self) -> ManifestState:
+        """Parse the manifest; first claim per job wins, last result sticks."""
+        state = ManifestState()
+        if not self.path.exists():
+            return state
+        seen_jobs = set()
+        for line in self.path.read_text().splitlines():
+            record = wire.parse_line(line)
+            if record is None:
+                continue
+            kind = record.get("kind")
+            try:
+                if kind == "job":
+                    job = wire.job_from_wire(record)
+                    ident = ManifestState.ident(job)
+                    if ident not in seen_jobs:
+                        seen_jobs.add(ident)
+                        state.jobs.append(job)
+                elif kind == "claim":
+                    ident = wire.record_key(record)
+                    state.claims.setdefault(ident, str(record["worker"]))
+                elif kind == "result":
+                    state.results[wire.record_key(record)] = record
+                elif kind == "failure":
+                    state.failures[wire.record_key(record)] = record
+            except (ConfigError, KeyError, TypeError, ValueError):
+                continue  # damaged record: skip, never fail the campaign
+        return state
+
+    def claim(self, job: SweepJob, worker: str) -> bool:
+        """Bid for ``job``; True iff this worker's claim landed first.
+
+        Appending is the bid, the re-read is the adjudication: every
+        worker that appended sees the same file order, so they all agree
+        on the single winner without any locking.
+        """
+        self._append(wire.claim_to_wire(job, worker))
+        state = self.load()
+        return state.claims.get(ManifestState.ident(job)) == str(worker)
+
+    def record_result(self, result: JobResult) -> None:
+        self._append(wire.result_to_wire(result))
+
+    def record_failure(self, job: SweepJob, kind: str, error: str,
+                       attempts: int = 1) -> None:
+        self._append(wire.failure_to_wire(job, kind, error,
+                                          attempts=attempts))
+
+
+def _execute_with_retry(job: SweepJob, retry: RetryPolicy,
+                        emit: Callable[[str], None]):
+    """Serial execute-with-backoff; returns a JobResult or a FailedJob."""
+    error, kind = "", "exception"
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            return execute_job(job)
+        except Exception as exc:
+            kind = "timeout" if isinstance(exc, TimeoutError) else "exception"
+            error = f"{type(exc).__name__}: {exc}"
+            if attempt < retry.max_attempts:
+                emit(f"[retry] {job.describe()}  attempt "
+                     f"{attempt + 1}/{retry.max_attempts} after {error}")
+                delay = retry.backoff_for(attempt)
+                if delay:
+                    time.sleep(delay)
+    return FailedJob(job=job, attempts=retry.max_attempts, kind=kind,
+                     error=error)
+
+
+def worker_command(manifest_path: str | pathlib.Path, ident: str,
+                   retries: int = 3) -> list[str]:
+    """The ``repro worker`` argv that joins this campaign (any host)."""
+    return [sys.executable, "-m", "repro.cli", "worker",
+            "--manifest", str(manifest_path), "--once",
+            "--id", str(ident), "--retries", str(retries)]
+
+
+def run_sharded_sweep(jobs: Iterable[SweepJob],
+                      manifest_path: str | pathlib.Path,
+                      shards: int = 2,
+                      progress: Callable[[str], None] | None = None, *,
+                      strict: bool = True, retry: RetryPolicy | None = None,
+                      resume: bool = False,
+                      spawn_workers: bool = True,
+                      worker_timeout: float | None = None) -> SweepResults:
+    """Fan one sweep over ``shards`` worker processes via a shared manifest.
+
+    With ``spawn_workers=True`` (default) the driver launches ``shards``
+    local ``repro worker --manifest ... --once`` subprocesses and waits
+    for them; with ``spawn_workers=False`` it only publishes the manifest
+    and merges whatever external workers (other hosts pointing at the
+    same file) have produced — plus everything still missing, which the
+    driver executes itself. Either way the merged results keep the input
+    job order and are bit-identical to ``run_sweep(jobs, jobs_n=1)``.
+    """
+    job_list = list(jobs)
+    _check_duplicate_jobs(job_list)
+    retry = RetryPolicy() if retry is None else retry
+    emit = progress if progress is not None else (lambda line: None)
+    path = pathlib.Path(manifest_path)
+    if path.exists() and not resume:
+        raise ConfigError(
+            f"shard manifest {path} already exists; pass resume=True to "
+            f"continue that campaign or remove the file to start over")
+    manifest = ShardManifest.attach(path, job_list) if resume \
+        else ShardManifest.create(path, job_list)
+
+    procs: list[subprocess.Popen] = []
+    if spawn_workers and shards > 0:
+        # Pre-populate the workload cache so racing shards don't all
+        # rebuild the same scenes (racing is correct, just wasted work).
+        warm_workloads(sorted({job.scene for job in job_list}),
+                       job_list[0].preset,
+                       ray_kinds=sorted({job.ray_kind for job in job_list}),
+                       jobs_n=shards)
+        for index in range(shards):
+            procs.append(subprocess.Popen(
+                worker_command(path, f"shard{index}",
+                               retries=retry.max_attempts)))
+        deadline = None if worker_timeout is None \
+            else time.monotonic() + worker_timeout
+        for proc in procs:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                emit(f"[shard] worker pid {proc.pid} exceeded "
+                     f"{worker_timeout:.1f}s; killed (its claimed jobs "
+                     f"will be re-executed by the driver)")
+
+    # Merge: results in input order; anything missing runs right here.
+    state = manifest.load()
+    results: list[JobResult] = []
+    failures: list[FailedJob] = []
+    done = 0
+    total = len(job_list)
+    for job in job_list:
+        ident = ManifestState.ident(job)
+        record = state.results.get(ident)
+        merged: JobResult | FailedJob | None = None
+        if record is not None:
+            try:
+                merged = wire.result_from_wire(record, job=job)
+            except (ConfigError, KeyError, TypeError, ValueError):
+                merged = None  # torn/stale record: recompute below
+        if merged is None:
+            merged = _execute_with_retry(job, retry, emit)
+            if isinstance(merged, JobResult):
+                manifest.record_result(merged)
+        done += 1
+        if isinstance(merged, JobResult):
+            results.append(merged)
+            emit(f"[{done}/{total}] {job.describe()}  "
+                 f"{merged.stats.cycles} cycles  merged")
+        else:
+            failures.append(merged)
+            emit(f"[{done}/{total}] {merged.describe()}")
+
+    swept = SweepResults(results, failures=failures)
+    if strict and failures:
+        names = ", ".join(failure.job.describe() for failure in failures)
+        error = SweepError(
+            f"{len(failures)} of {total} sharded sweep jobs permanently "
+            f"failed: {names} (pass strict=False for partial results)",
+            failures)
+        error.results = swept
+        raise error
+    return swept

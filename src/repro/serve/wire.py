@@ -1,0 +1,342 @@
+"""The versioned ``repro-wire/1`` JSON schema for everything that travels.
+
+Before this module there were three ad-hoc JSON shapes in the tree:
+checkpoint-manifest lines (``repro-sweep-checkpoint/1``), the versioned
+``RunStats.to_dict`` payload, and the job specs the CLI/api accepted as
+dicts. This module unifies them behind one envelope so the job server,
+the shard manifest, and the checkpoint files all speak one language::
+
+    {"schema": "repro-wire/1", "kind": <kind>, ...}
+
+Kinds
+=====
+
+=================  =========================================================
+kind               payload
+=================  =========================================================
+job                one :class:`~repro.harness.sweep.SweepJob` spec, plus its
+                   ``key`` and ``config_digest`` for manifest matching
+claim              a worker's bid to execute one job (``key``/``digest`` +
+                   ``worker`` ident); first claim line in the file wins
+result             a completed :class:`~repro.harness.sweep.JobResult`:
+                   job key/digest + the versioned ``RunStats.to_dict``
+                   payload (bit-identical round trip)
+failure            a quarantined job (worker-side failure record)
+simulate-request   one ``api.simulate`` call by value
+sweep-request      one ``api.sweep`` call by value (a list of job specs
+                   plus worker/shard counts and retry policy)
+=================  =========================================================
+
+Compatibility: :func:`parse_line` additionally accepts the legacy
+``repro-sweep-checkpoint/1`` records PR 4 wrote and normalizes them into
+``result`` records, so existing manifests keep resuming bit-identically.
+Torn or foreign lines parse to ``None``, never raise — append-only files
+written by crashing workers must stay loadable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+
+from repro.errors import ConfigError, did_you_mean
+from repro.harness.sweep import JobResult, SweepJob
+from repro.simt.gpu import RunStats
+
+#: Schema tag carried by every wire record.
+WIRE_SCHEMA = "repro-wire/1"
+
+#: The checkpoint schema PR 4 wrote; still accepted on read.
+LEGACY_CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/1"
+
+_JOB_FIELDS = tuple(f.name for f in fields(SweepJob))
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One ``api.simulate`` call, by value (the server-side job spec).
+
+    Mirrors the keyword surface of :func:`repro.api.simulate` minus the
+    things that cannot travel (a prepared ``Workload`` object, a live
+    ``TraceSession``).
+    """
+
+    scene: str
+    mode: str
+    preset: str = "fast"
+    ray_kind: str = "primary"
+    seed: int = 0
+    max_cycles: int | None = None
+    fast_forward: bool | None = None
+    executor: str | None = None
+    scheduler: str | None = None
+
+    def to_job(self) -> SweepJob:
+        """The equivalent sweep job (one request == a one-job sweep)."""
+        return SweepJob(scene=self.scene, mode=self.mode, preset=self.preset,
+                        ray_kind=self.ray_kind, seed=self.seed,
+                        max_cycles=self.max_cycles,
+                        fast_forward=self.fast_forward,
+                        executor=self.executor, scheduler=self.scheduler)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One ``api.sweep`` call, by value.
+
+    ``jobs_n`` picks the in-process worker-pool size (the ``--jobs`` knob);
+    ``shards`` > 1 instead fans the sweep over that many *worker
+    processes* claiming from a shared manifest (see
+    :func:`repro.serve.manifest.run_sharded_sweep`). ``retries`` and
+    ``job_timeout`` feed the sweep's :class:`~repro.harness.sweep.RetryPolicy`.
+    """
+
+    jobs: tuple[SweepJob, ...]
+    jobs_n: int | None = None
+    shards: int = 0
+    retries: int = 3
+    job_timeout: float | None = None
+
+    def __post_init__(self):
+        if not self.jobs:
+            raise ConfigError("a sweep request needs at least one job")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.retries < 1:
+            raise ConfigError(f"retries must be >= 1, got {self.retries}")
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def job_to_wire(job: SweepJob) -> dict:
+    record = {"schema": WIRE_SCHEMA, "kind": "job",
+              "key": list(job.key), "digest": job.config_digest()}
+    record.update(asdict(job))
+    return record
+
+
+def claim_to_wire(job: SweepJob, worker: str) -> dict:
+    """A worker's bid for one job; ties resolve by file order (first wins)."""
+    return {"schema": WIRE_SCHEMA, "kind": "claim", "key": list(job.key),
+            "digest": job.config_digest(), "worker": str(worker)}
+
+
+def result_to_wire(result: JobResult) -> dict:
+    """A completed job, embedding the versioned ``RunStats`` payload.
+
+    Carries the full job spec too, so a result line can be rehydrated
+    standalone (the shard driver merges results for jobs *it* enumerated,
+    but a human or a cross-host tool only has the file).
+    """
+    return {
+        "schema": WIRE_SCHEMA,
+        "kind": "result",
+        "key": list(result.job.key),
+        "preset": result.job.preset,
+        "digest": result.job.config_digest(),
+        "job": asdict(result.job),
+        "num_rays": result.num_rays,
+        "verified": result.verified,
+        "wall_seconds": result.wall_seconds,
+        "stats": result.stats.to_dict(),
+    }
+
+
+def failure_to_wire(job: SweepJob, kind: str, error: str,
+                    attempts: int = 1) -> dict:
+    return {"schema": WIRE_SCHEMA, "kind": "failure", "key": list(job.key),
+            "digest": job.config_digest(), "failure_kind": str(kind),
+            "error": str(error), "attempts": int(attempts)}
+
+
+def request_to_wire(request: SimulateRequest | SweepRequest) -> dict:
+    if isinstance(request, SimulateRequest):
+        record = {"schema": WIRE_SCHEMA, "kind": "simulate-request"}
+        record.update(asdict(request))
+        return record
+    if isinstance(request, SweepRequest):
+        return {
+            "schema": WIRE_SCHEMA,
+            "kind": "sweep-request",
+            "jobs": [asdict(job) for job in request.jobs],
+            "jobs_n": request.jobs_n,
+            "shards": request.shards,
+            "retries": request.retries,
+            "job_timeout": request.job_timeout,
+        }
+    raise ConfigError(f"not a wire request: {type(request).__name__}")
+
+
+def to_wire(obj) -> dict:
+    """Encode any wire-capable object as a ``repro-wire/1`` record."""
+    if isinstance(obj, SweepJob):
+        return job_to_wire(obj)
+    if isinstance(obj, JobResult):
+        return result_to_wire(obj)
+    if isinstance(obj, (SimulateRequest, SweepRequest)):
+        return request_to_wire(obj)
+    if isinstance(obj, RunStats):
+        return {"schema": WIRE_SCHEMA, "kind": "stats",
+                "stats": obj.to_dict()}
+    raise ConfigError(
+        f"cannot encode {type(obj).__name__} as a wire record; expected "
+        f"SweepJob, JobResult, SimulateRequest, SweepRequest, or RunStats")
+
+
+def dump_line(obj) -> str:
+    """One canonical JSONL line (sorted keys, no trailing newline)."""
+    record = obj if isinstance(obj, dict) else to_wire(obj)
+    return json.dumps(record, sort_keys=True)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _dataclass_from(cls, data: dict, *, what: str):
+    """Strictly build a dataclass from wire fields (typo'd keys raise)."""
+    names = {f.name for f in fields(cls)}
+    unknown = [key for key in data if key not in names]
+    if unknown:
+        raise ConfigError(f"unknown {what} field {unknown[0]!r}."
+                          f"{did_you_mean(unknown[0], names)}")
+    return cls(**data)
+
+
+def job_from_wire(record: dict) -> SweepJob:
+    data = {name: record[name] for name in _JOB_FIELDS if name in record}
+    missing = [name for name in ("scene", "mode", "preset")
+               if name not in data]
+    if missing:
+        raise ConfigError(f"job record is missing {missing[0]!r}")
+    job = _dataclass_from(SweepJob, data, what="job")
+    digest = record.get("digest")
+    if digest is not None and digest != job.config_digest():
+        raise ConfigError(
+            f"job record digest {digest!r} does not match the spec "
+            f"({job.config_digest()!r}); the manifest was written by an "
+            f"incompatible build")
+    return job
+
+
+def result_from_wire(record: dict, job: SweepJob | None = None) -> JobResult:
+    """Rehydrate a result record; ``RunStats`` round-trips bit-identically.
+
+    ``job`` overrides the embedded spec (the resume path matches records
+    by key+digest and wants *its* job object back, not a reparsed one).
+    """
+    if job is None:
+        embedded = record.get("job")
+        if embedded is None:
+            raise ConfigError("result record embeds no job spec; pass job=")
+        job = _dataclass_from(SweepJob, dict(embedded), what="job")
+    return JobResult(job=job, stats=RunStats.from_dict(record["stats"]),
+                     num_rays=int(record["num_rays"]),
+                     verified=bool(record["verified"]),
+                     wall_seconds=float(record["wall_seconds"]))
+
+
+def request_from_wire(record: dict) -> SimulateRequest | SweepRequest:
+    kind = record.get("kind")
+    body = {key: value for key, value in record.items()
+            if key not in ("schema", "kind")}
+    if kind == "simulate-request":
+        return _dataclass_from(SimulateRequest, body,
+                               what="simulate request")
+    if kind == "sweep-request":
+        jobs = body.pop("jobs", None)
+        if not jobs:
+            raise ConfigError("sweep request carries no jobs")
+        body["jobs"] = tuple(
+            _dataclass_from(SweepJob, dict(spec), what="job")
+            for spec in jobs)
+        return _dataclass_from(SweepRequest, body, what="sweep request")
+    raise ConfigError(f"not a wire request record: kind={kind!r}")
+
+
+def from_wire(record: dict):
+    """Decode one wire record into its domain object.
+
+    ``job``/``result``/requests come back as their dataclasses; ``claim``
+    and ``failure`` records are protocol-level and come back as plain
+    dicts (there is no richer domain object for them).
+    """
+    if not isinstance(record, dict):
+        raise ConfigError(f"wire records are JSON objects, got "
+                          f"{type(record).__name__}")
+    schema = record.get("schema")
+    if schema == LEGACY_CHECKPOINT_SCHEMA:
+        record = normalize_legacy_checkpoint(record)
+        schema = record["schema"]
+    if schema != WIRE_SCHEMA:
+        raise ConfigError(f"unsupported wire schema {schema!r} (this build "
+                          f"reads {WIRE_SCHEMA})")
+    kind = record.get("kind")
+    if kind == "job":
+        return job_from_wire(record)
+    if kind == "result":
+        return result_from_wire(record)
+    if kind in ("simulate-request", "sweep-request"):
+        return request_from_wire(record)
+    if kind == "stats":
+        return RunStats.from_dict(record["stats"])
+    if kind in ("claim", "failure"):
+        return dict(record)
+    raise ConfigError(f"unknown wire record kind {kind!r}")
+
+
+def normalize_legacy_checkpoint(record: dict) -> dict:
+    """Lift a PR 4 ``repro-sweep-checkpoint/1`` line into a wire record.
+
+    The legacy shape is exactly a ``result`` record without the envelope
+    and without an embedded job spec; key, digest, and the stats payload
+    carry over untouched, so resumed lookups stay bit-identical.
+    """
+    lifted = dict(record)
+    lifted["schema"] = WIRE_SCHEMA
+    lifted["kind"] = "result"
+    return lifted
+
+
+def parse_line(line: str) -> dict | None:
+    """Parse one manifest line into a normalized wire record, or ``None``.
+
+    Tolerates torn tail lines from interrupted writers, non-JSON noise,
+    and foreign schemas — all of those return ``None`` (callers skip
+    them). Legacy checkpoint lines are normalized so callers only ever
+    see ``repro-wire/1`` records.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    schema = record.get("schema")
+    if schema == LEGACY_CHECKPOINT_SCHEMA:
+        return normalize_legacy_checkpoint(record)
+    if schema != WIRE_SCHEMA:
+        return None
+    return record
+
+
+def record_key(record: dict) -> tuple:
+    """The ``(job key, config digest)`` identity of a job-scoped record."""
+    return (tuple(record["key"]), record["digest"])
+
+
+def request_digest(request: SimulateRequest | SweepRequest | dict) -> str:
+    """Content hash identifying a service request.
+
+    Two submissions with byte-identical canonical wire encodings get the
+    same digest — the job server uses this to serve a resubmitted request
+    from its existing job (and its checkpoint) instead of recomputing.
+    """
+    record = request if isinstance(request, dict) \
+        else request_to_wire(request)
+    return hashlib.sha256(dump_line(record).encode()).hexdigest()[:16]

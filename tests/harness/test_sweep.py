@@ -26,6 +26,7 @@ from repro.harness.sweep import (
     SweepCheckpoint,
     SweepJob,
     SweepResults,
+    default_checkpoint_path,
     resolve_jobs,
     run_stats_digest,
     run_sweep,
@@ -217,6 +218,97 @@ class TestCheckpointResume:
         assert digest_map(resumed) == digest_map(serial_results)
         assert sum("resumed from checkpoint" in line for line in lines) \
             == len(SCENES) * len(MODES) - 1
+
+
+class TestCheckpointDirOverride:
+    def test_default_lives_under_the_cache_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        path = default_checkpoint_path("experiments-tiny")
+        assert path.name == "experiments-tiny.jsonl"
+        assert path.parent.name == "checkpoints"
+
+    def test_env_override_redirects_and_creates(self, tmp_path,
+                                                monkeypatch):
+        target = tmp_path / "shared" / "ckpt"
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(target))
+        path = default_checkpoint_path("campaign")
+        assert path == target / "campaign.jsonl"
+        assert target.is_dir()  # created eagerly, before any sweep runs
+
+    def test_uncreatable_override_raises_config_error(self, tmp_path,
+                                                      monkeypatch):
+        blocker = tmp_path / "file"
+        blocker.write_text("a plain file, not a directory\n")
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(blocker / "sub"))
+        with pytest.raises(ConfigError, match="cannot be created"):
+            default_checkpoint_path("campaign")
+
+    def test_unwritable_override_raises_config_error(self, tmp_path,
+                                                     monkeypatch):
+        if os.geteuid() == 0:
+            pytest.skip("running as root; every directory is writable")
+        target = tmp_path / "readonly"
+        target.mkdir()
+        target.chmod(0o555)
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(target))
+        try:
+            with pytest.raises(ConfigError, match="not writable"):
+                default_checkpoint_path("campaign")
+        finally:
+            target.chmod(0o755)
+
+
+class TestLegacyCheckpointManifests:
+    """Manifests written by the pre-wire schema must keep resuming."""
+
+    def checkpointed_job(self, tmp_path):
+        job = SweepJob(scene="conference", mode="pdom_block", preset="tiny",
+                       max_cycles=5_000)
+        manifest = tmp_path / "sweep.jsonl"
+        run_sweep([job], jobs_n=1, checkpoint=manifest)
+        return job, manifest
+
+    def downgrade_to_legacy(self, manifest):
+        """Rewrite the manifest exactly as the PR 4 schema wrote it."""
+        lines = []
+        for line in manifest.read_text().splitlines():
+            record = json.loads(line)
+            record["schema"] = "repro-sweep-checkpoint/1"
+            del record["kind"]
+            del record["job"]
+            lines.append(json.dumps(record, sort_keys=True))
+        manifest.write_text("\n".join(lines) + "\n")
+
+    def test_legacy_manifest_resumes_bit_identically(self, tmp_path,
+                                                     monkeypatch):
+        job, manifest = self.checkpointed_job(tmp_path)
+        fresh = run_sweep([job], jobs_n=1)
+        self.downgrade_to_legacy(manifest)
+
+        def explode(job, injector=None):
+            raise AssertionError(f"{job.describe()} was re-executed")
+
+        monkeypatch.setattr(sweep_module, "execute_job", explode)
+        resumed = run_sweep([job], jobs_n=1, checkpoint=manifest,
+                            resume=True)
+        assert (run_stats_digest(resumed.results[0].stats)
+                == run_stats_digest(fresh.results[0].stats))
+
+    def test_legacy_records_rewrite_as_wire_on_next_append(self, tmp_path):
+        job, manifest = self.checkpointed_job(tmp_path)
+        self.downgrade_to_legacy(manifest)
+        other = SweepJob(scene="conference", mode="pdom_warp", preset="tiny",
+                         max_cycles=5_000)
+        run_sweep([other], jobs_n=1, checkpoint=manifest, resume=True)
+        records = [json.loads(line)
+                   for line in manifest.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(record["schema"] == "repro-wire/1"
+                   for record in records)
+        checkpoint = SweepCheckpoint(manifest)
+        assert checkpoint.load() == 2
+        assert checkpoint.lookup(job) is not None
+        assert checkpoint.lookup(other) is not None
 
 
 class TestResolveJobs:

@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.harness.presets import get_preset
-from repro.harness.runner import _build_workload, _run_mode
+from repro.harness.runner import build_workload, run_mode
 from repro.obs import (
     INTERVAL_COLUMNS,
     TraceSession,
@@ -24,8 +24,8 @@ MAX_CYCLES = 40_000
 
 @pytest.fixture(scope="module")
 def result():
-    workload = _build_workload("conference", get_preset("tiny"))
-    return _run_mode("spawn", workload, max_cycles=MAX_CYCLES,
+    workload = build_workload("conference", get_preset("tiny"))
+    return run_mode("spawn", workload, max_cycles=MAX_CYCLES,
                      trace=TraceSession(interval=512))
 
 

@@ -1,0 +1,57 @@
+"""EventLog: ordering, close semantics, and live followers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import EventLog
+
+
+class TestEventLog:
+    def test_emit_assigns_dense_seq(self):
+        log = EventLog()
+        first = log.emit("one")
+        second = log.emit("two", state="running")
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert second["state"] == "running"
+        assert len(log) == 2
+        assert [e["message"] for e in log.snapshot()] == ["one", "two"]
+        assert log.snapshot(start=1) == [second]
+
+    def test_emit_after_close_raises(self):
+        log = EventLog()
+        log.close()
+        log.close()  # idempotent
+        assert log.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            log.emit("too late")
+
+    def test_follow_drains_then_stops_at_close(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.close()
+        assert [e["message"] for e in log.follow()] == ["a", "b"]
+        assert [e["message"] for e in log.follow(start=1)] == ["b"]
+
+    def test_follower_sees_events_emitted_while_blocked(self):
+        log = EventLog()
+        seen: list[str] = []
+        started = threading.Event()
+
+        def follow():
+            started.set()
+            for event in log.follow(poll_seconds=0.01):
+                seen.append(event["message"])
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        started.wait(timeout=5)
+        log.emit("early")
+        log.emit("late")
+        log.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen == ["early", "late"]

@@ -15,7 +15,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.harness.presets import get_preset
-from repro.harness.runner import _build_workload, _run_mode
+from repro.harness.runner import build_workload, run_mode
 from repro.harness.sweep import run_stats_digest
 from repro.obs import INTERVAL_COLUMNS, TraceSession
 from repro.obs.constants import IDLE_CAUSES, STALL_CAUSES
@@ -31,17 +31,17 @@ MODES = ("pdom_warp", "spawn")
 
 @pytest.fixture(scope="module")
 def workload():
-    return _build_workload("conference", get_preset("tiny"))
+    return build_workload("conference", get_preset("tiny"))
 
 
 @pytest.fixture(scope="module", params=MODES)
 def traced(request, workload):
     """(mode, baseline result, fast traced result, exact traced result)."""
     mode = request.param
-    baseline = _run_mode(mode, workload, max_cycles=MAX_CYCLES)
-    fast = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+    baseline = run_mode(mode, workload, max_cycles=MAX_CYCLES)
+    fast = run_mode(mode, workload, max_cycles=MAX_CYCLES,
                      trace=TraceSession(interval=512))
-    exact = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+    exact = run_mode(mode, workload, max_cycles=MAX_CYCLES,
                       fast_forward=False, trace=TraceSession(interval=512))
     return mode, baseline, fast, exact
 
@@ -54,7 +54,7 @@ def test_probes_off_stats_bit_identical(traced):
 
 
 def test_probes_off_leaves_no_probe_attached(workload):
-    result = _run_mode("spawn", workload, max_cycles=1)
+    result = run_mode("spawn", workload, max_cycles=1)
     assert result.trace is None
 
 
@@ -116,7 +116,7 @@ def test_intervals_reconcile_with_run_stats(traced):
 
 
 def test_spawn_stall_attribution_with_bank_conflicts(workload):
-    result = _run_mode("spawn_conflicts", workload, max_cycles=MAX_CYCLES,
+    result = run_mode("spawn_conflicts", workload, max_cycles=MAX_CYCLES,
                        trace=TraceSession(interval=512))
     attribution = result.trace.stall_attribution()
     assert attribution["stall_cycles"] > 0
@@ -127,9 +127,9 @@ def test_spawn_stall_attribution_with_bank_conflicts(workload):
 
 def test_session_refuses_reuse(workload):
     session = TraceSession(interval=512)
-    _run_mode("pdom_warp", workload, max_cycles=1_000, trace=session)
+    run_mode("pdom_warp", workload, max_cycles=1_000, trace=session)
     with pytest.raises(ConfigError):
-        _run_mode("pdom_warp", workload, max_cycles=1_000, trace=session)
+        run_mode("pdom_warp", workload, max_cycles=1_000, trace=session)
 
 
 def test_session_rejects_bad_interval():
@@ -139,7 +139,7 @@ def test_session_rejects_bad_interval():
 
 def test_events_cap_drops_and_counts(workload):
     session = TraceSession(interval=512, max_events=5)
-    _run_mode("spawn", workload, max_cycles=MAX_CYCLES, trace=session)
+    run_mode("spawn", workload, max_cycles=MAX_CYCLES, trace=session)
     assert session.num_events == 5
     assert session.dropped_events > 0
     summary = session.summary()
@@ -149,7 +149,7 @@ def test_events_cap_drops_and_counts(workload):
 
 def test_events_disabled(workload):
     session = TraceSession(interval=512, events=False)
-    _run_mode("spawn", workload, max_cycles=MAX_CYCLES, trace=session)
+    run_mode("spawn", workload, max_cycles=MAX_CYCLES, trace=session)
     assert session.num_events == 0
     assert session.dropped_events == 0
     # Interval metrics are unaffected by the event stream being off.

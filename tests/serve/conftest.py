@@ -1,0 +1,22 @@
+"""Shared fixtures for the service tests: a hermetic workload cache."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="package", autouse=True)
+def isolated_cache(tmp_path_factory):
+    """One hermetic workload cache for the whole tests/serve package.
+
+    Shared across the package (not per-test) so the e2e tests reuse each
+    other's scene builds instead of re-tracing reference rays every time.
+    """
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_CACHE_DIR",
+                 str(tmp_path_factory.mktemp("serve-cache")))
+    patch.delenv("REPRO_CACHE", raising=False)
+    patch.delenv("REPRO_JOBS", raising=False)
+    patch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    yield
+    patch.undo()

@@ -1,0 +1,217 @@
+"""Shard-manifest contracts: claims, crash tolerance, bit-identity.
+
+The claim-contention tests drive two workers over one manifest — in
+threads for speed, and as real ``repro worker`` subprocesses for the
+end-to-end acceptance path — and assert the two invariants the protocol
+promises: no job executes twice, and no job is dropped. The merge tests
+pin the sharded digests against a serial ``run_sweep(jobs_n=1)``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, SweepError
+from repro.harness.sweep import (
+    RetryPolicy,
+    SweepJob,
+    run_stats_digest,
+    run_sweep,
+)
+from repro.serve import wire
+from repro.serve.manifest import (
+    ManifestState,
+    ShardManifest,
+    run_sharded_sweep,
+)
+from repro.serve.worker import run_worker, worker_ident
+
+MAX_CYCLES = 20_000
+
+
+def sweep_jobs():
+    return [SweepJob(scene="conference", mode=mode, preset="tiny",
+                     max_cycles=MAX_CYCLES)
+            for mode in ("pdom_block", "pdom_warp", "spawn")]
+
+
+def digest_map(results):
+    return {result.job.describe(): run_stats_digest(result.stats)
+            for result in results}
+
+
+@pytest.fixture(scope="module")
+def serial_results(isolated_cache):
+    return run_sweep(sweep_jobs(), jobs_n=1)
+
+
+class TestClaimProtocol:
+    def test_first_claim_wins(self, tmp_path):
+        jobs = sweep_jobs()
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        assert manifest.claim(jobs[0], "alice") is True
+        assert manifest.claim(jobs[0], "bob") is False
+        assert manifest.claim(jobs[1], "bob") is True
+        state = manifest.load()
+        assert state.claims[ManifestState.ident(jobs[0])] == "alice"
+        assert state.claims[ManifestState.ident(jobs[1])] == "bob"
+
+    def test_create_rejects_empty_and_duplicates(self, tmp_path):
+        with pytest.raises(ConfigError, match="empty"):
+            ShardManifest.create(tmp_path / "e.jsonl", [])
+        job = sweep_jobs()[0]
+        with pytest.raises(Exception, match="duplicate"):
+            ShardManifest.create(tmp_path / "d.jsonl", [job, job])
+
+    def test_torn_and_foreign_lines_are_skipped(self, tmp_path):
+        jobs = sweep_jobs()
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        with manifest.path.open("a") as handle:
+            handle.write('{"torn": \n')
+            handle.write("noise\n")
+            handle.write(json.dumps({"schema": "other/1"}) + "\n")
+        state = manifest.load()
+        assert [job.key for job in state.jobs] == [job.key for job in jobs]
+        assert manifest.claim(jobs[0], "carol") is True
+
+    def test_attach_appends_only_new_jobs(self, tmp_path):
+        jobs = sweep_jobs()
+        ShardManifest.create(tmp_path / "m.jsonl", jobs[:2])
+        manifest = ShardManifest.attach(tmp_path / "m.jsonl", jobs)
+        state = manifest.load()
+        assert [job.key for job in state.jobs] == [job.key for job in jobs]
+        # attaching again is a no-op, not a duplicate publish
+        before = manifest.path.read_text()
+        ShardManifest.attach(tmp_path / "m.jsonl", jobs)
+        assert manifest.path.read_text() == before
+
+    def test_worker_ident_is_unique_without_rng(self):
+        assert worker_ident("shard3") == "shard3"
+        idents = {worker_ident() for _ in range(16)}
+        assert len(idents) == 16
+
+    def test_worker_rejects_missing_manifest(self, tmp_path):
+        """A typo'd --manifest must fail loudly, not exit 0 having
+        'drained' a campaign that never existed."""
+        with pytest.raises(ConfigError, match="not found"):
+            run_worker(tmp_path / "no-such-campaign.jsonl", once=True)
+
+
+class TestClaimContention:
+    def test_two_workers_never_double_execute_or_drop(self, tmp_path,
+                                                      serial_results):
+        """The satellite-4 acceptance test, in-process for determinism:
+        two concurrent claim loops over one manifest must partition the
+        jobs exactly — every job executed once, by exactly one worker."""
+        jobs = sweep_jobs()
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        counts: dict[str, int] = {}
+
+        def work(ident):
+            counts[ident] = run_worker(manifest.path, worker=ident,
+                                       once=True)
+
+        threads = [threading.Thread(target=work, args=(f"w{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(counts.values()) == len(jobs)  # none dropped, none twice
+        state = manifest.load()
+        assert state.settled == len(jobs)
+        # every job has exactly one result record and one winning claim
+        for job in jobs:
+            ident = ManifestState.ident(job)
+            assert ident in state.results
+            assert state.claims[ident] in counts
+
+    def test_claim_losers_cost_no_execution(self, tmp_path, monkeypatch):
+        """A worker that loses every claim race executes nothing."""
+        jobs = sweep_jobs()[:1]
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        assert manifest.claim(jobs[0], "winner") is True
+
+        from repro.serve import worker as worker_module
+
+        def explode(job, injector=None):
+            raise AssertionError("a lost claim must not execute")
+
+        monkeypatch.setattr(worker_module, "execute_job", explode)
+        assert run_worker(manifest.path, worker="loser", once=True) == 0
+
+
+class TestShardedSweep:
+    def test_subprocess_shards_match_serial_bit_for_bit(self, tmp_path,
+                                                        serial_results):
+        """The tentpole acceptance criterion: a 2-worker sharded sweep
+        (real ``repro worker`` subprocesses on a shared manifest) merges
+        to per-job ``run_stats_digest`` values identical to serial."""
+        merged = run_sharded_sweep(sweep_jobs(), tmp_path / "m.jsonl",
+                                   shards=2, worker_timeout=600.0)
+        assert digest_map(merged) == digest_map(serial_results)
+        assert merged.ok
+
+    def test_driver_completes_jobs_dead_workers_abandoned(self, tmp_path,
+                                                          serial_results):
+        """A claim with no result (the worker died mid-job) is re-executed
+        by the driver during the merge — wasted work, never a lost job."""
+        jobs = sweep_jobs()
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        manifest.claim(jobs[0], "dead-worker")  # claims, never finishes
+        merged = run_sharded_sweep(jobs, tmp_path / "m.jsonl", shards=0,
+                                   spawn_workers=False, resume=True)
+        assert digest_map(merged) == digest_map(serial_results)
+
+    def test_existing_manifest_requires_resume(self, tmp_path):
+        jobs = sweep_jobs()
+        ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        with pytest.raises(ConfigError, match="resume=True"):
+            run_sharded_sweep(jobs, tmp_path / "m.jsonl", shards=0,
+                              spawn_workers=False)
+
+    def test_resume_serves_recorded_results_without_reexecution(
+            self, tmp_path, serial_results, monkeypatch):
+        jobs = sweep_jobs()
+        run_sharded_sweep(jobs, tmp_path / "m.jsonl", shards=0,
+                          spawn_workers=False)
+
+        from repro.serve import manifest as manifest_module
+
+        def explode(job, injector=None):
+            raise AssertionError(f"{job.describe()} was re-executed")
+
+        monkeypatch.setattr(manifest_module, "execute_job", explode)
+        merged = run_sharded_sweep(jobs, tmp_path / "m.jsonl", shards=0,
+                                   spawn_workers=False, resume=True)
+        assert digest_map(merged) == digest_map(serial_results)
+
+    def test_strict_failure_raises_with_partial_results(self, tmp_path,
+                                                        monkeypatch):
+        # Drive the failure through the driver's local-execution path.
+        jobs = sweep_jobs()
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "exception@conference:spawn*9")
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path / "faults"))
+        with pytest.raises(SweepError, match="conference:spawn") as info:
+            run_sharded_sweep(
+                jobs, tmp_path / "m.jsonl", shards=0, spawn_workers=False,
+                retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0))
+        partial = info.value.results
+        assert len(partial.failures) == 1
+        assert len(partial.results) == len(jobs) - 1
+
+    def test_worker_failure_records_reach_the_merge(self, tmp_path):
+        jobs = sweep_jobs()[:1]
+        manifest = ShardManifest.create(tmp_path / "m.jsonl", jobs)
+        manifest.claim(jobs[0], "w0")
+        manifest.record_failure(jobs[0], "exception", "BoomError: no",
+                                attempts=3)
+        state = manifest.load()
+        ident = ManifestState.ident(jobs[0])
+        assert state.failures[ident]["error"] == "BoomError: no"
+        assert state.is_settled(jobs[0])
+        record = wire.from_wire(state.failures[ident])
+        assert record["failure_kind"] == "exception"

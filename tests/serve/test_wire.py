@@ -1,0 +1,189 @@
+"""Wire-schema contracts: round trips, strictness, and legacy compat.
+
+The hypothesis suites generate arbitrary job specs and requests, encode
+them to canonical JSONL, and assert a bit-exact round trip through
+``parse_line``/``from_wire`` — the same path the shard manifest, the
+checkpoint files, and the HTTP API all use.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.harness.sweep import SweepJob
+from repro.serve import wire
+from repro.serve.wire import SimulateRequest, SweepRequest
+
+SCENES = ("conference", "fairyforest", "atrium")
+MODES = ("pdom_block", "pdom_warp", "spawn", "spawn_conflicts")
+RAY_KINDS = ("primary", "shadow", "reflection", "gi")
+
+jobs_st = st.builds(
+    SweepJob,
+    scene=st.sampled_from(SCENES),
+    mode=st.sampled_from(MODES),
+    preset=st.sampled_from(("tiny", "fast", "paper")),
+    ray_kind=st.sampled_from(RAY_KINDS),
+    seed=st.integers(0, 2**31 - 1),
+    max_cycles=st.none() | st.integers(1, 10**9),
+    fast_forward=st.none() | st.booleans(),
+    executor=st.none() | st.sampled_from(("reference", "batched")),
+    scheduler=st.none() | st.sampled_from(("scan", "calendar")),
+)
+
+simulate_requests_st = st.builds(
+    SimulateRequest,
+    scene=st.sampled_from(SCENES),
+    mode=st.sampled_from(MODES),
+    preset=st.sampled_from(("tiny", "fast")),
+    ray_kind=st.sampled_from(RAY_KINDS),
+    seed=st.integers(0, 2**16),
+    max_cycles=st.none() | st.integers(1, 10**6),
+    executor=st.none() | st.sampled_from(("reference", "batched")),
+)
+
+sweep_requests_st = st.builds(
+    SweepRequest,
+    jobs=st.lists(jobs_st, min_size=1, max_size=4, unique_by=lambda j: j.key)
+        .map(tuple),
+    jobs_n=st.none() | st.integers(1, 8),
+    shards=st.integers(0, 4),
+    retries=st.integers(1, 5),
+    job_timeout=st.none() | st.floats(0.1, 600.0, allow_nan=False),
+)
+
+
+class TestJobRoundTrip:
+    @given(jobs_st)
+    @settings(max_examples=200, deadline=None)
+    def test_job_round_trips_through_a_line(self, job):
+        record = wire.parse_line(wire.dump_line(job))
+        assert wire.from_wire(record) == job
+
+    @given(jobs_st)
+    @settings(max_examples=50, deadline=None)
+    def test_record_key_matches_job_identity(self, job):
+        record = wire.job_to_wire(job)
+        assert wire.record_key(record) == (job.key, job.config_digest())
+
+    def test_tampered_digest_is_rejected(self):
+        record = wire.job_to_wire(
+            SweepJob(scene="conference", mode="spawn", preset="tiny"))
+        record["max_cycles"] = 999  # result-affecting edit, stale digest
+        with pytest.raises(ConfigError, match="digest"):
+            wire.job_from_wire(record)
+
+    def test_unknown_request_field_gets_a_suggestion(self):
+        record = wire.request_to_wire(
+            SimulateRequest(scene="conference", mode="spawn"))
+        record["scheddler"] = "scan"
+        with pytest.raises(ConfigError, match="scheduler"):
+            wire.request_from_wire(record)
+
+
+class TestRequestRoundTrip:
+    @given(simulate_requests_st)
+    @settings(max_examples=100, deadline=None)
+    def test_simulate_request_round_trips(self, request):
+        record = wire.parse_line(wire.dump_line(request))
+        assert wire.from_wire(record) == request
+
+    @given(sweep_requests_st)
+    @settings(max_examples=100, deadline=None)
+    def test_sweep_request_round_trips(self, request):
+        record = wire.parse_line(wire.dump_line(request))
+        assert wire.from_wire(record) == request
+
+    @given(simulate_requests_st)
+    @settings(max_examples=100, deadline=None)
+    def test_request_digest_is_stable_and_content_addressed(self, request):
+        direct = wire.request_digest(request)
+        reencoded = wire.request_digest(
+            wire.parse_line(wire.dump_line(request)))
+        assert direct == reencoded
+        different = wire.request_digest(
+            SimulateRequest(**{**request.__dict__, "seed": request.seed + 1}))
+        assert different != direct
+
+    @given(simulate_requests_st)
+    @settings(max_examples=50, deadline=None)
+    def test_simulate_request_to_job_preserves_every_field(self, request):
+        job = request.to_job()
+        for name in ("scene", "mode", "preset", "ray_kind", "seed",
+                     "max_cycles", "fast_forward", "executor", "scheduler"):
+            assert getattr(job, name) == getattr(request, name)
+
+    def test_empty_sweep_request_rejected(self):
+        with pytest.raises(ConfigError, match="at least one job"):
+            SweepRequest(jobs=())
+
+    def test_bad_retries_rejected(self):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        with pytest.raises(ConfigError, match="retries"):
+            SweepRequest(jobs=(job,), retries=0)
+
+
+class TestParseLine:
+    def test_torn_and_foreign_lines_return_none(self):
+        assert wire.parse_line("") is None
+        assert wire.parse_line('{"torn": ') is None
+        assert wire.parse_line("not json") is None
+        assert wire.parse_line('["a", "list"]') is None
+        assert wire.parse_line(json.dumps({"schema": "other/9"})) is None
+
+    def test_from_wire_rejects_foreign_schema(self):
+        with pytest.raises(ConfigError, match="unsupported wire schema"):
+            wire.from_wire({"schema": "other/9", "kind": "job"})
+
+    def test_from_wire_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown wire record kind"):
+            wire.from_wire({"schema": wire.WIRE_SCHEMA, "kind": "mystery"})
+
+
+class TestLegacyCheckpointCompat:
+    """PR 4 manifests (``repro-sweep-checkpoint/1``) must keep loading."""
+
+    def legacy_record(self, job, stats_doc):
+        # The exact shape SweepCheckpoint.record wrote before the wire
+        # module existed: no "kind", no embedded job spec.
+        return {
+            "schema": wire.LEGACY_CHECKPOINT_SCHEMA,
+            "key": list(job.key),
+            "preset": job.preset,
+            "digest": job.config_digest(),
+            "num_rays": 64,
+            "verified": True,
+            "wall_seconds": 0.5,
+            "stats": stats_doc,
+        }
+
+    def test_legacy_line_normalizes_to_result(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        line = json.dumps(self.legacy_record(job, tiny_stats_doc))
+        record = wire.parse_line(line)
+        assert record is not None
+        assert record["schema"] == wire.WIRE_SCHEMA
+        assert record["kind"] == "result"
+        assert wire.record_key(record) == (job.key, job.config_digest())
+
+    def test_legacy_result_rehydrates_bit_identically(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        record = wire.parse_line(
+            json.dumps(self.legacy_record(job, tiny_stats_doc)))
+        result = wire.result_from_wire(record, job=job)
+        assert result.job is job
+        assert result.stats.to_dict() == tiny_stats_doc
+
+
+@pytest.fixture(scope="module")
+def tiny_stats_doc():
+    """A real RunStats document from one tiny simulation."""
+    from repro.harness.sweep import execute_job
+
+    result = execute_job(SweepJob(scene="conference", mode="spawn",
+                                  preset="tiny", max_cycles=5_000))
+    return result.stats.to_dict()

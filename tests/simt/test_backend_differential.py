@@ -34,8 +34,8 @@ import pytest
 
 from repro.harness.presets import get_preset
 from repro.harness.runner import (
-    _config_for_mode,
-    _run_mode,
+    config_for_mode,
+    run_mode,
     prepare_workload,
 )
 from repro.harness.sweep import run_stats_digest
@@ -121,10 +121,10 @@ class TestGPUModels:
     @pytest.mark.parametrize("mode", GPU_MODES)
     def test_batched_matches_reference_both_clocks(self, workload, mode):
         reference = run_fingerprint(
-            _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+            run_mode(mode, workload, max_cycles=MAX_CYCLES,
                       executor="reference"))
         for fast_forward in (True, False):
-            batched = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+            batched = run_mode(mode, workload, max_cycles=MAX_CYCLES,
                                 fast_forward=fast_forward,
                                 executor="batched")
             assert run_fingerprint(batched) == reference, (
@@ -135,7 +135,7 @@ class TestGPUModels:
         """Guard against the backend silently degrading to the reference
         path: the program must contain multi-instruction runs and the
         batched run must defer issues through them."""
-        config = _config_for_mode("pdom_block", workload.preset,
+        config = config_for_mode("pdom_block", workload.preset,
                                   executor="batched")
         from repro.isa.blocks import compile_blocks
         table = compile_blocks(traditional_program())
@@ -150,7 +150,7 @@ class TestProbeIntervals:
     def test_sessions_identical(self, workload, mode):
         runs = {}
         for backend in BACKENDS:
-            runs[backend] = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+            runs[backend] = run_mode(mode, workload, max_cycles=MAX_CYCLES,
                                       executor=backend,
                                       trace=TraceSession(interval=512))
         assert (session_fingerprint(runs["batched"].trace)
@@ -164,7 +164,7 @@ class TestPersistentThreads:
 
     def test_batched_matches_reference_both_clocks(self, workload):
         def fingerprint(executor, fast_forward):
-            config = _config_for_mode("pdom_warp", workload.preset,
+            config = config_for_mode("pdom_warp", workload.preset,
                                       fast_forward=fast_forward,
                                       executor=executor)
             image = build_memory_image(workload.tree, workload.origins,
@@ -190,7 +190,7 @@ class TestDWF:
     def test_executor_is_a_noop(self, workload):
         fingerprints = []
         for executor in BACKENDS:
-            config = _config_for_mode("pdom_warp", workload.preset,
+            config = config_for_mode("pdom_warp", workload.preset,
                                       executor=executor)
             image = build_memory_image(workload.tree, workload.origins,
                                        workload.directions, workload.t_max)
@@ -219,7 +219,7 @@ class TestMIMD:
                   + counters.triangle_tests * model["triangle_test"]
                   + model["write"])
         results = [
-            mimd_theoretical(counts, _config_for_mode(
+            mimd_theoretical(counts, config_for_mode(
                 "pdom_ideal", workload.preset, executor=executor))
             for executor in BACKENDS
         ]

@@ -40,8 +40,8 @@ import pytest
 from repro.config import scaled_config
 from repro.harness.presets import get_preset
 from repro.harness.runner import (
-    _config_for_mode,
-    _run_mode,
+    config_for_mode,
+    run_mode,
     prepare_workload,
 )
 from repro.harness.sweep import run_stats_digest
@@ -141,11 +141,11 @@ class TestGPUModels:
     def test_calendar_matches_scan_all_clocks_and_executors(
             self, workload, mode):
         reference = run_fingerprint(
-            _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+            run_mode(mode, workload, max_cycles=MAX_CYCLES,
                       scheduler="scan", executor="reference"))
         for fast_forward in (True, False):
             for executor in ("reference", "batched"):
-                calendar = _run_mode(mode, workload, max_cycles=MAX_CYCLES,
+                calendar = run_mode(mode, workload, max_cycles=MAX_CYCLES,
                                      fast_forward=fast_forward,
                                      executor=executor, scheduler="calendar")
                 assert run_fingerprint(calendar) == reference, (
@@ -188,7 +188,7 @@ class TestProbeIntervals:
     def test_sessions_identical(self, workload, mode):
         runs = {}
         for scheduler in SCHEDULERS:
-            runs[scheduler] = _run_mode(mode, workload,
+            runs[scheduler] = run_mode(mode, workload,
                                         max_cycles=MAX_CYCLES,
                                         scheduler=scheduler,
                                         trace=TraceSession(interval=512))
@@ -203,7 +203,7 @@ class TestPersistentThreads:
 
     def test_calendar_matches_scan_both_clocks(self, workload):
         def fingerprint(scheduler, fast_forward):
-            config = _config_for_mode("pdom_warp", workload.preset,
+            config = config_for_mode("pdom_warp", workload.preset,
                                       fast_forward=fast_forward,
                                       scheduler=scheduler)
             image = build_memory_image(workload.tree, workload.origins,
@@ -223,7 +223,7 @@ class TestDWF:
     def test_scheduler_is_a_noop(self, workload):
         fingerprints = []
         for scheduler in SCHEDULERS:
-            config = _config_for_mode("pdom_warp", workload.preset,
+            config = config_for_mode("pdom_warp", workload.preset,
                                       scheduler=scheduler)
             image = build_memory_image(workload.tree, workload.origins,
                                        workload.directions, workload.t_max)
@@ -252,7 +252,7 @@ class TestMIMD:
                   + counters.triangle_tests * model["triangle_test"]
                   + model["write"])
         results = [
-            mimd_theoretical(counts, _config_for_mode(
+            mimd_theoretical(counts, config_for_mode(
                 "pdom_ideal", workload.preset, scheduler=scheduler))
             for scheduler in SCHEDULERS
         ]

@@ -81,8 +81,8 @@ class TestSimulate:
 
     def test_matches_runner_bit_for_bit(self, workload):
         via_api = api.simulate(workload, "pdom_warp", max_cycles=MAX_CYCLES)
-        from repro.harness.runner import _run_mode
-        direct = _run_mode("pdom_warp", workload, max_cycles=MAX_CYCLES)
+        from repro.harness.runner import run_mode
+        direct = run_mode("pdom_warp", workload, max_cycles=MAX_CYCLES)
         assert via_api.stats.to_dict() == direct.stats.to_dict()
 
 
@@ -118,32 +118,46 @@ class TestLazyExports:
 
 
 class TestDeprecationShims:
-    def test_build_workload_warns(self):
+    """The pre-1.0 underscore spellings warn; the public names do not."""
+
+    def test_underscore_build_workload_warns(self):
         from repro.harness import runner
         with pytest.warns(DeprecationWarning, match="repro.api"):
-            runner.build_workload("conference", get_preset("tiny"))
+            runner._build_workload("conference", get_preset("tiny"))
 
-    def test_run_mode_warns(self, workload):
+    def test_underscore_run_mode_warns(self, workload):
         from repro.harness import runner
-        with pytest.warns(DeprecationWarning, match="repro.api.simulate"):
-            runner.run_mode("pdom_warp", workload, max_cycles=1_000)
+        with pytest.warns(DeprecationWarning, match="repro.api.run_mode"):
+            runner._run_mode("pdom_warp", workload, max_cycles=1_000)
 
-    def test_config_for_mode_warns(self):
-        from repro.harness import runner
-        with pytest.warns(DeprecationWarning):
-            runner.config_for_mode("spawn", get_preset("tiny"))
-
-    def test_launch_for_mode_warns(self):
+    def test_underscore_config_for_mode_warns(self):
         from repro.harness import runner
         with pytest.warns(DeprecationWarning):
-            runner.launch_for_mode("spawn", 64)
+            runner._config_for_mode("spawn", get_preset("tiny"))
+
+    def test_underscore_launch_for_mode_warns(self):
+        from repro.harness import runner
+        with pytest.warns(DeprecationWarning):
+            runner._launch_for_mode("spawn", 64)
 
     def test_shims_delegate(self, workload):
         from repro.harness import runner
         with pytest.warns(DeprecationWarning):
-            old = runner.run_mode("pdom_warp", workload, max_cycles=5_000)
+            old = runner._run_mode("pdom_warp", workload, max_cycles=5_000)
         new = api.simulate(workload, "pdom_warp", max_cycles=5_000)
         assert old.stats.to_dict() == new.stats.to_dict()
+
+    def test_public_names_do_not_warn(self, workload, recwarn):
+        import warnings as _warnings
+
+        from repro.harness import runner
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            runner.config_for_mode("spawn", get_preset("tiny"))
+            runner.launch_for_mode("spawn", 64)
+            runner.run_mode("pdom_warp", workload, max_cycles=1_000)
+            assert api.build_workload is runner.build_workload
+            assert api.run_mode is runner.run_mode
 
 
 class TestConfigValidation:

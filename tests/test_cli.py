@@ -55,6 +55,33 @@ class TestParser:
         assert args.backends == "reference,batched"
         assert build_parser().parse_args(["fuzz"]).backends == ""
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8732
+        assert args.checkpoint_dir == ""
+
+    def test_worker_requires_manifest(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_command_round_trips_through_the_parser(self):
+        """The argv the sharded-sweep driver spawns must stay parseable."""
+        from repro.serve.manifest import worker_command
+
+        argv = worker_command("m.jsonl", "shard0", retries=2)[3:]
+        args = build_parser().parse_args(argv)
+        assert args.manifest == "m.jsonl"
+        assert args.id == "shard0"
+        assert args.once is True
+        assert args.retries == 2
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8732"
+        assert args.scene == "conference"
+        assert args.no_wait is False
+
 
 class TestCommands:
     def test_disasm_traditional(self, capsys):
