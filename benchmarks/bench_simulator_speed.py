@@ -51,6 +51,7 @@ import pytest
 from repro.analysis.report import format_table
 from repro.api import PAPER_SMS, config_for_mode, simulate
 from repro.harness.sweep import run_stats_digest
+from repro.results.history import upsert_history
 
 #: The Figure 8 modes (traditional block/warp scheduling + dynamic
 #: µ-kernels) on the conference scene — the paper's headline workload.
@@ -79,6 +80,22 @@ def _git_rev() -> str:
             timeout=10, check=True).stdout.strip()
     except Exception:
         return "unknown"
+
+
+def _git_dirty() -> bool:
+    """Whether the tree differs from HEAD (``git status --porcelain``).
+
+    A refresh from a dirty tree is still recorded — it is useful while
+    iterating — but flagged, so it can never masquerade as (or replace)
+    the committed revision's honest history point.
+    """
+    try:
+        return bool(subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=BENCH_PATH.parent, capture_output=True, text=True,
+            timeout=10, check=True).stdout.strip())
+    except Exception:
+        return False
 
 
 def _config_digest(preset) -> str:
@@ -224,11 +241,16 @@ def _bench_document(preset, rows, scheduler_rows) -> dict:
 def _append_history(committed: dict, preset, rows, scheduler_rows) -> None:
     """Append this refresh to the per-revision trajectory.
 
-    One entry per (git revision, preset): re-refreshing at the same
-    revision replaces its entry rather than duplicating it, so the
-    history stays one honest point per committed state."""
+    One *clean* entry per (git revision, preset): re-refreshing at the
+    same committed revision replaces its entry rather than duplicating
+    it. A refresh from a dirty tree is recorded with ``dirty: true`` and
+    may only replace a previous dirty entry — never the committed
+    revision's honest point (the clean-vs-dirty rules live in
+    :func:`repro.results.history.upsert_history`, shared with the
+    results warehouse)."""
     entry = {
         "git_rev": _git_rev(),
+        "dirty": _git_dirty(),
         "preset": preset.name,
         "modes": {
             row["mode"]: {
@@ -250,11 +272,7 @@ def _append_history(committed: dict, preset, rows, scheduler_rows) -> None:
             },
         },
     }
-    history = committed.setdefault("history", [])
-    history[:] = [item for item in history
-                  if (item["git_rev"], item["preset"])
-                  != (entry["git_rev"], entry["preset"])]
-    history.append(entry)
+    upsert_history(committed.setdefault("history", []), entry)
 
 
 def _check_regression(committed: dict, preset_name: str, rows,

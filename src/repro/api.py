@@ -21,6 +21,7 @@ should import from ``repro.api`` (or ``repro`` directly)::
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable
 
 from repro.errors import ConfigError
@@ -56,6 +57,7 @@ from repro.harness.sweep import (
     run_sweep,
 )
 from repro.obs.probe import TraceSession
+from repro.results.store import ResultsStore, default_store, maybe_record
 
 
 def _resolve_probes(probes) -> TraceSession | None:
@@ -117,9 +119,24 @@ def simulate(scene, mode: str, *, preset="fast", ray_kind: str = "primary",
     else:
         workload = prepare_workload(scene, _resolve_preset(preset),
                                     ray_kind=ray_kind, seed=seed, cache=cache)
-    return run_mode(mode, workload, max_cycles=max_cycles,
-                    fast_forward=fast_forward, executor=executor,
-                    scheduler=scheduler, trace=_resolve_probes(probes))
+    started = time.perf_counter()
+    result = run_mode(mode, workload, max_cycles=max_cycles,
+                      fast_forward=fast_forward, executor=executor,
+                      scheduler=scheduler, trace=_resolve_probes(probes))
+    # Opt-in results warehouse (no-op without REPRO_RESULTS_DIR): the wall
+    # clock covers the simulation only, not workload preparation, matching
+    # what JobResult.wall_seconds measures on the sweep path. The explicit
+    # job spec carries max_cycles/fast_forward/executor/scheduler so the
+    # recorded config_digest matches an identically-configured sweep job.
+    maybe_record(result, source="simulate",
+                 wall_seconds=time.perf_counter() - started, seed=seed,
+                 job=SweepJob(scene=workload.scene_name, mode=mode,
+                              preset=workload.preset.name,
+                              ray_kind=workload.ray_kind, seed=seed,
+                              max_cycles=max_cycles,
+                              fast_forward=fast_forward, executor=executor,
+                              scheduler=scheduler))
+    return result
 
 
 def sweep(jobs: Iterable, jobs_n: int | None = None,
@@ -164,6 +181,7 @@ __all__ = [
     "FaultInjector",
     "FuzzReport",
     "JobResult",
+    "ResultsStore",
     "RetryPolicy",
     "RunResult",
     "SimPreset",
@@ -174,9 +192,11 @@ __all__ = [
     "Workload",
     "build_workload",
     "config_for_mode",
+    "default_store",
     "get_preset",
     "launch_for_mode",
     "load_case",
+    "maybe_record",
     "prepare_workload",
     "run_case",
     "run_fuzz",

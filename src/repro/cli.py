@@ -34,6 +34,10 @@ Commands:
   assembly,
 - ``cache {info,clear}`` — inspect or empty the persistent workload cache
   (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``),
+- ``compare [--store DIR] [REV_A REV_B] [--tolerance T] [--metrics ...]``
+  — print a rev-vs-rev (or latest-vs-previous) regression table from the
+  ``repro-results/1`` store that ``REPRO_RESULTS_DIR`` runs record into;
+  exits 1 when any metric regressed beyond the tolerance,
 - ``serve [--host H] [--port P] [--checkpoint-dir DIR]`` — run the
   simulation job daemon (``POST /v1/jobs``, NDJSON event streams,
   checkpoint-backed instant answers; see :mod:`repro.serve.server`),
@@ -119,6 +123,67 @@ def _cmd_cache(args) -> int:
     del info["files"]  # keep `repro cache info` one screen tall
     print(json.dumps(info, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.errors import ConfigError
+    from repro.results import (
+        DEFAULT_METRICS,
+        DEFAULT_TOLERANCE,
+        compare_records,
+        compare_revisions,
+        render_comparison,
+        revisions_in,
+    )
+    from repro.results.store import ResultsStore, default_store
+
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None \
+        else args.tolerance
+    if args.store:
+        store = ResultsStore(args.store)
+    else:
+        store = default_store()
+        if store is None:
+            print("no results store: pass --store DIR or set "
+                  "REPRO_RESULTS_DIR", file=sys.stderr)
+            return 2
+    records = store.load()
+    if not records:
+        print(f"no records in {store.path}; record runs by setting "
+              f"REPRO_RESULTS_DIR", file=sys.stderr)
+        return 2
+    metrics = tuple(name.strip() for name in args.metrics.split(",")) \
+        if args.metrics else DEFAULT_METRICS
+    revs = args.revs
+    try:
+        if len(revs) == 1:
+            print("compare takes zero revisions (latest vs previous) or "
+                  "two (REV_A REV_B), not one", file=sys.stderr)
+            return 2
+        if len(revs) == 2:
+            comparison = compare_revisions(records, revs[0], revs[1],
+                                           metrics=metrics,
+                                           tolerance=tolerance)
+        else:
+            known = revisions_in(records)
+            if len(known) >= 2:
+                comparison = compare_revisions(records, known[-2], known[-1],
+                                               metrics=metrics,
+                                               tolerance=tolerance)
+            else:
+                # One revision only: compare each configuration's first
+                # recorded run against its latest (run-vs-run drift).
+                firsts: dict[str, dict] = {}
+                for record in records:
+                    firsts.setdefault(record.get("config_digest"), record)
+                comparison = compare_records(list(firsts.values()), records,
+                                             metrics=metrics,
+                                             tolerance=tolerance)
+    except ConfigError as exc:
+        print(f"compare failed: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison, tolerance=tolerance))
+    return 1 if comparison["regressions"] else 0
 
 
 def _cmd_run(args) -> int:
@@ -536,6 +601,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="inspect or clear the workload cache")
     p_cache.add_argument("verb", choices=("info", "clear"))
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="rev-vs-rev regression table from the results store")
+    p_cmp.add_argument("revs", nargs="*", metavar="REV",
+                       help="two git revisions (baseline, candidate); with "
+                            "none, compares the two most recent revisions "
+                            "in the store (or first-vs-latest run when the "
+                            "store holds a single revision)")
+    p_cmp.add_argument("--store", default="", metavar="DIR",
+                       help="results store directory (default: "
+                            "REPRO_RESULTS_DIR)")
+    p_cmp.add_argument("--tolerance", type=float, default=None,
+                       metavar="FRACTION",
+                       help="relative shortfall tolerated per metric before "
+                            "it counts as a regression (default 0.05)")
+    p_cmp.add_argument("--metrics", default="", metavar="M1,M2",
+                       help="comma-separated metric subset (default: "
+                            "cycles_per_second,simt_efficiency,"
+                            "rays_per_second)")
+    p_cmp.set_defaults(func=_cmd_compare)
 
     p_serve = sub.add_parser("serve", help="run the simulation job daemon")
     p_serve.add_argument("--host", default="127.0.0.1")

@@ -88,11 +88,35 @@ def cache_enabled() -> bool:
         "0", "off", "false", "no")
 
 
+_ENV_DIR_CACHE: dict[tuple[str, str], pathlib.Path] = {}
+
+
+def resolve_env_dir(name: str, raw: str) -> pathlib.Path:
+    """Resolve a directory-valued env var to a CWD-pinned absolute path.
+
+    A relative ``REPRO_CHECKPOINT_DIR``/``REPRO_RESULTS_DIR``/
+    ``REPRO_CACHE_DIR`` must mean one directory for the whole process:
+    workers and serve jobs that ``chdir`` after startup would otherwise
+    silently open a second manifest or store. The first resolution of
+    each ``(name, value)`` pair is anchored to the CWD at that moment and
+    cached; later calls — from any CWD — return the same absolute path.
+    (Deliberately not ``Path.resolve()``: symlinked temp dirs should keep
+    the spelling the user gave.)
+    """
+    key = (name, raw)
+    if key not in _ENV_DIR_CACHE:
+        path = pathlib.Path(raw).expanduser()
+        if not path.is_absolute():
+            path = pathlib.Path.cwd() / path
+        _ENV_DIR_CACHE[key] = path
+    return _ENV_DIR_CACHE[key]
+
+
 def resolve_cache_dir() -> pathlib.Path:
     """Cache directory: $REPRO_CACHE_DIR > $XDG_CACHE_HOME/repro > ~/.cache/repro."""
     override = os.environ.get("REPRO_CACHE_DIR")
     if override:
-        return pathlib.Path(override)
+        return resolve_env_dir("REPRO_CACHE_DIR", override)
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
     return base / "repro"

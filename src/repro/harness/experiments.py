@@ -12,6 +12,11 @@ the union of jobs the requested figures need (deduplicated — the PDOM
 baseline shared by Figures 3/7/8/9/10 runs once, not five times), executes
 them through the sweep engine with ``jobs`` workers, and feeds every figure
 from the shared results.
+
+When ``REPRO_RESULTS_DIR`` is set, every simulation executed here is also
+appended to the :mod:`repro.results` warehouse (via the sweep engine's
+recording hook), so ``repro compare`` can diff one figure regeneration
+against another across revisions.
 """
 
 from __future__ import annotations

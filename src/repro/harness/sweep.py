@@ -60,7 +60,11 @@ from repro.errors import (
     SchedulingError,
     SweepError,
 )
-from repro.harness.cache import atomic_write_text, resolve_cache_dir
+from repro.harness.cache import (
+    atomic_write_text,
+    resolve_cache_dir,
+    resolve_env_dir,
+)
 from repro.harness.presets import get_preset
 from repro.harness.runner import StatsView, prepare_workload, run_mode
 from repro.simt.gpu import RunStats
@@ -460,7 +464,9 @@ def default_checkpoint_path(tag: str) -> pathlib.Path:
     """
     override = os.environ.get("REPRO_CHECKPOINT_DIR")
     if override:
-        directory = pathlib.Path(override)
+        # Pin a relative override to the CWD at first resolution: workers
+        # spawned with a different CWD must not open a second manifest.
+        directory = resolve_env_dir("REPRO_CHECKPOINT_DIR", override)
         try:
             directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -623,6 +629,12 @@ def run_sweep(jobs: Iterable[SweepJob], jobs_n: int | None = None,
         done += 1
         if manifest is not None:
             manifest.record(result)
+        # Opt-in results warehouse: every freshly executed job records one
+        # store line (resumed-from-checkpoint jobs don't come through here,
+        # so a resume never double-records). No-op without
+        # REPRO_RESULTS_DIR.
+        from repro.results.store import maybe_record
+        maybe_record(result, source="sweep")
         emit(_progress_line(done, total, result))
 
     def quarantine(failure: FailedJob) -> None:

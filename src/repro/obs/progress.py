@@ -12,24 +12,43 @@ Events are plain dicts (``{"seq": N, "message": ...}`` plus whatever
 fields the writer attached) so they serialize straight to NDJSON without
 a schema layer; ordering is the append order and ``seq`` is dense, which
 lets a reconnecting reader resume exactly where it stopped.
+
+Memory is bounded: a log constructed with ``max_events=N`` keeps only the
+newest ``N`` events (a ring), so a sweep that emits one line per job can
+run for days inside the daemon without growing its heap. Eviction is
+explicit, never silent — :attr:`dropped` counts evicted events, and a
+reader that asks for history older than the ring (``snapshot(0)`` after
+eviction, or a ``follow`` resuming too far back) first receives a
+synthetic ``dropped``-marker event telling it exactly how many events it
+missed and where the retained history resumes. ``max_events=None`` keeps
+the original unbounded behaviour.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Iterator
 
 
 class EventLog:
     """An append-only, closeable event buffer with live followers.
 
-    All methods are thread-safe. The log never drops events — service
-    jobs emit tens of lines, not millions; anything unbounded (per-cycle
-    telemetry) belongs in :class:`repro.obs.probe.TraceSession`, not here.
+    All methods are thread-safe. ``max_events`` bounds the retained
+    history (oldest events are evicted and counted in :attr:`dropped`);
+    ``None`` retains everything — fine for CLI-lifetime logs, wrong for
+    daemon jobs (the server caps its per-job logs). Anything truly
+    unbounded (per-cycle telemetry) belongs in
+    :class:`repro.obs.probe.TraceSession`, not here.
     """
 
-    def __init__(self):
-        self._events: list[dict] = []
+    def __init__(self, max_events: int | None = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1 or None, "
+                             f"got {max_events}")
+        self.max_events = max_events
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._next_seq = 0
         self._closed = False
         self._cond = threading.Condition()
 
@@ -39,9 +58,10 @@ class EventLog:
             if self._closed:
                 raise RuntimeError("EventLog is closed; no further events "
                                    "may be emitted")
-            event = {"seq": len(self._events), "message": str(message)}
+            event = {"seq": self._next_seq, "message": str(message)}
             event.update(fields)
-            self._events.append(event)
+            self._next_seq += 1
+            self._events.append(event)  # deque evicts the oldest if full
             self._cond.notify_all()
             return event
 
@@ -56,14 +76,44 @@ class EventLog:
         with self._cond:
             return self._closed
 
-    def __len__(self) -> int:
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far (0 while unbounded)."""
         with self._cond:
-            return len(self._events)
+            return self._first_seq()
+
+    def __len__(self) -> int:
+        """Total events ever emitted (dropped ones included)."""
+        with self._cond:
+            return self._next_seq
+
+    def _first_seq(self) -> int:
+        # seq of the oldest retained event == how many were evicted.
+        return self._next_seq - len(self._events)
+
+    def _dropped_marker(self, start: int, first: int) -> dict:
+        return {
+            "seq": start,
+            "message": (f"[dropped] {first - start} event(s) evicted from "
+                        f"the ring buffer; resuming at seq {first}"),
+            "dropped": first - start,
+            "resume_seq": first,
+        }
 
     def snapshot(self, start: int = 0) -> list[dict]:
-        """Copy of the events from ``start`` onward (no blocking)."""
+        """Copy of the events from ``start`` onward (no blocking).
+
+        If events at/after ``start`` were already evicted, the first
+        element is a synthetic ``dropped``-marker (fields ``dropped`` and
+        ``resume_seq``) followed by the retained tail.
+        """
         with self._cond:
-            return list(self._events[start:])
+            first = self._first_seq()
+            tail = [event for event in self._events
+                    if event["seq"] >= start]
+            if start < first:
+                return [self._dropped_marker(start, first)] + tail
+            return tail
 
     def follow(self, start: int = 0,
                poll_seconds: float = 0.25) -> Iterator[dict]:
@@ -73,17 +123,27 @@ class EventLog:
         a streaming HTTP handler can notice a dead client) and returns
         once every event has been yielded *and* the log is closed — a
         follower never misses a tail event emitted just before close.
+
+        A follower that falls behind a bounded log (or resumes from a
+        ``start`` already evicted) receives a synthetic
+        ``dropped``-marker event before the stream continues from the
+        oldest retained event — the gap is surfaced, never silent.
         """
         position = start
         while True:
             with self._cond:
-                while position >= len(self._events) and not self._closed:
+                while position >= self._next_seq and not self._closed:
                     self._cond.wait(timeout=poll_seconds)
-                batch = list(self._events[position:])
-                finished = self._closed and \
-                    position + len(batch) >= len(self._events)
+                first = self._first_seq()
+                batch: list[dict] = []
+                if position < first:
+                    batch.append(self._dropped_marker(position, first))
+                    position = first
+                batch.extend(event for event in self._events
+                             if event["seq"] >= position)
+                position = self._next_seq
+                finished = self._closed and position >= self._next_seq
             yield from batch
-            position += len(batch)
             if finished:
                 return
 

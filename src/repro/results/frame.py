@@ -1,0 +1,95 @@
+"""Tidy tabular views of the results store.
+
+:func:`tidy_rows` flattens store records into one flat dict per run —
+pure Python, no dependencies — and :func:`frame` lifts those rows into a
+pandas ``DataFrame`` for interactive analysis. pandas is an *optional*
+dependency (``pip install 'repro[pandas]'``): everything the
+``repro compare`` CLI needs runs on :func:`tidy_rows` alone, so the
+command works in the minimal install.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["frame", "tidy_rows"]
+
+#: Flat column order produced by :func:`tidy_rows` (stable for tests and
+#: for the DataFrame's column order).
+COLUMNS = (
+    "scene", "mode", "ray_kind", "seed", "preset",
+    "config_digest", "run_stats_digest",
+    "cycles", "rays_completed", "num_rays",
+    "ipc", "simt_efficiency", "rays_per_second", "verified",
+    "wall_seconds", "cycles_per_second",
+    "git_rev", "dirty", "timestamp", "source",
+)
+
+
+def tidy_rows(records: list[dict]) -> list[dict]:
+    """One flat dict per store record, in :data:`COLUMNS` order.
+
+    Nested ``job``/``metrics``/``timing``/``provenance`` sections are
+    flattened; missing fields become ``None`` rather than raising, so a
+    store mixing schema revisions still tabulates.
+    """
+    rows = []
+    for record in records:
+        job = record.get("job") or {}
+        metrics = record.get("metrics") or {}
+        timing = record.get("timing") or {}
+        provenance = record.get("provenance") or {}
+        flat = {
+            "scene": job.get("scene"),
+            "mode": job.get("mode"),
+            "ray_kind": job.get("ray_kind"),
+            "seed": job.get("seed"),
+            "preset": job.get("preset"),
+            "config_digest": record.get("config_digest"),
+            "run_stats_digest": record.get("run_stats_digest"),
+            "cycles": metrics.get("cycles"),
+            "rays_completed": metrics.get("rays_completed"),
+            "num_rays": metrics.get("num_rays"),
+            "ipc": metrics.get("ipc"),
+            "simt_efficiency": metrics.get("simt_efficiency"),
+            "rays_per_second": metrics.get("rays_per_second"),
+            "verified": metrics.get("verified"),
+            "wall_seconds": timing.get("wall_seconds"),
+            "cycles_per_second": timing.get("cycles_per_second"),
+            "git_rev": provenance.get("git_rev"),
+            "dirty": provenance.get("dirty"),
+            "timestamp": provenance.get("timestamp"),
+            "source": provenance.get("source"),
+        }
+        rows.append({column: flat[column] for column in COLUMNS})
+    return rows
+
+
+def frame(store_or_records):
+    """The store as a tidy pandas ``DataFrame`` (one row per run).
+
+    Accepts a :class:`~repro.results.store.ResultsStore`, a store
+    directory path, or a pre-loaded record list. Raises
+    :class:`~repro.errors.ConfigError` when pandas is not installed.
+    """
+    try:
+        import pandas
+    except ImportError:
+        raise ConfigError(
+            "repro.results.frame requires pandas, which is not installed. "
+            "Install it with 'pip install pandas' (or the "
+            "'repro[pandas]' extra); the pure-Python "
+            "tidy_rows() and 'repro compare' work without it.") from None
+    records = _records_from(store_or_records)
+    return pandas.DataFrame(tidy_rows(records), columns=list(COLUMNS))
+
+
+def _records_from(store_or_records) -> list[dict]:
+    if isinstance(store_or_records, list):
+        return store_or_records
+    load = getattr(store_or_records, "load", None)
+    if callable(load):
+        return load()
+    from repro.results.store import ResultsStore
+
+    return ResultsStore(store_or_records).load()

@@ -1,0 +1,58 @@
+"""Clean-vs-dirty upsert rules for per-revision history lists.
+
+The ``BENCH_*`` files keep a ``history`` section — one entry per
+``(git_rev, preset)`` recording that revision's measured throughput. The
+original dedup rule ("new entry replaces any entry with the same
+identity") had a trap: refreshing the bench from a *dirty* working tree
+silently overwrote the committed revision's honest point with numbers no
+checkout can reproduce. These rules close that hole:
+
+- every entry carries ``dirty`` (``git status --porcelain`` non-empty at
+  measurement time); legacy entries without the flag are treated clean —
+  they were committed to the repo, which is the best provenance we have;
+- a **clean** entry replaces any previous entry for its identity (the
+  committed revision's number is authoritative);
+- a **dirty** entry may replace a previous *dirty* entry for its identity
+  but never a clean one — it is appended alongside, so a work-in-progress
+  measurement is visible without destroying the honest point.
+
+Shared between :mod:`benchmarks.bench_simulator_speed` (writing
+``BENCH_simulator_speed.json``) and anything else that keeps a
+per-revision trajectory.
+"""
+
+from __future__ import annotations
+
+__all__ = ["entry_identity", "is_dirty_entry", "upsert_history"]
+
+
+def entry_identity(entry: dict) -> tuple:
+    """The dedup identity of a history entry: ``(git_rev, preset)``."""
+    return (entry.get("git_rev"), entry.get("preset"))
+
+
+def is_dirty_entry(entry: dict) -> bool:
+    """Whether an entry was measured on a dirty tree.
+
+    Entries predating the ``dirty`` flag are treated clean: they were
+    committed alongside the revision they describe.
+    """
+    return bool(entry.get("dirty", False))
+
+
+def upsert_history(history: list[dict], entry: dict) -> list[dict]:
+    """Insert ``entry`` into ``history`` under the clean-vs-dirty rules.
+
+    Mutates and returns ``history``. The new entry always lands at the
+    end; which same-identity predecessors it displaces depends on its
+    ``dirty`` flag (see module docstring).
+    """
+    identity = entry_identity(entry)
+    if is_dirty_entry(entry):
+        keep = [item for item in history
+                if entry_identity(item) != identity or not is_dirty_entry(item)]
+    else:
+        keep = [item for item in history if entry_identity(item) != identity]
+    history[:] = keep
+    history.append(entry)
+    return history

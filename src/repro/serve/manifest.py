@@ -284,6 +284,11 @@ def run_sharded_sweep(jobs: Iterable[SweepJob],
             merged = _execute_with_retry(job, retry, emit)
             if isinstance(merged, JobResult):
                 manifest.record_result(merged)
+                # Jobs the driver re-executed during the merge (their worker
+                # died) record into the opt-in results warehouse too, so a
+                # campaign's store covers every executed job exactly once.
+                from repro.results.store import maybe_record
+                maybe_record(merged, source="sweep")
         done += 1
         if isinstance(merged, JobResult):
             results.append(merged)

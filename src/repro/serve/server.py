@@ -58,6 +58,16 @@ from repro.serve import wire
 #: is a few hundred bytes per job; this bounds hostile/broken clients.
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
 
+#: Progress events retained per job. One line per sweep job plus a
+#: handful of lifecycle lines fits comfortably; a campaign that emits
+#: more evicts the oldest lines (the stream carries an explicit dropped
+#: marker) instead of growing the daemon's heap without bound.
+MAX_JOB_EVENTS = 4096
+
+
+def _job_event_log() -> EventLog:
+    return EventLog(max_events=MAX_JOB_EVENTS)
+
 
 @dataclass
 class Job:
@@ -73,7 +83,7 @@ class Job:
     executed_jobs: int = 0
     total_jobs: int = 0
     results: list = field(default_factory=list)   # wire result records
-    events: EventLog = field(default_factory=EventLog)
+    events: EventLog = field(default_factory=_job_event_log)
 
     def status(self) -> dict:
         return {
@@ -88,6 +98,7 @@ class Job:
             "cached_jobs": self.cached_jobs,
             "executed_jobs": self.executed_jobs,
             "events": len(self.events),
+            "dropped_events": self.events.dropped,
         }
 
 

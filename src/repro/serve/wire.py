@@ -221,21 +221,46 @@ def job_from_wire(record: dict) -> SweepJob:
     return job
 
 
+def _result_field(record: dict, name: str, convert):
+    """Extract + convert one result field, diagnosing instead of raising raw.
+
+    A missing key gets the wire format's did-you-mean treatment (catching
+    the ``wall_secondss`` class of hand-edited manifest typo); a present
+    but unconvertible value names the field and the offending value. Both
+    raise :class:`~repro.errors.ConfigError`, which every manifest loader
+    already treats as "skip or recompute this record" — never a bare
+    ``KeyError``/``ValueError`` escaping to the caller.
+    """
+    if name not in record:
+        raise ConfigError(f"result record is missing {name!r}."
+                          f"{did_you_mean(name, record.keys())}")
+    try:
+        return convert(record[name])
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ConfigError(
+            f"result record field {name!r} is malformed: "
+            f"{record[name]!r} ({type(exc).__name__}: {exc})") from None
+
+
 def result_from_wire(record: dict, job: SweepJob | None = None) -> JobResult:
     """Rehydrate a result record; ``RunStats`` round-trips bit-identically.
 
     ``job`` overrides the embedded spec (the resume path matches records
     by key+digest and wants *its* job object back, not a reparsed one).
+    Malformed or legacy records raise :class:`~repro.errors.ConfigError`
+    with a did-you-mean diagnostic, never a bare ``KeyError``.
     """
     if job is None:
         embedded = record.get("job")
         if embedded is None:
             raise ConfigError("result record embeds no job spec; pass job=")
         job = _dataclass_from(SweepJob, dict(embedded), what="job")
-    return JobResult(job=job, stats=RunStats.from_dict(record["stats"]),
-                     num_rays=int(record["num_rays"]),
-                     verified=bool(record["verified"]),
-                     wall_seconds=float(record["wall_seconds"]))
+    return JobResult(job=job,
+                     stats=_result_field(record, "stats", RunStats.from_dict),
+                     num_rays=_result_field(record, "num_rays", int),
+                     verified=_result_field(record, "verified", bool),
+                     wall_seconds=_result_field(record, "wall_seconds",
+                                                float))
 
 
 def request_from_wire(record: dict) -> SimulateRequest | SweepRequest:

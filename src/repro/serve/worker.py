@@ -22,6 +22,7 @@ import time
 from typing import Callable
 
 from repro.errors import ConfigError
+from repro.results.store import maybe_record
 from repro.serve.manifest import ShardManifest
 from repro.harness.sweep import (
     FailedJob,
@@ -91,6 +92,9 @@ def run_worker(manifest_path, worker: str | None = None,
         outcome = _run_claimed(job, retry, emit, ident)
         if isinstance(outcome, JobResult):
             manifest.record_result(outcome)
+            # Opt-in results warehouse: one store line per job this worker
+            # actually executed (no-op without REPRO_RESULTS_DIR).
+            maybe_record(outcome, source="worker")
             emit(f"[{ident}] {job.describe()}  {outcome.stats.cycles} "
                  f"cycles  {outcome.wall_seconds:.2f}s")
         else:

@@ -243,6 +243,23 @@ class TestCheckpointDirOverride:
         with pytest.raises(ConfigError, match="cannot be created"):
             default_checkpoint_path("campaign")
 
+    def test_relative_override_pinned_to_first_cwd(self, tmp_path,
+                                                   monkeypatch):
+        """A worker that chdirs later must not open a second manifest."""
+        anchor = tmp_path / "anchor"
+        elsewhere = tmp_path / "elsewhere"
+        anchor.mkdir(), elsewhere.mkdir()
+        monkeypatch.chdir(anchor)
+        # A unique relative spelling: resolve_env_dir caches per value.
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR",
+                           f"rel-ckpt-{tmp_path.name}")
+        first = default_checkpoint_path("campaign")
+        monkeypatch.chdir(elsewhere)
+        second = default_checkpoint_path("campaign")
+        assert first == second
+        assert first.parent == anchor / f"rel-ckpt-{tmp_path.name}"
+        assert not (elsewhere / f"rel-ckpt-{tmp_path.name}").exists()
+
     def test_unwritable_override_raises_config_error(self, tmp_path,
                                                      monkeypatch):
         if os.geteuid() == 0:

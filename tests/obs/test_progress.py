@@ -55,3 +55,60 @@ class TestEventLog:
         thread.join(timeout=5)
         assert not thread.is_alive()
         assert seen == ["early", "late"]
+
+
+class TestBoundedRing:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for index in range(100):
+            log.emit(str(index))
+        assert log.dropped == 0
+        assert len(log.snapshot()) == 100
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        log = EventLog(max_events=3)
+        for index in range(5):
+            log.emit(str(index))
+        assert log.dropped == 2
+        assert len(log) == 5  # total emitted, evicted included
+        retained = log.snapshot(start=2)
+        assert [e["message"] for e in retained] == ["2", "3", "4"]
+        assert [e["seq"] for e in retained] == [2, 3, 4]  # seqs stay global
+
+    def test_snapshot_from_evicted_start_gets_dropped_marker(self):
+        log = EventLog(max_events=2)
+        for index in range(5):
+            log.emit(str(index))
+        events = log.snapshot()
+        assert events[0]["dropped"] == 3
+        assert events[0]["resume_seq"] == 3
+        assert events[0]["seq"] == 0
+        assert [e["message"] for e in events[1:]] == ["3", "4"]
+
+    def test_follow_surfaces_the_gap(self):
+        log = EventLog(max_events=2)
+        for index in range(5):
+            log.emit(str(index))
+        log.close()
+        events = list(log.follow())
+        assert events[0]["dropped"] == 3
+        assert "[dropped]" in events[0]["message"]
+        assert [e["message"] for e in events[1:]] == ["3", "4"]
+        # A reader resuming inside the retained window sees no marker.
+        assert [e["message"] for e in log.follow(start=4)] == ["4"]
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_events"):
+            EventLog(max_events=0)
+
+    def test_slow_follower_is_told_what_it_missed(self):
+        log = EventLog(max_events=2)
+        log.emit("0")
+        follower = log.follow(poll_seconds=0.01)
+        assert next(follower)["message"] == "0"
+        for index in range(1, 6):  # overflow the ring while it waits
+            log.emit(str(index))
+        log.close()
+        rest = list(follower)
+        assert rest[0]["dropped"] > 0
+        assert [e["message"] for e in rest[1:]] == ["4", "5"]

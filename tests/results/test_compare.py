@@ -1,0 +1,211 @@
+"""Regression comparison over store records, plus the `repro compare` CLI
+and the tidy frame layer (pandas-gated).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.results.compare import (
+    DEFAULT_TOLERANCE,
+    compare_records,
+    compare_revisions,
+    latest_by_key,
+    render_comparison,
+    revisions_in,
+)
+from repro.results.frame import COLUMNS, frame, tidy_rows
+from repro.results.store import RESULTS_SCHEMA, ResultsStore
+
+
+def record(*, rev: str = "aaa1111", mode: str = "spawn",
+           cycles_per_second: float = 100.0, simt: float = 0.5,
+           rays: float = 1e6, dirty: bool = False,
+           stats_digest: str = "d" * 16, source: str = "test") -> dict:
+    return {
+        "schema": RESULTS_SCHEMA,
+        "kind": "run",
+        "key": ["conference", mode, "primary", 0],
+        "job": {"scene": "conference", "mode": mode, "preset": "tiny",
+                "ray_kind": "primary", "seed": 0},
+        "config_digest": f"cfg-{mode}",
+        "run_stats_digest": stats_digest,
+        "metrics": {"cycles": 1000, "rays_completed": 64, "num_rays": 64,
+                    "ipc": 1.0, "simt_efficiency": simt,
+                    "rays_per_second": rays, "verified": True},
+        "timing": {"wall_seconds": 1.0,
+                   "cycles_per_second": cycles_per_second},
+        "provenance": {"git_rev": rev, "dirty": dirty,
+                       "timestamp": "2026-08-08T00:00:00+00:00",
+                       "source": source},
+    }
+
+
+class TestCompareRecords:
+    def test_identical_records_have_no_regressions(self):
+        comparison = compare_records([record()], [record()])
+        assert comparison["regressions"] == []
+        assert all(row["delta"] == 0.0 for row in comparison["rows"])
+        assert all(row["identical_stats"] for row in comparison["rows"])
+
+    def test_within_tolerance_is_ok(self):
+        slower = record(cycles_per_second=100.0 * (1 - DEFAULT_TOLERANCE
+                                                   + 0.01))
+        comparison = compare_records([record()], [slower])
+        assert comparison["regressions"] == []
+
+    def test_beyond_tolerance_regresses(self):
+        slower = record(cycles_per_second=80.0, stats_digest="e" * 16)
+        comparison = compare_records([record()], [slower])
+        assert len(comparison["regressions"]) == 1
+        row = comparison["regressions"][0]
+        assert row["metric"] == "cycles_per_second"
+        assert row["regressed"] and not row["identical_stats"]
+
+    def test_improvement_is_not_a_regression(self):
+        comparison = compare_records([record()],
+                                     [record(cycles_per_second=200.0)])
+        assert comparison["regressions"] == []
+
+    def test_disjoint_configs_reported_missing(self):
+        comparison = compare_records([record(mode="spawn")],
+                                     [record(mode="pdom_warp")])
+        assert comparison["rows"] == []
+        assert len(comparison["missing"]) == 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigError, match="tolerance"):
+            compare_records([record()], [record()], tolerance=-0.1)
+
+    def test_latest_by_key_prefers_clean_then_latest(self):
+        clean = record(cycles_per_second=100.0)
+        dirty = record(cycles_per_second=500.0, dirty=True)
+        later_clean = record(cycles_per_second=110.0)
+        chosen = latest_by_key([clean, dirty, later_clean])
+        assert list(chosen.values()) == [later_clean]
+
+
+class TestCompareRevisions:
+    def test_rev_vs_rev(self):
+        records = [record(rev="aaa1111"),
+                   record(rev="bbb2222", cycles_per_second=50.0)]
+        comparison = compare_revisions(records, "aaa1111", "bbb2222")
+        assert comparison["rev_a"] == "aaa1111"
+        assert len(comparison["regressions"]) == 1
+
+    def test_revisions_in_keeps_first_seen_order(self):
+        records = [record(rev="aaa1111"), record(rev="bbb2222"),
+                   record(rev="aaa1111")]
+        assert revisions_in(records) == ["aaa1111", "bbb2222"]
+
+    def test_unknown_revision_did_you_mean(self):
+        records = [record(rev="aaa1111")]
+        with pytest.raises(ConfigError, match="aaa1111"):
+            compare_revisions(records, "aaa111", "aaa1111")
+
+    def test_render_mentions_status(self):
+        records = [record(rev="aaa1111"),
+                   record(rev="bbb2222", cycles_per_second=50.0)]
+        comparison = compare_revisions(records, "aaa1111", "bbb2222")
+        text = render_comparison(comparison)
+        assert "REGRESSED" in text and "aaa1111" in text
+        assert "1 regression(s)" in text
+
+
+class TestCompareCli:
+    def write_store(self, tmp_path, records):
+        store = ResultsStore(tmp_path / "store")
+        for item in records:
+            store.append(item)
+        return store
+
+    def test_identical_revs_exit_zero(self, tmp_path, capsys):
+        store = self.write_store(tmp_path, [
+            record(rev="aaa1111"), record(rev="bbb2222")])
+        code = main(["compare", "--store", str(store.directory),
+                     "aaa1111", "bbb2222"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        store = self.write_store(tmp_path, [
+            record(rev="aaa1111"),
+            record(rev="bbb2222", cycles_per_second=50.0)])
+        code = main(["compare", "--store", str(store.directory),
+                     "aaa1111", "bbb2222"])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_no_revs_compares_two_latest_revisions(self, tmp_path, capsys):
+        store = self.write_store(tmp_path, [
+            record(rev="aaa1111"),
+            record(rev="bbb2222", cycles_per_second=50.0)])
+        assert main(["compare", "--store", str(store.directory)]) == 1
+
+    def test_single_rev_store_compares_first_vs_latest_run(self, tmp_path):
+        store = self.write_store(tmp_path, [
+            record(), record(cycles_per_second=50.0)])
+        assert main(["compare", "--store", str(store.directory)]) == 1
+
+    def test_one_rev_is_usage_error(self, tmp_path, capsys):
+        store = self.write_store(tmp_path, [record()])
+        code = main(["compare", "--store", str(store.directory), "aaa1111"])
+        assert code == 2
+        assert "two" in capsys.readouterr().err
+
+    def test_unknown_rev_exits_two(self, tmp_path, capsys):
+        store = self.write_store(tmp_path, [record()])
+        code = main(["compare", "--store", str(store.directory),
+                     "aaa1111", "nope999"])
+        assert code == 2
+        assert "compare failed" in capsys.readouterr().err
+
+    def test_empty_store_exits_two(self, tmp_path, capsys):
+        code = main(["compare", "--store", str(tmp_path / "empty")])
+        assert code == 2
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path):
+        store = self.write_store(tmp_path, [
+            record(rev="aaa1111"),
+            record(rev="bbb2222", cycles_per_second=80.0)])
+        assert main(["compare", "--store", str(store.directory),
+                     "aaa1111", "bbb2222"]) == 1
+        assert main(["compare", "--store", str(store.directory),
+                     "--tolerance", "0.5", "aaa1111", "bbb2222"]) == 0
+
+
+class TestFrame:
+    def test_tidy_rows_flatten(self):
+        rows = tidy_rows([record()])
+        assert len(rows) == 1
+        row = rows[0]
+        assert tuple(row) == COLUMNS
+        assert row["scene"] == "conference"
+        assert row["cycles_per_second"] == 100.0
+        assert row["git_rev"] == "aaa1111"
+
+    def test_tidy_rows_tolerate_sparse_records(self):
+        rows = tidy_rows([{"schema": RESULTS_SCHEMA, "kind": "run"}])
+        assert rows[0]["scene"] is None
+        assert rows[0]["wall_seconds"] is None
+
+    def test_frame_requires_pandas_or_diagnoses(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append(record())
+        try:
+            import pandas  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigError, match="pandas"):
+                frame(store)
+            return
+        table = frame(store)
+        assert list(table.columns) == list(COLUMNS)
+        assert len(table) == 1
+
+    def test_frame_accepts_record_lists(self):
+        pytest.importorskip("pandas")
+        table = frame([record(), record(mode="pdom_warp")])
+        assert sorted(table["mode"]) == ["pdom_warp", "spawn"]

@@ -18,5 +18,6 @@ def isolated_cache(tmp_path_factory):
     patch.delenv("REPRO_CACHE", raising=False)
     patch.delenv("REPRO_JOBS", raising=False)
     patch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    patch.delenv("REPRO_RESULTS_DIR", raising=False)
     yield
     patch.undo()

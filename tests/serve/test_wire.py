@@ -179,6 +179,60 @@ class TestLegacyCheckpointCompat:
         assert result.stats.to_dict() == tiny_stats_doc
 
 
+class TestMalformedResultDiagnostics:
+    """Bad result records get did-you-mean ConfigErrors, not KeyErrors."""
+
+    def good_record(self, job, stats_doc):
+        return {
+            "schema": wire.WIRE_SCHEMA,
+            "kind": "result",
+            "key": list(job.key),
+            "digest": job.config_digest(),
+            "num_rays": 64,
+            "verified": True,
+            "wall_seconds": 0.5,
+            "stats": stats_doc,
+        }
+
+    def test_missing_field_names_it(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        record = self.good_record(job, tiny_stats_doc)
+        del record["wall_seconds"]
+        with pytest.raises(ConfigError, match="missing 'wall_seconds'"):
+            wire.result_from_wire(record, job=job)
+
+    def test_typoed_field_gets_did_you_mean(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        record = self.good_record(job, tiny_stats_doc)
+        record["wall_secondss"] = record.pop("wall_seconds")
+        with pytest.raises(ConfigError,
+                           match="Did you mean 'wall_secondss'"):
+            wire.result_from_wire(record, job=job)
+
+    def test_unconvertible_value_names_field_and_value(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        record = self.good_record(job, tiny_stats_doc)
+        record["wall_seconds"] = "forty-two"
+        with pytest.raises(ConfigError,
+                           match="'wall_seconds' is malformed"):
+            wire.result_from_wire(record, job=job)
+
+    def test_malformed_stats_payload_is_diagnosed(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        record = self.good_record(job, tiny_stats_doc)
+        record["stats"] = {"not": "a stats payload"}
+        with pytest.raises(ConfigError):
+            wire.result_from_wire(record, job=job)
+
+    def test_no_bare_keyerror_escapes(self, tiny_stats_doc):
+        job = SweepJob(scene="conference", mode="spawn", preset="tiny")
+        for field in ("stats", "num_rays", "verified", "wall_seconds"):
+            record = self.good_record(job, tiny_stats_doc)
+            del record[field]
+            with pytest.raises(ConfigError):
+                wire.result_from_wire(record, job=job)
+
+
 @pytest.fixture(scope="module")
 def tiny_stats_doc():
     """A real RunStats document from one tiny simulation."""
