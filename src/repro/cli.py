@@ -61,6 +61,15 @@ from repro.harness import experiments
 from repro.harness.presets import PRESETS, get_preset
 from repro.harness.runner import MODES
 from repro.rt import BENCHMARK_SCENES
+from repro.workloads import GRAPH_SCENES
+
+#: Every scene a simulation verb accepts: the three rendering scenes plus
+#: the procedural CSR graphs (rendering-only verbs keep BENCHMARK_SCENES).
+SIM_SCENES = BENCHMARK_SCENES + GRAPH_SCENES
+
+#: Every workload family: single-bounce ray batches, multi-bounce
+#: roulette path tracing, and frontier BFS over the graph scenes.
+RAY_KINDS = ("primary", "shadow", "reflection", "gi", "path", "bfs")
 
 
 def _cmd_experiments(args) -> int:
@@ -494,11 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one workload/mode pair")
     p_run.add_argument("--scene", default="conference",
-                       choices=BENCHMARK_SCENES)
+                       choices=SIM_SCENES)
     p_run.add_argument("--mode", default="spawn", choices=MODES)
     p_run.add_argument("--preset", default="fast", choices=sorted(PRESETS))
-    p_run.add_argument("--rays", default="primary",
-                       choices=("primary", "shadow", "reflection", "gi"))
+    p_run.add_argument("--rays", default="primary", choices=RAY_KINDS)
     p_run.add_argument("--divergence", action="store_true",
                        help="print the warp-occupancy breakdown")
     p_run.add_argument("--executor", default="reference",
@@ -526,11 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace",
                              help="simulate with probes; export a trace")
-    p_trace.add_argument("scene", choices=BENCHMARK_SCENES)
+    p_trace.add_argument("scene", choices=SIM_SCENES)
     p_trace.add_argument("--mode", default="spawn", choices=MODES)
     p_trace.add_argument("--preset", default="fast", choices=sorted(PRESETS))
-    p_trace.add_argument("--rays", default="primary",
-                         choices=("primary", "shadow", "reflection", "gi"))
+    p_trace.add_argument("--rays", default="primary", choices=RAY_KINDS)
     p_trace.add_argument("--interval", type=int, default=512, metavar="N",
                          help="cycles per metrics interval (default 512)")
     p_trace.add_argument("--out", default="trace.json",
@@ -643,12 +650,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="daemon base URL (default "
                                "http://127.0.0.1:8732)")
     p_submit.add_argument("--scene", default="conference",
-                          choices=BENCHMARK_SCENES)
+                          choices=SIM_SCENES)
     p_submit.add_argument("--mode", default="spawn", choices=MODES)
     p_submit.add_argument("--preset", default="fast",
                           choices=sorted(PRESETS))
-    p_submit.add_argument("--rays", default="primary",
-                          choices=("primary", "shadow", "reflection", "gi"))
+    p_submit.add_argument("--rays", default="primary", choices=RAY_KINDS)
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--executor", default="", choices=("",) + EXECUTORS,
                           help="execution backend override (default: the "

@@ -37,8 +37,18 @@ import numpy as np
 from repro.isa.builder import KernelBuilder
 from repro.isa.program import Program
 
-#: Program shapes the generator emits.
-CASE_KINDS = ("plain", "spawn", "barrier")
+#: Program shapes the generator emits. "roulette" is a plain-model program
+#: wrapped in a data-dependent termination loop shaped like the path
+#: tracer's russian roulette: an exact integer LCG draws a uniform each
+#: iteration and the thread keeps looping while ``u < q`` under an
+#: iteration cap, so warp-mates retire from the loop at seed-dependent,
+#: divergent trip counts.
+CASE_KINDS = ("plain", "spawn", "barrier", "roulette")
+
+#: Park–Miller constants for the roulette kind (exact in float64: the
+#: state stays below 2**31, the product below 2**47).
+_LCG_MODULUS = 2147483647.0
+_LCG_MULTIPLIER = 48271.0
 
 # Fixed register map (class discipline, see module docstring).
 _R_TID = "r0"
@@ -275,6 +285,51 @@ def _emit_plain(gen: _Gen) -> None:
     gen.epilogue()
 
 
+def _emit_roulette(gen: _Gen) -> None:
+    """A data-dependent-depth loop shaped like roulette termination.
+
+    The loop body is ordinary generated code; the continuation decision is
+    an exact Park–Miller draw per iteration (state in ``_R_COUNT``,
+    iteration count in ``_R_T1``): keep looping while ``u < q`` and the
+    iteration cap is not hit. The trip count lands in output slot 0 (and
+    in the exit register snapshot), so any model that mis-executes the
+    divergent loop shows up in the differential compare.
+    """
+    b = gen.b
+    cap = int(gen.rng.integers(2, 7))
+    q = float(np.round(gen.rng.uniform(0.2, 0.9), 3))
+    offset = float(int(gen.rng.integers(1, 1000)))
+    b.kernel("main", registers=_NUM_REGISTERS)
+    gen.init_registers()
+    # Seed: state = max((tid*9973 + offset) mod M, 1) — per-thread streams.
+    b.mad(_R_COUNT, _R_TID, 9973.0, offset)
+    b.rem(_R_COUNT, _R_COUNT, _LCG_MODULUS)
+    b.max(_R_COUNT, _R_COUNT, 1.0)
+    b.mov(_R_T1, 0.0)
+    top, out = gen.label(), gen.label()
+    b.label(top)
+    for _ in range(int(gen.rng.integers(1, 4))):
+        gen.segment(1, in_loop=True, allow_exit=False)
+    b.mul(_R_COUNT, _R_COUNT, _LCG_MULTIPLIER)
+    b.rem(_R_COUNT, _R_COUNT, _LCG_MODULUS)
+    b.div(_R_T0, _R_COUNT, _LCG_MODULUS)
+    b.add(_R_T1, _R_T1, 1.0)
+    # Terminate on an unlucky draw, else iterate while budget remains;
+    # both paths reconverge at ``out``.
+    b.setp("ge", "p3", _R_T0, q)
+    b.bra(out, pred="p3")
+    b.setp("lt", "p3", _R_T1, float(cap))
+    b.bra(top, pred="p3")
+    b.label(out)
+    values = _FLOAT_REGS + _INT_REGS
+    for slot in range(1, gen.out_stride):
+        gen.own_output_address(_R_TID, slot)
+        b.st("global", _R_ADDR, gen.pick(values))
+    gen.own_output_address(_R_TID, 0)
+    b.st("global", _R_ADDR, _R_T1)
+    b.exit()
+
+
 def _emit_barrier(gen: _Gen, block_size: int, padded_threads: int) -> None:
     gen.b.kernel("main", registers=_NUM_REGISTERS)
     gen.init_registers()
@@ -368,7 +423,7 @@ def make_case(seed: int, kind: str | None = None) -> Case:
     """Generate one case; all randomness derives from ``seed``."""
     rng = np.random.default_rng(np.random.SeedSequence(int(seed)))
     if kind is None:
-        kind = rng.choice(CASE_KINDS, p=(0.5, 0.28, 0.22))
+        kind = rng.choice(CASE_KINDS, p=(0.4, 0.25, 0.18, 0.17))
     kind = str(kind)
     if kind not in CASE_KINDS:
         raise ValueError(f"unknown case kind {kind!r}")
@@ -377,7 +432,7 @@ def make_case(seed: int, kind: str | None = None) -> Case:
     out_stride = int(rng.integers(3, 7))
     state_words = 0
     shared_cells = 0
-    if kind == "plain":
+    if kind in ("plain", "roulette"):
         num_threads = int(rng.choice((8, 16, 24, 32, 48)))
         block_size = int(rng.choice((16, 32, 64)))
         shared_cells = int(rng.integers(0, 3))
@@ -397,6 +452,8 @@ def make_case(seed: int, kind: str | None = None) -> Case:
                shared_cells=shared_cells)
     if kind == "plain":
         _emit_plain(gen)
+    elif kind == "roulette":
+        _emit_roulette(gen)
     elif kind == "barrier":
         padded = -(-num_threads // block_size) * block_size
         _emit_barrier(gen, block_size, padded)

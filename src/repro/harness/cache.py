@@ -46,15 +46,27 @@ from repro.rt.kdtree import KDTree, KDTreeStats
 from repro.rt.trace import TraceCounters, TraceResult
 
 #: Invalidation salt: bump on any change to workload-producing code.
-CACHE_SALT = "workload-v1"
+CACHE_SALT = "workload-v2"
 
-#: Arrays every cache entry must contain (besides the metadata fields).
+#: Arrays every ray-batch cache entry must contain (besides metadata).
 _REQUIRED_KEYS = (
     "salt", "nodes", "leaf_indices", "bounds_lo", "bounds_hi", "vertices",
     "tree_stats_i", "tree_stats_f", "origins", "directions", "t_max",
     "ref_t", "ref_triangle", "ctr_node_visits", "ctr_leaf_visits",
     "ctr_triangle_tests", "ctr_stack_pushes", "light",
 )
+
+#: Arrays a graph-traversal (``ray_kind="bfs"``) entry must contain: the
+#: CSR structure and BFS roots replace the kd-tree and ray batch.
+_GRAPH_KEYS = (
+    "salt", "graph_indptr", "graph_indices", "graph_sources",
+    "ref_t", "ref_triangle", "ctr_node_visits", "ctr_leaf_visits",
+    "ctr_triangle_tests", "ctr_stack_pushes",
+)
+
+
+def _required_keys(ray_kind: str) -> tuple[str, ...]:
+    return _GRAPH_KEYS if ray_kind == "bfs" else _REQUIRED_KEYS
 
 
 def atomic_write(path: pathlib.Path, writer) -> None:
@@ -170,13 +182,19 @@ class WorkloadCache:
     def key(self, scene_name: str, preset: SimPreset,
             ray_kind: str = "primary", seed: int = 0) -> str:
         """Content hash of everything that determines the workload arrays."""
-        text = "|".join((
+        parts = [
             self.salt, scene_name, ray_kind, f"seed={seed}",
             f"detail={preset.scene_detail!r}",
             f"kd={preset.kd_max_depth},{preset.kd_leaf_size}",
             f"img={preset.image_width}x{preset.image_height}",
-        ))
-        return hashlib.sha256(text.encode()).hexdigest()[:16]
+        ]
+        # Path references depend on the bounce budget and roulette
+        # probability; joining them only for ray_kind="path" keeps every
+        # pre-existing key stable.
+        if ray_kind == "path":
+            parts.append(f"path={preset.path_max_depth},"
+                         f"{preset.path_roulette_q!r}")
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
     def path(self, key: str, scene_name: str, ray_kind: str) -> pathlib.Path:
         return self.cache_dir / f"{scene_name}-{ray_kind}-{key}.npz"
@@ -192,7 +210,7 @@ class WorkloadCache:
             self.stats.memory_hits += 1
             return cached
         path = self.path(key, scene_name, ray_kind)
-        loaded = self._load(path, scene_name, ray_kind, preset)
+        loaded = self._load(path, scene_name, ray_kind, preset, seed)
         if loaded is not None:
             self.stats.disk_hits += 1
             self._memory_put(key, loaded)
@@ -252,22 +270,33 @@ class WorkloadCache:
     def _build(self, scene_name: str, preset: SimPreset, ray_kind: str,
                seed: int):
         from repro.harness.runner import (
+            build_bfs_workload,
             build_primary_workload,
+            derive_path_workload,
             derive_secondary_workload,
         )
 
         if ray_kind == "primary":
             self.stats.misses += 1
             return build_primary_workload(scene_name, preset)
+        if ray_kind == "bfs":
+            # Graphs share nothing with the ray workloads: a full build.
+            self.stats.misses += 1
+            return build_bfs_workload(scene_name, preset, seed=seed)
         # Secondary kinds derive from the (cached) primary workload: one
         # scene, one kd-tree, one primary trace shared across all kinds.
         primary = self.workload(scene_name, preset, "primary", 0)
         self.stats.derived += 1
+        if ray_kind == "path":
+            return derive_path_workload(primary, seed=seed)
         return derive_secondary_workload(primary, ray_kind, seed=seed)
 
     # -- serialization -----------------------------------------------------
 
     def _store(self, path: pathlib.Path, workload) -> None:
+        if workload.graph is not None:
+            self._store_graph(path, workload)
+            return
         tree = workload.tree
         stats = tree.stats()
         counters = workload.reference.counters
@@ -303,8 +332,26 @@ class WorkloadCache:
         atomic_write(path, lambda handle: np.savez(handle, **arrays))
         self.stats.stores += 1
 
+    def _store_graph(self, path: pathlib.Path, workload) -> None:
+        graph = workload.graph
+        counters = workload.reference.counters
+        arrays = {
+            "salt": np.array(self.salt),
+            "graph_indptr": graph.indptr,
+            "graph_indices": graph.indices,
+            "graph_sources": graph.sources,
+            "ref_t": workload.reference.t,
+            "ref_triangle": workload.reference.triangle,
+            "ctr_node_visits": counters.node_visits,
+            "ctr_leaf_visits": counters.leaf_visits,
+            "ctr_triangle_tests": counters.triangle_tests,
+            "ctr_stack_pushes": counters.stack_pushes,
+        }
+        atomic_write(path, lambda handle: np.savez(handle, **arrays))
+        self.stats.stores += 1
+
     def _load(self, path: pathlib.Path, scene_name: str, ray_kind: str,
-              preset: SimPreset):
+              preset: SimPreset, seed: int = 0):
         """Load one entry; corrupt or stale files are deleted, not served."""
         from repro.harness.runner import Workload
 
@@ -312,7 +359,8 @@ class WorkloadCache:
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                arrays = {name: data[name] for name in _REQUIRED_KEYS}
+                arrays = {name: data[name]
+                          for name in _required_keys(ray_kind)}
             if str(arrays["salt"]) != self.salt:
                 self.stats.stale_entries += 1
                 path.unlink(missing_ok=True)
@@ -321,6 +369,27 @@ class WorkloadCache:
             self.stats.corrupt_entries += 1
             path.unlink(missing_ok=True)
             return None
+        counters = TraceCounters(
+            node_visits=arrays["ctr_node_visits"],
+            leaf_visits=arrays["ctr_leaf_visits"],
+            triangle_tests=arrays["ctr_triangle_tests"],
+            stack_pushes=arrays["ctr_stack_pushes"])
+        reference = TraceResult(t=arrays["ref_t"],
+                                triangle=arrays["ref_triangle"],
+                                counters=counters)
+        if ray_kind == "bfs":
+            from repro.workloads.graphs import GraphWorkload
+
+            graph = GraphWorkload(name=scene_name,
+                                  indptr=arrays["graph_indptr"],
+                                  indices=arrays["graph_indices"],
+                                  sources=arrays["graph_sources"])
+            empty = np.zeros((0, 3))
+            return Workload(scene_name=scene_name, ray_kind=ray_kind,
+                            tree=None, origins=empty,
+                            directions=empty.copy(), t_max=np.zeros(0),
+                            reference=reference, preset=preset, light=None,
+                            seed=seed, graph=graph)
         triangles = [Triangle(row[0].copy(), row[1].copy(), row[2].copy())
                      for row in arrays["vertices"]]
         ints = arrays["tree_stats_i"]
@@ -338,21 +407,14 @@ class WorkloadCache:
                 avg_triangles_per_leaf=float(floats[1]),
                 max_triangles_per_leaf=int(ints[4]),
                 empty_leaves=int(ints[5])))
-        counters = TraceCounters(
-            node_visits=arrays["ctr_node_visits"],
-            leaf_visits=arrays["ctr_leaf_visits"],
-            triangle_tests=arrays["ctr_triangle_tests"],
-            stack_pushes=arrays["ctr_stack_pushes"])
-        reference = TraceResult(t=arrays["ref_t"],
-                                triangle=arrays["ref_triangle"],
-                                counters=counters)
         light = arrays["light"]
         return Workload(scene_name=scene_name, ray_kind=ray_kind, tree=tree,
                         origins=arrays["origins"],
                         directions=arrays["directions"],
                         t_max=arrays["t_max"], reference=reference,
                         preset=preset,
-                        light=None if np.isnan(light).all() else light)
+                        light=None if np.isnan(light).all() else light,
+                        seed=seed)
 
 
 _default: WorkloadCache | None = None

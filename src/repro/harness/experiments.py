@@ -51,10 +51,15 @@ from repro.kernels.traditional import (
 )
 from repro.rt import BENCHMARK_SCENES
 from repro.rt.scenes import PAPER_TRIANGLE_COUNTS
+from repro.workloads import GRAPH_SCENES
+
+#: Modes the workload-family experiments compare (the paper's headline
+#: trio: both PDOM baselines against conflict-free µ-kernels).
+WORKLOAD_MODES = ("pdom_block", "pdom_warp", "spawn")
 
 
 def _sim(results: SweepResults | None, scene: str, mode: str,
-         preset: SimPreset):
+         preset: SimPreset, ray_kind: str = "primary"):
     """One simulation: served from sweep results when available.
 
     Returns either a :class:`~repro.harness.sweep.JobResult` or a
@@ -64,13 +69,13 @@ def _sim(results: SweepResults | None, scene: str, mode: str,
     """
     if results is not None:
         try:
-            return results.get(scene, mode)
+            return results.get(scene, mode, ray_kind)
         except KeyError:
             pass
     # Imported lazily: repro.api imports this package, so a module-level
     # import here would be circular.
     from repro.api import simulate
-    return simulate(scene, mode, preset=preset)
+    return simulate(scene, mode, preset=preset, ray_kind=ray_kind)
 
 
 def table1() -> dict:
@@ -375,6 +380,74 @@ def ablation_persistent(preset: SimPreset, workload=None,
                                                 "scheduling (conference)")}
 
 
+def _family_figure(title: str, preset: SimPreset, scenes, ray_kind: str,
+                   results: SweepResults | None = None,
+                   jobs: int | None = None) -> dict:
+    """Scene x mode grid for one workload family (path tracing, BFS)."""
+    if results is None and jobs is not None and resolve_jobs(jobs) > 1:
+        warm_workloads([(scene, ray_kind) for scene in scenes],
+                       preset.name, jobs_n=jobs)
+        results = run_sweep([SweepJob(scene=scene, mode=mode,
+                                      preset=preset.name, ray_kind=ray_kind)
+                             for scene in scenes
+                             for mode in WORKLOAD_MODES], jobs_n=jobs)
+    rows = []
+    for scene in scenes:
+        for mode in WORKLOAD_MODES:
+            result = _sim(results, scene, mode, preset, ray_kind=ray_kind)
+            rows.append({
+                "scene": scene,
+                "mode": mode,
+                "cycles": result.stats.cycles,
+                "ipc": round(result.ipc, 1),
+                "efficiency": round(result.simt_efficiency, 3),
+                "completed": round(result.completed_fraction, 3),
+                "verified": result.verify(),
+            })
+    ratios = []
+    for scene in scenes:
+        base = next(r for r in rows if r["scene"] == scene
+                    and r["mode"] == "pdom_block")
+        dyn = next(r for r in rows if r["scene"] == scene
+                   and r["mode"] == "spawn")
+        if base["efficiency"]:
+            ratios.append(dyn["efficiency"] / base["efficiency"])
+    summary = {"mean_efficiency_ratio_vs_pdom_block":
+               round(sum(ratios) / len(ratios), 2) if ratios else 0.0}
+    render = format_table(rows, title=title)
+    render += (f"\n\nmean SIMT-efficiency ratio, µ-kernels vs PDOM block: "
+               f"{summary['mean_efficiency_ratio_vs_pdom_block']}x")
+    return {"rows": rows, "summary": summary, "render": render}
+
+
+def pathtrace(preset: SimPreset, results: SweepResults | None = None,
+              jobs: int | None = None) -> dict:
+    """Multi-bounce path tracing: the roulette loop as a spawn chain.
+
+    The russian-roulette termination is a data-dependent *outer* loop on
+    top of the traversal loops, so reconvergence-stack divergence compounds
+    with bounce depth — the workload the µ-kernel decomposition is supposed
+    to shine on beyond the paper's single-bounce batches.
+    """
+    return _family_figure(
+        "Path tracing — roulette bounce loops (ray_kind=path)",
+        preset, ("conference",), "path", results, jobs)
+
+
+def bfs(preset: SimPreset, results: SweepResults | None = None,
+        jobs: int | None = None) -> dict:
+    """Graph traversal: frontier expansion over a shared worklist.
+
+    A non-rendering irregular workload: per-vertex work varies with
+    out-degree (``graph-skew`` concentrates edges on a few hubs), so warp
+    lanes diverge on the expansion loop and µ-kernel spawning regroups
+    them; verification bounds levels against true BFS order.
+    """
+    return _family_figure(
+        "Graph traversal — frontier BFS (ray_kind=bfs)",
+        preset, GRAPH_SCENES, "bfs", results, jobs)
+
+
 def _pairs(preset: SimPreset, pairs) -> list[SweepJob]:
     return [SweepJob(scene=scene, mode=mode, preset=preset.name)
             for scene, mode in pairs]
@@ -399,6 +472,12 @@ FIGURE_JOBS = {
         ("conference", "pdom_warp"), ("conference", "spawn")]),
     "ablation_persistent": lambda preset: _pairs(preset, [
         ("conference", "pdom_warp"), ("conference", "spawn")]),
+    "pathtrace": lambda preset: [
+        SweepJob(scene="conference", mode=mode, preset=preset.name,
+                 ray_kind="path") for mode in WORKLOAD_MODES],
+    "bfs": lambda preset: [
+        SweepJob(scene=scene, mode=mode, preset=preset.name, ray_kind="bfs")
+        for scene in GRAPH_SCENES for mode in WORKLOAD_MODES],
 }
 
 def _no_jobs(preset: SimPreset) -> list:
@@ -421,6 +500,9 @@ EXPERIMENTS = {
         preset, results=results),
     "ablation_persistent": lambda preset, results=None: ablation_persistent(
         preset, results=results),
+    "pathtrace": lambda preset, results=None: pathtrace(
+        preset, results=results),
+    "bfs": lambda preset, results=None: bfs(preset, results=results),
 }
 
 
@@ -464,7 +546,8 @@ def run_selected(names, preset: SimPreset, jobs: int | None = None,
     results = None
     if sim_jobs:
         if workers > 1:
-            warm_workloads(sorted({job.scene for job in sim_jobs}),
+            warm_workloads(sorted({(job.scene, job.ray_kind)
+                                   for job in sim_jobs}),
                            preset.name, jobs_n=workers)
         results = run_sweep(sim_jobs, jobs_n=workers, progress=progress,
                             strict=strict, retry=retry,

@@ -30,19 +30,35 @@ import numpy as np
 from repro.config import GPUConfig, SchedulingModel, scaled_config
 from repro.errors import ConfigError
 from repro.harness.presets import SimPreset
+from repro.kernels.graph import (
+    bfs_launch_spec,
+    bfs_microkernel_launch_spec,
+    build_graph_memory_image,
+)
 from repro.kernels.layout import MemoryImage, build_memory_image
 from repro.kernels.microkernels import microkernel_launch_spec
+from repro.kernels.pathtrace import (
+    extend_image_for_path,
+    pathtrace_launch_spec,
+    pathtrace_microkernel_launch_spec,
+)
 from repro.kernels.traditional import (
     dynamic_instruction_model,
     traditional_launch_spec,
 )
 from repro.rt import Camera, build_kdtree, make_scene, trace_rays
 from repro.rt.kdtree import KDTree
+from repro.rt.pathtrace import path_trace_rays
 from repro.rt.rays import gi_rays, reflection_rays, shadow_rays
-from repro.rt.trace import TraceResult
+from repro.rt.trace import TraceCounters, TraceResult
 from repro.simt import GPU, mimd_theoretical
 from repro.simt.gpu import RunStats
 from repro.simt.mimd import MIMDResult
+from repro.workloads.graphs import (
+    GraphWorkload,
+    make_graph,
+    reference_bfs,
+)
 
 #: Paper machine size used to scale rays/s.
 PAPER_SMS = 30
@@ -62,16 +78,25 @@ class Workload:
 
     scene_name: str
     ray_kind: str
-    tree: KDTree
+    tree: KDTree | None
     origins: np.ndarray
     directions: np.ndarray
     t_max: np.ndarray
     reference: TraceResult
     preset: SimPreset
     light: np.ndarray | None = None
+    #: Workload-generation seed (path-tracer RNG, graph generation). Part
+    #: of the cache key, so it must travel with the arrays it shaped.
+    seed: int = 0
+    #: CSR graph for ``ray_kind="bfs"`` workloads; None for ray batches.
+    graph: GraphWorkload | None = None
 
     @property
     def num_rays(self) -> int:
+        if self.graph is not None:
+            # The unit of completed work in a BFS traversal is a reachable
+            # vertex: a correct run of any schedule expands exactly these.
+            return int(np.isfinite(self.reference.t).sum())
         return self.origins.shape[0]
 
 
@@ -123,8 +148,23 @@ class RunResult(StatsView):
 
     def verify(self) -> bool:
         """Check results against the reference for completed rays."""
-        t, tri = self.image.results()
         ref = self.workload.reference
+        if self.workload.ray_kind == "bfs":
+            # The lock-free traversal may discover a vertex through a
+            # deeper parent than true BFS order would, so levels are
+            # checked as lower-bounded, not equal; the visited set itself
+            # is schedule-independent (subset of reachable; equality is
+            # what completed_fraction == 1.0 certifies).
+            level, flag = self.image.results()
+            done = ~np.isnan(level)
+            if not done.any():
+                return True
+            reachable = np.isfinite(ref.t)
+            return (bool(np.all(reachable[done]))
+                    and bool(np.all(np.isfinite(level[done])))
+                    and bool(np.all(level[done] >= ref.t[done]))
+                    and bool(np.all(flag[done] == 1)))
+        t, tri = self.image.results()
         done = ~np.isnan(t)
         if not done.any():
             return True
@@ -182,12 +222,67 @@ def derive_secondary_workload(primary: Workload, ray_kind: str,
                     light=primary.light)
 
 
+def derive_path_workload(primary: Workload, seed: int = 0) -> Workload:
+    """Derive a multi-bounce path-tracing workload from a primary one.
+
+    Shares the primary workload's scene, kd-tree, and camera rays; only the
+    reference changes — the roulette path tracer's ``(bounce count, last
+    triangle)`` records (see :mod:`repro.rt.pathtrace`). The bounce budget
+    and roulette probability come from the preset, the RNG stream from
+    ``seed``.
+    """
+    preset = primary.preset
+    reference = path_trace_rays(
+        primary.tree, primary.origins, primary.directions, primary.t_max,
+        max_depth=preset.path_max_depth, roulette_q=preset.path_roulette_q,
+        seed=seed)
+    return Workload(scene_name=primary.scene_name, ray_kind="path",
+                    tree=primary.tree, origins=primary.origins,
+                    directions=primary.directions, t_max=primary.t_max,
+                    reference=reference, preset=preset, light=primary.light,
+                    seed=seed)
+
+
+def build_bfs_workload(scene_name: str, preset: SimPreset,
+                       seed: int = 0) -> Workload:
+    """Build a graph-traversal workload: CSR graph + true BFS levels.
+
+    The reference rides the :class:`~repro.rt.trace.TraceResult` shape so
+    every downstream consumer (verification, the bandwidth model, the
+    results warehouse) works unchanged: ``t`` carries the true level
+    (unreachable -> inf), ``triangle`` a reachable flag (1 / -1), and
+    ``node_visits`` the out-degree of each expanded vertex (the edge reads
+    a traversal performs).
+    """
+    graph = make_graph(scene_name, detail=preset.scene_detail, seed=seed)
+    levels = reference_bfs(graph)
+    reachable = levels >= 0
+    t = np.where(reachable, levels.astype(np.float64), np.inf)
+    triangle = np.where(reachable, 1, -1).astype(np.int64)
+    counters = TraceCounters(
+        node_visits=np.where(reachable, graph.out_degrees(), 0)
+        .astype(np.int64),
+        leaf_visits=np.zeros(graph.num_vertices, np.int64),
+        triangle_tests=np.zeros(graph.num_vertices, np.int64),
+        stack_pushes=np.zeros(graph.num_vertices, np.int64))
+    reference = TraceResult(t=t, triangle=triangle, counters=counters)
+    empty = np.zeros((0, 3))
+    return Workload(scene_name=scene_name, ray_kind="bfs", tree=None,
+                    origins=empty, directions=empty.copy(),
+                    t_max=np.zeros(0), reference=reference, preset=preset,
+                    light=None, seed=seed, graph=graph)
+
+
 def build_workload(scene_name: str, preset: SimPreset,
                    ray_kind: str = "primary", seed: int = 0) -> Workload:
     """Uncached workload build (one scene + tree + trace, reused per kind)."""
+    if ray_kind == "bfs":
+        return build_bfs_workload(scene_name, preset, seed=seed)
     primary = build_primary_workload(scene_name, preset)
     if ray_kind == "primary":
         return primary
+    if ray_kind == "path":
+        return derive_path_workload(primary, seed=seed)
     return derive_secondary_workload(primary, ray_kind, seed=seed)
 
 
@@ -252,6 +347,42 @@ def launch_for_mode(mode: str, num_rays: int):
     return traditional_launch_spec(num_rays)
 
 
+def image_for_workload(workload: Workload):
+    """Device memory image for one workload, dispatched on its ray kind."""
+    if workload.ray_kind == "bfs":
+        return build_graph_memory_image(workload.graph)
+    image = build_memory_image(workload.tree, workload.origins,
+                               workload.directions, workload.t_max)
+    if workload.ray_kind == "path":
+        preset = workload.preset
+        image = extend_image_for_path(
+            image, max_depth=preset.path_max_depth,
+            roulette_q=preset.path_roulette_q, seed=workload.seed)
+    return image
+
+
+def launch_for_workload(mode: str, workload: Workload):
+    """Launch spec for one (mode, workload) pair.
+
+    Each workload family has its own megakernel/µ-kernel pair; BFS runs a
+    fixed worker pool over the shared frontier worklist (one worker per
+    vertex, capped by the preset's thread budget) rather than one thread
+    per result.
+    """
+    spawn = mode.startswith("spawn")
+    if workload.ray_kind == "bfs":
+        workers = min(workload.graph.num_vertices,
+                      workload.preset.num_rays)
+        if spawn:
+            return bfs_microkernel_launch_spec(workers)
+        return bfs_launch_spec(workers)
+    if workload.ray_kind == "path":
+        if spawn:
+            return pathtrace_microkernel_launch_spec(workload.num_rays)
+        return pathtrace_launch_spec(workload.num_rays)
+    return launch_for_mode(mode, workload.num_rays)
+
+
 def run_mode(mode: str, workload: Workload,
              max_cycles: int | None = None,
              fast_forward: bool | None = None,
@@ -266,9 +397,8 @@ def run_mode(mode: str, workload: Workload,
     preset = workload.preset
     config = config_for_mode(mode, preset, fast_forward=fast_forward,
                              executor=executor, scheduler=scheduler)
-    image = build_memory_image(workload.tree, workload.origins,
-                               workload.directions, workload.t_max)
-    launch = launch_for_mode(mode, workload.num_rays)
+    image = image_for_workload(workload)
+    launch = launch_for_workload(mode, workload)
     gpu = GPU(config, launch, image.global_mem, image.const_mem,
               divergence_window=preset.divergence_window, trace=trace)
     stats = gpu.run(max_cycles=max_cycles)
@@ -313,11 +443,15 @@ __all__ = [
     "RunResult",
     "StatsView",
     "Workload",
+    "build_bfs_workload",
     "build_primary_workload",
     "build_workload",
     "config_for_mode",
+    "derive_path_workload",
     "derive_secondary_workload",
+    "image_for_workload",
     "launch_for_mode",
+    "launch_for_workload",
     "mimd_for_workload",
     "mimd_rays_per_second",
     "prepare_workload",

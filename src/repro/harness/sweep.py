@@ -881,7 +881,7 @@ def _warm_one(spec: tuple[str, str, str, int]) -> int:
     return workload.num_rays
 
 
-def warm_workloads(scenes: Iterable[str], preset_name: str,
+def warm_workloads(scenes: Iterable, preset_name: str,
                    ray_kinds: Iterable[str] = ("primary",),
                    jobs_n: int | None = None, seed: int = 0) -> int:
     """Pre-populate the persistent cache, one worker per workload.
@@ -889,13 +889,24 @@ def warm_workloads(scenes: Iterable[str], preset_name: str,
     Run before a sweep so pool workers racing on the same scene all find a
     finished entry instead of each rebuilding it. A no-op when the cache is
     disabled (nothing would be retained across processes).
+
+    ``scenes`` entries are either plain scene names (crossed with
+    ``ray_kinds``) or ``(scene, ray_kind)`` pairs naming one workload each
+    — the form mixed-family sweeps use, since a graph scene has no
+    "primary" ray batch to warm.
     """
     from repro.harness.cache import cache_enabled
 
     if not cache_enabled():
         return 0
-    specs = [(scene, preset_name, kind, seed)
-             for scene in scenes for kind in ray_kinds]
+    specs = []
+    for item in scenes:
+        if isinstance(item, tuple):
+            scene, kind = item
+            specs.append((scene, preset_name, kind, seed))
+        else:
+            specs.extend((item, preset_name, kind, seed)
+                         for kind in ray_kinds)
     workers = min(resolve_jobs(jobs_n), max(1, len(specs)))
     if workers <= 1 or len(specs) <= 1:
         for spec in specs:

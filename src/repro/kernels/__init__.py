@@ -9,14 +9,40 @@
   µ-kernels, passing 48 bytes of state through spawn memory.
 - :mod:`repro.kernels.resources` reproduces Table II's per-thread resource
   accounting and the resulting occupancy (512 vs 800 threads/SM).
+- :mod:`repro.kernels.pathtrace` extends both layouts to multi-bounce
+  path tracing: a seeded roulette loop wrapped around the traversal, as a
+  megakernel restart loop and as a five-µ-kernel spawn chain.
+- :mod:`repro.kernels.graph` is the non-rendering family: frontier BFS
+  over a shared lock-free worklist, as a megakernel worker loop and as a
+  self-respawning single-step µ-kernel.
 """
 
+from repro.kernels.graph import (
+    BFS_KERNEL_NAME,
+    BFS_MICRO_KERNEL_NAMES,
+    GraphMemoryImage,
+    bfs_launch_spec,
+    bfs_microkernel_launch_spec,
+    bfs_microkernel_program,
+    bfs_program,
+    build_graph_memory_image,
+)
 from repro.kernels.layout import MemoryImage, build_memory_image
 from repro.kernels.microkernels import (
     MICRO_KERNEL_NAMES,
     MICRO_STATE_WORDS,
     microkernel_launch_spec,
     microkernel_program,
+)
+from repro.kernels.pathtrace import (
+    PT_KERNEL_NAME,
+    PT_MICRO_KERNEL_NAMES,
+    PT_STATE_WORDS,
+    extend_image_for_path,
+    pathtrace_launch_spec,
+    pathtrace_microkernel_launch_spec,
+    pathtrace_microkernel_program,
+    pathtrace_program,
 )
 from repro.kernels.resources import (
     KernelResources,
@@ -27,15 +53,31 @@ from repro.kernels.resources import (
 from repro.kernels.traditional import traditional_launch_spec, traditional_program
 
 __all__ = [
+    "BFS_KERNEL_NAME",
+    "BFS_MICRO_KERNEL_NAMES",
+    "GraphMemoryImage",
     "MICRO_KERNEL_NAMES",
     "MICRO_STATE_WORDS",
     "MemoryImage",
     "KernelResources",
     "PAPER_TABLE2",
+    "PT_KERNEL_NAME",
+    "PT_MICRO_KERNEL_NAMES",
+    "PT_STATE_WORDS",
+    "bfs_launch_spec",
+    "bfs_microkernel_launch_spec",
+    "bfs_microkernel_program",
+    "bfs_program",
+    "build_graph_memory_image",
     "build_memory_image",
+    "extend_image_for_path",
     "microkernel_launch_spec",
     "microkernel_program",
     "occupancy_threads_per_sm",
+    "pathtrace_launch_spec",
+    "pathtrace_microkernel_launch_spec",
+    "pathtrace_microkernel_program",
+    "pathtrace_program",
     "table2_rows",
     "traditional_launch_spec",
     "traditional_program",

@@ -1,0 +1,453 @@
+"""Irregular BFS kernels over CSR graphs (megakernel and µ-kernel layouts).
+
+The workload the dynamic-parallelism literature maps onto
+thread-spawns-threads: a multi-source breadth-first traversal where the
+amount of work a thread discovers (a vertex's out-edges) is data-dependent
+and wildly non-uniform on skewed graphs.
+
+Both layouts drive the same lock-free shared worklist in global memory:
+
+- ``queue``     — vertex ids in discovery order; slots are pre-filled with
+  -1 and *published* (stored) only after the vertex's level is written.
+- ``visited``   — one word per vertex; ``atom.exch`` is the
+  test-and-set that guarantees each vertex is enqueued exactly once.
+- ``counters``  — head (claim cursor), tail (publish cursor), processed
+  (finish count), done (termination flag). A worker claims a queue slot
+  with ``atom.add`` on head, spins until the slot is published, expands
+  the vertex's edges, then bumps processed; the worker whose finish makes
+  ``processed == tail`` raises ``done``. ``processed == tail`` implies
+  every enqueued vertex has been fully expanded, so the frontier is empty
+  and no new publishes can occur — the flag is final.
+
+The megakernel (``bfs_trace``) runs a worker loop in which every lane
+advances its own claim/poll/expand state machine by one step per
+iteration — real branches, so the divergence between a lane expanding a
+hub vertex and its idle warp-mates is visible to the SIMT model, and no
+lane ever blocks inside an inner loop (livelock-free under lockstep).
+
+The µ-kernel layout (``bfs_seed → bfs_step → bfs_step → …``) spawns one
+child µ-kernel per state-machine step: every frontier-expansion step runs
+as a freshly spawned thread carrying an 8-word state record ``(state,
+claim, vertex, level, edge, edge_end, pad×2)``, and a chain ends when its
+thread observes ``done``. All continuations target a single µ-kernel on
+purpose: the paper's formation policy flushes partially formed warps only
+when nothing else is runnable, so splitting the FSM across several spawn
+targets lets a lane that *holds a claimed vertex* strand in one kernel's
+partial pool while spinning claim chains keep the machine busy — a
+livelock. With one LUT entry, every subsequent spawn completes the
+previous residue, so a claim holder waits at most one warp round, and the
+final stragglers flush at drain time.
+
+Results: vertex ``v``'s record holds ``(level, 1.0)`` once some worker
+expands it; unreachable vertices keep the ``(NaN, -2)`` sentinel. Levels
+are exact BFS levels only under a globally synchronous schedule — the
+lock-free race can discover a vertex through a deeper parent first — so
+the oracle checks visited-set equality and the true level as a lower
+bound (see ``RunResult.verify``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa import Program, assemble
+from repro.simt.gpu import LaunchSpec
+from repro.simt.memory import GlobalMemory
+from repro.workloads.graphs import GraphWorkload
+
+#: Constant-memory slots (a self-contained layout, separate from the
+#: ray-tracing one in :mod:`repro.kernels.layout`).
+GRAPH_CONST_INDPTR = 0
+GRAPH_CONST_INDICES = 1
+GRAPH_CONST_VISITED = 2
+GRAPH_CONST_LEVELS = 3
+GRAPH_CONST_QUEUE = 4
+GRAPH_CONST_COUNTERS = 5
+GRAPH_CONST_RESULT = 6
+GRAPH_CONST_NUM_VERTICES = 7
+GRAPH_CONST_TOTAL_WORDS = 8
+
+#: Offsets into the counters region.
+CTR_HEAD = 0
+CTR_TAIL = 1
+CTR_PROCESSED = 2
+CTR_DONE = 3
+COUNTER_WORDS = 4
+
+GRAPH_RESULT_WORDS = 2
+
+#: Occupancy bookkeeping (no Table II analogue; both layouts are lean).
+BFS_MEGA_REGISTERS = 19
+BFS_MICRO_REGISTERS = 20
+
+#: Words of state passed between spawned threads (32 bytes).
+BFS_STATE_WORDS = 8
+
+BFS_KERNEL_NAME = "bfs_trace"
+BFS_MICRO_KERNEL_NAMES = ("bfs_seed", "bfs_step")
+
+#: Register map. state..eend are consecutive (r1-r6) so the µ-kernel state
+#: moves with two v4 transfers from {state} and {e}; the second transfer
+#: deterministically clobbers/spills t0-t1 as pad words.
+GREGS = {
+    "z": "r0", "state": "r1",
+    "claim": "r2", "vertex": "r3", "lvl": "r4", "e": "r5", "eend": "r6",
+    "t0": "r7", "t1": "r8", "t2": "r9", "t3": "r10",
+    "ipb": "r11", "idb": "r12", "vb": "r13", "lvb": "r14",
+    "qb": "r15", "cb": "r16", "rb": "r17", "nv": "r18",
+    "sptr": "r19",
+}
+
+_MICRO_DECL = (
+    "regs={regs} state={state} shared=32 local=0 const=8".format(
+        regs=BFS_MICRO_REGISTERS, state=BFS_STATE_WORDS))
+
+
+def gfmt(template: str, **extra) -> str:
+    return template.format(**GREGS, **extra)
+
+
+@dataclass
+class GraphMemoryImage:
+    """A populated device-memory image for one BFS run."""
+
+    global_mem: GlobalMemory
+    const_mem: np.ndarray
+    indptr_base: int
+    indices_base: int
+    visited_base: int
+    levels_base: int
+    queue_base: int
+    counter_base: int
+    result_base: int
+    num_vertices: int
+
+    def results(self) -> tuple[np.ndarray, np.ndarray]:
+        """(level, visited-flag) arrays read back from the result region."""
+        words = self.global_mem.words
+        region = words[self.result_base:
+                       self.result_base
+                       + self.num_vertices * GRAPH_RESULT_WORDS]
+        grid = region.reshape(self.num_vertices, GRAPH_RESULT_WORDS)
+        return grid[:, 0].copy(), grid[:, 1].astype(np.int64)
+
+    def levels(self) -> np.ndarray:
+        """The raw levels region (float words; -1 = undiscovered)."""
+        words = self.global_mem.words
+        return words[self.levels_base:
+                     self.levels_base + self.num_vertices].copy()
+
+
+def build_graph_memory_image(graph: GraphWorkload) -> GraphMemoryImage:
+    """Build the device image for one CSR graph and its BFS roots."""
+    num_vertices = graph.num_vertices
+    num_sources = int(graph.sources.shape[0])
+
+    indptr_base = 0
+    indices_base = indptr_base + num_vertices + 1
+    visited_base = indices_base + max(graph.num_edges, 1)
+    levels_base = visited_base + num_vertices
+    queue_base = levels_base + num_vertices
+    counter_base = queue_base + num_vertices
+    result_base = counter_base + COUNTER_WORDS
+    total = result_base + num_vertices * GRAPH_RESULT_WORDS
+
+    memory = GlobalMemory(total)
+    memory.load_array(indptr_base, graph.indptr.astype(np.float64))
+    if graph.num_edges:
+        memory.load_array(indices_base, graph.indices.astype(np.float64))
+    visited = np.zeros(num_vertices)
+    visited[graph.sources] = 1.0
+    memory.load_array(visited_base, visited)
+    levels = np.full(num_vertices, -1.0)
+    levels[graph.sources] = 0.0
+    memory.load_array(levels_base, levels)
+    queue = np.full(num_vertices, -1.0)
+    queue[:num_sources] = graph.sources.astype(np.float64)
+    memory.load_array(queue_base, queue)
+    counters = np.zeros(COUNTER_WORDS)
+    counters[CTR_TAIL] = num_sources
+    memory.load_array(counter_base, counters)
+    results = np.zeros((num_vertices, GRAPH_RESULT_WORDS))
+    results[:, 0] = np.nan  # sentinel: never-expanded vertices stay NaN
+    results[:, 1] = -2.0
+    memory.load_array(result_base, results)
+    memory.set_result_range(result_base, num_vertices * GRAPH_RESULT_WORDS,
+                            stride=GRAPH_RESULT_WORDS)
+
+    const = np.zeros(GRAPH_CONST_TOTAL_WORDS)
+    const[GRAPH_CONST_INDPTR] = indptr_base
+    const[GRAPH_CONST_INDICES] = indices_base
+    const[GRAPH_CONST_VISITED] = visited_base
+    const[GRAPH_CONST_LEVELS] = levels_base
+    const[GRAPH_CONST_QUEUE] = queue_base
+    const[GRAPH_CONST_COUNTERS] = counter_base
+    const[GRAPH_CONST_RESULT] = result_base
+    const[GRAPH_CONST_NUM_VERTICES] = num_vertices
+    return GraphMemoryImage(global_mem=memory, const_mem=const,
+                            indptr_base=indptr_base,
+                            indices_base=indices_base,
+                            visited_base=visited_base,
+                            levels_base=levels_base, queue_base=queue_base,
+                            counter_base=counter_base,
+                            result_base=result_base,
+                            num_vertices=num_vertices)
+
+
+def _load_graph_bases() -> str:
+    """Zero register plus all region base addresses from constant memory."""
+    return gfmt("""
+    mov {z}, 0;
+    ld.const {ipb}, [{z}+0];
+    ld.const {idb}, [{z}+1];
+    ld.const {vb}, [{z}+2];
+    ld.const {lvb}, [{z}+3];
+    ld.const {qb}, [{z}+4];
+    ld.const {cb}, [{z}+5];
+    ld.const {rb}, [{z}+6];
+    ld.const {nv}, [{z}+7];
+""")
+
+
+def _claim_step() -> str:
+    """head < tail → claim a queue slot (claim ← old head)."""
+    return gfmt("""
+    ld.global {t0}, [{cb}+0];
+    ld.global {t1}, [{cb}+1];
+    setp.ge p2, {t0}, {t1};
+""")
+
+
+def _poll_step() -> str:
+    """Read queue[claim] into t1; p2 set when the slot is still pending.
+
+    A claim at or beyond the queue capacity can never be published (every
+    vertex enqueues at most once), so it polls as pending until ``done``.
+    """
+    return gfmt("""
+    setp.ge p2, {claim}, {nv};
+    @p2 bra PENDING;
+    add {t0}, {qb}, {claim};
+    ld.global {t1}, [{t0}+0];
+    setp.lt p2, {t1}, 0;
+PENDING:
+""")
+
+
+def _open_vertex() -> str:
+    """Slot published: load the vertex's level, edge range, and result."""
+    return gfmt("""
+    mov {vertex}, {t1};
+    add {t0}, {lvb}, {vertex};
+    ld.global {lvl}, [{t0}+0];
+    add {t0}, {ipb}, {vertex};
+    ld.global {e}, [{t0}+0];
+    ld.global {eend}, [{t0}+1];
+    mul {t0}, {vertex}, 2;
+    add {t0}, {rb}, {t0};
+    st.global [{t0}+0], {lvl};
+    mov {t2}, 1;
+    st.global [{t0}+1], {t2};
+""")
+
+
+def _expand_one_edge(skip_label: str) -> str:
+    """Process indices[e]: test-and-set visited, publish on first touch.
+
+    Falls through (or branches) to ``skip_label``, which the caller
+    defines. The level store precedes the tail bump, so by the time a
+    queue slot is published its vertex's level is already in place.
+    """
+    return gfmt("""
+    add {t0}, {idb}, {e};
+    ld.global {t1}, [{t0}+0];
+    add {e}, {e}, 1;
+    add {t0}, {vb}, {t1};
+    mov {t2}, 1;
+    atom.exch.global {t3}, [{t0}+0], {t2};
+    setp.gt p3, {t3}, 0;
+    @p3 bra SKIPLABEL;
+    add {t0}, {lvb}, {t1};
+    add {t2}, {lvl}, 1;
+    st.global [{t0}+0], {t2};
+    atom.add.global {t3}, [{cb}+1], 1;
+    add {t0}, {qb}, {t3};
+    st.global [{t0}+0], {t1};
+""").replace("SKIPLABEL", skip_label)
+
+
+def _finish_vertex() -> str:
+    """processed++; the finisher that drains the queue raises done."""
+    return gfmt("""
+    atom.add.global {t0}, [{cb}+2], 1;
+    add {t0}, {t0}, 1;
+    ld.global {t1}, [{cb}+1];
+    setp.ge p3, {t0}, {t1};
+    mov {t2}, 1;
+    @p3 st.global [{cb}+3], {t2};
+""")
+
+
+def _worker_step(prefix: str, tail_label: str) -> str:
+    """One FSM step: claim attempt / publish poll / one edge / finish.
+
+    Every lane advances its own state machine by exactly one step and
+    reaches ``tail_label`` (defined by the caller), so warps reconverge
+    each step and no lane blocks inside a nested loop.
+    """
+    return "\n".join([
+        gfmt("""
+    setp.ne p1, {state}, 0;
+    @p1 bra X_SKIP_CLAIM;
+"""),
+        _claim_step(),
+        gfmt("""
+    @p2 bra X_SKIP_CLAIM;
+    atom.add.global {claim}, [{cb}+0], 1;
+    mov {state}, 1;
+X_SKIP_CLAIM:
+    setp.ne p1, {state}, 1;
+    @p1 bra X_SKIP_POLL;
+"""),
+        _poll_step().replace("PENDING", "X_PENDING"),
+        gfmt("""
+    @p2 bra X_SKIP_POLL;
+"""),
+        _open_vertex(),
+        gfmt("""
+    mov {state}, 2;
+X_SKIP_POLL:
+    setp.ne p1, {state}, 2;
+    @p1 bra X_TAIL;
+    setp.lt p2, {e}, {eend};
+    @p2 bra X_EDGE;
+"""),
+        _finish_vertex(),
+        gfmt("""
+    mov {state}, 0;
+    bra X_TAIL;
+X_EDGE:
+"""),
+        _expand_one_edge("X_TAIL"),
+    ]).replace("X_TAIL", tail_label).replace("X_", prefix + "_")
+
+
+def bfs_source() -> str:
+    """The BFS megakernel: a lockstep-safe worker state-machine loop."""
+    pieces = [
+        f".kernel {BFS_KERNEL_NAME} regs={BFS_MEGA_REGISTERS} "
+        f"shared=32 local=0 const=8",
+        f"{BFS_KERNEL_NAME}:",
+        _load_graph_bases(),
+        gfmt("""
+    mov {state}, 0;
+    mov {claim}, 0;
+    mov {vertex}, 0;
+    mov {lvl}, 0;
+    mov {e}, 0;
+    mov {eend}, 0;
+"""),
+        """
+BFS_LOOP:
+""",
+        gfmt("""
+    ld.global {t0}, [{cb}+3];
+    setp.gt p1, {t0}, 0;
+    @p1 bra BFS_EXIT;
+"""),
+        _worker_step("BFS", "BFS_TAIL"),
+        """
+BFS_TAIL:
+    bra BFS_LOOP;
+BFS_EXIT:
+    exit;
+""",
+    ]
+    return "\n".join(pieces)
+
+
+def _bfs_state_restore() -> str:
+    """µ-kernel prologue: follow the state pointer, two v4 loads."""
+    return gfmt("""
+    mov {t3}, SREG.spawnMemAddr;
+    ld.spawnMem {sptr}, [{t3}+0];
+    ld.spawnMem.v4 {state}, [{sptr}+0];
+    ld.spawnMem.v4 {e}, [{sptr}+4];
+""")
+
+
+def _bfs_state_save_and_spawn(target: str) -> str:
+    """µ-kernel epilogue: two v4 stores, spawn exactly one continuation."""
+    return gfmt("""
+    st.spawnMem.v4 [{sptr}+0], {state};
+    st.spawnMem.v4 [{sptr}+4], {e};
+    spawn $TARGET, {sptr};
+    exit;
+""").replace("TARGET", target)
+
+
+def bfs_microkernel_source() -> str:
+    """The spawn-layout BFS: every worker step is a spawned µ-kernel."""
+    pieces = [
+        f".kernel bfs_seed {_MICRO_DECL}",
+        f".kernel bfs_step {_MICRO_DECL}",
+        # ------------------------------------------------------- bfs_seed
+        "bfs_seed:",
+        gfmt("""
+    mov {state}, 0;
+    mov {claim}, 0;
+    mov {vertex}, 0;
+    mov {lvl}, 0;
+    mov {e}, 0;
+    mov {eend}, 0;
+    mov {t0}, 0;
+    mov {t1}, 0;
+    mov {sptr}, SREG.spawnMemAddr;
+"""),
+        _bfs_state_save_and_spawn("bfs_step"),
+        # ------------------------------------------------------- bfs_step
+        "bfs_step:",
+        _bfs_state_restore(),
+        _load_graph_bases(),
+        gfmt("""
+    ld.global {t0}, [{cb}+3];
+    setp.gt p1, {t0}, 0;
+    @p1 exit;
+"""),
+        _worker_step("STEP", "STEP_TAIL"),
+        "STEP_TAIL:",
+        _bfs_state_save_and_spawn("bfs_step"),
+    ]
+    return "\n".join(pieces)
+
+
+def bfs_program() -> Program:
+    """Assemble the BFS megakernel."""
+    return assemble(bfs_source())
+
+
+def bfs_microkernel_program() -> Program:
+    """Assemble the BFS µ-kernel program."""
+    return assemble(bfs_microkernel_source())
+
+
+def bfs_launch_spec(num_workers: int, *, block_size: int = 64) -> LaunchSpec:
+    """Launch spec for the megakernel worker pool."""
+    program = bfs_program()
+    return LaunchSpec(program=program, entry_kernel=BFS_KERNEL_NAME,
+                      num_threads=num_workers,
+                      registers_per_thread=BFS_MEGA_REGISTERS,
+                      block_size=block_size)
+
+
+def bfs_microkernel_launch_spec(num_workers: int, *, block_size: int = 32
+                                ) -> LaunchSpec:
+    """Launch spec for the spawn layout (one worker chain per thread)."""
+    program = bfs_microkernel_program()
+    return LaunchSpec(program=program, entry_kernel="bfs_seed",
+                      num_threads=num_workers,
+                      registers_per_thread=BFS_MICRO_REGISTERS,
+                      block_size=block_size,
+                      state_words=BFS_STATE_WORDS)

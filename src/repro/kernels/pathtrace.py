@@ -1,0 +1,474 @@
+"""Multi-bounce path-tracing kernels (megakernel and µ-kernel layouts).
+
+The russian-roulette bounce loop is the paper's data-dependent-loop story
+amplified: every ray runs the whole single-bounce tracer *per segment*,
+and whether a ray goes another round depends on its private RNG draw, so
+warp occupancy decays ray by ray — the divergence shape the
+megakernel-vs-wavefront path-tracing literature measures.
+
+Two layouts share every arithmetic fragment (and hence produce
+bit-identical results, verified against :mod:`repro.rt.pathtrace`):
+
+- ``pt_trace`` — the traditional megakernel: the bounce loop is a fourth
+  nested data-dependent loop wrapped around Example 1's three.
+- ``pt_primary`` … ``pt_bounce`` — the spawn decomposition: the existing
+  traversal µ-kernels widened to a 64-byte (16-word) state record that
+  additionally carries ``(rng, bounce, last_tri, pad)``, plus a new
+  ``pt_bounce`` µ-kernel holding the roulette test and the diffuse-bounce
+  shading; each continuing path re-enters ``pt_traverse`` as a freshly
+  spawned thread.
+
+Per-ray RNG is a Park–Miller LCG computed exactly in float64 (see
+:mod:`repro.rt.pathtrace` for the proof sketch); the result record stores
+``(bounce_count, last_hit_triangle)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.isa import Program, assemble
+from repro.kernels import _fragments as frag
+from repro.kernels.layout import CONST_TOTAL_WORDS, MemoryImage
+from repro.simt.gpu import LaunchSpec
+
+#: Constant-memory slots appended to the base layout for path tracing.
+PATH_CONST_MAX_DEPTH = CONST_TOTAL_WORDS - 1   # 15 (spare slot in the base)
+PATH_CONST_ROULETTE_Q = CONST_TOTAL_WORDS      # 16
+PATH_CONST_SEED = CONST_TOTAL_WORDS + 1        # 17
+PATH_CONST_TOTAL_WORDS = CONST_TOTAL_WORDS + 2
+
+#: Occupancy bookkeeping in the spirit of Table II: the single-bounce
+#: register budgets plus two live values (RNG state, bounce counter).
+PT_MEGA_REGISTERS = 24
+PT_MICRO_REGISTERS = 22
+
+#: Words of state passed between spawned threads (64 bytes: the 12-word
+#: traversal record plus rng/bounce/last-tri/pad).
+PT_STATE_WORDS = 16
+
+PT_KERNEL_NAME = "pt_trace"
+PT_MICRO_KERNEL_NAMES = ("pt_primary", "pt_traverse", "pt_isect",
+                         "pt_pop", "pt_bounce")
+
+#: Extra architectural registers beyond the shared map: the path state
+#: words 12-15. They are consecutive so one v4 transfer moves all four.
+PT_REGS = {"rng": "r42", "bounce": "r43", "ltri": "r44", "ptpad": "r45"}
+
+#: Total general registers the generated path kernels touch.
+PT_NUM_REGS_USED = 46
+
+_MICRO_DECL = (
+    "regs={regs} state={state} shared=56 local=384 const=24".format(
+        regs=PT_MICRO_REGISTERS, state=PT_STATE_WORDS))
+
+
+def _pfmt(template: str, **extra) -> str:
+    return frag.fmt(template, **PT_REGS, **extra)
+
+
+def extend_image_for_path(image: MemoryImage, *, max_depth: int,
+                          roulette_q: float, seed: int) -> MemoryImage:
+    """Widen an image's constant memory with the path-tracing knobs."""
+    const = np.zeros(PATH_CONST_TOTAL_WORDS)
+    const[:image.const_mem.shape[0]] = image.const_mem
+    const[PATH_CONST_MAX_DEPTH] = int(max_depth)
+    const[PATH_CONST_ROULETTE_Q] = float(roulette_q)
+    const[PATH_CONST_SEED] = int(seed)
+    return dataclasses.replace(image, const_mem=const)
+
+
+def rng_init() -> str:
+    """Seed the per-ray LCG exactly as :func:`repro.rt.pathtrace.rng_init`."""
+    return _pfmt("""
+    mul {t0}, {rid}, 9973;
+    ld.const {t1}, [{z}+{SEED}];
+    mul {t1}, {t1}, 12345;
+    add {t0}, {t0}, {t1};
+    add {t0}, {t0}, 1;
+    rem {rng}, {t0}, 2147483647;
+    max {rng}, {rng}, 1;
+""", SEED=PATH_CONST_SEED)
+
+
+def rng_draw(dst: str) -> str:
+    """Advance the LCG and leave the uniform in ``dst`` (a REGS name)."""
+    return _pfmt("""
+    mul {rng}, {rng}, 48271;
+    rem {rng}, {rng}, 2147483647;
+    div {DST}, {rng}, 2147483647;
+""", DST=frag.REGS[dst])
+
+
+def write_path_result() -> str:
+    """Store (bounce_count, last_triangle); bounce/ltri are consecutive."""
+    return _pfmt("""
+    ld.const {t2}, [{z}+4];
+    mul {t3}, {rid}, 2;
+    add {t2}, {t2}, {t3};
+    st.global.v2 [{t2}+0], {bounce};
+""")
+
+
+def _diffuse_bounce() -> str:
+    """Roulette survived: draw a sphere-offset diffuse direction.
+
+    Mirrors the shading block of
+    :func:`repro.rt.pathtrace._path_trace_one` operation for operation;
+    consumes three uniforms, leaves the new direction in dx..dz and the
+    nudged origin in ox..oz. The normalized flipped normal survives in
+    au/av/bnu for the degenerate-sample ``selp`` fallbacks.
+    """
+    pieces = [rng_draw("t2"), rng_draw("t3"), rng_draw("t4"), _pfmt("""
+    mul {t5}, {ltri}, 12;
+    add {t5}, {t5}, {tb};
+    ld.global.v4 {k}, [{t5}+0];
+    setp.eq p1, {k}, 0;
+    setp.eq p2, {k}, 1;
+    selp {au}, {nv}, {nu}, p2;
+    selp {au}, 1, {au}, p1;
+    selp {av}, 1, {nv}, p2;
+    selp {av}, {nu}, {av}, p1;
+    selp {bnu}, {nu}, 1, p2;
+    selp {bnu}, {nv}, {bnu}, p1;
+    mul {t0}, {au}, {dx};
+    mad {t0}, {av}, {dy}, {t0};
+    mad {t0}, {bnu}, {dz}, {t0};
+    setp.gt p3, {t0}, 0;
+    @p3 neg {au}, {au};
+    @p3 neg {av}, {av};
+    @p3 neg {bnu}, {bnu};
+    mul {t1}, {au}, {au};
+    mad {t1}, {av}, {av}, {t1};
+    mad {t1}, {bnu}, {bnu}, {t1};
+    rsqrt {t1}, {t1};
+    mul {au}, {au}, {t1};
+    mul {av}, {av}, {t1};
+    mul {bnu}, {bnu}, {t1};
+    mad {t2}, {t2}, 2, -1;
+    mad {t3}, {t3}, 2, -1;
+    mad {t4}, {t4}, 2, -1;
+    mul {t5}, {t2}, {t2};
+    mad {t5}, {t3}, {t3}, {t5};
+    mad {t5}, {t4}, {t4}, {t5};
+    rsqrt {t6}, {t5};
+    setp.ge p3, {t5}, 1e-12;
+    mul {t7}, {t2}, {t6};
+    selp {t2}, {t7}, {au}, p3;
+    mul {t7}, {t3}, {t6};
+    selp {t3}, {t7}, {av}, p3;
+    mul {t7}, {t4}, {t6};
+    selp {t4}, {t7}, {bnu}, p3;
+    add {t2}, {au}, {t2};
+    add {t3}, {av}, {t3};
+    add {t4}, {bnu}, {t4};
+    mul {t5}, {t2}, {t2};
+    mad {t5}, {t3}, {t3}, {t5};
+    mad {t5}, {t4}, {t4}, {t5};
+    rsqrt {t6}, {t5};
+    setp.ge p3, {t5}, 1e-12;
+    mul {t7}, {t2}, {t6};
+    selp {dx}, {t7}, {au}, p3;
+    mul {t7}, {t3}, {t6};
+    selp {dy}, {t7}, {av}, p3;
+    mul {t7}, {t4}, {t6};
+    selp {dz}, {t7}, {bnu}, p3;
+    mad {ox}, {au}, 1e-07, {ox};
+    mad {oy}, {av}, 1e-07, {oy};
+    mad {oz}, {bnu}, 1e-07, {oz};
+""")]
+    return "\n".join(pieces)
+
+
+def _segment_end(write_label: str) -> str:
+    """Terminate-or-bounce logic shared by both layouts.
+
+    On entry bt/btri hold the finished segment's hit; leaves a fresh
+    segment ready to traverse (falls through) or branches to
+    ``write_label``. Draw discipline matches the reference: the depth
+    check precedes the roulette draw, the roulette test precedes the
+    direction draws.
+    """
+    return "\n".join([
+        _pfmt("""
+    setp.lt p1, {btri}, 0;
+    @p1 bra WRITE;
+    add {bounce}, {bounce}, 1;
+    mov {ltri}, {btri};
+    mad {ox}, {bt}, {dx}, {ox};
+    mad {oy}, {bt}, {dy}, {oy};
+    mad {oz}, {bt}, {dz}, {oz};
+    ld.const {t0}, [{z}+{MAXD}];
+    setp.ge p1, {bounce}, {t0};
+    @p1 bra WRITE;
+""", MAXD=PATH_CONST_MAX_DEPTH).replace("WRITE", write_label),
+        rng_draw("t0"),
+        _pfmt("""
+    ld.const {t1}, [{z}+{Q}];
+    setp.ge p1, {t0}, {t1};
+    @p1 bra WRITE;
+""", Q=PATH_CONST_ROULETTE_Q).replace("WRITE", write_label),
+        _diffuse_bounce(),
+        _pfmt("""
+    mov {bt}, inf;
+    mov {btri}, -1;
+"""),
+        frag.compute_inverse_direction(),
+        _pfmt("""
+    mov {sp}, 0;
+    mov {node}, 0;
+"""),
+        frag.slab_test(write_label),
+    ])
+
+
+def pathtrace_source() -> str:
+    """The path-tracing megakernel: Example 1 plus an outer bounce loop."""
+    pieces = [
+        f".kernel {PT_KERNEL_NAME} regs={PT_MEGA_REGISTERS} "
+        f"shared=60 local=384 const=128",
+        f"{PT_KERNEL_NAME}:",
+        frag.load_const_bases(),
+        frag.fmt("    mov {rid}, SREG.tid;"),
+        frag.load_ray(),
+        rng_init(),
+        _pfmt("""
+    mov {bounce}, 0;
+    mov {ltri}, -1;
+"""),
+        frag.compute_inverse_direction(),
+        frag.compute_stack_address(),
+        frag.fmt("""
+    mov {sp}, 0;
+    mov {node}, 0;
+"""),
+        frag.slab_test("PT_WRITE"),
+        """
+PT_DOWN:
+""",
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.eq p1, {t0}, 3;
+    @p1 bra PT_LEAF;
+"""),
+        frag.down_step(),
+        """
+    bra PT_DOWN;
+PT_LEAF:
+""",
+        frag.fmt("    mov {t3}, 0;"),
+        """
+PT_ISECT:
+""",
+        frag.fmt("""
+    setp.ge p1, {t3}, {t1};
+    @p1 bra PT_POP;
+    add {t4}, {t2}, {t3};
+    add {t4}, {t4}, {lb};
+    ld.global {t4}, [{t4}+0];
+"""),
+        frag.triangle_test(),
+        frag.fmt("""
+    add {t3}, {t3}, 1;
+    bra PT_ISECT;
+"""),
+        """
+PT_POP:
+""",
+        frag.early_exit_test("PT_SEG_END"),
+        frag.stack_pop("PT_SEG_END"),
+        """
+    bra PT_DOWN;
+PT_SEG_END:
+""",
+        _segment_end("PT_WRITE"),
+        """
+    bra PT_DOWN;
+PT_WRITE:
+""",
+        write_path_result(),
+        "    exit;",
+    ]
+    return "\n".join(pieces)
+
+
+def _pt_state_restore() -> str:
+    """16-word variant of the µ-kernel state restore (four v4 loads)."""
+    return _pfmt("""
+    mov {t4}, SREG.spawnMemAddr;
+    ld.spawnMem {t5}, [{t4}+0];
+    ld.spawnMem.v4 {ox}, [{t5}+0];
+    ld.spawnMem.v4 {dy}, [{t5}+4];
+    ld.spawnMem.v4 {w8}, [{t5}+8];
+    ld.spawnMem.v4 {rng}, [{t5}+12];
+    and {sp}, {pk}, 31;
+    shr {node}, {pk}, 5;
+    mov {pk}, {t5};
+""")
+
+
+def _pt_state_save() -> str:
+    """16-word variant of the µ-kernel state save (four v4 stores)."""
+    return _pfmt("""
+    mul {t4}, {node}, 32;
+    add {t4}, {t4}, {sp};
+    mov {t5}, {pk};
+    mov {pk}, {t4};
+    st.spawnMem.v4 [{t5}+0], {ox};
+    st.spawnMem.v4 [{t5}+4], {dy};
+    st.spawnMem.v4 [{t5}+8], {w8};
+    st.spawnMem.v4 [{t5}+12], {rng};
+""")
+
+
+def pathtrace_microkernel_source() -> str:
+    """The five-µ-kernel path tracer (spawn layout)."""
+    pieces = [
+        f".kernel pt_primary {_MICRO_DECL}",
+        f".kernel pt_traverse {_MICRO_DECL}",
+        f".kernel pt_isect {_MICRO_DECL}",
+        f".kernel pt_pop {_MICRO_DECL}",
+        f".kernel pt_bounce {_MICRO_DECL}",
+        # ----------------------------------------------------- pt_primary
+        "pt_primary:",
+        frag.load_const_bases(),
+        frag.fmt("    mov {rid}, SREG.tid;"),
+        frag.load_ray(),
+        rng_init(),
+        _pfmt("""
+    mov {bounce}, 0;
+    mov {ltri}, -1;
+"""),
+        frag.compute_inverse_direction(),
+        frag.slab_test("PPRIM_WRITE"),
+        _pfmt("""
+    mov {pk}, 0;
+    mov {t5}, SREG.spawnMemAddr;
+    st.spawnMem.v4 [{t5}+0], {ox};
+    st.spawnMem.v4 [{t5}+4], {dy};
+    st.spawnMem.v4 [{t5}+8], {w8};
+    st.spawnMem.v4 [{t5}+12], {rng};
+    spawn $pt_traverse, {t5};
+    exit;
+"""),
+        "PPRIM_WRITE:",
+        write_path_result(),
+        "    exit;",
+        # ---------------------------------------------------- pt_traverse
+        "pt_traverse:",
+        _pt_state_restore(),
+        frag.load_const_bases(),
+        frag.compute_inverse_direction(),
+        frag.compute_stack_address(),
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.eq p1, {t0}, 3;
+    @p1 bra PTRAV_LEAF;
+"""),
+        frag.down_step(),
+        _pt_state_save(),
+        frag.fmt("""
+    spawn $pt_traverse, {t5};
+    exit;
+"""),
+        "PTRAV_LEAF:",
+        frag.fmt("    mov {w8}, 0;"),
+        _pt_state_save(),
+        frag.fmt("""
+    setp.gt p1, {t1}, 0;
+    @p1 spawn $pt_isect, {t5};
+    @p1 exit;
+    spawn $pt_pop, {t5};
+    exit;
+"""),
+        # ------------------------------------------------------- pt_isect
+        "pt_isect:",
+        _pt_state_restore(),
+        frag.load_const_bases(),
+        frag.load_node_words(),
+        frag.fmt("""
+    setp.ge p1, {w8}, {t1};
+    @p1 bra PISECT_NEXT;
+    add {t4}, {t2}, {w8};
+    add {t4}, {t4}, {lb};
+    ld.global {t4}, [{t4}+0];
+"""),
+        frag.triangle_test(),
+        frag.fmt("    add {w8}, {w8}, 1;"),
+        "PISECT_NEXT:",
+        frag.fmt("    setp.lt p2, {w8}, {t1};"),
+        _pt_state_save(),
+        frag.fmt("""
+    @p2 spawn $pt_isect, {t5};
+    @p2 exit;
+    spawn $pt_pop, {t5};
+    exit;
+"""),
+        # --------------------------------------------------------- pt_pop
+        "pt_pop:",
+        _pt_state_restore(),
+        frag.load_const_bases(),
+        frag.compute_stack_address(),
+        frag.early_exit_test("PPOP_SEG"),
+        frag.stack_pop("PPOP_SEG"),
+        _pt_state_save(),
+        frag.fmt("""
+    spawn $pt_traverse, {t5};
+    exit;
+"""),
+        # The segment is finished: hand the hit (or miss) to the bounce
+        # µ-kernel, which owns termination and shading.
+        "PPOP_SEG:",
+        _pt_state_save(),
+        frag.fmt("""
+    spawn $pt_bounce, {t5};
+    exit;
+"""),
+        # ------------------------------------------------------ pt_bounce
+        "pt_bounce:",
+        _pt_state_restore(),
+        frag.load_const_bases(),
+        _segment_end("PB_WRITE"),
+        _pt_state_save(),
+        frag.fmt("""
+    spawn $pt_traverse, {t5};
+    exit;
+"""),
+        "PB_WRITE:",
+        write_path_result(),
+        "    exit;",
+    ]
+    return "\n".join(pieces)
+
+
+def pathtrace_program() -> Program:
+    """Assemble the path-tracing megakernel."""
+    return assemble(pathtrace_source())
+
+
+def pathtrace_microkernel_program() -> Program:
+    """Assemble the path-tracing µ-kernel program."""
+    return assemble(pathtrace_microkernel_source())
+
+
+def pathtrace_launch_spec(num_rays: int, *, block_size: int = 64
+                          ) -> LaunchSpec:
+    """Launch spec for the megakernel layout (one thread per path)."""
+    program = pathtrace_program()
+    return LaunchSpec(program=program, entry_kernel=PT_KERNEL_NAME,
+                      num_threads=num_rays,
+                      registers_per_thread=PT_MEGA_REGISTERS,
+                      block_size=block_size)
+
+
+def pathtrace_microkernel_launch_spec(num_rays: int, *, block_size: int = 32
+                                      ) -> LaunchSpec:
+    """Launch spec for the spawn layout (warp scheduling assumed)."""
+    program = pathtrace_microkernel_program()
+    return LaunchSpec(program=program, entry_kernel="pt_primary",
+                      num_threads=num_rays,
+                      registers_per_thread=PT_MICRO_REGISTERS,
+                      block_size=block_size,
+                      state_words=PT_STATE_WORDS)

@@ -19,6 +19,7 @@ from repro.rt.scenes import (
     fairyforest_like,
     make_scene,
 )
+from repro.rt.pathtrace import path_trace_rays
 from repro.rt.trace import TraceCounters, TraceResult, trace_rays
 from repro.rt.image import Framebuffer
 
@@ -43,6 +44,7 @@ __all__ = [
     "fairyforest_like",
     "gi_rays",
     "make_scene",
+    "path_trace_rays",
     "reflection_rays",
     "shadow_rays",
     "trace_rays",

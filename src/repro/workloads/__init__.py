@@ -1,0 +1,23 @@
+"""Non-rendering workload generators (graphs today; more families later).
+
+The spawn mechanism the paper describes is workload-agnostic; this package
+holds the procedural generators for the irregular, non-graphics workloads
+that exercise it — starting with seeded CSR graphs for the BFS kernel
+family (:mod:`repro.workloads.graphs`).
+"""
+
+from repro.workloads.graphs import (
+    GRAPH_SCENES,
+    GraphWorkload,
+    is_graph_scene,
+    make_graph,
+    reference_bfs,
+)
+
+__all__ = [
+    "GRAPH_SCENES",
+    "GraphWorkload",
+    "is_graph_scene",
+    "make_graph",
+    "reference_bfs",
+]

@@ -1,0 +1,137 @@
+"""Seeded procedural CSR graphs for the BFS kernel family.
+
+Two archetypes with controlled skew (the knob the dynamic-parallelism
+literature cares about — frontier expansion cost per vertex):
+
+- ``graph-uniform`` — every vertex has a small out-degree drawn from a
+  narrow band; frontiers grow smoothly and per-vertex work is balanced.
+- ``graph-skew`` — a power-law-flavoured graph: a handful of hub vertices
+  own a large fraction of the edges and most targets concentrate on
+  low-numbered vertices, so one lane's frontier expansion can be orders of
+  magnitude larger than its warp-mates' — the divergence shape BFS is
+  famous for.
+
+Vertex count scales with the preset's ``scene_detail`` exactly like the
+triangle counts of the procedural scenes do, so ``tiny``/``fast``/``paper``
+presets carry over unchanged. All randomness flows from one
+:class:`numpy.random.Generator` derived from ``(name, detail, seed)``, so a
+graph is reproducible from its workload-cache key alone.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+
+#: Graph scene names the generator accepts (the BFS analogue of
+#: :data:`repro.rt.BENCHMARK_SCENES`).
+GRAPH_SCENES = ("graph-uniform", "graph-skew")
+
+#: Vertices at detail=1.0; presets scale this like triangle counts.
+_BASE_VERTICES = 1024
+
+#: Distinct BFS roots per workload (clamped to the vertex count).
+_NUM_SOURCES = 2
+
+
+@dataclass(frozen=True)
+class GraphWorkload:
+    """A CSR adjacency structure plus the BFS roots."""
+
+    name: str
+    indptr: np.ndarray    # int64, num_vertices + 1
+    indices: np.ndarray   # int64, num_edges
+    sources: np.ndarray   # int64, distinct roots
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+
+def is_graph_scene(name: str) -> bool:
+    return name in GRAPH_SCENES
+
+
+def _degree_profile(name: str, num_vertices: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    if name == "graph-uniform":
+        return rng.integers(2, 6, size=num_vertices)
+    # graph-skew: a few hubs with O(V/16) out-degree over a sparse base.
+    degrees = rng.integers(1, 4, size=num_vertices)
+    num_hubs = max(2, num_vertices // 64)
+    hubs = rng.choice(num_vertices, size=num_hubs, replace=False)
+    degrees[hubs] = rng.integers(num_vertices // 32 + 2,
+                                 num_vertices // 16 + 3, size=num_hubs)
+    return degrees
+
+
+def _targets(name: str, num_vertices: int, count: int,
+             rng: np.random.Generator) -> np.ndarray:
+    if name == "graph-uniform":
+        return rng.integers(0, num_vertices, size=count)
+    # graph-skew: cubing a uniform draw concentrates in-degree on
+    # low-numbered vertices (a cheap preferential-attachment stand-in).
+    u = rng.random(count)
+    return np.minimum((u ** 3 * num_vertices).astype(np.int64),
+                      num_vertices - 1)
+
+
+def make_graph(name: str, detail: float = 1.0, seed: int = 0
+               ) -> GraphWorkload:
+    """Generate one seeded CSR graph workload."""
+    if name not in GRAPH_SCENES:
+        raise SceneError(
+            f"unknown graph scene {name!r}; expected one of {GRAPH_SCENES}")
+    num_vertices = max(64, int(round(_BASE_VERTICES * float(detail))))
+    # zlib.crc32, not hash(): str hashing is salted per process and the
+    # graph must be reproducible across sweep workers.
+    rng = np.random.default_rng(
+        np.random.SeedSequence([zlib.crc32(name.encode()),
+                                int(round(detail * 1024)), int(seed)]))
+    degrees = _degree_profile(name, num_vertices, rng).astype(np.int64)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = _targets(name, num_vertices, int(indptr[-1]), rng)
+    indices = indices.astype(np.int64)
+    num_sources = min(_NUM_SOURCES, num_vertices)
+    sources = np.sort(rng.choice(num_vertices, size=num_sources,
+                                 replace=False)).astype(np.int64)
+    return GraphWorkload(name=name, indptr=indptr, indices=indices,
+                         sources=sources)
+
+
+def reference_bfs(graph: GraphWorkload) -> np.ndarray:
+    """True multi-source BFS levels (int64; -1 marks unreachable).
+
+    The reference oracle for the SIMT kernels: the *reachable set* is
+    schedule-independent (any correct traversal visits exactly these
+    vertices) and the true level is a lower bound on any level a relaxed
+    lock-free traversal can assign.
+    """
+    levels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    frontier = [int(v) for v in graph.sources]
+    for v in frontier:
+        levels[v] = 0
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier = []
+        for v in frontier:
+            for slot in range(int(graph.indptr[v]), int(graph.indptr[v + 1])):
+                w = int(graph.indices[slot])
+                if levels[w] < 0:
+                    levels[w] = depth
+                    next_frontier.append(w)
+        frontier = next_frontier
+    return levels

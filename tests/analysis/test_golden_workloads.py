@@ -1,0 +1,94 @@
+"""Golden-stats snapshots for the path-tracing and BFS workload families.
+
+Same contract as test_golden_stats.py, extended to the new µ-kernel
+families: one run per (scene, ray_kind, preset, mode) case is compared
+**exactly** — every counter, the full divergence histogram — against a
+checked-in JSON snapshot under ``tests/analysis/golden/``. The cases pin
+both layouts of both families: the roulette path tracer as a PDOM
+megakernel and as a spawn chain, and frontier BFS on the uniform and
+hub-skewed graphs.
+
+To bless intentional changes, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/analysis/test_golden_workloads.py \
+        --update-golden
+
+and commit the result.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload, run_mode
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Bounded like test_golden_stats.py: the BFS runs complete inside the
+#: cap; the path-tracing runs truncate deterministically mid-flight,
+#: which exercises every counter the snapshot records.
+MAX_CYCLES = 60_000
+
+CASES = (
+    ("conference", "path", "path-tiny", "pdom_block"),
+    ("conference", "path", "path-tiny", "spawn"),
+    ("graph-uniform", "bfs", "bfs-tiny", "pdom_warp"),
+    ("graph-skew", "bfs", "bfs-tiny", "spawn"),
+)
+
+
+def golden_snapshot(scene: str, ray_kind: str, preset: str,
+                    mode: str) -> dict:
+    workload = prepare_workload(scene, get_preset(preset),
+                                ray_kind=ray_kind)
+    result = run_mode(mode, workload, max_cycles=MAX_CYCLES)
+    stats = result.stats
+    divergence = stats.divergence
+    sm = stats.sm_stats
+    return {
+        "scene": scene,
+        "ray_kind": ray_kind,
+        "preset": preset,
+        "mode": mode,
+        "max_cycles": MAX_CYCLES,
+        "cycles": stats.cycles,
+        "rays_completed": stats.rays_completed,
+        "issued_instructions": sm.issued_instructions,
+        "committed_thread_instructions": sm.committed_thread_instructions,
+        "idle_cycles": sm.idle_cycles,
+        "stall_cycles": sm.stall_cycles,
+        "threads_spawned": sm.threads_spawned,
+        "full_warps_formed": sm.full_warps_formed,
+        "partial_warps_flushed": sm.partial_warps_flushed,
+        "bank_conflict_cycles": sm.bank_conflict_cycles,
+        "dram_transactions": stats.dram_transactions,
+        "divergence": {
+            "window": divergence.window,
+            "totals": divergence.totals().tolist(),
+            "issues": [list(row) for row in divergence.issues],
+            "idle": list(divergence.idle),
+            "stall": list(divergence.stall),
+        },
+    }
+
+
+@pytest.mark.parametrize(
+    "scene,ray_kind,preset,mode", CASES,
+    ids=[f"{s}-{k}-{m}" for s, k, _, m in CASES])
+def test_golden_workload_stats(scene, ray_kind, preset, mode,
+                               update_golden):
+    path = GOLDEN_DIR / f"{scene}_{ray_kind}_{mode}.json"
+    snapshot = golden_snapshot(scene, ray_kind, preset, mode)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate it with "
+        "pytest --update-golden")
+    golden = json.loads(path.read_text())
+    assert snapshot == golden

@@ -90,3 +90,35 @@ class TestCampaign:
         np.random.seed(2)
         b = case_to_json(make_case(77))
         assert a == b
+
+class TestRouletteKind:
+    """The data-dependent-loop-depth kind shaped like russian roulette."""
+
+    def test_model_matrix_includes_dwf(self):
+        assert models_for(make_case(0, "roulette")) == \
+            ("pdom_block", "pdom_warp", "dwf")
+
+    def test_trip_counts_are_data_dependent(self):
+        """Slot 0 records each thread's LCG-driven trip count; a kind that
+        collapsed to a uniform loop would not exercise divergence at all."""
+        diverse = 0
+        for seed in range(8):
+            case = make_case(seed, "roulette")
+            result = run_reference(case)
+            trips = result.global_mem[
+                case.out_base:case.out_base
+                + case.num_threads * case.out_stride:case.out_stride]
+            assert np.all(trips >= 1)
+            diverse += len(np.unique(trips)) > 1
+        assert diverse >= 6
+
+    def test_trip_counts_deterministic_per_seed(self):
+        case = make_case(21, "roulette")
+        first = run_reference(case).global_mem
+        second = run_reference(case).global_mem
+        assert np.array_equal(first, second)
+
+    def test_small_campaign_is_clean(self):
+        report = run_fuzz(12, seed=0, kinds=("roulette",))
+        assert report.cases_run == 12
+        assert report.ok, [r.failures for r in report.failures]

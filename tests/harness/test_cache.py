@@ -171,7 +171,7 @@ class TestRecovery:
 
     def test_salt_participates_in_key(self, tmp_path, preset):
         a = WorkloadCache(tmp_path, salt=CACHE_SALT)
-        b = WorkloadCache(tmp_path, salt="workload-v2")
+        b = WorkloadCache(tmp_path, salt=CACHE_SALT + "-alt")
         assert a.key(SCENE, preset) != b.key(SCENE, preset)
 
 

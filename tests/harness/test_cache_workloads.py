@@ -1,0 +1,146 @@
+"""Workload-cache correctness for the path-tracing and BFS families.
+
+Two things can silently corrupt a sweep if the cache gets them wrong:
+
+- **Key coverage**: presets that differ only in the path-tracing knobs
+  (``path_max_depth``, ``path_roulette_q``) or in the RNG seed describe
+  *different* workloads and must map to distinct entries — for path
+  workloads. For single-bounce kinds the path knobs are inert and must
+  **not** fragment the cache.
+- **Roundtrip identity**: a BFS entry stores a CSR graph instead of a
+  kd-tree, and a path entry is derived from the cached primary; both
+  must come back from disk bit-identical, down to identical simulation
+  digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness.cache import WorkloadCache
+from repro.harness.presets import get_preset
+from repro.harness.runner import build_workload, run_mode
+from repro.harness.sweep import run_stats_digest
+
+GRAPH_SCENE = "graph-uniform"
+
+
+@pytest.fixture(scope="module")
+def path_preset():
+    return get_preset("path-tiny")
+
+
+@pytest.fixture(scope="module")
+def bfs_preset():
+    return get_preset("bfs-tiny")
+
+
+class TestKeyCoverage:
+    def test_path_knobs_and_seed_key_path_entries(self, tmp_path,
+                                                  path_preset):
+        cache = WorkloadCache(tmp_path)
+        base = cache.key("conference", path_preset, ray_kind="path")
+        deeper = dataclasses.replace(path_preset, path_max_depth=8)
+        greedier = dataclasses.replace(path_preset, path_roulette_q=0.9)
+        keys = {
+            base,
+            cache.key("conference", deeper, ray_kind="path"),
+            cache.key("conference", greedier, ray_kind="path"),
+            cache.key("conference", path_preset, ray_kind="path", seed=1),
+        }
+        assert len(keys) == 4
+
+    def test_path_knobs_inert_for_single_bounce_kinds(self, tmp_path,
+                                                      path_preset):
+        cache = WorkloadCache(tmp_path)
+        deeper = dataclasses.replace(path_preset, path_max_depth=8,
+                                     path_roulette_q=0.9)
+        for kind in ("primary", "shadow"):
+            assert (cache.key("conference", deeper, ray_kind=kind)
+                    == cache.key("conference", path_preset, ray_kind=kind))
+
+    def test_bfs_keys_cover_graph_parameters(self, tmp_path, bfs_preset):
+        cache = WorkloadCache(tmp_path)
+        base = cache.key(GRAPH_SCENE, bfs_preset, ray_kind="bfs")
+        denser = dataclasses.replace(bfs_preset, scene_detail=0.5)
+        keys = {
+            base,
+            cache.key("graph-skew", bfs_preset, ray_kind="bfs"),
+            cache.key(GRAPH_SCENE, denser, ray_kind="bfs"),
+            cache.key(GRAPH_SCENE, bfs_preset, ray_kind="bfs", seed=1),
+        }
+        assert len(keys) == 4
+
+
+def assert_graph_workloads_identical(a, b):
+    assert a.scene_name == b.scene_name and a.ray_kind == b.ray_kind
+    assert np.array_equal(a.graph.indptr, b.graph.indptr)
+    assert np.array_equal(a.graph.indices, b.graph.indices)
+    assert np.array_equal(a.graph.sources, b.graph.sources)
+    assert np.array_equal(a.reference.t, b.reference.t)
+    assert np.array_equal(a.reference.triangle, b.reference.triangle)
+    assert np.array_equal(a.reference.counters.node_visits,
+                          b.reference.counters.node_visits)
+    assert a.tree is None and b.tree is None
+
+
+class TestRoundtrip:
+    def test_bfs_cold_then_warm_is_bit_identical(self, tmp_path,
+                                                 bfs_preset):
+        built = build_workload(GRAPH_SCENE, bfs_preset, ray_kind="bfs")
+        writer = WorkloadCache(tmp_path)
+        stored = writer.workload(GRAPH_SCENE, bfs_preset, ray_kind="bfs")
+        assert writer.stats.misses == 1 and writer.stats.stores == 1
+        assert_graph_workloads_identical(stored, built)
+        # Warm path: a fresh instance must see only the .npz file.
+        reader = WorkloadCache(tmp_path)
+        loaded = reader.workload(GRAPH_SCENE, bfs_preset, ray_kind="bfs")
+        assert reader.stats.disk_hits == 1 and reader.stats.misses == 0
+        assert_graph_workloads_identical(loaded, built)
+
+    def test_bfs_loaded_workload_simulates_identically(self, tmp_path,
+                                                       bfs_preset):
+        built = build_workload(GRAPH_SCENE, bfs_preset, ray_kind="bfs")
+        WorkloadCache(tmp_path).workload(GRAPH_SCENE, bfs_preset,
+                                         ray_kind="bfs")
+        loaded = WorkloadCache(tmp_path).workload(GRAPH_SCENE, bfs_preset,
+                                                  ray_kind="bfs")
+        fresh = run_mode("spawn", built)
+        warm = run_mode("spawn", loaded)
+        assert run_stats_digest(fresh.stats) == run_stats_digest(warm.stats)
+        assert warm.verify()
+
+    def test_path_derived_from_cached_primary(self, tmp_path, path_preset):
+        cache = WorkloadCache(tmp_path)
+        path = cache.workload("conference", path_preset, ray_kind="path")
+        # One full build (the primary), one derivation, two entries.
+        assert cache.stats.misses == 1
+        assert cache.stats.derived == 1
+        assert cache.stats.stores == 2
+        built = build_workload("conference", path_preset, ray_kind="path")
+        assert np.array_equal(path.reference.t, built.reference.t)
+        assert np.array_equal(path.reference.triangle,
+                              built.reference.triangle)
+        # Warm load carries the bounce-count reference, not primary hits.
+        loaded = WorkloadCache(tmp_path).workload("conference", path_preset,
+                                                  ray_kind="path")
+        assert np.array_equal(loaded.reference.t, built.reference.t)
+        assert np.array_equal(loaded.reference.triangle,
+                              built.reference.triangle)
+
+    def test_distinct_roulette_presets_build_distinct_references(
+            self, tmp_path, path_preset):
+        cache = WorkloadCache(tmp_path)
+        default = cache.workload("conference", path_preset, ray_kind="path")
+        greedier = cache.workload(
+            "conference",
+            dataclasses.replace(path_preset, path_roulette_q=0.95),
+            ray_kind="path")
+        # Higher continuation probability must produce deeper paths; if the
+        # cache had collapsed the two keys these would be the same object.
+        assert greedier is not default
+        assert float(greedier.reference.t.sum()) > float(
+            default.reference.t.sum())

@@ -1,0 +1,88 @@
+"""Property tests for the russian-roulette path-tracing oracle.
+
+The oracle (:func:`repro.rt.path_trace_rays`) is the functional ground
+truth the kernel family is verified against for *exact* equality, so its
+own invariants need to hold for every seed and threshold, not just the
+preset defaults:
+
+- **Determinism**: a fixed ``(seed, q, max_depth)`` fully determines
+  every ray's bounce count, last triangle, and traversal counters.
+- **Monotonicity in the roulette threshold**: the path continues while
+  ``u < q``, and a continuing bounce always consumes exactly
+  :data:`~repro.rt.pathtrace.DRAWS_PER_BOUNCE` draws, so two runs agree
+  draw-for-draw until the first decision that falls in ``[q1, q2)`` —
+  after which only the higher threshold keeps going. Per-ray bounce
+  counts are therefore nondecreasing in ``q``.
+- **Budget**: no ray exceeds the bounce budget, and a ray bounced at
+  least once iff it ever hit a triangle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.presets import get_preset
+from repro.harness.runner import prepare_workload
+from repro.rt import path_trace_rays
+
+#: Rays per example: enough camera rays to cover hits, misses, and
+#: roulette survivals at every threshold while keeping the scalar oracle
+#: inside hypothesis-example time.
+NUM_RAYS = 48
+
+thresholds = st.floats(min_value=0.05, max_value=0.95,
+                       allow_nan=False, allow_infinity=False)
+
+
+@pytest.fixture(scope="module")
+def primary():
+    workload = prepare_workload("conference", get_preset("path-tiny"),
+                                ray_kind="primary")
+    return (workload.tree, workload.origins[:NUM_RAYS],
+            workload.directions[:NUM_RAYS], workload.t_max[:NUM_RAYS])
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16), q=thresholds)
+def test_fixed_seed_is_deterministic(primary, seed, q):
+    tree, origins, directions, t_max = primary
+    first = path_trace_rays(tree, origins, directions, t_max,
+                            max_depth=4, roulette_q=q, seed=seed)
+    second = path_trace_rays(tree, origins, directions, t_max,
+                             max_depth=4, roulette_q=q, seed=seed)
+    assert np.array_equal(first.t, second.t)
+    assert np.array_equal(first.triangle, second.triangle)
+    assert np.array_equal(first.counters.node_visits,
+                          second.counters.node_visits)
+    assert np.array_equal(first.counters.triangle_tests,
+                          second.counters.triangle_tests)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       qs=st.tuples(thresholds, thresholds))
+def test_bounce_counts_monotone_in_threshold(primary, seed, qs):
+    tree, origins, directions, t_max = primary
+    lo, hi = sorted(qs)
+    low = path_trace_rays(tree, origins, directions, t_max,
+                          max_depth=4, roulette_q=lo, seed=seed)
+    high = path_trace_rays(tree, origins, directions, t_max,
+                           max_depth=4, roulette_q=hi, seed=seed)
+    assert np.all(high.t >= low.t)
+    # Traversal work can only grow with the paths that kept going.
+    assert np.all(high.counters.node_visits >= low.counters.node_visits)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16), q=thresholds,
+       max_depth=st.integers(min_value=1, max_value=6))
+def test_bounce_budget_and_record_shape(primary, seed, q, max_depth):
+    tree, origins, directions, t_max = primary
+    result = path_trace_rays(tree, origins, directions, t_max,
+                             max_depth=max_depth, roulette_q=q, seed=seed)
+    assert np.all(result.t >= 0.0)
+    assert np.all(result.t <= max_depth)
+    # A ray carries a last-hit triangle iff it bounced at least once.
+    assert np.array_equal(result.t == 0.0, result.triangle == -1)
